@@ -1,0 +1,45 @@
+// Ablation — eviction policy.
+//
+// Algorithm 1 pairs merging with cache eviction; the paper's simulation
+// behaves as "a simple LRU-based cache" at α = 0. This bench swaps the
+// victim-selection rule (LRU / LFU / largest-first / hit-density) on the
+// paper workload at representative alphas and compares hit counts and
+// storage efficiency.
+#include "bench/common.hpp"
+
+#include "sim/driver.hpp"
+
+int main() {
+  using namespace landlord;
+  const auto env = bench::BenchEnv::from_environment();
+  const auto& repo = bench::shared_repository(env.seed);
+  bench::print_header("Ablation: eviction policies", env);
+
+  util::Table table({"eviction", "alpha", "hits", "merges", "inserts", "deletes",
+                     "cache eff(%)", "container eff(%)"});
+
+  for (double alpha : {0.0, 0.75, 0.90}) {
+    for (auto eviction :
+         {core::EvictionPolicy::kLru, core::EvictionPolicy::kLfu,
+          core::EvictionPolicy::kLargestFirst, core::EvictionPolicy::kHitDensity}) {
+      sim::SimulationConfig config;
+      config.cache.alpha = alpha;
+      config.cache.capacity = 1400ULL * 1000 * 1000 * 1000;
+      config.cache.eviction = eviction;
+      config.workload.unique_jobs = env.unique_jobs;
+      config.workload.repetitions = env.repetitions;
+      config.seed = env.seed;
+
+      const auto result = sim::run_simulation(repo, config);
+      table.add_row({core::to_string(eviction), util::fmt(alpha, 2),
+                     util::fmt(result.counters.hits),
+                     util::fmt(result.counters.merges),
+                     util::fmt(result.counters.inserts),
+                     util::fmt(result.counters.deletes),
+                     util::fmt(100 * result.cache_efficiency, 1),
+                     util::fmt(100 * result.container_efficiency, 1)});
+    }
+  }
+  bench::emit(table, env, "ablation_eviction");
+  return 0;
+}

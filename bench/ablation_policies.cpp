@@ -1,0 +1,53 @@
+// Ablation — merge-candidate selection policies.
+//
+// Algorithm 1 leaves the candidate enumeration order open ("Selection
+// can be sorted by dj()"). This bench quantifies the design choices
+// DESIGN.md calls out: first-fit vs. best-fit (exact, sorted) vs.
+// MinHash+LSH prefiltering, on the same workload at the default alpha —
+// operation mix, efficiencies, and wall-clock per request.
+#include "bench/common.hpp"
+
+#include <chrono>
+
+#include "sim/driver.hpp"
+
+int main() {
+  using namespace landlord;
+  const auto env = bench::BenchEnv::from_environment();
+  const auto& repo = bench::shared_repository(env.seed);
+  bench::print_header("Ablation: merge-candidate selection policies", env);
+
+  util::Table table({"policy", "alpha", "hits", "merges", "inserts",
+                     "cache eff(%)", "container eff(%)", "us/request"});
+
+  for (double alpha : {0.75, 0.90}) {
+    for (auto policy : {core::MergePolicy::kFirstFit, core::MergePolicy::kBestFit,
+                        core::MergePolicy::kMinHashLsh}) {
+      sim::SimulationConfig config;
+      config.cache.alpha = alpha;
+      config.cache.capacity = 1400ULL * 1000 * 1000 * 1000;
+      config.cache.policy = policy;
+      config.workload.unique_jobs = env.unique_jobs;
+      config.workload.repetitions = env.repetitions;
+      config.seed = env.seed;
+
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = sim::run_simulation(repo, config);
+      const auto elapsed = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+
+      table.add_row({core::to_string(policy), util::fmt(alpha, 2),
+                     util::fmt(result.counters.hits),
+                     util::fmt(result.counters.merges),
+                     util::fmt(result.counters.inserts),
+                     util::fmt(100 * result.cache_efficiency, 1),
+                     util::fmt(100 * result.container_efficiency, 1),
+                     util::fmt(elapsed / static_cast<double>(
+                                             result.counters.requests),
+                               1)});
+    }
+  }
+  bench::emit(table, env, "ablation_policies");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation — image splitting (extension).
+//
+// §I lists splitting in LANDLORD's repertoire ("creates, merges, splits,
+// or deletes container images") though Algorithm 1 only merges; bloated
+// images are left to age out via the Jaccard distance. This bench turns
+// the lineage-split extension on and measures what it buys: container
+// efficiency should recover at high alpha (jobs stop shipping bloat)
+// at the cost of extra rewrite I/O.
+#include "bench/common.hpp"
+
+#include "sim/driver.hpp"
+
+int main() {
+  using namespace landlord;
+  const auto env = bench::BenchEnv::from_environment();
+  const auto& repo = bench::shared_repository(env.seed);
+  bench::print_header("Ablation: image splitting", env);
+
+  util::Table table({"splitting", "alpha", "hits", "merges", "splits",
+                     "container eff(%)", "cache eff(%)", "written(TB)"});
+
+  for (double alpha : {0.75, 0.85, 0.95}) {
+    for (bool enable_split : {false, true}) {
+      sim::SimulationConfig config;
+      config.cache.alpha = alpha;
+      config.cache.capacity = 1400ULL * 1000 * 1000 * 1000;
+      config.cache.enable_split = enable_split;
+      config.cache.split_utilization = 0.25;
+      config.workload.unique_jobs = env.unique_jobs;
+      config.workload.repetitions = env.repetitions;
+      config.seed = env.seed;
+
+      const auto result = sim::run_simulation(repo, config);
+      table.add_row({enable_split ? "on" : "off", util::fmt(alpha, 2),
+                     util::fmt(result.counters.hits),
+                     util::fmt(result.counters.merges),
+                     util::fmt(result.counters.splits),
+                     util::fmt(100 * result.container_efficiency, 1),
+                     util::fmt(100 * result.cache_efficiency, 1),
+                     util::fmt(static_cast<double>(result.counters.written_bytes) /
+                                   1e12,
+                               2)});
+    }
+  }
+  bench::emit(table, env, "ablation_split");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared scaffolding for the figure-regeneration benches.
+//
+// Every bench prints an aligned table on stdout (the rows/series the
+// paper reports) and, when LANDLORD_CSV_DIR is set, writes the same data
+// as CSV for replotting. Scale knobs come from the environment so the
+// default run finishes quickly while a paper-scale run is one variable
+// away:
+//   LANDLORD_REPLICATES  simulations per sweep point   (default 20, paper 20)
+//   LANDLORD_JOBS        unique job specifications     (default 500, paper 500)
+//   LANDLORD_REPEATS     repetitions per job           (default 5, paper 5)
+//   LANDLORD_SEED        master seed                   (default 42)
+//   LANDLORD_CSV_DIR     directory for CSV output      (default: none)
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "pkg/synthetic.hpp"
+#include "sim/sweep.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace landlord::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  if (const char* value = std::getenv(name)) {
+    char* end = nullptr;
+    const auto parsed = std::strtoull(value, &end, 10);
+    if (end != value && *end == '\0') return parsed;
+  }
+  return fallback;
+}
+
+struct BenchEnv {
+  std::uint32_t replicates = 20;
+  std::uint32_t unique_jobs = 500;
+  std::uint32_t repetitions = 5;
+  std::uint64_t seed = 42;
+  std::optional<std::string> csv_dir;
+
+  static BenchEnv from_environment() {
+    BenchEnv env;
+    env.replicates = static_cast<std::uint32_t>(env_u64("LANDLORD_REPLICATES", 20));
+    env.unique_jobs = static_cast<std::uint32_t>(env_u64("LANDLORD_JOBS", 500));
+    env.repetitions = static_cast<std::uint32_t>(env_u64("LANDLORD_REPEATS", 5));
+    env.seed = env_u64("LANDLORD_SEED", 42);
+    if (const char* dir = std::getenv("LANDLORD_CSV_DIR")) env.csv_dir = dir;
+    return env;
+  }
+};
+
+/// The paper-scale synthetic repository all benches share.
+inline const pkg::Repository& shared_repository(std::uint64_t seed) {
+  static const pkg::Repository repo = pkg::default_repository(seed);
+  return repo;
+}
+
+/// Paper defaults: 1.4 TB cache, 500 unique jobs x 5 (Fig. 5 setup).
+inline sim::SweepConfig paper_sweep_config(const BenchEnv& env) {
+  sim::SweepConfig config;
+  config.alphas = sim::SweepConfig::default_alphas();
+  config.replicates = env.replicates;
+  config.base.cache.capacity = 1400ULL * 1000 * 1000 * 1000;  // 1.4 TB (decimal)
+  config.base.workload.unique_jobs = env.unique_jobs;
+  config.base.workload.repetitions = env.repetitions;
+  config.base.seed = env.seed;
+  return config;
+}
+
+/// Prints the table and optionally saves CSV as <csv_dir>/<name>.csv.
+inline void emit(const util::Table& table, const BenchEnv& env,
+                 const std::string& name) {
+  table.print(std::cout);
+  std::cout << '\n';
+  if (env.csv_dir) {
+    const std::string path = *env.csv_dir + "/" + name + ".csv";
+    if (table.save_csv(path)) {
+      std::cout << "(csv written to " << path << ")\n\n";
+    } else {
+      std::cerr << "warning: could not write " << path << '\n';
+    }
+  }
+}
+
+inline void print_header(const char* title, const BenchEnv& env) {
+  std::cout << "=== " << title << " ===\n"
+            << "repo: 9660 packages, seed " << env.seed << "; jobs "
+            << env.unique_jobs << " x" << env.repetitions << ", replicates "
+            << env.replicates << "\n\n";
+}
+
+}  // namespace landlord::bench

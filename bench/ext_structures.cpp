@@ -1,0 +1,55 @@
+// Extension — repository structure and merging effectiveness.
+//
+// The paper's first conclusion: "our techniques are most effective when
+// the dependency structures are hierarchical, resulting in a compact
+// distribution of common packages" (§I). This study runs the same cache
+// configuration over three workload structures:
+//
+//   hierarchical  SFT-like default: universal core + experiment hubs
+//   flat          PyPI-like preset: shallow deps, no hubs, thin base
+//   random        Fig. 7's structureless control (uniform-random images)
+//
+// The hierarchy is what concentrates shared packages; as it erodes,
+// merges find less overlap and the benefit collapses.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace landlord;
+  const auto env = bench::BenchEnv::from_environment();
+  bench::print_header("Extension: repository structure vs. merging", env);
+
+  struct Structure {
+    const char* name;
+    const pkg::Repository* repo;
+    sim::ImageScheme scheme;
+  };
+  const auto& hierarchical = bench::shared_repository(env.seed);
+  static const pkg::Repository flat = [&] {
+    auto result = pkg::generate_repository(pkg::pypi_like_params(), env.seed);
+    return std::move(result).value();
+  }();
+
+  const Structure structures[] = {
+      {"hierarchical (SFT-like)", &hierarchical, sim::ImageScheme::kDependencyClosure},
+      {"flat (PyPI-like)", &flat, sim::ImageScheme::kDependencyClosure},
+      {"random (no structure)", &hierarchical, sim::ImageScheme::kUniformRandom},
+  };
+
+  util::ThreadPool pool;
+  util::Table table({"structure", "alpha", "merges", "hits",
+                     "cache eff(%)", "container eff(%)"});
+  for (const auto& structure : structures) {
+    auto config = bench::paper_sweep_config(env);
+    config.alphas = {0.60, 0.75, 0.90};
+    config.base.workload.scheme = structure.scheme;
+    const auto points = sim::run_sweep(*structure.repo, config, &pool);
+    for (const auto& point : points) {
+      table.add_row({structure.name, util::fmt(point.alpha, 2),
+                     util::fmt(point.merges, 0), util::fmt(point.hits, 0),
+                     util::fmt(point.cache_efficiency, 1),
+                     util::fmt(point.container_efficiency, 1)});
+    }
+  }
+  bench::emit(table, env, "ext_structures");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extension — worker-node transfer cost vs. alpha.
+//
+// The paper's container efficiency is motivated by transfer: "it is
+// likely that a given job does not need all of the repository
+// simultaneously, so it is wasteful to transfer unneeded data" (§III).
+// This study attaches a pool of worker nodes with finite scratch to the
+// head-node cache and measures the bytes actually shipped per job across
+// alpha: low alpha ships tight images but misses reuse; high alpha ships
+// fat, frequently rewritten images that keep going stale on workers.
+#include "bench/common.hpp"
+
+#include "sim/workers.hpp"
+#include "sim/workload.hpp"
+
+int main() {
+  using namespace landlord;
+  const auto env = bench::BenchEnv::from_environment();
+  const auto& repo = bench::shared_repository(env.seed);
+  bench::print_header("Extension: worker transfer cost vs. alpha", env);
+
+  // One workload shared by every alpha (common random numbers).
+  sim::WorkloadConfig workload;
+  workload.unique_jobs = env.unique_jobs;
+  workload.repetitions = env.repetitions;
+  sim::WorkloadGenerator generator(repo, workload, util::Rng(env.seed));
+  const auto specs = generator.unique_specifications();
+  const auto stream = generator.request_stream();
+
+  sim::WorkerPoolConfig pool_config;
+  pool_config.workers = static_cast<std::uint32_t>(
+      bench::env_u64("LANDLORD_WORKERS", 16));
+  pool_config.scratch_per_worker = 100ULL * 1000 * 1000 * 1000;  // 100 GB
+
+  util::Table table({"alpha", "transferred(TB)", "TB/job", "local hits",
+                     "stale refetches", "head hits", "head merges"});
+  for (double alpha : sim::SweepConfig::default_alphas()) {
+    core::CacheConfig cache_config;
+    cache_config.alpha = alpha;
+    cache_config.capacity = 1400ULL * 1000 * 1000 * 1000;
+    const auto result = sim::run_with_workers(repo, cache_config, pool_config,
+                                              specs, stream, env.seed);
+    const double tb = static_cast<double>(result.transferred_bytes) / 1e12;
+    table.add_row({util::fmt(alpha, 2), util::fmt(tb, 2),
+                   util::fmt(tb / static_cast<double>(stream.size()), 4),
+                   util::fmt(result.local_hits),
+                   util::fmt(result.stale_refetches),
+                   util::fmt(result.head_counters.hits),
+                   util::fmt(result.head_counters.merges)});
+  }
+  bench::emit(table, env, "ext_worker_transfer");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 3 — "Image size vs. selection size".
+//
+// For each specification size (x axis) select that many packages
+// uniformly at random; report the median over repetitions of: the
+// selection's own on-disk size, the dependency-closed image's package
+// count, and the image's on-disk size. The paper repeats 100 times per
+// size and plots the median; the expected shape is ~5x package
+// amplification below 100 packages, flattening toward repository
+// saturation at large selections.
+#include "bench/common.hpp"
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace landlord;
+  const auto env = bench::BenchEnv::from_environment();
+  const auto& repo = bench::shared_repository(env.seed);
+  bench::print_header("Fig. 3: image size vs. selection size", env);
+
+  constexpr int kRepetitions = 100;  // paper: "repeated this procedure 100 times"
+  util::Rng rng(env.seed ^ 0xf16300);
+
+  util::Table table({"spec size(pkgs)", "spec size(GB)", "image(pkgs)",
+                     "image size(GB)", "amplification"});
+
+  for (std::uint32_t size = 100; size <= 1000; size += 100) {
+    util::Summary spec_gb, image_pkgs, image_gb;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      const auto indices = rng.sample_without_replacement(
+          static_cast<std::uint32_t>(repo.size()), size);
+      std::vector<pkg::PackageId> selection;
+      selection.reserve(indices.size());
+      util::Bytes selection_bytes = 0;
+      for (auto i : indices) {
+        selection.push_back(pkg::package_id(i));
+        selection_bytes += repo[pkg::package_id(i)].size;
+      }
+      const auto image = repo.closure_of(selection);
+      spec_gb.add(static_cast<double>(selection_bytes) / 1e9);
+      image_pkgs.add(static_cast<double>(image.count()));
+      image_gb.add(static_cast<double>(repo.bytes_of(image)) / 1e9);
+    }
+    table.add_row({
+        util::fmt(std::uint64_t{size}),
+        util::fmt(spec_gb.median(), 1),
+        util::fmt(image_pkgs.median(), 0),
+        util::fmt(image_gb.median(), 1),
+        util::fmt(image_pkgs.median() / static_cast<double>(size), 2),
+    });
+  }
+  bench::emit(table, env, "fig3_image_size");
+  return 0;
+}

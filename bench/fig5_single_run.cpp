@@ -1,0 +1,60 @@
+// Fig. 5 — "Behavior of a single simulation".
+//
+// One simulation at α = 0.75 with a 1.4 TB cache processing 500 unique
+// job specifications, each repeated five times, with the per-request time
+// series recorded: cumulative hits / inserts / deletes / merges (Y1) and
+// cached data / bytes written (Y2). The paper's observations: merges
+// dominate the operations, bytes written closely tracks merges, cached
+// data climbs to the cache limit after which deletes hold it there, and
+// hits keep rising despite deletions.
+#include "bench/common.hpp"
+
+#include "sim/driver.hpp"
+
+int main() {
+  using namespace landlord;
+  const auto env = bench::BenchEnv::from_environment();
+  const auto& repo = bench::shared_repository(env.seed);
+  bench::print_header("Fig. 5: behavior of a single simulation (alpha=0.75)", env);
+
+  sim::SimulationConfig config;
+  config.cache.alpha = 0.75;
+  config.cache.capacity = 1400ULL * 1000 * 1000 * 1000;
+  config.cache.record_time_series = true;
+  config.workload.unique_jobs = env.unique_jobs;
+  config.workload.repetitions = env.repetitions;
+  config.seed = env.seed;
+
+  const auto result = sim::run_simulation(repo, config);
+  const auto& samples = result.series.samples();
+
+  // Print every k-th request so the table stays readable; CSV gets the
+  // sampled rows too (LANDLORD_FIG5_STRIDE to adjust).
+  const auto stride = std::max<std::uint64_t>(
+      1, bench::env_u64("LANDLORD_FIG5_STRIDE",
+                        std::max<std::uint64_t>(1, samples.size() / 25)));
+
+  util::Table table({"request", "op", "hits", "inserts", "deletes", "merges",
+                     "images", "cached(TB)", "written(TB)"});
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i % stride != 0 && i + 1 != samples.size()) continue;
+    const auto& s = samples[i];
+    table.add_row({util::fmt(static_cast<std::uint64_t>(i + 1)),
+                   core::to_string(s.kind), util::fmt(s.hits),
+                   util::fmt(s.inserts), util::fmt(s.deletes),
+                   util::fmt(s.merges), util::fmt(s.image_count),
+                   util::fmt(static_cast<double>(s.cached_bytes) / 1e12, 2),
+                   util::fmt(static_cast<double>(s.cumulative_written) / 1e12, 2)});
+  }
+  bench::emit(table, env, "fig5_single_run");
+
+  std::cout << "summary: hits=" << result.counters.hits
+            << " inserts=" << result.counters.inserts
+            << " deletes=" << result.counters.deletes
+            << " merges=" << result.counters.merges
+            << " final images=" << result.final_image_count
+            << " cache eff=" << util::fmt(100 * result.cache_efficiency, 1)
+            << "% container eff="
+            << util::fmt(100 * result.container_efficiency, 1) << "%\n";
+  return 0;
+}

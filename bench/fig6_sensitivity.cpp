@@ -1,0 +1,77 @@
+// Fig. 6 — "Effects of Simulation Parameters on System Efficiency".
+//
+// Two sensitivity sweeps over α, each reporting container efficiency
+// (left column of the figure) and cache efficiency (right column):
+//   6a/6b  cache capacity = 1x, 2x, 5x, 10x the repository size;
+//   6c/6d  unique job count = 100, 500, 1000 (repetitions fixed).
+//
+// Expected shapes: larger caches decrease both efficiencies (retained
+// duplication + more merge opportunities); 500 vs. 1000 jobs are nearly
+// indistinguishable (steady state) while 100 jobs have not yet filled
+// the cache.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace landlord;
+  const auto env = bench::BenchEnv::from_environment();
+  const auto& repo = bench::shared_repository(env.seed);
+  bench::print_header("Fig. 6: sensitivity to cache size and job count", env);
+
+  util::ThreadPool pool;
+  const auto alphas = sim::SweepConfig::default_alphas();
+
+  // ---- 6a/6b: cache size multiples of the repository size.
+  {
+    util::Table container({"alpha", "1x repo", "2x repo", "5x repo", "10x repo"});
+    util::Table cache_eff({"alpha", "1x repo", "2x repo", "5x repo", "10x repo"});
+    const std::array<std::uint64_t, 4> multiples = {1, 2, 5, 10};
+    std::vector<std::vector<sim::SweepPoint>> runs;
+    for (auto multiple : multiples) {
+      auto config = bench::paper_sweep_config(env);
+      config.base.cache.capacity = repo.total_bytes() * multiple;
+      runs.push_back(sim::run_sweep(repo, config, &pool));
+    }
+    for (std::size_t a = 0; a < alphas.size(); ++a) {
+      std::vector<std::string> container_row = {util::fmt(alphas[a], 2)};
+      std::vector<std::string> cache_row = {util::fmt(alphas[a], 2)};
+      for (const auto& run : runs) {
+        container_row.push_back(util::fmt(run[a].container_efficiency, 1));
+        cache_row.push_back(util::fmt(run[a].cache_efficiency, 1));
+      }
+      container.add_row(std::move(container_row));
+      cache_eff.add_row(std::move(cache_row));
+    }
+    std::cout << "--- Fig. 6a: container efficiency (%) vs. cache size ---\n";
+    bench::emit(container, env, "fig6a_container_vs_cache_size");
+    std::cout << "--- Fig. 6b: cache efficiency (%) vs. cache size ---\n";
+    bench::emit(cache_eff, env, "fig6b_cache_vs_cache_size");
+  }
+
+  // ---- 6c/6d: unique job counts.
+  {
+    util::Table container({"alpha", "100 jobs", "500 jobs", "1000 jobs"});
+    util::Table cache_eff({"alpha", "100 jobs", "500 jobs", "1000 jobs"});
+    const std::array<std::uint32_t, 3> job_counts = {100, 500, 1000};
+    std::vector<std::vector<sim::SweepPoint>> runs;
+    for (auto jobs : job_counts) {
+      auto config = bench::paper_sweep_config(env);
+      config.base.workload.unique_jobs = jobs;
+      runs.push_back(sim::run_sweep(repo, config, &pool));
+    }
+    for (std::size_t a = 0; a < alphas.size(); ++a) {
+      std::vector<std::string> container_row = {util::fmt(alphas[a], 2)};
+      std::vector<std::string> cache_row = {util::fmt(alphas[a], 2)};
+      for (const auto& run : runs) {
+        container_row.push_back(util::fmt(run[a].container_efficiency, 1));
+        cache_row.push_back(util::fmt(run[a].cache_efficiency, 1));
+      }
+      container.add_row(std::move(container_row));
+      cache_eff.add_row(std::move(cache_row));
+    }
+    std::cout << "--- Fig. 6c: container efficiency (%) vs. unique job count ---\n";
+    bench::emit(container, env, "fig6c_container_vs_jobs");
+    std::cout << "--- Fig. 6d: cache efficiency (%) vs. unique job count ---\n";
+    bench::emit(cache_eff, env, "fig6d_cache_vs_jobs");
+  }
+  return 0;
+}

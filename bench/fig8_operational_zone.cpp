@@ -1,0 +1,81 @@
+// Fig. 8 — "Limits on efficiency" (the operational zone).
+//
+// Plots cache and container efficiency against α and derives the two
+// operating limits the paper draws as vertical lines:
+//   * thrashing zone (left): α below which cache efficiency falls under
+//     the administrator's floor (the paper illustrates ~30%);
+//   * excessive image size (right): α above which the cumulative write
+//     amplification (actual/requested writes) exceeds the cap (the paper
+//     suggests "at most a twofold increase").
+// The α values between the two limits form the operational zone; the
+// paper's configurations showed a wide zone around 0.65-0.95 and
+// recommend a moderate default (e.g. 0.8).
+#include "bench/common.hpp"
+
+int main() {
+  using namespace landlord;
+  const auto env = bench::BenchEnv::from_environment();
+  const auto& repo = bench::shared_repository(env.seed);
+  bench::print_header("Fig. 8: limits on efficiency / operational zone", env);
+
+  const double cache_floor = 0.01 * static_cast<double>(
+      bench::env_u64("LANDLORD_CACHE_FLOOR_PCT", 30));
+  const double write_cap = 0.01 * static_cast<double>(
+      bench::env_u64("LANDLORD_WRITE_CAP_PCT", 200));
+  const double container_floor = static_cast<double>(
+      bench::env_u64("LANDLORD_CONTAINER_FLOOR_PCT", 20));
+
+  auto config = bench::paper_sweep_config(env);
+  util::ThreadPool pool;
+  const auto points = sim::run_sweep(repo, config, &pool);
+
+  // Normalise cache efficiency to its range over the non-degenerate
+  // (alpha < 1) sweep points: the absolute level is bounded above by
+  // repo-size / cache-size, so the *zone* is defined by where the curve
+  // has risen appreciably from its low-alpha floor. Alpha = 1 (a single
+  // all-purpose image) is excluded from the normalisation — its 100%
+  // cache efficiency is the degenerate extreme the paper rules out via
+  // the excessive-image-size limit.
+  double min_eff = 100.0, max_eff = 0.0;
+  for (const auto& p : points) {
+    if (p.alpha >= 1.0) continue;
+    min_eff = std::min(min_eff, p.cache_efficiency);
+    max_eff = std::max(max_eff, p.cache_efficiency);
+  }
+
+  util::Table table({"alpha", "cache eff(%)", "container eff(%)",
+                     "write amplification", "zone"});
+  std::optional<double> zone_lo, zone_hi;
+  for (const auto& p : points) {
+    const double amplification =
+        p.requested_tb > 0 ? p.written_tb / p.requested_tb : 1.0;
+    const double relative_eff =
+        max_eff > min_eff
+            ? (p.cache_efficiency - min_eff) / (max_eff - min_eff)
+            : 1.0;
+    const bool thrashing = relative_eff < cache_floor;
+    const bool excessive = amplification > write_cap ||
+                           p.container_efficiency < container_floor;
+    std::string zone = thrashing ? "thrashing"
+                       : excessive ? "excessive image size"
+                                   : "OPERATIONAL";
+    if (!thrashing && !excessive) {
+      if (!zone_lo) zone_lo = p.alpha;
+      zone_hi = p.alpha;
+    }
+    table.add_row({util::fmt(p.alpha, 2), util::fmt(p.cache_efficiency, 1),
+                   util::fmt(p.container_efficiency, 1),
+                   util::fmt(amplification, 2), std::move(zone)});
+  }
+  bench::emit(table, env, "fig8_operational_zone");
+
+  if (zone_lo) {
+    std::cout << "operational zone: alpha in [" << util::fmt(*zone_lo, 2) << ", "
+              << util::fmt(*zone_hi, 2) << "]  (paper: ~[0.65, 0.95]; "
+              << "limits: relative cache eff >= " << util::fmt(100 * cache_floor, 0)
+              << "%, write amplification <= " << util::fmt(write_cap, 1) << "x)\n";
+  } else {
+    std::cout << "no operational zone under the configured limits\n";
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the primitives every cache
+// request executes: Jaccard distance, subset tests, MinHash signing and
+// LSH lookup, dependency closure, specification merge, and a full cache
+// request. These quantify the claim that LANDLORD "spends very little
+// time performing computation" (§VI) — decision costs are microseconds
+// against I/O costs of seconds.
+#include <benchmark/benchmark.h>
+
+#include "landlord/cache.hpp"
+#include "pkg/synthetic.hpp"
+#include "sim/workload.hpp"
+#include "spec/jaccard.hpp"
+#include "spec/minhash.hpp"
+
+namespace {
+
+using namespace landlord;
+
+const pkg::Repository& repo() {
+  static const pkg::Repository r = pkg::default_repository(42);
+  return r;
+}
+
+spec::PackageSet random_closure(util::Rng& rng, std::uint32_t selection) {
+  const auto indices = rng.sample_without_replacement(
+      static_cast<std::uint32_t>(repo().size()), selection);
+  std::vector<pkg::PackageId> ids;
+  ids.reserve(indices.size());
+  for (auto i : indices) ids.push_back(pkg::package_id(i));
+  return spec::PackageSet(repo().closure_of(ids));
+}
+
+void BM_JaccardDistance(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto a = random_closure(rng, static_cast<std::uint32_t>(state.range(0)));
+  const auto b = random_closure(rng, static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::jaccard_distance(a, b));
+  }
+}
+BENCHMARK(BM_JaccardDistance)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SubsetCheck(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto small = random_closure(rng, 10);
+  auto big = random_closure(rng, static_cast<std::uint32_t>(state.range(0)));
+  big.merge(small);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.is_subset_of(big));
+  }
+}
+BENCHMARK(BM_SubsetCheck)->Arg(100)->Arg(1000);
+
+void BM_DependencyClosure(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto indices = rng.sample_without_replacement(
+      static_cast<std::uint32_t>(repo().size()),
+      static_cast<std::uint32_t>(state.range(0)));
+  std::vector<pkg::PackageId> ids;
+  for (auto i : indices) ids.push_back(pkg::package_id(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo().closure_of(ids));
+  }
+}
+BENCHMARK(BM_DependencyClosure)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_MinHashSign(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto set = random_closure(rng, 100);
+  const spec::MinHasher hasher(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.sign(set));
+  }
+}
+BENCHMARK(BM_MinHashSign)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MinHashEstimate(benchmark::State& state) {
+  util::Rng rng(5);
+  const spec::MinHasher hasher(128);
+  const auto a = hasher.sign(random_closure(rng, 100));
+  const auto b = hasher.sign(random_closure(rng, 100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::MinHasher::estimate_similarity(a, b));
+  }
+}
+BENCHMARK(BM_MinHashEstimate);
+
+void BM_LshQuery(benchmark::State& state) {
+  util::Rng rng(6);
+  const spec::MinHasher hasher(128);
+  spec::LshIndex index(32);
+  for (std::uint64_t item = 0; item < static_cast<std::uint64_t>(state.range(0));
+       ++item) {
+    index.insert(item, hasher.sign(random_closure(rng, 50)));
+  }
+  const auto probe = hasher.sign(random_closure(rng, 50));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.candidates(probe));
+  }
+}
+BENCHMARK(BM_LshQuery)->Arg(100)->Arg(1000);
+
+void BM_SpecificationMerge(benchmark::State& state) {
+  util::Rng rng(7);
+  const spec::Specification a{random_closure(rng, 100)};
+  const spec::Specification b{random_closure(rng, 100)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.merged_with(b));
+  }
+}
+BENCHMARK(BM_SpecificationMerge);
+
+/// Full Algorithm 1 request against a warm cache of `range` images.
+void BM_CacheRequest(benchmark::State& state) {
+  core::CacheConfig config;
+  config.alpha = 0.8;
+  config.capacity = repo().total_bytes() * 10;
+  core::Cache cache(repo(), config);
+
+  sim::WorkloadConfig workload;
+  workload.unique_jobs = static_cast<std::uint32_t>(state.range(0));
+  sim::WorkloadGenerator generator(repo(), workload, util::Rng(8));
+  const auto specs = generator.unique_specifications();
+  for (const auto& s : specs) (void)cache.request(s);
+
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.request(specs[next]));
+    next = (next + 1) % specs.size();
+  }
+}
+BENCHMARK(BM_CacheRequest)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_CacheRequestMinHashPolicy(benchmark::State& state) {
+  core::CacheConfig config;
+  config.alpha = 0.8;
+  config.capacity = repo().total_bytes() * 10;
+  config.policy = core::MergePolicy::kMinHashLsh;
+  core::Cache cache(repo(), config);
+
+  sim::WorkloadConfig workload;
+  workload.unique_jobs = static_cast<std::uint32_t>(state.range(0));
+  sim::WorkloadGenerator generator(repo(), workload, util::Rng(9));
+  const auto specs = generator.unique_specifications();
+  for (const auto& s : specs) (void)cache.request(s);
+
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.request(specs[next]));
+    next = (next + 1) % specs.size();
+  }
+}
+BENCHMARK(BM_CacheRequestMinHashPolicy)->Arg(200)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

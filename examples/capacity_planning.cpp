@@ -1,0 +1,64 @@
+// Capacity planning: how much head-node scratch does a workload need?
+//
+// The inverse of site_tuning: fix alpha at the recommended default and
+// sweep the cache budget, reporting hit rate, rebuild I/O and residency.
+// "To support a given repository, it becomes necessary to provision a
+// cache much larger than the size of the repository" without merging
+// (§VI) — this tool shows how merging bends that curve.
+//
+//   $ ./capacity_planning [alpha] [hit-rate-target e.g. 0.6]
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+
+#include "pkg/synthetic.hpp"
+#include "sim/driver.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace landlord;
+  const double alpha = argc > 1 ? std::atof(argv[1]) : 0.8;
+  const double target_hit_rate = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+  std::cout << "generating repository and sweeping cache capacity at alpha="
+            << alpha << "...\n\n";
+  const auto repo = pkg::default_repository(42);
+
+  util::Table table({"capacity", "x repo", "hit rate(%)", "merges", "deletes",
+                     "resident images", "written(TB)"});
+  std::optional<util::Bytes> recommended;
+
+  for (double multiple : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const auto capacity =
+        static_cast<util::Bytes>(static_cast<double>(repo.total_bytes()) * multiple);
+    sim::SimulationConfig config;
+    config.cache.alpha = alpha;
+    config.cache.capacity = capacity;
+    config.workload.unique_jobs = 300;
+    config.workload.repetitions = 5;
+    config.seed = 11;
+    const auto result = sim::run_simulation(repo, config);
+    const double hit_rate = static_cast<double>(result.counters.hits) /
+                            static_cast<double>(result.counters.requests);
+    if (!recommended && hit_rate >= target_hit_rate) recommended = capacity;
+    table.add_row({util::format_bytes(capacity), util::fmt(multiple, 2),
+                   util::fmt(100 * hit_rate, 1),
+                   util::fmt(result.counters.merges),
+                   util::fmt(result.counters.deletes),
+                   util::fmt(result.final_image_count),
+                   util::fmt(static_cast<double>(result.counters.written_bytes) /
+                                 1e12,
+                             2)});
+  }
+  table.print(std::cout);
+
+  if (recommended) {
+    std::cout << "\nsmallest capacity reaching a " << util::fmt(100 * target_hit_rate, 0)
+              << "% hit rate: " << util::format_bytes(*recommended) << '\n';
+  } else {
+    std::cout << "\nno swept capacity reaches a "
+              << util::fmt(100 * target_hit_rate, 0)
+              << "% hit rate; raise alpha or add repetitions of reuse\n";
+  }
+  return 0;
+}

@@ -1,0 +1,270 @@
+// landlord_shell — an interactive site-administrator console.
+//
+// Drives a live LANDLORD cache from a command line, the way a site admin
+// (or an integration script) would poke at a head-node deployment:
+//
+//   repo generate [packages] [seed]   synthesize an SFT-like repository
+//   repo load <manifest>              load a package manifest from disk
+//   config alpha <a> | capacity <sz>  reconfigure (resets the cache)
+//   submit <pkg-key> [...]            submit a job needing these packages
+//   submit-file <requirements.txt>    submit a declarative specfile
+//   random [n]                        submit n random simulated jobs
+//   images                            list cached images
+//   stats                             cache counters and efficiencies
+//   diff <image-id> <pkg-key> [...]   what would this image miss/overship?
+//   help / quit
+//
+// Commands also come from stdin redirection, so the shell doubles as a
+// scriptable driver:  ./landlord_shell < script.txt
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "landlord/landlord.hpp"
+#include "pkg/manifest.hpp"
+#include "pkg/synthetic.hpp"
+#include "sim/workload.hpp"
+#include "spec/diff.hpp"
+#include "spec/specfile.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace landlord;
+
+struct Shell {
+  pkg::Repository repo = pkg::default_repository(42);
+  core::CacheConfig config;
+  std::unique_ptr<core::Landlord> landlord;
+  util::Rng rng{12345};
+
+  Shell() {
+    config.alpha = 0.8;
+    config.capacity = 200ULL * 1000 * 1000 * 1000;
+    reset();
+  }
+
+  void reset() { landlord = std::make_unique<core::Landlord>(repo, config); }
+
+  void help() const {
+    std::cout <<
+        "commands:\n"
+        "  repo generate [packages] [seed]\n"
+        "  repo load <manifest-path>\n"
+        "  config alpha <a> | config capacity <bytes e.g. 1.4TB>\n"
+        "  submit <pkg-key> [...]      submit-file <requirements.txt>\n"
+        "  random [n]                  images\n"
+        "  stats                       diff <image-id> <pkg-key> [...]\n"
+        "  help                        quit\n";
+  }
+
+  spec::Specification spec_from_keys(const std::vector<std::string>& keys,
+                                     std::vector<std::string>* missing) const {
+    std::vector<pkg::PackageId> request;
+    for (const auto& key : keys) {
+      if (auto id = repo.find(key)) {
+        request.push_back(*id);
+      } else if (missing != nullptr) {
+        missing->push_back(key);
+      }
+    }
+    return spec::Specification::from_request(repo, request, "shell");
+  }
+
+  void submit_spec(const spec::Specification& spec) {
+    const auto placement = landlord->submit(spec);
+    std::cout << core::to_string(placement.kind) << " -> image "
+              << core::to_value(placement.image) << " ("
+              << util::format_bytes(placement.image_bytes) << ", prep "
+              << util::fmt(placement.prep_seconds, 1) << "s)\n";
+  }
+
+  void cmd_repo(std::istringstream& args) {
+    std::string sub;
+    args >> sub;
+    if (sub == "generate") {
+      std::uint32_t packages = 9660;
+      std::uint64_t seed = 42;
+      args >> packages >> seed;
+      pkg::SyntheticRepoParams params;
+      params.total_packages = packages == 0 ? 9660 : packages;
+      auto result = pkg::generate_repository(params, seed);
+      if (!result.ok()) {
+        std::cout << "error: " << result.error().message << '\n';
+        return;
+      }
+      repo = std::move(result).value();
+      reset();
+      std::cout << "repository: " << repo.size() << " packages, "
+                << util::format_bytes(repo.total_bytes()) << '\n';
+    } else if (sub == "load") {
+      std::string path;
+      args >> path;
+      auto result = pkg::load_manifest(path);
+      if (!result.ok()) {
+        std::cout << "error: " << result.error().message << '\n';
+        return;
+      }
+      repo = std::move(result).value();
+      reset();
+      std::cout << "repository: " << repo.size() << " packages, "
+                << util::format_bytes(repo.total_bytes()) << '\n';
+    } else {
+      std::cout << "usage: repo generate [packages] [seed] | repo load <path>\n";
+    }
+  }
+
+  void cmd_config(std::istringstream& args) {
+    std::string key;
+    args >> key;
+    if (key == "alpha") {
+      double alpha = config.alpha;
+      args >> alpha;
+      if (alpha < 0.0 || alpha > 1.0) {
+        std::cout << "alpha must be in [0, 1]\n";
+        return;
+      }
+      config.alpha = alpha;
+    } else if (key == "capacity") {
+      std::string text;
+      args >> text;
+      const auto parsed = util::parse_bytes(text);
+      if (!parsed) {
+        std::cout << "unparseable size: " << text << '\n';
+        return;
+      }
+      config.capacity = *parsed;
+    } else {
+      std::cout << "usage: config alpha <a> | config capacity <size>\n";
+      return;
+    }
+    reset();
+    std::cout << "cache reset: alpha=" << config.alpha << ", capacity="
+              << util::format_bytes(config.capacity) << '\n';
+  }
+
+  void cmd_submit(std::istringstream& args) {
+    std::vector<std::string> keys;
+    std::string key;
+    while (args >> key) keys.push_back(key);
+    if (keys.empty()) {
+      std::cout << "usage: submit <pkg-key> [...]\n";
+      return;
+    }
+    std::vector<std::string> missing;
+    const auto spec = spec_from_keys(keys, &missing);
+    for (const auto& miss : missing) std::cout << "unknown package: " << miss << '\n';
+    if (spec.empty()) return;
+    submit_spec(spec);
+  }
+
+  void cmd_submit_file(std::istringstream& args) {
+    std::string path;
+    args >> path;
+    std::ifstream in(path);
+    if (!in) {
+      std::cout << "cannot open " << path << '\n';
+      return;
+    }
+    auto spec = spec::specification_from_file(in, repo);
+    if (!spec.ok()) {
+      std::cout << "error: " << spec.error().message << '\n';
+      return;
+    }
+    submit_spec(spec.value());
+  }
+
+  void cmd_random(std::istringstream& args) {
+    std::uint32_t n = 1;
+    args >> n;
+    sim::WorkloadConfig workload;
+    workload.unique_jobs = std::max(1u, n);
+    workload.max_initial_selection = 20;
+    sim::WorkloadGenerator generator(repo, workload, rng.split(rng()));
+    for (const auto& spec : generator.unique_specifications()) {
+      submit_spec(spec);
+    }
+  }
+
+  void cmd_images() const {
+    util::Table table({"id", "packages", "size", "hits", "merges", "version"});
+    landlord->cache().for_each_image([&](const core::Image& image) {
+      table.add_row({util::fmt(core::to_value(image.id)),
+                     util::fmt(static_cast<std::uint64_t>(image.contents.size())),
+                     util::format_bytes(image.bytes), util::fmt(image.hits),
+                     util::fmt(std::uint64_t{image.merge_count}),
+                     util::fmt(std::uint64_t{image.version})});
+    });
+    table.print(std::cout);
+  }
+
+  void cmd_stats() const {
+    const auto& cache = landlord->cache();
+    const auto& counters = cache.counters();
+    std::cout << "alpha " << config.alpha << ", capacity "
+              << util::format_bytes(config.capacity) << '\n'
+              << "images " << cache.image_count() << ", total "
+              << util::format_bytes(cache.total_bytes()) << ", unique "
+              << util::format_bytes(cache.unique_bytes()) << '\n'
+              << "requests " << counters.requests << ": " << counters.hits
+              << " hits, " << counters.merges << " merges, " << counters.inserts
+              << " inserts, " << counters.deletes << " deletes, "
+              << counters.splits << " splits\n"
+              << "cache efficiency " << util::fmt(100 * cache.cache_efficiency(), 1)
+              << "%, container efficiency "
+              << util::fmt(100 * counters.container_efficiency(), 1) << "%\n"
+              << "written " << util::format_bytes(counters.written_bytes)
+              << ", prep " << util::fmt(landlord->total_prep_seconds(), 0) << "s\n";
+  }
+
+  void cmd_diff(std::istringstream& args) {
+    std::uint64_t image_id = 0;
+    args >> image_id;
+    std::vector<std::string> keys;
+    std::string key;
+    while (args >> key) keys.push_back(key);
+    const auto image = landlord->cache().find(core::ImageId{image_id});
+    if (!image) {
+      std::cout << "no such image: " << image_id << '\n';
+      return;
+    }
+    const auto spec = spec_from_keys(keys, nullptr);
+    const auto d = spec::diff(repo, spec.packages(), image->contents);
+    std::cout << spec::describe_diff(repo, d) << '\n';
+  }
+
+  bool dispatch(const std::string& line) {
+    std::istringstream args(line);
+    std::string command;
+    if (!(args >> command)) return true;
+    if (command == "quit" || command == "exit") return false;
+    if (command == "help") help();
+    else if (command == "repo") cmd_repo(args);
+    else if (command == "config") cmd_config(args);
+    else if (command == "submit") cmd_submit(args);
+    else if (command == "submit-file") cmd_submit_file(args);
+    else if (command == "random") cmd_random(args);
+    else if (command == "images") cmd_images();
+    else if (command == "stats") cmd_stats();
+    else if (command == "diff") cmd_diff(args);
+    else std::cout << "unknown command '" << command << "' (try: help)\n";
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::cout << "landlord shell — repository " << shell.repo.size()
+            << " packages; type 'help'\n";
+  std::string line;
+  while (std::cout << "landlord> " << std::flush, std::getline(std::cin, line)) {
+    if (!shell.dispatch(line)) break;
+  }
+  std::cout << '\n';
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Multi-site deployment: one LANDLORD cache per computing centre.
+//
+// Compares routing policies for a shared job stream across sites — the
+// WLCG-style setting that motivates the paper. Content-affinity routing
+// keeps each job family at one site, so images are built once
+// system-wide instead of once per site.
+//
+//   $ ./multi_site [sites] [alpha]     (defaults: 4 sites, alpha 0.8)
+#include <cstdlib>
+#include <iostream>
+
+#include "pkg/synthetic.hpp"
+#include "sim/multisite.hpp"
+#include "sim/workload.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace landlord;
+  const auto sites = static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 4);
+  const double alpha = argc > 2 ? std::atof(argv[2]) : 0.8;
+
+  std::cout << "generating repository and workload...\n";
+  const auto repo = pkg::default_repository(42);
+
+  sim::WorkloadConfig workload;
+  workload.unique_jobs = 300;
+  workload.repetitions = 5;
+  sim::WorkloadGenerator generator(repo, workload, util::Rng(7));
+  const auto specs = generator.unique_specifications();
+  const auto stream = generator.request_stream();
+
+  util::Table table({"routing", "hits", "merges", "inserts",
+                     "total cached", "global unique", "written"});
+  for (auto routing :
+       {sim::Routing::kRoundRobin, sim::Routing::kRandom, sim::Routing::kAffinity}) {
+    sim::MultiSiteConfig config;
+    config.sites = sites;
+    config.routing = routing;
+    config.cache.alpha = alpha;
+    config.cache.capacity = 400ULL * 1000 * 1000 * 1000;  // per site
+    const auto result = sim::run_multisite(repo, config, specs, stream, 1);
+    table.add_row({sim::to_string(routing), util::fmt(result.total_hits),
+                   util::fmt(result.total_merges),
+                   util::fmt(result.total_inserts),
+                   util::format_bytes(result.total_cached_bytes),
+                   util::format_bytes(result.global_unique_bytes),
+                   util::format_bytes(result.total_written_bytes)});
+  }
+
+  std::cout << '\n' << sites << " sites, alpha=" << alpha << ", "
+            << stream.size() << " jobs\n\n";
+  table.print(std::cout);
+  std::cout << "\ncontent-affinity routing concentrates repeats at one site: "
+               "more hits, fewer rebuilt images, less I/O.\n";
+  return 0;
+}

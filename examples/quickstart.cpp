@@ -1,0 +1,73 @@
+// Quickstart: the LANDLORD public API in ~60 lines.
+//
+// Build a package repository, write container specifications, and let
+// the cache decide whether each job reuses, merges into, or creates a
+// container image.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "landlord/landlord.hpp"
+#include "pkg/manifest.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace landlord;
+
+  // 1. A software repository. Real deployments load a manifest dumped
+  //    from CVMFS/Spack metadata; here we define a small one inline.
+  auto parsed = pkg::parse_manifest_text(R"(
+package base-env  1.0  1000000000 core
+package python    3.8  500000000  library
+dep base-env/1.0
+package root      6.18 2000000000 library
+dep base-env/1.0
+package geant4    10.6 1500000000 library
+dep base-env/1.0
+package my-gen    0.1  100000000  leaf
+dep python/3.8
+dep root/6.18
+package my-sim    0.1  120000000  leaf
+dep root/6.18
+dep geant4/10.6
+)");
+  if (!parsed.ok()) {
+    std::cerr << "manifest error: " << parsed.error().message << '\n';
+    return 1;
+  }
+  const pkg::Repository repo = std::move(parsed).value();
+
+  // 2. A LANDLORD instance: 4 GB image cache, merge threshold alpha=0.8.
+  core::CacheConfig config;
+  config.capacity = 4ULL * 1000 * 1000 * 1000;
+  config.alpha = 0.8;
+  core::Landlord landlord(repo, config);
+
+  // 3. Specifications state *what must be present*; the dependency
+  //    closure is expanded automatically.
+  auto submit = [&](const char* job, std::initializer_list<const char*> pkgs) {
+    std::vector<pkg::PackageId> request;
+    for (const char* key : pkgs) {
+      if (auto id = repo.find(key)) request.push_back(*id);
+    }
+    const auto spec = spec::Specification::from_request(repo, request, job);
+    const auto placement = landlord.submit(spec);
+    std::cout << job << ": " << core::to_string(placement.kind) << " -> image "
+              << core::to_value(placement.image) << " ("
+              << util::format_bytes(placement.image_bytes) << ", prep "
+              << util::fmt(placement.prep_seconds, 1) << "s)\n";
+  };
+
+  submit("generate-events", {"my-gen/0.1"});
+  submit("generate-events", {"my-gen/0.1"});          // identical -> hit
+  submit("simulate-detector", {"my-sim/0.1"});        // close -> merged
+  submit("full-chain", {"my-gen/0.1", "my-sim/0.1"}); // subset of merge -> hit
+
+  const auto& counters = landlord.cache().counters();
+  std::cout << "\ncache: " << landlord.cache().image_count() << " image(s), "
+            << util::format_bytes(landlord.cache().total_bytes()) << " total, "
+            << util::format_bytes(landlord.cache().unique_bytes())
+            << " unique\nops: " << counters.hits << " hits, " << counters.merges
+            << " merges, " << counters.inserts << " inserts\n";
+  return 0;
+}

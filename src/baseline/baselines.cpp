@@ -1,0 +1,208 @@
+#include "baseline/baselines.hpp"
+
+#include <algorithm>
+
+namespace landlord::baseline {
+
+namespace {
+
+/// Stable hash of a package set's bit pattern.
+std::uint64_t hash_set(const spec::PackageSet& set) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t word : set.bits().words()) {
+    h ^= word;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace
+
+// ---- FullRepoBaseline ----
+
+FullRepoBaseline::FullRepoBaseline(const pkg::Repository& repo)
+    : repo_bytes_(repo.total_bytes()) {
+  // The single all-purpose image is built once, up front.
+  totals_.physical_bytes = repo_bytes_;
+  totals_.logical_bytes = repo_bytes_;
+  totals_.written_bytes = repo_bytes_;
+  totals_.artifacts = 1;
+}
+
+Placement FullRepoBaseline::submit(const spec::Specification& spec) {
+  (void)spec;  // everything is always satisfied
+  ++totals_.submissions;
+  ++totals_.reuses;
+  totals_.shipped_bytes += repo_bytes_;
+  return {repo_bytes_, repo_bytes_, 0, true};
+}
+
+// ---- NaivePerJobStore ----
+
+Placement NaivePerJobStore::submit(const spec::Specification& spec) {
+  ++totals_.submissions;
+  const util::Bytes bytes = spec.bytes(*repo_);
+  totals_.shipped_bytes += bytes;
+
+  const auto existing =
+      std::find_if(images_.begin(), images_.end(), [&](const spec::PackageSet& image) {
+        return image == spec.packages();
+      });
+  if (existing != images_.end()) {
+    ++totals_.reuses;
+    return {bytes, bytes, 0, true};
+  }
+  images_.push_back(spec.packages());
+  totals_.written_bytes += bytes;
+  return {bytes, bytes, bytes, false};
+}
+
+Totals NaivePerJobStore::totals() const {
+  Totals t = totals_;
+  t.artifacts = images_.size();
+  for (const auto& image : images_) {
+    const util::Bytes bytes = repo_->bytes_of(image.bits());
+    t.physical_bytes += bytes;  // every copy is stored verbatim
+    t.logical_bytes += bytes;
+  }
+  return t;
+}
+
+// ---- BlockDedupStore ----
+
+Placement BlockDedupStore::submit(const spec::Specification& spec) {
+  if (stored_.size() == 0) stored_ = util::DynamicBitset(repo_->size());
+  ++totals_.submissions;
+  const util::Bytes bytes = spec.bytes(*repo_);
+  totals_.shipped_bytes += bytes;  // dedup does not shrink what jobs pull
+
+  const auto existing =
+      std::find_if(images_.begin(), images_.end(), [&](const spec::PackageSet& image) {
+        return image == spec.packages();
+      });
+  if (existing != images_.end()) {
+    ++totals_.reuses;
+    return {bytes, bytes, 0, true};
+  }
+  // Only blocks not yet in the store are new writes.
+  util::DynamicBitset fresh = spec.packages().bits();
+  fresh -= stored_;
+  const util::Bytes written = repo_->bytes_of(fresh);
+  stored_ |= spec.packages().bits();
+  images_.push_back(spec.packages());
+  totals_.written_bytes += written;
+  return {bytes, bytes, written, false};
+}
+
+Totals BlockDedupStore::totals() const {
+  Totals t = totals_;
+  t.artifacts = images_.size();
+  t.physical_bytes = stored_.size() > 0 ? repo_->bytes_of(stored_) : 0;
+  for (const auto& image : images_) {
+    t.logical_bytes += repo_->bytes_of(image.bits());
+  }
+  return t;
+}
+
+// ---- LayeredStore ----
+
+Placement LayeredStore::submit(const spec::Specification& spec) {
+  ++totals_.submissions;
+
+  // Find the chain whose cumulative content is a subset of the spec and
+  // covers the most bytes — the natural "FROM base" choice. Chains whose
+  // content exceeds the spec cannot be used as a base (their extra
+  // content would be shipped but is fine); Docker semantics: any chain
+  // can serve as a base, but content is strictly additive, so we pick
+  // among subset chains to avoid unbounded accretion per chain.
+  std::uint32_t best_chain = static_cast<std::uint32_t>(chains_.size());
+  util::Bytes best_cover = 0;
+  bool exact = false;
+  if (strategy_ == Strategy::kRefineTip) {
+    // Always refine the latest image; if it already contains everything
+    // the job needs (possibly much more), reuse it outright — shipping
+    // the masked content along.
+    if (!chains_.empty()) {
+      best_chain = static_cast<std::uint32_t>(chains_.size()) - 1;
+      exact = spec.packages().is_subset_of(chains_[best_chain].cumulative);
+    }
+  } else {
+    for (std::uint32_t c = 0; c < chains_.size(); ++c) {
+      const auto& chain = chains_[c];
+      if (chain.cumulative == spec.packages()) {
+        best_chain = c;
+        exact = true;
+        break;
+      }
+      if (chain.cumulative.is_subset_of(spec.packages()) &&
+          chain.cumulative_bytes >= best_cover) {
+        best_chain = c;
+        best_cover = chain.cumulative_bytes;
+      }
+    }
+  }
+
+  if (exact) {
+    ++totals_.reuses;
+    const auto& chain = chains_[best_chain];
+    totals_.shipped_bytes += chain.cumulative_bytes;
+    return {chain.cumulative_bytes, chain.cumulative_bytes, 0, true};
+  }
+
+  // Build the delta layer on top of the chosen base (or from scratch).
+  spec::PackageSet delta = spec.packages();
+  spec::PackageSet base_cumulative(repo_->size());
+  util::Bytes base_bytes = 0;
+  std::vector<std::uint32_t> base_layers;
+  std::uint64_t base_signature = 0;
+  if (best_chain < chains_.size()) {
+    const auto& base = chains_[best_chain];
+    delta.subtract(base.cumulative);
+    base_cumulative = base.cumulative;
+    base_bytes = base.cumulative_bytes;
+    base_layers = base.layers;
+    base_signature = hash_set(base.cumulative);
+  }
+
+  const std::uint64_t key = base_signature ^ (hash_set(delta) * 0x9e3779b97f4a7c15ULL);
+  auto known = chain_by_key_.find(key);
+  if (known != chain_by_key_.end()) {
+    // Same base + same delta built before: the chain already exists
+    // (content-identical layers are shared).
+    ++totals_.reuses;
+    const auto& chain = chains_[known->second];
+    totals_.shipped_bytes += chain.cumulative_bytes;
+    return {chain.cumulative_bytes, chain.cumulative_bytes, 0, true};
+  }
+
+  Layer layer;
+  layer.bytes = repo_->bytes_of(delta.bits());
+  layer.delta = delta;
+  const auto layer_index = static_cast<std::uint32_t>(layers_.size());
+  layers_.push_back(std::move(layer));
+  totals_.written_bytes += layers_.back().bytes;
+
+  Chain chain;
+  chain.cumulative = base_cumulative.unioned_with(delta);
+  chain.cumulative_bytes = base_bytes + layers_.back().bytes;
+  chain.layers = std::move(base_layers);
+  chain.layers.push_back(layer_index);
+  const auto chain_index = static_cast<std::uint32_t>(chains_.size());
+  chains_.push_back(std::move(chain));
+  chain_by_key_.emplace(key, chain_index);
+
+  totals_.shipped_bytes += chains_.back().cumulative_bytes;
+  return {chains_.back().cumulative_bytes, chains_.back().cumulative_bytes,
+          layers_.back().bytes, false};
+}
+
+Totals LayeredStore::totals() const {
+  Totals t = totals_;
+  t.artifacts = chains_.size();
+  for (const auto& layer : layers_) t.physical_bytes += layer.bytes;
+  for (const auto& chain : chains_) t.logical_bytes += chain.cumulative_bytes;
+  return t;
+}
+
+}  // namespace landlord::baseline

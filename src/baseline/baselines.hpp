@@ -1,0 +1,134 @@
+// The paper's "imperfect solutions" (§III), implemented as baselines.
+//
+// Each baseline answers the same question as LANDLORD — given a stream of
+// container specifications, what do we store and what does each job ship
+// to its worker? — with the strategy the paper critiques:
+//
+//  * FullRepoBaseline   — "place an entire software repository into a
+//    single image": one image serves everything, but every job ships the
+//    whole repository and every repository update rebuilds it.
+//  * LayeredStore       — Docker-style layering: an image is a chain of
+//    additive layers; a new job extends the chain whose cumulative
+//    content its spec covers best. Identical layers (same parent, same
+//    delta) are shared, but chains are strictly additive: content buried
+//    in lower layers is transferred whether the job needs it or not, and
+//    nothing can ever be removed (Fig. 1's "item C").
+//  * BlockDedupStore    — per-spec images over content-addressed
+//    storage: physical storage is deduplicated, but "each container
+//    image by design contains complete copies of all data", so jobs
+//    still ship full images and the logical collection still sprawls.
+//  * NaivePerJobStore   — one materialised image per distinct spec with
+//    no dedup at all: the container explosion itself.
+//
+// The bench `baselines_comparison` runs the paper workload through all
+// four plus LANDLORD and tabulates storage and transfer.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pkg/repository.hpp"
+#include "spec/specification.hpp"
+#include "util/bytes.hpp"
+
+namespace landlord::baseline {
+
+/// Per-submission outcome common to all baselines.
+struct Placement {
+  util::Bytes image_bytes = 0;    ///< size of the image the job uses
+  util::Bytes shipped_bytes = 0;  ///< bytes a worker without local state pulls
+  util::Bytes written_bytes = 0;  ///< new bytes materialised by this submission
+  bool reused = false;            ///< no new image/layer was created
+};
+
+/// Aggregate accounting, comparable across baselines and LANDLORD.
+struct Totals {
+  std::uint64_t submissions = 0;
+  std::uint64_t reuses = 0;
+  util::Bytes physical_bytes = 0;   ///< what the store actually occupies
+  util::Bytes logical_bytes = 0;    ///< sum of image sizes (pre-dedup)
+  util::Bytes shipped_bytes = 0;    ///< Σ per-job transfer
+  util::Bytes written_bytes = 0;    ///< Σ materialisation I/O
+  std::uint64_t artifacts = 0;      ///< images / layers / chains stored
+};
+
+class FullRepoBaseline {
+ public:
+  explicit FullRepoBaseline(const pkg::Repository& repo);
+  Placement submit(const spec::Specification& spec);
+  [[nodiscard]] Totals totals() const noexcept { return totals_; }
+
+ private:
+  util::Bytes repo_bytes_ = 0;
+  Totals totals_;
+};
+
+class NaivePerJobStore {
+ public:
+  explicit NaivePerJobStore(const pkg::Repository& repo) : repo_(&repo) {}
+  Placement submit(const spec::Specification& spec);
+  [[nodiscard]] Totals totals() const;
+
+ private:
+  const pkg::Repository* repo_;
+  std::vector<spec::PackageSet> images_;
+  Totals totals_;
+};
+
+class BlockDedupStore {
+ public:
+  explicit BlockDedupStore(const pkg::Repository& repo) : repo_(&repo) {}
+  Placement submit(const spec::Specification& spec);
+  [[nodiscard]] Totals totals() const;
+
+ private:
+  const pkg::Repository* repo_;
+  std::vector<spec::PackageSet> images_;
+  util::DynamicBitset stored_{};  // lazily sized; union of all content
+  Totals totals_;
+};
+
+class LayeredStore {
+ public:
+  /// How a new job picks its base image (Fig. 1's two panels):
+  ///  * kBestBase  — choose the existing chain whose content the spec
+  ///    covers best (a reasonable Dockerfile author choosing FROM).
+  ///  * kRefineTip — always extend the most recent image, the
+  ///    "refining via layers" pattern of Fig. 1's left panel: content
+  ///    accumulates, so a job that needs none of item C still ships it
+  ///    ("although item C is hidden in the lower layer, it still exists
+  ///    ... and must be transferred and stored").
+  enum class Strategy : std::uint8_t { kBestBase, kRefineTip };
+
+  explicit LayeredStore(const pkg::Repository& repo,
+                        Strategy strategy = Strategy::kBestBase)
+      : repo_(&repo), strategy_(strategy) {}
+  Placement submit(const spec::Specification& spec);
+  [[nodiscard]] Totals totals() const;
+
+  [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+  [[nodiscard]] std::size_t chain_count() const noexcept { return chains_.size(); }
+
+ private:
+  struct Layer {
+    spec::PackageSet delta;
+    util::Bytes bytes = 0;
+  };
+  struct Chain {
+    spec::PackageSet cumulative;   ///< union of all layers in the chain
+    util::Bytes cumulative_bytes = 0;
+    std::vector<std::uint32_t> layers;  ///< indices into layers_
+  };
+
+  const pkg::Repository* repo_;
+  Strategy strategy_ = Strategy::kBestBase;
+  std::vector<Layer> layers_;
+  std::vector<Chain> chains_;
+  // (parent chain signature, delta hash) -> existing chain index, so a
+  // job identical to a previous one reuses its chain outright.
+  std::unordered_map<std::uint64_t, std::uint32_t> chain_by_key_;
+  Totals totals_;
+};
+
+}  // namespace landlord::baseline

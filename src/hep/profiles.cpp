@@ -1,0 +1,65 @@
+#include "hep/profiles.hpp"
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace landlord::hep {
+
+namespace {
+
+// Fig. 2 of the paper, verbatim.
+const std::array<HepApp, 7> kApps = {{
+    {"alice-gen-sim", "alice", "gen", 131.0, 59.0, 6.0, 0.45},
+    {"atlas-gen", "atlas", "gen", 600.0, 37.0, 2.7, 4.8},
+    {"atlas-sim", "atlas", "sim", 5340.0, 115.0, 7.6, 4.8},
+    {"cms-digi", "cms", "digi", 629.0, 62.0, 8.4, 8.8},
+    {"cms-gen-sim", "cms", "gen", 2360.0, 71.0, 6.1, 8.8},
+    {"cms-reco", "cms", "reco", 961.0, 78.0, 7.3, 8.8},
+    {"lhcb-gen-sim", "lhcb", "gen", 1010.0, 67.0, 3.7, 1.0},
+}};
+
+}  // namespace
+
+std::span<const HepApp> benchmark_apps() { return kApps; }
+
+spec::Specification app_specification(const pkg::Repository& repo,
+                                      const HepApp& app, std::uint64_t seed) {
+  // Candidate leaves: experiment-prefixed names carrying the phase stem,
+  // e.g. "cms-digi-..." for cms-digi. Fall back to any leaf of the
+  // experiment if the stem filter leaves too few candidates.
+  const std::string prefix = app.experiment + "-";
+  const std::string stem = "-" + app.phase;
+  std::vector<pkg::PackageId> phase_leaves;
+  std::vector<pkg::PackageId> experiment_leaves;
+  for (pkg::PackageId id : repo.packages_in_tier(pkg::PackageTier::kLeaf)) {
+    const auto& name = repo[id].name;
+    if (!name.starts_with(prefix)) continue;
+    experiment_leaves.push_back(id);
+    if (name.find(stem) != std::string::npos) phase_leaves.push_back(id);
+  }
+  auto& pool = phase_leaves.size() >= 8 ? phase_leaves : experiment_leaves;
+
+  // Accumulate leaves until the dependency-closed image reaches the
+  // paper's minimal-image size (decimal GB, as published).
+  const auto target =
+      static_cast<util::Bytes>(app.paper_image_gb * 1e9);
+  util::Rng rng(seed ^ 0x68657061);  // "hepa"
+  rng.shuffle(std::span<pkg::PackageId>(pool));
+
+  util::DynamicBitset image(repo.size());
+  util::Bytes bytes = 0;
+  std::vector<pkg::PackageId> chosen;
+  for (pkg::PackageId id : pool) {
+    if (bytes >= target) break;
+    chosen.push_back(id);
+    // Incremental closure union keeps this O(pool * words).
+    image |= repo.closure(id);
+    bytes = repo.bytes_of(image);
+  }
+  return spec::Specification(spec::PackageSet(std::move(image)), app.name);
+}
+
+}  // namespace landlord::hep

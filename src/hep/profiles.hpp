@@ -1,0 +1,42 @@
+// LHC benchmark application profiles (Fig. 2).
+//
+// The paper measures seven applications from the ALICE, ATLAS, CMS and
+// LHCb experiments run under Shrinkwrap, reporting running time,
+// preparation time, minimal image size and full-repository size. We
+// cannot run the real hep-workloads payloads, so each profile pairs the
+// paper's published numbers (for comparison in EXPERIMENTS.md) with a
+// recipe that selects a coherent package subset of the matching
+// experiment subtree in the synthetic repository, sized to land near the
+// paper's minimal-image size.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "pkg/repository.hpp"
+#include "spec/specification.hpp"
+
+namespace landlord::hep {
+
+struct HepApp {
+  std::string name;        ///< e.g. "cms-gen-sim"
+  std::string experiment;  ///< repo subtree prefix: alice/atlas/cms/lhcb
+  std::string phase;       ///< leaf-name stem: gen/sim/digi/reco
+  double paper_running_s;  ///< Fig. 2 "Running Time"
+  double paper_prep_s;     ///< Fig. 2 "Prep. Time"
+  double paper_image_gb;   ///< Fig. 2 "Minimal Image" (decimal GB)
+  double paper_repo_tb;    ///< Fig. 2 "Full Repo" (decimal TB)
+};
+
+/// The seven Fig. 2 benchmark applications with the paper's numbers.
+[[nodiscard]] std::span<const HepApp> benchmark_apps();
+
+/// Builds the application's container specification against `repo`:
+/// leaf packages from the app's experiment whose names carry the phase
+/// stem are accumulated (deterministically per seed) until the
+/// dependency-closed image reaches the paper's minimal-image size.
+[[nodiscard]] spec::Specification app_specification(const pkg::Repository& repo,
+                                                    const HepApp& app,
+                                                    std::uint64_t seed);
+
+}  // namespace landlord::hep

@@ -1,0 +1,346 @@
+#include "landlord/cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "spec/jaccard.hpp"
+
+namespace landlord::core {
+
+Cache::Cache(const pkg::Repository& repo, CacheConfig config)
+    : repo_(&repo),
+      config_(config),
+      hasher_(config.minhash_k),
+      lsh_(config.lsh_bands) {
+  assert(config_.alpha >= 0.0 && config_.alpha <= 1.0);
+}
+
+std::optional<Image> Cache::find(ImageId id) const {
+  auto it = images_.find(to_value(id));
+  if (it == images_.end()) return std::nullopt;
+  return it->second;
+}
+
+util::Bytes Cache::unique_bytes() const {
+  if (images_.empty()) return 0;
+  util::DynamicBitset all(repo_->size());
+  for (const auto& [id, image] : images_) all |= image.contents.bits();
+  return repo_->bytes_of(all);
+}
+
+double Cache::cache_efficiency() const {
+  if (total_bytes_ == 0) return 1.0;
+  return static_cast<double>(unique_bytes()) / static_cast<double>(total_bytes_);
+}
+
+void Cache::index_insert(const Image& image) {
+  if (config_.policy != MergePolicy::kMinHashLsh) return;
+  auto signature = hasher_.sign(image.contents);
+  lsh_.insert(to_value(image.id), signature);
+  signatures_.emplace(to_value(image.id), std::move(signature));
+}
+
+void Cache::index_erase(const Image& image) {
+  if (config_.policy != MergePolicy::kMinHashLsh) return;
+  auto it = signatures_.find(to_value(image.id));
+  if (it == signatures_.end()) return;
+  lsh_.erase(to_value(image.id), it->second);
+  signatures_.erase(it);
+}
+
+std::optional<ImageId> Cache::find_superset(const spec::Specification& spec) {
+  // "for i ∈ I do: if s ⊆ i then return i" — any superset serves; we take
+  // the smallest so jobs ship the least unrequested data.
+  const Image* best = nullptr;
+  for (const auto& [id, image] : images_) {
+    if (spec.packages().is_subset_of(image.contents)) {
+      if (best == nullptr || image.bytes < best->bytes) best = &image;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id;
+}
+
+std::optional<ImageId> Cache::find_merge_candidate(const spec::Specification& spec) {
+  struct Candidate {
+    double distance;
+    ImageId id;
+  };
+  std::vector<Candidate> candidates;
+
+  // "In the extreme case of α = 1, every pair of images is considered
+  // close and merged if possible" (§V) — so α = 1 admits even distance
+  // exactly 1 (disjoint sets), while all other thresholds are strict.
+  auto consider = [&](const Image& image) {
+    const double d = spec::jaccard_distance(spec.packages(), image.contents);
+    if (d < config_.alpha || config_.alpha >= 1.0) {
+      candidates.push_back({d, image.id});
+    }
+  };
+
+  switch (config_.policy) {
+    case MergePolicy::kFirstFit:
+    case MergePolicy::kBestFit:
+      for (const auto& [id, image] : images_) consider(image);
+      break;
+    case MergePolicy::kMinHashLsh: {
+      const auto signature = hasher_.sign(spec.packages());
+      for (std::uint64_t id : lsh_.candidates(signature)) {
+        auto it = images_.find(id);
+        assert(it != images_.end() && "LSH index out of sync with cache");
+        consider(it->second);
+      }
+      break;
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  if (config_.policy != MergePolicy::kFirstFit) {
+    // "Selection can be sorted by dj()" — try closest first.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.distance < b.distance;
+              });
+  }
+  for (const auto& candidate : candidates) {
+    const Image& image = images_.at(to_value(candidate.id));
+    if (spec::ConflictChecker::compatible(spec.constraints(), image.constraints)) {
+      return candidate.id;
+    }
+    ++counters_.conflict_rejections;
+  }
+  return std::nullopt;
+}
+
+Cache::Outcome Cache::request(const spec::Specification& spec) {
+  assert(spec.packages().universe() == repo_->size() &&
+         "spec universe must match the cache's repository");
+  ++clock_;
+  ++counters_.requests;
+  const util::Bytes requested = spec.bytes(*repo_);
+  counters_.requested_bytes += requested;
+
+  Outcome outcome;
+
+  if (auto hit = find_superset(spec)) {
+    Image& image = images_.at(to_value(*hit));
+    image.last_used = clock_;
+    ++image.hits;
+    ++counters_.hits;
+    ImageId served = image.id;
+    util::Bytes served_bytes = image.bytes;
+    bool split = false;
+    // Extension: a hit on a badly bloated image (job uses a small
+    // fraction of what it would ship) triggers a split along the merge
+    // lineage; the job is served from the tightly fitting part.
+    if (config_.enable_split && image.merge_count > 0 && image.bytes > 0 &&
+        static_cast<double>(requested) / static_cast<double>(image.bytes) <
+            config_.split_utilization) {
+      served = split_image(image.id, spec);
+      served_bytes = images_.at(to_value(served)).bytes;
+      split = true;
+    }
+    outcome = {RequestKind::kHit, served, served_bytes, split};
+  } else if (auto candidate = find_merge_candidate(spec)) {
+    Image& image = images_.at(to_value(*candidate));
+    index_erase(image);
+    total_bytes_ -= image.bytes;
+    image.contents.merge(spec.packages());
+    image.bytes = repo_->bytes_of(image.contents.bits());
+    image.constraints.insert(image.constraints.end(), spec.constraints().begin(),
+                             spec.constraints().end());
+    image.last_used = clock_;
+    ++image.merge_count;
+    ++image.version;
+    if (image.lineage.size() >= config_.max_lineage) {
+      // Coalesce the two oldest entries to bound lineage growth.
+      image.lineage[0].merge(image.lineage[1]);
+      image.lineage.erase(image.lineage.begin() + 1);
+    }
+    image.lineage.push_back(spec.packages());
+    total_bytes_ += image.bytes;
+    // "Each time a merge occurs, the resulting image must be written out
+    // in its entirety" (§VI, Overhead of LANDLORD).
+    counters_.written_bytes += image.bytes;
+    ++counters_.merges;
+    index_insert(image);
+    outcome = {RequestKind::kMerge, image.id, image.bytes};
+  } else {
+    Image image;
+    image.id = next_id();
+    image.contents = spec.packages();
+    image.bytes = requested;
+    image.constraints = spec.constraints();
+    image.last_used = clock_;
+    image.lineage.push_back(spec.packages());
+    total_bytes_ += image.bytes;
+    counters_.written_bytes += image.bytes;
+    ++counters_.inserts;
+    const ImageId id = image.id;
+    const util::Bytes bytes = image.bytes;
+    index_insert(image);
+    images_.emplace(to_value(id), std::move(image));
+    outcome = {RequestKind::kInsert, id, bytes};
+  }
+
+  counters_.container_efficiency_sum +=
+      outcome.image_bytes > 0
+          ? static_cast<double>(requested) / static_cast<double>(outcome.image_bytes)
+          : 1.0;
+
+  evict_over_budget();
+  evict_idle();
+  record_sample(outcome.kind, outcome);
+  return outcome;
+}
+
+ImageId Cache::adopt(spec::PackageSet contents,
+                     std::vector<spec::VersionConstraint> constraints,
+                     std::uint64_t hits, std::uint32_t merge_count,
+                     std::uint32_t version) {
+  assert(contents.universe() == repo_->size());
+  Image image;
+  image.id = next_id();
+  image.bytes = repo_->bytes_of(contents.bits());
+  image.contents = std::move(contents);
+  image.constraints = std::move(constraints);
+  image.hits = hits;
+  image.merge_count = merge_count;
+  image.version = version;
+  image.last_used = ++clock_;
+  image.lineage.push_back(image.contents);
+  total_bytes_ += image.bytes;
+  const ImageId id = image.id;
+  index_insert(image);
+  images_.emplace(to_value(id), std::move(image));
+  evict_over_budget();
+  return id;
+}
+
+ImageId Cache::split_image(ImageId id, const spec::Specification& spec) {
+  Image& bloated = images_.at(to_value(id));
+  index_erase(bloated);
+  total_bytes_ -= bloated.bytes;
+
+  // Part A exactly covers the request. Part B is the union of lineage
+  // entries not subsumed by the request — lineage entries are
+  // dependency-closed, so B is a valid image; constituents the request
+  // covers are dropped (their jobs are served by A).
+  Image part_a;
+  part_a.id = next_id();
+  part_a.contents = spec.packages();
+  part_a.bytes = repo_->bytes_of(part_a.contents.bits());
+  part_a.constraints = spec.constraints();
+  part_a.last_used = clock_;
+  part_a.hits = 1;
+  part_a.lineage.push_back(spec.packages());
+
+  spec::PackageSet remainder(repo_->size());
+  std::vector<spec::PackageSet> remainder_lineage;
+  for (auto& entry : bloated.lineage) {
+    if (entry.is_subset_of(part_a.contents)) continue;
+    remainder.merge(entry);
+    remainder_lineage.push_back(std::move(entry));
+  }
+
+  counters_.written_bytes += part_a.bytes;
+  ++counters_.splits;
+  const ImageId part_a_id = part_a.id;
+  total_bytes_ += part_a.bytes;
+  index_insert(part_a);
+  images_.emplace(to_value(part_a_id), std::move(part_a));
+
+  if (!remainder.empty()) {
+    // The remainder keeps the bloated image's id (it is the continuation
+    // of that image, shrunk) so worker caches can version-check it.
+    bloated.contents = std::move(remainder);
+    bloated.bytes = repo_->bytes_of(bloated.contents.bits());
+    bloated.lineage = std::move(remainder_lineage);
+    bloated.merge_count = static_cast<std::uint32_t>(bloated.lineage.size()) - 1;
+    ++bloated.version;
+    total_bytes_ += bloated.bytes;
+    counters_.written_bytes += bloated.bytes;
+    index_insert(bloated);
+  } else {
+    images_.erase(to_value(id));
+    ++counters_.deletes;
+  }
+  return part_a_id;
+}
+
+void Cache::evict_over_budget() {
+  while (total_bytes_ > config_.capacity && images_.size() > 1) {
+    // Pick a victim per the configured policy. The image serving the
+    // current request carries the freshest LRU stamp and (for hit-based
+    // policies) a just-incremented hit count, so under kLru it is never
+    // chosen while any other image exists.
+    auto victim = images_.end();
+    auto worse = [this](const Image& candidate, const Image& current) {
+      switch (config_.eviction) {
+        case EvictionPolicy::kLru:
+          return candidate.last_used < current.last_used;
+        case EvictionPolicy::kLfu:
+          if (candidate.hits != current.hits) return candidate.hits < current.hits;
+          return candidate.last_used < current.last_used;
+        case EvictionPolicy::kLargestFirst:
+          if (candidate.bytes != current.bytes) return candidate.bytes > current.bytes;
+          return candidate.last_used < current.last_used;
+        case EvictionPolicy::kHitDensity: {
+          const double cd = static_cast<double>(candidate.hits) /
+                            static_cast<double>(std::max<util::Bytes>(1, candidate.bytes));
+          const double xd = static_cast<double>(current.hits) /
+                            static_cast<double>(std::max<util::Bytes>(1, current.bytes));
+          if (cd != xd) return cd < xd;
+          return candidate.last_used < current.last_used;
+        }
+      }
+      return candidate.last_used < current.last_used;
+    };
+    for (auto it = images_.begin(); it != images_.end(); ++it) {
+      if (it->second.last_used == clock_) continue;  // never evict the
+                                                     // image just served
+      if (victim == images_.end() || worse(it->second, victim->second)) {
+        victim = it;
+      }
+    }
+    if (victim == images_.end()) break;  // only the just-served image left
+    total_bytes_ -= victim->second.bytes;
+    index_erase(victim->second);
+    images_.erase(victim);
+    ++counters_.deletes;
+  }
+}
+
+void Cache::evict_idle() {
+  if (config_.max_idle_requests == 0) return;
+  for (auto it = images_.begin(); it != images_.end();) {
+    if (clock_ - it->second.last_used > config_.max_idle_requests) {
+      total_bytes_ -= it->second.bytes;
+      index_erase(it->second);
+      it = images_.erase(it);
+      ++counters_.deletes;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Cache::record_sample(RequestKind kind, const Outcome& outcome) {
+  (void)outcome;
+  if (!config_.record_time_series) return;
+  RequestSample sample;
+  sample.kind = kind;
+  sample.hits = counters_.hits;
+  sample.inserts = counters_.inserts;
+  sample.deletes = counters_.deletes;
+  sample.merges = counters_.merges;
+  sample.cached_bytes = total_bytes_;
+  sample.unique_bytes = unique_bytes();
+  sample.cumulative_written = counters_.written_bytes;
+  sample.cumulative_requested = counters_.requested_bytes;
+  sample.image_count = images_.size();
+  series_.record(sample);
+}
+
+}  // namespace landlord::core

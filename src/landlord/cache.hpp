@@ -1,0 +1,138 @@
+// The LANDLORD container cache — Algorithm 1 with LRU eviction.
+//
+// Given a stream of container specifications, the cache:
+//   1. returns an existing image whose contents are a superset of the
+//      spec (hit);
+//   2. otherwise merges the spec into the closest cached image within
+//      Jaccard distance α whose constraints are compatible, rewriting
+//      that image (merge);
+//   3. otherwise creates a fresh image exactly from the spec (insert);
+// and evicts least-recently-used images whenever total cached bytes
+// exceed the configured capacity (delete).
+//
+// α ∈ [0, 1] is the "globbiness": α = 0 merges nothing (pure LRU image
+// cache), α = 1 accretes everything into one all-purpose image.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "landlord/eviction.hpp"
+#include "landlord/image.hpp"
+#include "landlord/policy.hpp"
+#include "landlord/stats.hpp"
+#include "pkg/repository.hpp"
+#include "spec/minhash.hpp"
+#include "spec/specification.hpp"
+
+namespace landlord::core {
+
+struct CacheConfig {
+  util::Bytes capacity = 1400 * util::kGiB;  ///< byte budget (paper: 1.4 TB)
+  double alpha = 0.8;                        ///< merge threshold, in [0, 1]
+  MergePolicy policy = MergePolicy::kBestFit;
+  EvictionPolicy eviction = EvictionPolicy::kLru;
+  /// Record the Fig. 5 per-request series (adds a cache-wide union per
+  /// request; leave off for sweeps).
+  bool record_time_series = false;
+  /// MinHash/LSH parameters (used only by kMinHashLsh).
+  std::size_t minhash_k = 128;
+  std::size_t lsh_bands = 32;
+
+  // ---- Image splitting (extension; §I lists "creates, merges, splits,
+  // or deletes" as LANDLORD's repertoire). When a hit ships an image far
+  // larger than the request — utilization below `split_utilization` —
+  // the image is split along its merge lineage: one part exactly covers
+  // the request, the other carries the remaining constituents. Off by
+  // default to match the paper's simulated Algorithm 1.
+  bool enable_split = false;
+  double split_utilization = 0.25;   ///< requested/image byte ratio trigger
+  std::uint32_t max_lineage = 12;    ///< lineage entries kept per image
+
+  /// Idle time-to-live (extension): an image untouched for this many
+  /// requests is dropped even when the cache is under budget — "without
+  /// regular use, the bloated image will eventually be evicted" (§V).
+  /// 0 disables idle eviction (paper behaviour: space pressure only).
+  std::uint64_t max_idle_requests = 0;
+};
+
+class Cache {
+ public:
+  Cache(const pkg::Repository& repo, CacheConfig config);
+
+  struct Outcome {
+    RequestKind kind = RequestKind::kHit;
+    ImageId image{};
+    util::Bytes image_bytes = 0;  ///< size of the image the job will use
+    bool split = false;  ///< a bloated image was split to serve this hit
+  };
+
+  /// Algorithm 1: satisfies `spec`, mutating the cache as needed.
+  /// The spec's package set must be over this cache's repository universe.
+  Outcome request(const spec::Specification& spec);
+
+  /// Re-admits an image from a persisted snapshot: contents and usage
+  /// history are adopted without charging insert counters or write I/O
+  /// (the image file already exists on disk). LRU recency follows the
+  /// order of adoption. Used by core::restore_cache.
+  ImageId adopt(spec::PackageSet contents,
+                std::vector<spec::VersionConstraint> constraints,
+                std::uint64_t hits, std::uint32_t merge_count,
+                std::uint32_t version);
+
+  // ---- Introspection ----
+  [[nodiscard]] std::size_t image_count() const noexcept { return images_.size(); }
+  [[nodiscard]] util::Bytes total_bytes() const noexcept { return total_bytes_; }
+  /// Deduplicated footprint: bytes of the union of all image contents.
+  [[nodiscard]] util::Bytes unique_bytes() const;
+  /// unique/total, the paper's cache efficiency; 1 for an empty cache.
+  [[nodiscard]] double cache_efficiency() const;
+  [[nodiscard]] const CacheCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const TimeSeries& time_series() const noexcept { return series_; }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::optional<Image> find(ImageId id) const;
+
+  /// Visits every cached image (unspecified order).
+  template <typename Fn>
+  void for_each_image(Fn&& fn) const {
+    for (const auto& [id, image] : images_) fn(image);
+  }
+
+ private:
+  [[nodiscard]] ImageId next_id() noexcept { return ImageId{id_counter_++}; }
+
+  /// Returns the id of a cached superset image, refreshing its LRU stamp.
+  [[nodiscard]] std::optional<ImageId> find_superset(const spec::Specification& spec);
+
+  /// Returns the best merge candidate per the configured policy, or
+  /// nullopt when no compatible image lies within distance α.
+  [[nodiscard]] std::optional<ImageId> find_merge_candidate(
+      const spec::Specification& spec);
+
+  void evict_over_budget();
+  void evict_idle();
+  /// Splits a bloated image along its lineage after a low-utilization
+  /// hit; returns the id of the part satisfying `spec`.
+  [[nodiscard]] ImageId split_image(ImageId id, const spec::Specification& spec);
+  void record_sample(RequestKind kind, const Outcome& outcome);
+  void index_insert(const Image& image);
+  void index_erase(const Image& image);
+
+  const pkg::Repository* repo_;
+  CacheConfig config_;
+  std::unordered_map<std::uint64_t, Image> images_;
+  util::Bytes total_bytes_ = 0;
+  std::uint64_t clock_ = 0;
+  std::uint64_t id_counter_ = 0;
+  CacheCounters counters_;
+  TimeSeries series_;
+
+  // MinHash/LSH state (kMinHashLsh policy only).
+  spec::MinHasher hasher_;
+  spec::LshIndex lsh_;
+  std::unordered_map<std::uint64_t, spec::MinHashSignature> signatures_;
+};
+
+}  // namespace landlord::core

@@ -1,0 +1,70 @@
+// Thread-safe cache adapter.
+//
+// A head node serves submissions from many users concurrently (§V:
+// LANDLORD sits in the submission path of a batch or pilot-job system).
+// Algorithm 1 mutates shared state on every request, so the adapter
+// serialises requests behind a mutex — decision latency is microseconds
+// (see bench/micro_ops), so a single lock sustains >10^5 submissions/s,
+// far beyond any site's submission rate; the expensive work (image
+// materialisation) happens outside the lock in callers like
+// core::Landlord.
+#pragma once
+
+#include <mutex>
+
+#include "landlord/cache.hpp"
+
+namespace landlord::core {
+
+class ConcurrentCache {
+ public:
+  ConcurrentCache(const pkg::Repository& repo, CacheConfig config)
+      : cache_(repo, config) {}
+
+  /// Thread-safe Algorithm 1 request.
+  Cache::Outcome request(const spec::Specification& spec) {
+    std::scoped_lock lock(mutex_);
+    return cache_.request(spec);
+  }
+
+  /// Thread-safe snapshot of the counters.
+  [[nodiscard]] CacheCounters counters() const {
+    std::scoped_lock lock(mutex_);
+    return cache_.counters();
+  }
+
+  [[nodiscard]] std::size_t image_count() const {
+    std::scoped_lock lock(mutex_);
+    return cache_.image_count();
+  }
+
+  [[nodiscard]] util::Bytes total_bytes() const {
+    std::scoped_lock lock(mutex_);
+    return cache_.total_bytes();
+  }
+
+  [[nodiscard]] util::Bytes unique_bytes() const {
+    std::scoped_lock lock(mutex_);
+    return cache_.unique_bytes();
+  }
+
+  [[nodiscard]] std::optional<Image> find(ImageId id) const {
+    std::scoped_lock lock(mutex_);
+    return cache_.find(id);
+  }
+
+  /// Runs `fn` with exclusive access to the underlying cache — for
+  /// persistence snapshots and other multi-call inspections that must
+  /// see one consistent state.
+  template <typename Fn>
+  auto with_exclusive(Fn&& fn) -> decltype(fn(std::declval<Cache&>())) {
+    std::scoped_lock lock(mutex_);
+    return fn(cache_);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Cache cache_;
+};
+
+}  // namespace landlord::core

@@ -1,0 +1,38 @@
+// Eviction policies for the image cache.
+//
+// Algorithm 1 in the paper pairs merging with a conventional cache
+// eviction scheme (its simulations behave "like a simple LRU-based
+// cache" at α = 0). Which image to sacrifice when the byte budget is
+// exceeded is an independent design axis; we provide the classic
+// candidates so the ablation bench can quantify the choice:
+//
+//  * kLru          — least recently used (the paper's baseline)
+//  * kLfu          — fewest lifetime hits (ties broken by LRU)
+//  * kLargestFirst — biggest image first (frees space fastest, biased
+//                    against merged/bloated images)
+//  * kHitDensity   — lowest hits per byte (evicts cold bulk, keeps hot
+//                    small images)
+#pragma once
+
+#include <cstdint>
+
+namespace landlord::core {
+
+enum class EvictionPolicy : std::uint8_t {
+  kLru,
+  kLfu,
+  kLargestFirst,
+  kHitDensity,
+};
+
+[[nodiscard]] constexpr const char* to_string(EvictionPolicy policy) noexcept {
+  switch (policy) {
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kLfu: return "lfu";
+    case EvictionPolicy::kLargestFirst: return "largest-first";
+    case EvictionPolicy::kHitDensity: return "hit-density";
+  }
+  return "?";
+}
+
+}  // namespace landlord::core

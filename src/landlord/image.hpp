@@ -1,0 +1,41 @@
+// A concrete container image held in the LANDLORD cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spec/constraint.hpp"
+#include "spec/package_set.hpp"
+#include "util/bytes.hpp"
+
+namespace landlord::core {
+
+/// Stable identity of a cached image; survives merges (the merged image
+/// keeps the id of the image it replaced, matching Algorithm 1's
+/// "Replace j in the cache with merge(s, j)").
+enum class ImageId : std::uint64_t {};
+
+[[nodiscard]] constexpr std::uint64_t to_value(ImageId id) noexcept {
+  return static_cast<std::uint64_t>(id);
+}
+
+struct Image {
+  ImageId id{};
+  spec::PackageSet contents;    ///< packages materialised in the image
+  util::Bytes bytes = 0;        ///< on-disk size (sum of package sizes)
+  std::uint64_t last_used = 0;  ///< logical LRU stamp (cache request clock)
+  std::uint32_t merge_count = 0;  ///< how many specs were merged in
+  std::uint64_t hits = 0;         ///< requests served by this image
+  /// Bumped whenever the contents change (merge / split remainder), so
+  /// downstream caches (worker nodes holding copies) can detect staleness.
+  std::uint32_t version = 0;
+  /// Union of the version constraints of every spec merged into this
+  /// image; future merge candidates must be compatible with these.
+  std::vector<spec::VersionConstraint> constraints;
+  /// The package sets of the constituent specifications merged into this
+  /// image (bounded; oldest entries are coalesced). Splitting uses the
+  /// lineage to carve a bloated image back into useful parts.
+  std::vector<spec::PackageSet> lineage;
+};
+
+}  // namespace landlord::core

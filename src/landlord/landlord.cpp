@@ -1,0 +1,29 @@
+#include "landlord/landlord.hpp"
+
+namespace landlord::core {
+
+JobPlacement Landlord::submit(const spec::Specification& spec) {
+  const Cache::Outcome outcome = cache_.request(spec);
+
+  JobPlacement placement;
+  placement.kind = outcome.kind;
+  placement.image = outcome.image;
+  placement.image_bytes = outcome.image_bytes;
+  placement.requested_bytes = spec.bytes(*repo_);
+
+  if (outcome.kind != RequestKind::kHit || outcome.split) {
+    // Materialise (or re-materialise after a merge or split) the image
+    // the cache decided on. The builder's persistent chunk cache means only content
+    // not fetched before is downloaded; the whole image is still written.
+    auto image = cache_.find(outcome.image);
+    if (image.has_value()) {
+      spec::Specification materialised{image->contents};
+      const auto built = builder_.build(materialised);
+      placement.prep_seconds = built.prep_seconds;
+      prep_seconds_ += built.prep_seconds;
+    }
+  }
+  return placement;
+}
+
+}  // namespace landlord::core

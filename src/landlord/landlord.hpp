@@ -1,0 +1,59 @@
+// LANDLORD facade: the job-wrapper entry point.
+//
+// "On job submission, LANDLORD first scans its configured cache directory
+// for existing images that are 'close' to the job's specification,
+// creates/updates images in the cache as necessary, and finally launches
+// the job inside the prepared container." (§V, LANDLORD Deployment)
+//
+// Landlord couples the decision layer (core::Cache, Algorithm 1) with the
+// materialisation layer (shrinkwrap::ImageBuilder) so callers get both
+// the placement decision and the modelled preparation cost.
+#pragma once
+
+#include <string>
+
+#include "landlord/cache.hpp"
+#include "shrinkwrap/builder.hpp"
+
+namespace landlord::core {
+
+/// What submit() decided and what it cost.
+struct JobPlacement {
+  RequestKind kind = RequestKind::kHit;  ///< hit / merge / insert
+  ImageId image{};                       ///< image the job runs in
+  util::Bytes image_bytes = 0;           ///< size of that image
+  util::Bytes requested_bytes = 0;       ///< size the spec actually needed
+  double prep_seconds = 0.0;             ///< 0 for hits; build model otherwise
+};
+
+class Landlord {
+ public:
+  Landlord(const pkg::Repository& repo, CacheConfig cache_config,
+           shrinkwrap::FileTreeParams tree_params = {},
+           shrinkwrap::BuildTimeModel time_model = {})
+      : repo_(&repo),
+        cache_(repo, cache_config),
+        builder_(repo, tree_params, time_model) {}
+
+  /// Prepares a suitable container image for the job's specification and
+  /// reports the placement. Image (re)builds are charged through the
+  /// Shrinkwrap time model; hits cost nothing.
+  [[nodiscard]] JobPlacement submit(const spec::Specification& spec);
+
+  [[nodiscard]] const Cache& cache() const noexcept { return cache_; }
+  [[nodiscard]] const shrinkwrap::ImageBuilder& builder() const noexcept {
+    return builder_;
+  }
+  [[nodiscard]] const pkg::Repository& repository() const noexcept { return *repo_; }
+
+  /// Total modelled seconds spent preparing images so far.
+  [[nodiscard]] double total_prep_seconds() const noexcept { return prep_seconds_; }
+
+ private:
+  const pkg::Repository* repo_;
+  Cache cache_;
+  shrinkwrap::ImageBuilder builder_;
+  double prep_seconds_ = 0.0;
+};
+
+}  // namespace landlord::core

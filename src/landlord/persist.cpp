@@ -1,0 +1,154 @@
+#include "landlord/persist.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace landlord::core {
+
+namespace {
+
+constexpr std::string_view kMagic = "landlord-cache v1";
+
+std::vector<std::string_view> split_words(std::string_view line) {
+  std::vector<std::string_view> words;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) words.push_back(line.substr(start, i - start));
+  }
+  return words;
+}
+
+template <typename T>
+bool parse_number(std::string_view token, T& out) {
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+}  // namespace
+
+void save_cache(std::ostream& out, const Cache& cache, const pkg::Repository& repo) {
+  out << kMagic << '\n';
+  out << "# " << cache.image_count() << " images, "
+      << cache.total_bytes() << " bytes\n";
+  // Stable order: by LRU stamp, so restore reproduces recency.
+  std::vector<Image> images;
+  cache.for_each_image([&images](const Image& image) { images.push_back(image); });
+  std::sort(images.begin(), images.end(), [](const Image& a, const Image& b) {
+    return a.last_used < b.last_used;
+  });
+  std::size_t ordinal = 0;
+  for (const auto& image : images) {
+    out << "image " << image.hits << ' ' << image.merge_count << ' '
+        << image.version;
+    image.contents.for_each([&](pkg::PackageId id) { out << ' ' << repo[id].key(); });
+    out << '\n';
+    for (const auto& constraint : image.constraints) {
+      out << "constraint " << ordinal << ' ' << constraint.package
+          << spec::to_string(constraint.op) << constraint.version << '\n';
+    }
+    ++ordinal;
+  }
+}
+
+util::Result<Cache> restore_cache(std::istream& in, const pkg::Repository& repo,
+                                  CacheConfig config) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!std::getline(in, line)) return util::Error{"empty cache snapshot"};
+  ++line_no;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != kMagic) {
+    return util::Error::at_line(line_no, "bad magic (expected '" +
+                                             std::string(kMagic) + "')");
+  }
+
+  // Parse everything first so constraints (which follow their image
+  // line) can be attached before adoption.
+  struct Record {
+    spec::PackageSet contents;
+    std::vector<spec::VersionConstraint> constraints;
+    std::uint64_t hits = 0;
+    std::uint32_t merge_count = 0;
+    std::uint32_t version = 0;
+  };
+  std::vector<Record> records;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    auto words = split_words(line);
+    if (words.empty() || words.front().front() == '#') continue;
+
+    if (words.front() == "image") {
+      if (words.size() < 4) {
+        return util::Error::at_line(
+            line_no, "expected: image <hits> <merges> <version> <key>...");
+      }
+      Record record;
+      record.contents = spec::PackageSet(repo.size());
+      if (!parse_number(words[1], record.hits) ||
+          !parse_number(words[2], record.merge_count) ||
+          !parse_number(words[3], record.version)) {
+        return util::Error::at_line(line_no, "bad image counters");
+      }
+      for (std::size_t w = 4; w < words.size(); ++w) {
+        const auto id = repo.find(words[w]);
+        if (!id) {
+          return util::Error::at_line(
+              line_no, "unknown package key '" + std::string(words[w]) + "'");
+        }
+        record.contents.insert(*id);
+      }
+      records.push_back(std::move(record));
+    } else if (words.front() == "constraint") {
+      if (words.size() != 3) {
+        return util::Error::at_line(line_no, "expected: constraint <ordinal> <expr>");
+      }
+      std::size_t ordinal = 0;
+      if (!parse_number(words[1], ordinal) || ordinal >= records.size()) {
+        return util::Error::at_line(line_no, "constraint references unknown image");
+      }
+      auto constraint = spec::parse_constraint(words[2]);
+      if (!constraint) return util::Error::at_line(line_no, constraint.error().message);
+      records[ordinal].constraints.push_back(std::move(constraint).value());
+    } else {
+      return util::Error::at_line(
+          line_no, "unknown directive '" + std::string(words.front()) + "'");
+    }
+  }
+
+  // Adopt in snapshot (LRU) order. If the new budget is smaller than the
+  // snapshot, adopt() evicts the least-recently-adopted images — exactly
+  // the right casualties.
+  Cache cache(repo, config);
+  for (auto& record : records) {
+    (void)cache.adopt(std::move(record.contents), std::move(record.constraints),
+                      record.hits, record.merge_count, record.version);
+  }
+  return cache;
+}
+
+bool save_cache_file(const std::string& path, const Cache& cache,
+                     const pkg::Repository& repo) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_cache(out, cache, repo);
+  return static_cast<bool>(out);
+}
+
+util::Result<Cache> restore_cache_file(const std::string& path,
+                                       const pkg::Repository& repo,
+                                       CacheConfig config) {
+  std::ifstream in(path);
+  if (!in) return util::Error{"cannot open cache snapshot: " + path};
+  return restore_cache(in, repo, config);
+}
+
+}  // namespace landlord::core

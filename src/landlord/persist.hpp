@@ -1,0 +1,44 @@
+// Cache persistence.
+//
+// Image-management systems "reflect this reality in using persistent
+// image stores" (§II, of Docker and Shifter): a head-node restart must
+// not discard terabytes of prepared images. This module serialises the
+// cache's *decision state* — each image's package set, constraints and
+// usage counters — to a text snapshot and restores it into a fresh
+// Cache. Image *contents* are not stored (they live in the image files
+// themselves); a restore re-admits images without charging write I/O.
+//
+// Format:
+//   landlord-cache v1
+//   image <hits> <merge_count> <version> <pkg-key> ...
+//   constraint <image-ordinal> <name><op><version>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "landlord/cache.hpp"
+#include "util/result.hpp"
+
+namespace landlord::core {
+
+/// Writes a snapshot of every cached image.
+void save_cache(std::ostream& out, const Cache& cache, const pkg::Repository& repo);
+
+/// Restores a snapshot into a new cache with `config`. Images are
+/// re-admitted verbatim (ids are reassigned; LRU order follows snapshot
+/// order); counters start fresh except that restored images keep their
+/// hit/merge history for eviction decisions. Fails on malformed input or
+/// unknown package keys.
+[[nodiscard]] util::Result<Cache> restore_cache(std::istream& in,
+                                                const pkg::Repository& repo,
+                                                CacheConfig config);
+
+/// File convenience wrappers.
+[[nodiscard]] bool save_cache_file(const std::string& path, const Cache& cache,
+                                   const pkg::Repository& repo);
+[[nodiscard]] util::Result<Cache> restore_cache_file(const std::string& path,
+                                                     const pkg::Repository& repo,
+                                                     CacheConfig config);
+
+}  // namespace landlord::core

@@ -1,0 +1,32 @@
+// Merge-candidate selection policies for Algorithm 1's second loop.
+//
+// The algorithm says "for j ∈ I such that d_j(s, j) < α" with the note
+// "Selection can be sorted by d_j()". How candidates are enumerated is a
+// policy choice with cost/quality trade-offs:
+//
+//  * kFirstFit   — scan in storage order, take the first close-enough,
+//                  compatible image. Cheapest, order-dependent.
+//  * kBestFit    — compute d_j for every cached image, try candidates in
+//                  increasing distance. The paper's suggested sort.
+//  * kMinHashLsh — prefilter candidates through an LSH index over MinHash
+//                  signatures, then exact-check only the candidates. The
+//                  constant-time approximation the paper recommends for
+//                  very large specifications.
+#pragma once
+
+#include <cstdint>
+
+namespace landlord::core {
+
+enum class MergePolicy : std::uint8_t { kFirstFit, kBestFit, kMinHashLsh };
+
+[[nodiscard]] constexpr const char* to_string(MergePolicy policy) noexcept {
+  switch (policy) {
+    case MergePolicy::kFirstFit: return "first-fit";
+    case MergePolicy::kBestFit: return "best-fit";
+    case MergePolicy::kMinHashLsh: return "minhash-lsh";
+  }
+  return "?";
+}
+
+}  // namespace landlord::core

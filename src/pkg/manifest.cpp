@@ -1,0 +1,118 @@
+#include "pkg/manifest.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace landlord::pkg {
+
+namespace {
+
+/// Splits on runs of spaces/tabs.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+util::Result<PackageTier> parse_tier(std::string_view text, std::size_t line_no) {
+  if (text == "core") return PackageTier::kCore;
+  if (text == "library") return PackageTier::kLibrary;
+  if (text == "leaf") return PackageTier::kLeaf;
+  return util::Error::at_line(line_no, "unknown tier '" + std::string(text) + "'");
+}
+
+}  // namespace
+
+util::Result<Repository> parse_manifest(std::istream& in) {
+  RepositoryBuilder builder;
+  std::optional<RepositoryBuilder::Declaration> current;
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto flush = [&builder, &current] {
+    if (current) {
+      builder.add(std::move(*current));
+      current.reset();
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing CR from CRLF input.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    auto tokens = tokenize(line);
+    if (tokens.empty() || tokens.front().front() == '#') continue;
+
+    if (tokens.front() == "package") {
+      if (tokens.size() != 5) {
+        return util::Error::at_line(
+            line_no, "expected: package <name> <version> <size> <tier>");
+      }
+      flush();
+      RepositoryBuilder::Declaration d;
+      d.name = std::string(tokens[1]);
+      d.version = std::string(tokens[2]);
+      util::Bytes size = 0;
+      auto [ptr, ec] =
+          std::from_chars(tokens[3].data(), tokens[3].data() + tokens[3].size(), size);
+      if (ec != std::errc{} || ptr != tokens[3].data() + tokens[3].size()) {
+        return util::Error::at_line(line_no, "bad size '" + std::string(tokens[3]) + "'");
+      }
+      d.size = size;
+      auto tier = parse_tier(tokens[4], line_no);
+      if (!tier) return tier.error();
+      d.tier = tier.value();
+      current = std::move(d);
+    } else if (tokens.front() == "dep") {
+      if (tokens.size() != 2) {
+        return util::Error::at_line(line_no, "expected: dep <name>/<version>");
+      }
+      if (!current) {
+        return util::Error::at_line(line_no, "dep line before any package line");
+      }
+      current->dep_keys.emplace_back(tokens[1]);
+    } else {
+      return util::Error::at_line(
+          line_no, "unknown directive '" + std::string(tokens.front()) + "'");
+    }
+  }
+  flush();
+  return std::move(builder).build();
+}
+
+util::Result<Repository> parse_manifest_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_manifest(in);
+}
+
+util::Result<Repository> load_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Error{"cannot open manifest: " + path};
+  return parse_manifest(in);
+}
+
+void write_manifest(const Repository& repo, std::ostream& out) {
+  out << "# landlord package manifest: " << repo.size() << " packages, "
+      << repo.total_bytes() << " bytes total\n";
+  for (std::uint32_t i = 0; i < repo.size(); ++i) {
+    const auto& info = repo[package_id(i)];
+    out << "package " << info.name << ' ' << info.version << ' ' << info.size
+        << ' ' << to_string(info.tier) << '\n';
+    for (PackageId dep : info.deps) {
+      out << "dep " << repo[dep].key() << '\n';
+    }
+  }
+}
+
+}  // namespace landlord::pkg

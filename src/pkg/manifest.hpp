@@ -1,0 +1,39 @@
+// Text manifest format for package repositories.
+//
+// The paper extracted the SFT repository's dependency tree from the build
+// metadata CVMFS associates with each package. We define an equivalent
+// plain-text manifest so real repository dumps can be loaded, and so the
+// synthetic repository can be round-tripped for inspection:
+//
+//   # comment / blank lines ignored
+//   package <name> <version> <size-bytes> <tier>
+//   dep <name>/<version>
+//   dep <name>/<version>
+//   package ...
+//
+// `dep` lines attach to the most recent `package` line. Tier is one of
+// core|library|leaf. Dependencies may reference packages declared later.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pkg/repository.hpp"
+#include "util/result.hpp"
+
+namespace landlord::pkg {
+
+/// Parses a manifest stream into a validated Repository.
+[[nodiscard]] util::Result<Repository> parse_manifest(std::istream& in);
+
+/// Parses a manifest from a string (convenience for tests/tools).
+[[nodiscard]] util::Result<Repository> parse_manifest_text(const std::string& text);
+
+/// Loads a manifest file from disk.
+[[nodiscard]] util::Result<Repository> load_manifest(const std::string& path);
+
+/// Serialises a repository back into the manifest format. Round-trips
+/// through parse_manifest() to an equivalent repository.
+void write_manifest(const Repository& repo, std::ostream& out);
+
+}  // namespace landlord::pkg

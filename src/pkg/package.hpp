@@ -1,0 +1,58 @@
+// Package identity and metadata.
+//
+// A repository (CVMFS software repo, PyPI, Spack tree, ...) is modelled
+// as an immutable universe of packages, each identified by a dense
+// PackageId and carrying a name/version key — the paper's unit of
+// specification ("each package is usually assigned a name/version string
+// that is defined to be unique within the repo", §V).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace landlord::pkg {
+
+/// Dense index into a Repository; valid ids are [0, repository.size()).
+enum class PackageId : std::uint32_t {};
+
+[[nodiscard]] constexpr std::uint32_t to_index(PackageId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
+
+[[nodiscard]] constexpr PackageId package_id(std::uint32_t index) noexcept {
+  return static_cast<PackageId>(index);
+}
+
+/// Package classification, used by the synthetic generator and by
+/// workload models to reproduce the SFT repository's hierarchy (§VI:
+/// near-universal core frameworks vs. a long tail of rarely used leaves).
+enum class PackageTier : std::uint8_t {
+  kCore,     ///< base frameworks, setup scripts, calibration data
+  kLibrary,  ///< mid-tier shared libraries and toolchains
+  kLeaf,     ///< application-level, long-tail packages
+};
+
+[[nodiscard]] constexpr const char* to_string(PackageTier tier) noexcept {
+  switch (tier) {
+    case PackageTier::kCore: return "core";
+    case PackageTier::kLibrary: return "library";
+    case PackageTier::kLeaf: return "leaf";
+  }
+  return "?";
+}
+
+struct PackageInfo {
+  std::string name;                 ///< project name, e.g. "ROOT"
+  std::string version;              ///< version + build string, e.g. "6.18.04-x86_64-gcc8"
+  util::Bytes size = 0;             ///< installed on-disk size
+  PackageTier tier = PackageTier::kLeaf;
+  std::vector<PackageId> deps;      ///< direct dependencies (ids within the repo)
+
+  /// Unique key within a repository.
+  [[nodiscard]] std::string key() const { return name + "/" + version; }
+};
+
+}  // namespace landlord::pkg

@@ -1,0 +1,48 @@
+#include "pkg/repo_stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace landlord::pkg {
+
+RepoStats compute_stats(const Repository& repo) {
+  RepoStats stats;
+  stats.packages = static_cast<std::uint32_t>(repo.size());
+  stats.total_bytes = repo.total_bytes();
+
+  std::uint64_t dep_edges = 0;
+  std::uint64_t closure_total = 0;
+  for (std::uint32_t i = 0; i < repo.size(); ++i) {
+    const auto& info = repo[package_id(i)];
+    switch (info.tier) {
+      case PackageTier::kCore: ++stats.core_packages; break;
+      case PackageTier::kLibrary: ++stats.library_packages; break;
+      case PackageTier::kLeaf: ++stats.leaf_packages; break;
+    }
+    dep_edges += info.deps.size();
+    const auto closure_size = static_cast<std::uint32_t>(repo.closure(package_id(i)).count());
+    closure_total += closure_size;
+    stats.max_closure_packages = std::max(stats.max_closure_packages, closure_size);
+  }
+  if (repo.size() > 0) {
+    stats.mean_direct_deps =
+        static_cast<double>(dep_edges) / static_cast<double>(repo.size());
+    stats.mean_closure_packages =
+        static_cast<double>(closure_total) / static_cast<double>(repo.size());
+  }
+
+  // Longest dependency chain via DP over the topological order
+  // (dependencies first, so depth(dep) is final when we read it).
+  std::vector<std::uint32_t> depth(repo.size(), 0);
+  for (PackageId id : repo.topological_order()) {
+    std::uint32_t d = 0;
+    for (PackageId dep : repo[id].deps) {
+      d = std::max(d, depth[to_index(dep)] + 1);
+    }
+    depth[to_index(id)] = d;
+    stats.max_depth = std::max(stats.max_depth, d);
+  }
+  return stats;
+}
+
+}  // namespace landlord::pkg

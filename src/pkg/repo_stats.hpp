@@ -1,0 +1,25 @@
+// Aggregate repository statistics for reports and calibration checks.
+#pragma once
+
+#include <cstdint>
+
+#include "pkg/repository.hpp"
+#include "util/bytes.hpp"
+
+namespace landlord::pkg {
+
+struct RepoStats {
+  std::uint32_t packages = 0;
+  std::uint32_t core_packages = 0;
+  std::uint32_t library_packages = 0;
+  std::uint32_t leaf_packages = 0;
+  util::Bytes total_bytes = 0;
+  double mean_direct_deps = 0.0;
+  double mean_closure_packages = 0.0;  ///< mean |closure(p)| incl. p
+  std::uint32_t max_closure_packages = 0;
+  std::uint32_t max_depth = 0;  ///< longest dependency chain
+};
+
+[[nodiscard]] RepoStats compute_stats(const Repository& repo);
+
+}  // namespace landlord::pkg

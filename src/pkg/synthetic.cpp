@@ -1,0 +1,369 @@
+#include "pkg/synthetic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace landlord::pkg {
+
+namespace {
+
+using util::Rng;
+
+/// A project is a named family of consecutively versioned packages.
+struct Project {
+  std::string name;
+  PackageTier tier = PackageTier::kLeaf;
+  std::uint32_t first_package = 0;  ///< dense index of version 0
+  std::uint32_t versions = 1;
+  std::vector<std::uint32_t> dep_projects;  ///< indices of earlier projects
+};
+
+constexpr std::array<const char*, 20> kCoreStems = {
+    "base-env",   "gcc-runtime", "python",     "cmake-tools", "binutils",
+    "openssl",    "zlib",        "setup-scripts", "calib-data", "root-core",
+    "geant-core", "boost",       "fftw",       "hdf5",        "xrootd",
+    "davix",      "cling",       "tbb",        "eigen",       "protobuf"};
+
+constexpr std::array<const char*, 24> kLibraryStems = {
+    "io-lib",      "geom-lib",    "math-lib",   "net-lib",    "gen-lib",
+    "sim-toolkit", "reco-lib",    "digi-lib",   "trk-lib",    "calo-lib",
+    "muon-lib",    "trigger-lib", "cond-db",    "event-model", "analysis-fw",
+    "plotting",    "fitting",     "unfolding",  "mc-tools",   "grid-tools",
+    "stream-lib",  "monitor-lib", "align-lib",  "lumi-lib"};
+
+constexpr std::array<const char*, 16> kLeafStems = {
+    "gen",        "sim",       "digi",      "reco",      "analysis",
+    "skim",       "ntuple",    "validation", "tutorial",  "workflow",
+    "trigger-cfg", "calib-job", "dqm",       "prod-cfg",  "user-tools",
+    "derivation"};
+
+constexpr std::array<const char*, 6> kPlatforms = {
+    "x86_64-centos7-gcc8-opt", "x86_64-centos7-gcc9-opt",
+    "x86_64-slc6-gcc7-opt",    "x86_64-centos8-gcc10-opt",
+    "x86_64-centos7-gcc8-dbg", "aarch64-centos7-gcc9-opt"};
+
+std::string version_string(std::uint32_t major, std::uint32_t minor,
+                           const char* platform) {
+  return "v" + std::to_string(major) + "." + std::to_string(minor) + "-" + platform;
+}
+
+/// Picks an experiment index by weight.
+std::size_t pick_experiment(Rng& rng, const std::vector<double>& cumulative) {
+  const double u = rng.uniform_double() * cumulative.back();
+  auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  return static_cast<std::size_t>(std::distance(cumulative.begin(), it));
+}
+
+util::Bytes sample_size(Rng& rng, double mu, double sigma) {
+  // Clamp to [4 KiB, 64 GiB]; a package is at least a directory entry and
+  // never a whole repository.
+  const double raw = rng.lognormal(mu, sigma);
+  const double clamped = std::clamp(raw, 4096.0, 64.0 * 1024 * 1024 * 1024);
+  return static_cast<util::Bytes>(clamped);
+}
+
+}  // namespace
+
+util::Result<Repository> generate_repository(const SyntheticRepoParams& params,
+                                             std::uint64_t seed) {
+  if (params.total_packages == 0) {
+    return util::Error{"total_packages must be positive"};
+  }
+  if (params.core_fraction < 0 || params.library_fraction < 0 ||
+      params.core_fraction + params.library_fraction >= 1.0) {
+    return util::Error{"tier fractions must be non-negative and sum below 1"};
+  }
+  if (params.min_versions == 0 || params.min_versions > params.max_versions) {
+    return util::Error{"version range must satisfy 1 <= min <= max"};
+  }
+  if (params.experiments.empty() ||
+      params.experiments.size() != params.experiment_weights.size()) {
+    return util::Error{"experiments and experiment_weights must match and be non-empty"};
+  }
+
+  Rng rng(seed);
+  const auto n_total = params.total_packages;
+  const auto n_core = std::max<std::uint32_t>(
+      params.base_projects,
+      static_cast<std::uint32_t>(std::llround(params.core_fraction * n_total)));
+  const auto n_library =
+      static_cast<std::uint32_t>(std::llround(params.library_fraction * n_total));
+
+  std::vector<double> cumulative(params.experiment_weights.size());
+  std::partial_sum(params.experiment_weights.begin(), params.experiment_weights.end(),
+                   cumulative.begin());
+
+  // ---- Phase 1: lay out projects tier by tier until the package budget
+  // for each tier is spent. Projects only depend on earlier projects, so
+  // the project graph (and hence the package graph) is acyclic.
+  std::vector<Project> projects;
+  std::uint32_t package_cursor = 0;
+
+  auto add_projects = [&](PackageTier tier, std::uint32_t tier_budget,
+                          auto&& name_fn) {
+    std::uint32_t used = 0;
+    std::uint32_t serial = 0;
+    while (used < tier_budget) {
+      Project project;
+      project.tier = tier;
+      project.name = name_fn(serial++);
+      project.versions = static_cast<std::uint32_t>(
+          rng.uniform(params.min_versions, params.max_versions));
+      project.versions = std::min(project.versions, tier_budget - used);
+      project.first_package = package_cursor;
+      package_cursor += project.versions;
+      used += project.versions;
+      projects.push_back(std::move(project));
+    }
+  };
+
+  add_projects(PackageTier::kCore, n_core, [&](std::uint32_t serial) {
+    const char* stem = kCoreStems[serial % kCoreStems.size()];
+    std::string name = stem;
+    if (serial >= kCoreStems.size()) name += "-" + std::to_string(serial / kCoreStems.size());
+    return name;
+  });
+  const std::size_t core_projects_end = projects.size();
+
+  // Library and leaf projects belong to experiments.
+  std::vector<std::size_t> project_experiment(core_projects_end, params.experiments.size());
+
+  // Framework hubs: the first library projects of each experiment, with
+  // few versions (CVMFS experiments keep a small number of production
+  // framework lines) and wide fan-in from the rest of the experiment.
+  std::vector<std::vector<std::uint32_t>> experiment_hubs(params.experiments.size());
+  std::uint32_t hub_packages = 0;
+  for (std::size_t exp = 0; exp < params.experiments.size(); ++exp) {
+    for (std::uint32_t h = 0; h < params.hubs_per_experiment; ++h) {
+      Project project;
+      project.tier = PackageTier::kLibrary;
+      project.name = params.experiments[exp] + "-framework-" + std::to_string(h);
+      project.versions = static_cast<std::uint32_t>(
+          rng.uniform(1, std::max<std::uint32_t>(1, params.hub_max_versions)));
+      project.first_package = package_cursor;
+      package_cursor += project.versions;
+      hub_packages += project.versions;
+      experiment_hubs[exp].push_back(static_cast<std::uint32_t>(projects.size()));
+      project_experiment.push_back(exp);
+      projects.push_back(std::move(project));
+    }
+  }
+  const std::size_t hub_projects_end = projects.size();
+
+  const std::uint32_t n_library_rest =
+      n_library > hub_packages ? n_library - hub_packages : 0;
+  add_projects(PackageTier::kLibrary, n_library_rest, [&](std::uint32_t serial) {
+    const std::size_t exp = pick_experiment(rng, cumulative);
+    project_experiment.push_back(exp);
+    const char* stem = kLibraryStems[serial % kLibraryStems.size()];
+    return params.experiments[exp] + "-" + stem + "-" +
+           std::to_string(serial / kLibraryStems.size());
+  });
+  const std::size_t library_projects_end = projects.size();
+
+  const std::uint32_t n_leaf = n_total - package_cursor;
+  add_projects(PackageTier::kLeaf, n_leaf, [&](std::uint32_t serial) {
+    const std::size_t exp = pick_experiment(rng, cumulative);
+    project_experiment.push_back(exp);
+    const char* stem = kLeafStems[serial % kLeafStems.size()];
+    return params.experiments[exp] + "-" + stem + "-" +
+           std::to_string(serial / kLeafStems.size());
+  });
+
+  // ---- Phase 2: project-level dependency edges.
+  //
+  // Core projects beyond the universal base depend on a couple of earlier
+  // core projects (always reaching back into the base). Library projects
+  // depend on 1-2 base projects plus earlier libraries, preferring the
+  // same experiment. Leaf projects depend on libraries of their own
+  // experiment plus occasionally a cross-experiment or core project.
+  auto pick_earlier = [&](std::size_t lo, std::size_t hi) -> std::uint32_t {
+    assert(hi > lo);
+    return static_cast<std::uint32_t>(lo + rng.uniform(hi - lo));
+  };
+
+  for (std::size_t p = 0; p < projects.size(); ++p) {
+    Project& project = projects[p];
+    std::uint32_t want = 0;
+    switch (project.tier) {
+      case PackageTier::kCore:
+        if (p < params.base_projects) break;  // the base depends on nothing
+        want = static_cast<std::uint32_t>(
+            rng.uniform(params.core_deps_min, params.core_deps_max));
+        for (std::uint32_t d = 0; d < want; ++d) {
+          project.dep_projects.push_back(pick_earlier(0, p));
+        }
+        // Always anchor to the universal base.
+        project.dep_projects.push_back(
+            static_cast<std::uint32_t>(rng.uniform(params.base_projects)));
+        break;
+      case PackageTier::kLibrary: {
+        const std::size_t exp = project_experiment[p];
+        if (p < hub_projects_end) {
+          // Framework hub: pulls a broad slice of core plus earlier hubs
+          // of the same experiment, so its closure is the experiment's
+          // shared foundation.
+          for (std::uint32_t d = 0; d < params.hub_core_deps; ++d) {
+            project.dep_projects.push_back(pick_earlier(0, core_projects_end));
+          }
+          const auto& hubs = experiment_hubs[exp];
+          for (std::uint32_t d = 0; d < params.hub_library_deps && d < hubs.size(); ++d) {
+            const std::uint32_t earlier = hubs[rng.uniform(hubs.size())];
+            if (earlier < p) project.dep_projects.push_back(earlier);
+          }
+          break;
+        }
+        want = static_cast<std::uint32_t>(
+            rng.uniform(params.library_deps_min, params.library_deps_max));
+        // 1-2 universal base deps make core components near-universal.
+        project.dep_projects.push_back(
+            static_cast<std::uint32_t>(rng.uniform(params.base_projects)));
+        if (rng.chance(0.6)) {
+          project.dep_projects.push_back(
+              static_cast<std::uint32_t>(rng.uniform(params.base_projects)));
+        }
+        if (!experiment_hubs[exp].empty() &&
+            rng.chance(params.library_hub_probability)) {
+          project.dep_projects.push_back(
+              experiment_hubs[exp][rng.uniform(experiment_hubs[exp].size())]);
+        }
+        for (std::uint32_t d = 0; d < want; ++d) {
+          // Prefer same-experiment earlier libraries; fall back to core.
+          if (p > core_projects_end && rng.chance(params.library_chain_probability)) {
+            // Try a few times to hit the same experiment, else accept any.
+            std::uint32_t candidate = pick_earlier(core_projects_end, p);
+            for (int attempt = 0; attempt < 4; ++attempt) {
+              if (project_experiment[candidate] == project_experiment[p]) break;
+              candidate = pick_earlier(core_projects_end, p);
+            }
+            project.dep_projects.push_back(candidate);
+          } else {
+            project.dep_projects.push_back(pick_earlier(0, core_projects_end));
+          }
+        }
+        break;
+      }
+      case PackageTier::kLeaf: {
+        const std::size_t exp = project_experiment[p];
+        if (!experiment_hubs[exp].empty() && rng.chance(params.leaf_hub_probability)) {
+          project.dep_projects.push_back(
+              experiment_hubs[exp][rng.uniform(experiment_hubs[exp].size())]);
+          if (rng.chance(0.35)) {
+            project.dep_projects.push_back(
+                experiment_hubs[exp][rng.uniform(experiment_hubs[exp].size())]);
+          }
+        }
+        want = static_cast<std::uint32_t>(
+            rng.uniform(params.leaf_deps_min, params.leaf_deps_max));
+        for (std::uint32_t d = 0; d < want; ++d) {
+          if (library_projects_end > core_projects_end && rng.chance(0.85)) {
+            std::uint32_t candidate =
+                pick_earlier(core_projects_end, library_projects_end);
+            for (int attempt = 0; attempt < 4; ++attempt) {
+              if (project_experiment[candidate] == project_experiment[p]) break;
+              candidate = pick_earlier(core_projects_end, library_projects_end);
+            }
+            project.dep_projects.push_back(candidate);
+          } else {
+            project.dep_projects.push_back(pick_earlier(0, core_projects_end));
+          }
+        }
+        break;
+      }
+    }
+    std::sort(project.dep_projects.begin(), project.dep_projects.end());
+    project.dep_projects.erase(
+        std::unique(project.dep_projects.begin(), project.dep_projects.end()),
+        project.dep_projects.end());
+  }
+
+  // ---- Phase 3: expand projects into versioned packages. Version j of a
+  // project depends on the *contemporaneous* version of each dependency
+  // project (proportional index mapping), so adjacent versions share most
+  // of their transitive closure — the property LANDLORD's merging exploits.
+  //
+  // Keys for every (project, version) pair are derived up front so
+  // dependency edges can reference packages declared later.
+  Rng naming_rng = rng.split(0x6b657973);  // "keys"
+  std::vector<std::vector<std::string>> project_keys(projects.size());
+  std::vector<const char*> project_platform(projects.size());
+  std::vector<std::uint32_t> project_major(projects.size());
+  std::vector<double> project_base_size(projects.size());
+  for (std::size_t p = 0; p < projects.size(); ++p) {
+    const Project& project = projects[p];
+    project_platform[p] = kPlatforms[naming_rng.uniform(kPlatforms.size())];
+    project_major[p] = static_cast<std::uint32_t>(1 + naming_rng.uniform(12));
+    double mu = 0.0, sigma = 0.0;
+    switch (project.tier) {
+      case PackageTier::kCore:
+        mu = params.core_size_mu; sigma = params.core_size_sigma; break;
+      case PackageTier::kLibrary:
+        mu = params.library_size_mu; sigma = params.library_size_sigma; break;
+      case PackageTier::kLeaf:
+        mu = params.leaf_size_mu; sigma = params.leaf_size_sigma; break;
+    }
+    project_base_size[p] = static_cast<double>(sample_size(naming_rng, mu, sigma));
+    project_keys[p].reserve(project.versions);
+    for (std::uint32_t v = 0; v < project.versions; ++v) {
+      project_keys[p].push_back(
+          project.name + "/" +
+          version_string(project_major[p], v, project_platform[p]));
+    }
+  }
+
+  RepositoryBuilder final_builder;
+  for (std::size_t p = 0; p < projects.size(); ++p) {
+    const Project& project = projects[p];
+    for (std::uint32_t v = 0; v < project.versions; ++v) {
+      RepositoryBuilder::Declaration d;
+      d.name = project.name;
+      d.version = version_string(project_major[p], v, project_platform[p]);
+      d.tier = project.tier;
+      const double jitter = 0.9 + 0.2 * naming_rng.uniform_double();
+      d.size = static_cast<util::Bytes>(std::max(4096.0, project_base_size[p] * jitter));
+      for (std::uint32_t dep_project_idx : project.dep_projects) {
+        const Project& dep = projects[dep_project_idx];
+        const std::uint32_t dep_version =
+            project.versions <= 1
+                ? dep.versions - 1
+                : std::min<std::uint32_t>(
+                      dep.versions - 1,
+                      static_cast<std::uint32_t>(
+                          (static_cast<std::uint64_t>(v) * dep.versions) /
+                          project.versions));
+        d.dep_keys.push_back(project_keys[dep_project_idx][dep_version]);
+      }
+      final_builder.add(std::move(d));
+    }
+  }
+
+  return std::move(final_builder).build();
+}
+
+SyntheticRepoParams pypi_like_params() {
+  SyntheticRepoParams params;
+  params.core_fraction = 0.005;       // a handful of interpreter/runtime pkgs
+  params.base_projects = 3;
+  params.hubs_per_experiment = 0;     // no per-domain frameworks
+  params.leaf_hub_probability = 0.0;
+  params.library_hub_probability = 0.0;
+  params.leaf_deps_min = 0;
+  params.leaf_deps_max = 3;
+  params.library_deps_min = 0;
+  params.library_deps_max = 1;
+  params.library_chain_probability = 0.15;  // shallow chains
+  return params;
+}
+
+Repository default_repository(std::uint64_t seed) {
+  auto result = generate_repository(SyntheticRepoParams{}, seed);
+  assert(result.ok() && "default parameters must always validate");
+  return std::move(result).value();
+}
+
+}  // namespace landlord::pkg

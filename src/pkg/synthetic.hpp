@@ -1,0 +1,109 @@
+// Synthetic SFT-like repository generator.
+//
+// The paper's simulations run against a dependency tree extracted from the
+// CERN SFT CVMFS repository: 9,660 packages where "a program or library
+// typically provides packages for multiple versions, platforms, and
+// configurations", with a small set of core components that are transitive
+// dependencies of nearly everything, a mid-tier of shared libraries, and a
+// long tail of application-level leaves (§VI).
+//
+// That metadata is not redistributable, so we generate a repository with
+// the same observable structure:
+//
+//  * three tiers (core / library / leaf) with configurable proportions;
+//  * "projects" carrying several versioned builds each; version j of a
+//    project depends on the contemporaneous version of each dependency
+//    project, so adjacent versions share most of their closure — the
+//    property LANDLORD's Jaccard merging exploits;
+//  * a small universal base (setup scripts, toolchain, calibration data)
+//    reachable from almost every closure — reproducing the paper's
+//    near-universal core components;
+//  * heavy-tailed (log-normal) package sizes per tier, calibrated so the
+//    Fig. 3 aggregates hold: ~5x package amplification for small
+//    selections, flattening toward repository saturation for large ones;
+//  * leaf/library projects are partitioned among named experiments
+//    (alice/atlas/cms/lhcb/sft) so HEP application profiles can draw from
+//    coherent subtrees (Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pkg/repository.hpp"
+#include "util/result.hpp"
+
+namespace landlord::pkg {
+
+struct SyntheticRepoParams {
+  /// Total package count; the SFT dump in the paper has 9,660.
+  std::uint32_t total_packages = 9660;
+
+  /// Tier proportions (leaf takes the remainder).
+  double core_fraction = 0.015;
+  double library_fraction = 0.28;
+
+  /// Number of core projects forming the universal base environment.
+  std::uint32_t base_projects = 8;
+
+  /// Versions per project are uniform in [min_versions, max_versions].
+  std::uint32_t min_versions = 1;
+  std::uint32_t max_versions = 6;
+
+  /// Direct dependency count ranges (project-level, uniform inclusive).
+  /// Calibrated against Fig. 3: random selections of <=100 packages close
+  /// to ~5x as many packages; 1000-package selections close to ~3300.
+  std::uint32_t core_deps_min = 0, core_deps_max = 1;
+  std::uint32_t library_deps_min = 0, library_deps_max = 2;
+  std::uint32_t leaf_deps_min = 2, leaf_deps_max = 5;
+
+  /// Probability that a library's non-base dependency targets another
+  /// library (vs. a core project); controls dependency-chain depth.
+  double library_chain_probability = 0.40;
+
+  /// Per-experiment "framework hub" libraries (the ATLAS/CMS/LHCb base
+  /// frameworks the paper describes as near-universal within an
+  /// experiment). Hubs are generated first in the library tier with few
+  /// versions and wide fan-in: most leaves of an experiment depend on a
+  /// hub, so same-experiment specifications share a sizable common
+  /// closure — the hierarchical structure LANDLORD's merging exploits.
+  std::uint32_t hubs_per_experiment = 4;
+  std::uint32_t hub_max_versions = 2;
+  std::uint32_t hub_core_deps = 16;    ///< core projects each hub pulls in
+  std::uint32_t hub_library_deps = 3; ///< earlier same-experiment hubs/libraries
+  double leaf_hub_probability = 0.95;  ///< leaf depends on >=1 hub of its experiment
+  double library_hub_probability = 0.5;
+
+  /// Log-normal size parameters (of the underlying normal, bytes).
+  /// Defaults give medians of ~100 MiB (core), ~32 MiB (library),
+  /// ~12 MiB (leaf) with heavy right tails — calibrated so a single
+  /// application's dependency-closed image lands in Fig. 2's 2.7-8.4 GB
+  /// band while the full repository stays at a few hundred GB.
+  double core_size_mu = 18.4, core_size_sigma = 1.0;
+  double library_size_mu = 17.3, library_size_sigma = 1.2;
+  double leaf_size_mu = 16.3, leaf_size_sigma = 1.3;
+
+  /// Experiment groups leaf/library projects are partitioned into; the
+  /// relative weights skew project counts (CMS and ATLAS dominate SFT).
+  std::vector<std::string> experiments = {"alice", "atlas", "cms", "lhcb", "sft"};
+  std::vector<double> experiment_weights = {1.0, 2.0, 2.5, 1.0, 1.5};
+};
+
+/// Generates a validated repository. Deterministic in (params, seed).
+/// Fails only if params are inconsistent (e.g. zero packages, fractions
+/// outside [0,1], weight/name arity mismatch).
+[[nodiscard]] util::Result<Repository> generate_repository(
+    const SyntheticRepoParams& params, std::uint64_t seed);
+
+/// Convenience: the default paper-scale repository for a seed.
+[[nodiscard]] Repository default_repository(std::uint64_t seed = 42);
+
+/// Preset: a flat, PyPI-like repository — no experiment framework hubs,
+/// a minimal universal base, and shallow dependency fan-out. The paper's
+/// first conclusion is that LANDLORD's "techniques are most effective
+/// when the dependency structures are hierarchical"; sweeping this
+/// preset against the SFT-like default quantifies that claim
+/// (bench/ext_structures).
+[[nodiscard]] SyntheticRepoParams pypi_like_params();
+
+}  // namespace landlord::pkg

@@ -1,0 +1,38 @@
+#include "pkg/versions.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "util/version.hpp"
+
+namespace landlord::pkg {
+
+VersionChains::VersionChains(const Repository& repo) {
+  successor_.assign(repo.size(), -1);
+  predecessor_.assign(repo.size(), -1);
+
+  std::unordered_map<std::string, std::vector<PackageId>> by_project;
+  for (std::uint32_t i = 0; i < repo.size(); ++i) {
+    by_project[repo[package_id(i)].name].push_back(package_id(i));
+  }
+  for (auto& [name, versions] : by_project) {
+    std::sort(versions.begin(), versions.end(), [&repo](PackageId a, PackageId b) {
+      return util::version_compare(repo[a].version, repo[b].version) < 0;
+    });
+    for (std::size_t v = 0; v + 1 < versions.size(); ++v) {
+      successor_[to_index(versions[v])] =
+          static_cast<std::int32_t>(to_index(versions[v + 1]));
+      predecessor_[to_index(versions[v + 1])] =
+          static_cast<std::int32_t>(to_index(versions[v]));
+    }
+  }
+}
+
+PackageId VersionChains::newest(PackageId id) const {
+  PackageId current = id;
+  while (auto next = successor(current)) current = *next;
+  return current;
+}
+
+}  // namespace landlord::pkg

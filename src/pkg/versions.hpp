@@ -1,0 +1,44 @@
+// Version-chain queries over a repository.
+//
+// Projects carry multiple versioned builds; several components (workload
+// drift, cross-version file sharing) need to walk a project's version
+// chain. This helper computes, once per repository, each package's
+// predecessor and successor within its project under natural version
+// order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pkg/repository.hpp"
+
+namespace landlord::pkg {
+
+class VersionChains {
+ public:
+  explicit VersionChains(const Repository& repo);
+
+  /// The next (newer) version of the same project, if any.
+  [[nodiscard]] std::optional<PackageId> successor(PackageId id) const {
+    const auto s = successor_[to_index(id)];
+    return s < 0 ? std::nullopt
+                 : std::optional<PackageId>(package_id(static_cast<std::uint32_t>(s)));
+  }
+
+  /// The previous (older) version of the same project, if any.
+  [[nodiscard]] std::optional<PackageId> predecessor(PackageId id) const {
+    const auto p = predecessor_[to_index(id)];
+    return p < 0 ? std::nullopt
+                 : std::optional<PackageId>(package_id(static_cast<std::uint32_t>(p)));
+  }
+
+  /// The newest version of the package's project.
+  [[nodiscard]] PackageId newest(PackageId id) const;
+
+ private:
+  std::vector<std::int32_t> successor_;
+  std::vector<std::int32_t> predecessor_;
+};
+
+}  // namespace landlord::pkg

@@ -1,0 +1,63 @@
+#include "shrinkwrap/builder.hpp"
+
+namespace landlord::shrinkwrap {
+
+namespace {
+constexpr std::uint64_t digest_mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t h = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+}  // namespace
+
+ImageBuilder::ImageBuilder(const pkg::Repository& repo,
+                           FileTreeParams tree_params, BuildTimeModel time_model,
+                           BuildNoiseModel noise)
+    : repo_(&repo),
+      trees_(repo, tree_params),
+      time_model_(time_model),
+      noise_(noise) {}
+
+double ImageBuilder::model_seconds(util::Bytes bytes, util::Bytes fetched,
+                                   std::uint64_t files) const noexcept {
+  return time_model_.fixed_overhead_s +
+         static_cast<double>(fetched) / time_model_.download_bytes_per_s +
+         static_cast<double>(bytes) / time_model_.compress_bytes_per_s +
+         static_cast<double>(files) * time_model_.per_file_s;
+}
+
+BuiltImage ImageBuilder::build(const spec::Specification& spec) {
+  ++build_counter_;
+  BuiltImage out;
+  // Order-independent content digest: XOR of per-file mixed hashes, so
+  // two images with identical file contents digest identically.
+  std::uint64_t digest = 0;
+  spec.packages().for_each([&](pkg::PackageId id) {
+    for (const auto& file : trees_.files(id)) {
+      out.bytes += file.size;
+      ++out.files;
+      if (!cache_.contains(file.content)) {
+        out.fetched_bytes += file.size;
+      }
+      cache_.add_chunk(file.content, file.size);
+      digest ^= digest_mix(file.content, file.size);
+    }
+  });
+  // Build noise: timestamps, logs, byproducts unique to this invocation.
+  for (std::uint32_t n = 0; n < noise_.noise_files; ++n) {
+    const ChunkHash noise_chunk =
+        digest_mix(0x6e6f697365ULL + build_counter_, n);
+    out.bytes += noise_.noise_file_bytes;
+    ++out.files;
+    out.fetched_bytes += 0;  // generated locally, not downloaded
+    cache_.add_chunk(noise_chunk, noise_.noise_file_bytes);
+    digest ^= digest_mix(noise_chunk, noise_.noise_file_bytes);
+  }
+  out.content_digest = digest;
+  out.prep_seconds = model_seconds(out.bytes, out.fetched_bytes, out.files);
+  return out;
+}
+
+}  // namespace landlord::shrinkwrap

@@ -1,0 +1,28 @@
+#include "shrinkwrap/cas.hpp"
+
+#include <cassert>
+
+namespace landlord::shrinkwrap {
+
+void Cas::add_chunk(ChunkHash hash, util::Bytes size) {
+  auto [it, inserted] = chunks_.try_emplace(hash, Entry{size, 0});
+  if (inserted) {
+    unique_bytes_ += size;
+  } else {
+    assert(it->second.size == size && "chunk hash re-registered with new size");
+  }
+  ++it->second.refs;
+  logical_bytes_ += it->second.size;
+}
+
+void Cas::drop_chunk(ChunkHash hash) {
+  auto it = chunks_.find(hash);
+  if (it == chunks_.end()) return;
+  logical_bytes_ -= it->second.size;
+  if (--it->second.refs == 0) {
+    unique_bytes_ -= it->second.size;
+    chunks_.erase(it);
+  }
+}
+
+}  // namespace landlord::shrinkwrap

@@ -1,0 +1,55 @@
+// Content-addressed storage (CAS), modelling the CVMFS object store.
+//
+// CVMFS stores every file as a content-addressed chunk, so two package
+// versions sharing files store them once. The simulator never holds real
+// data; the store tracks chunk-hash -> size with reference counts and
+// answers the two questions the experiments need: how many *logical*
+// bytes does a set of chunks represent, and how many *unique* bytes after
+// deduplication.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/bytes.hpp"
+
+namespace landlord::shrinkwrap {
+
+/// Content hash of a chunk (already-mixed 64-bit value).
+using ChunkHash = std::uint64_t;
+
+class Cas {
+ public:
+  /// Registers a reference to a chunk; inserts it on first reference.
+  /// Re-registering with a different size is a content-model bug and
+  /// asserts in debug builds (hash collisions are out of model).
+  void add_chunk(ChunkHash hash, util::Bytes size);
+
+  /// Drops one reference; the chunk is freed when the count reaches zero.
+  /// Dropping an unknown chunk is a no-op (idempotent cleanup).
+  void drop_chunk(ChunkHash hash);
+
+  [[nodiscard]] bool contains(ChunkHash hash) const noexcept {
+    return chunks_.contains(hash);
+  }
+
+  /// Number of distinct chunks currently referenced.
+  [[nodiscard]] std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+  /// Total bytes of distinct chunks (deduplicated footprint).
+  [[nodiscard]] util::Bytes unique_bytes() const noexcept { return unique_bytes_; }
+
+  /// Total logical bytes across all references (pre-dedup footprint).
+  [[nodiscard]] util::Bytes logical_bytes() const noexcept { return logical_bytes_; }
+
+ private:
+  struct Entry {
+    util::Bytes size = 0;
+    std::uint32_t refs = 0;
+  };
+  std::unordered_map<ChunkHash, Entry> chunks_;
+  util::Bytes unique_bytes_ = 0;
+  util::Bytes logical_bytes_ = 0;
+};
+
+}  // namespace landlord::shrinkwrap

@@ -1,0 +1,67 @@
+#include "sim/multisite.hpp"
+
+#include <memory>
+
+namespace landlord::sim {
+
+namespace {
+
+/// Content-stable site assignment: hash the spec's member indices.
+std::uint32_t affinity_site(const spec::Specification& spec, std::uint32_t sites) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  spec.packages().for_each([&h](pkg::PackageId id) {
+    h ^= pkg::to_index(id) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  });
+  return static_cast<std::uint32_t>(h % sites);
+}
+
+}  // namespace
+
+MultiSiteResult run_multisite(const pkg::Repository& repo,
+                              const MultiSiteConfig& config,
+                              const std::vector<spec::Specification>& specs,
+                              const std::vector<std::uint32_t>& stream,
+                              std::uint64_t seed) {
+  std::vector<std::unique_ptr<core::Cache>> sites;
+  sites.reserve(config.sites);
+  for (std::uint32_t s = 0; s < config.sites; ++s) {
+    sites.push_back(std::make_unique<core::Cache>(repo, config.cache));
+  }
+
+  util::Rng rng(seed);
+  std::uint32_t next_site = 0;
+  for (std::uint32_t index : stream) {
+    const auto& spec = specs[index];
+    std::uint32_t target = 0;
+    switch (config.routing) {
+      case Routing::kRoundRobin:
+        target = next_site;
+        next_site = (next_site + 1) % config.sites;
+        break;
+      case Routing::kRandom:
+        target = static_cast<std::uint32_t>(rng.uniform(config.sites));
+        break;
+      case Routing::kAffinity:
+        target = affinity_site(spec, config.sites);
+        break;
+    }
+    (void)sites[target]->request(spec);
+  }
+
+  MultiSiteResult result;
+  util::DynamicBitset global(repo.size());
+  for (const auto& site : sites) {
+    result.per_site.push_back(site->counters());
+    result.total_cached_bytes += site->total_bytes();
+    result.total_hits += site->counters().hits;
+    result.total_merges += site->counters().merges;
+    result.total_inserts += site->counters().inserts;
+    result.total_written_bytes += site->counters().written_bytes;
+    site->for_each_image(
+        [&global](const core::Image& image) { global |= image.contents.bits(); });
+  }
+  result.global_unique_bytes = repo.bytes_of(global);
+  return result;
+}
+
+}  // namespace landlord::sim

@@ -1,0 +1,92 @@
+#include "sim/sweep.hpp"
+
+#include <cassert>
+
+#include "util/stats.hpp"
+
+namespace landlord::sim {
+
+std::vector<double> SweepConfig::default_alphas() {
+  std::vector<double> alphas;
+  for (int i = 40; i <= 100; i += 5) alphas.push_back(static_cast<double>(i) / 100.0);
+  return alphas;
+}
+
+namespace {
+
+SweepPoint summarise(double alpha, const std::vector<SimulationResult>& runs) {
+  auto median_of = [&](auto&& extract) {
+    util::Summary summary;
+    for (const auto& run : runs) summary.add(extract(run));
+    return summary.median();
+  };
+
+  SweepPoint point;
+  point.alpha = alpha;
+  point.hits = median_of([](const auto& r) { return static_cast<double>(r.counters.hits); });
+  point.inserts =
+      median_of([](const auto& r) { return static_cast<double>(r.counters.inserts); });
+  point.deletes =
+      median_of([](const auto& r) { return static_cast<double>(r.counters.deletes); });
+  point.merges =
+      median_of([](const auto& r) { return static_cast<double>(r.counters.merges); });
+  point.total_gb =
+      median_of([](const auto& r) { return util::to_gib(r.final_total_bytes); });
+  point.unique_gb =
+      median_of([](const auto& r) { return util::to_gib(r.final_unique_bytes); });
+  point.written_tb =
+      median_of([](const auto& r) { return util::to_tib(r.counters.written_bytes); });
+  point.requested_tb =
+      median_of([](const auto& r) { return util::to_tib(r.counters.requested_bytes); });
+  point.cache_efficiency =
+      median_of([](const auto& r) { return 100.0 * r.cache_efficiency; });
+  point.container_efficiency =
+      median_of([](const auto& r) { return 100.0 * r.container_efficiency; });
+  point.image_count =
+      median_of([](const auto& r) { return static_cast<double>(r.final_image_count); });
+  return point;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> run_sweep(const pkg::Repository& repo,
+                                  const SweepConfig& config,
+                                  util::ThreadPool* pool) {
+  assert(!config.alphas.empty());
+  assert(config.replicates > 0);
+
+  const std::size_t points = config.alphas.size();
+  const std::size_t reps = config.replicates;
+  std::vector<std::vector<SimulationResult>> results(
+      points, std::vector<SimulationResult>(reps));
+
+  util::Rng root(config.base.seed);
+  auto run_one = [&](std::size_t task) {
+    const std::size_t point = task / reps;
+    const std::size_t replicate = task % reps;
+    SimulationConfig run_config = config.base;
+    run_config.cache.alpha = config.alphas[point];
+    run_config.cache.record_time_series = false;
+    // Common-random-numbers seeding: the seed depends only on the
+    // replicate index, so every alpha sees the same 20 workloads and the
+    // efficiency curves vary smoothly in alpha rather than in noise.
+    run_config.seed = root.split(replicate + 1)();
+    results[point][replicate] = run_simulation(repo, run_config);
+  };
+
+  const std::size_t total = points * reps;
+  if (pool != nullptr && pool->size() > 1) {
+    util::parallel_for(*pool, total, run_one);
+  } else {
+    for (std::size_t task = 0; task < total; ++task) run_one(task);
+  }
+
+  std::vector<SweepPoint> out;
+  out.reserve(points);
+  for (std::size_t point = 0; point < points; ++point) {
+    out.push_back(summarise(config.alphas[point], results[point]));
+  }
+  return out;
+}
+
+}  // namespace landlord::sim

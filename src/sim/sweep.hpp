@@ -1,0 +1,52 @@
+// Alpha-sweep harness: the engine behind Figures 4, 6, 7 and 8.
+//
+// "At each choice of α (in steps of 0.05) we performed a set of 20
+// simulated runs, allowing us to plot various measurements of the system
+// versus α", reporting the median (§VI). Replicates fan out across a
+// thread pool; replicate r of sweep point i draws from the RNG stream
+// derived from (base seed, i, r), so results are independent of both
+// thread count and scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/driver.hpp"
+#include "util/thread_pool.hpp"
+
+namespace landlord::sim {
+
+struct SweepConfig {
+  /// Sweep points; the paper uses 0.40..1.00 in steps of 0.05.
+  std::vector<double> alphas;
+  std::uint32_t replicates = 20;
+  /// Template for every run; cache.alpha is overwritten per point and the
+  /// seed is re-derived per (point, replicate).
+  SimulationConfig base;
+
+  [[nodiscard]] static std::vector<double> default_alphas();
+};
+
+/// Median-over-replicates measurements at one alpha.
+struct SweepPoint {
+  double alpha = 0.0;
+  double hits = 0.0;
+  double inserts = 0.0;
+  double deletes = 0.0;
+  double merges = 0.0;
+  double total_gb = 0.0;       ///< final cached data (Fig. 4b "Total Data")
+  double unique_gb = 0.0;      ///< final unique data (Fig. 4b "Unique Data")
+  double written_tb = 0.0;     ///< cumulative actual writes (Fig. 4c)
+  double requested_tb = 0.0;   ///< cumulative requested writes (Fig. 4c)
+  double cache_efficiency = 0.0;      ///< percent
+  double container_efficiency = 0.0;  ///< percent
+  double image_count = 0.0;
+};
+
+/// Runs the sweep. When `pool` is non-null, (alpha, replicate) tasks run
+/// concurrently; results are identical either way.
+[[nodiscard]] std::vector<SweepPoint> run_sweep(const pkg::Repository& repo,
+                                                const SweepConfig& config,
+                                                util::ThreadPool* pool = nullptr);
+
+}  // namespace landlord::sim

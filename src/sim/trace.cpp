@@ -1,0 +1,127 @@
+#include "sim/trace.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace landlord::sim {
+
+namespace {
+
+constexpr std::string_view kMagic = "landlord-trace v1";
+
+std::vector<std::string_view> split_words(std::string_view line) {
+  std::vector<std::string_view> words;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) words.push_back(line.substr(start, i - start));
+  }
+  return words;
+}
+
+util::Result<std::uint32_t> parse_index(std::string_view token, std::size_t line_no) {
+  std::uint32_t value = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    return util::Error::at_line(line_no, "bad index '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const Trace& trace,
+                 const pkg::Repository& repo) {
+  out << kMagic << '\n';
+  out << "# " << trace.specs.size() << " unique jobs, " << trace.stream.size()
+      << " requests\n";
+  for (std::size_t i = 0; i < trace.specs.size(); ++i) {
+    out << "job " << i;
+    trace.specs[i].packages().for_each([&](pkg::PackageId id) {
+      out << ' ' << repo[id].key();
+    });
+    out << '\n';
+  }
+  for (std::uint32_t index : trace.stream) {
+    out << "request " << index << '\n';
+  }
+}
+
+util::Result<Trace> read_trace(std::istream& in, const pkg::Repository& repo) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  if (!std::getline(in, line)) return util::Error{"empty trace"};
+  ++line_no;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != kMagic) {
+    return util::Error::at_line(line_no, "bad magic (expected '" +
+                                             std::string(kMagic) + "')");
+  }
+
+  Trace trace;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    auto words = split_words(line);
+    if (words.empty() || words.front().front() == '#') continue;
+
+    if (words.front() == "job") {
+      if (words.size() < 2) {
+        return util::Error::at_line(line_no, "job line missing index");
+      }
+      auto index = parse_index(words[1], line_no);
+      if (!index) return index.error();
+      if (index.value() != trace.specs.size()) {
+        return util::Error::at_line(
+            line_no, "job indices must be declared densely in order");
+      }
+      spec::PackageSet set(repo.size());
+      for (std::size_t w = 2; w < words.size(); ++w) {
+        const auto id = repo.find(words[w]);
+        if (!id) {
+          return util::Error::at_line(
+              line_no, "unknown package key '" + std::string(words[w]) + "'");
+        }
+        set.insert(*id);
+      }
+      trace.specs.emplace_back(std::move(set), "trace");
+    } else if (words.front() == "request") {
+      if (words.size() != 2) {
+        return util::Error::at_line(line_no, "expected: request <index>");
+      }
+      auto index = parse_index(words[1], line_no);
+      if (!index) return index.error();
+      if (index.value() >= trace.specs.size()) {
+        return util::Error::at_line(line_no, "request references undeclared job");
+      }
+      trace.stream.push_back(index.value());
+    } else {
+      return util::Error::at_line(
+          line_no, "unknown directive '" + std::string(words.front()) + "'");
+    }
+  }
+  return trace;
+}
+
+util::Result<Trace> load_trace(const std::string& path,
+                               const pkg::Repository& repo) {
+  std::ifstream in(path);
+  if (!in) return util::Error{"cannot open trace: " + path};
+  return read_trace(in, repo);
+}
+
+bool save_trace(const std::string& path, const Trace& trace,
+                const pkg::Repository& repo) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_trace(out, trace, repo);
+  return static_cast<bool>(out);
+}
+
+}  // namespace landlord::sim

@@ -1,0 +1,49 @@
+// Trace record / replay.
+//
+// The paper's evaluation is trace-driven simulation; this module gives
+// the trace a durable form so workloads can be captured once (from the
+// synthetic generators, from spec-inference over real job artefacts, or
+// from production logs) and replayed bit-for-bit across configurations.
+//
+// Format (plain text, package *keys* so traces survive repository
+// regeneration as long as the keys resolve):
+//
+//   landlord-trace v1
+//   job <index> <key> <key> ...     # unique specification (closed set)
+//   request <index>                 # stream entry referencing a job
+//
+// Lines may appear in any order as long as every `request` refers to a
+// previously declared `job`. '#' starts a comment.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pkg/repository.hpp"
+#include "spec/specification.hpp"
+#include "util/result.hpp"
+
+namespace landlord::sim {
+
+struct Trace {
+  std::vector<spec::Specification> specs;  ///< unique job specifications
+  std::vector<std::uint32_t> stream;       ///< request order (indices into specs)
+};
+
+/// Serialises a trace. Specs are written as their member package keys.
+void write_trace(std::ostream& out, const Trace& trace,
+                 const pkg::Repository& repo);
+
+/// Parses a trace against `repo`. Fails on syntax errors, unknown
+/// package keys, out-of-range request indices, or a version mismatch.
+[[nodiscard]] util::Result<Trace> read_trace(std::istream& in,
+                                             const pkg::Repository& repo);
+
+/// Convenience wrappers over files.
+[[nodiscard]] util::Result<Trace> load_trace(const std::string& path,
+                                             const pkg::Repository& repo);
+[[nodiscard]] bool save_trace(const std::string& path, const Trace& trace,
+                              const pkg::Repository& repo);
+
+}  // namespace landlord::sim

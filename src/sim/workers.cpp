@@ -1,0 +1,85 @@
+#include "sim/workers.hpp"
+
+#include <algorithm>
+
+namespace landlord::sim {
+
+void WorkerPool::evict_worker(Worker& worker, util::Bytes needed) {
+  // LRU by last_used until the copy fits (or the cache is empty; a copy
+  // larger than worker scratch is held transiently anyway — the job
+  // still has to run).
+  while (worker.used + needed > config_.scratch_per_worker &&
+         !worker.copies.empty()) {
+    auto victim = worker.copies.begin();
+    for (auto it = worker.copies.begin(); it != worker.copies.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    worker.used -= victim->second.bytes;
+    worker.copies.erase(victim);
+  }
+}
+
+util::Bytes WorkerPool::dispatch(const core::Image& image) {
+  ++clock_;
+  std::uint32_t target = 0;
+  switch (config_.scheduling) {
+    case Scheduling::kRoundRobin:
+      target = next_worker_;
+      next_worker_ = (next_worker_ + 1) % config_.workers;
+      break;
+    case Scheduling::kRandom:
+      target = static_cast<std::uint32_t>(rng_.uniform(config_.workers));
+      break;
+  }
+  Worker& worker = workers_[target];
+
+  auto it = worker.copies.find(core::to_value(image.id));
+  if (it != worker.copies.end()) {
+    if (it->second.version == image.version) {
+      it->second.last_used = clock_;
+      ++local_hits_;
+      return 0;
+    }
+    // Stale copy: the head-node image was rewritten by a merge/split.
+    worker.used -= it->second.bytes;
+    worker.copies.erase(it);
+    ++stale_refetches_;
+  }
+
+  evict_worker(worker, image.bytes);
+  worker.copies[core::to_value(image.id)] =
+      LocalCopy{image.version, image.bytes, clock_};
+  worker.used += image.bytes;
+  transferred_ += image.bytes;
+  ++transfers_;
+  return image.bytes;
+}
+
+TransferResult run_with_workers(const pkg::Repository& repo,
+                                const core::CacheConfig& cache_config,
+                                const WorkerPoolConfig& pool_config,
+                                const std::vector<spec::Specification>& specs,
+                                const std::vector<std::uint32_t>& stream,
+                                std::uint64_t seed) {
+  core::Cache cache(repo, cache_config);
+  WorkerPool pool(pool_config, util::Rng(seed));
+
+  TransferResult result;
+  for (std::uint32_t index : stream) {
+    const auto& spec = specs[index];
+    const auto outcome = cache.request(spec);
+    result.requested_bytes += spec.bytes(repo);
+    const auto image = cache.find(outcome.image);
+    if (image.has_value()) {
+      (void)pool.dispatch(*image);
+    }
+  }
+  result.head_counters = cache.counters();
+  result.transferred_bytes = pool.transferred_bytes();
+  result.transfers = pool.transfers();
+  result.local_hits = pool.local_hits();
+  result.stale_refetches = pool.stale_refetches();
+  return result;
+}
+
+}  // namespace landlord::sim

@@ -1,0 +1,107 @@
+// Worker-node transfer model.
+//
+// The paper's setting (§V): the head node keeps the image cache; "each
+// compute node has scratch space available for storing container images
+// locally, but ... the collection of all container images may be too
+// large to store on every worker node". Every job therefore ships its
+// image to the worker it lands on — unless that worker already holds an
+// identical *version* of the image (merging rewrites an image, so stale
+// worker copies must be re-transferred).
+//
+// This model quantifies the cost container bloat imposes downstream:
+// high α produces fat, frequently rewritten images, so workers pull more
+// bytes per job — the transfer-side face of container efficiency.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "landlord/cache.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace landlord::sim {
+
+enum class Scheduling : std::uint8_t {
+  kRoundRobin,  ///< jobs cycle across workers
+  kRandom,      ///< uniform random worker per job
+};
+
+[[nodiscard]] constexpr const char* to_string(Scheduling scheduling) noexcept {
+  switch (scheduling) {
+    case Scheduling::kRoundRobin: return "round-robin";
+    case Scheduling::kRandom: return "random";
+  }
+  return "?";
+}
+
+struct WorkerPoolConfig {
+  std::uint32_t workers = 16;
+  util::Bytes scratch_per_worker = 50ULL * 1000 * 1000 * 1000;  // 50 GB
+  Scheduling scheduling = Scheduling::kRoundRobin;
+};
+
+/// Tracks per-worker local image caches (LRU by bytes) and counts the
+/// bytes shipped from the head-node cache to workers.
+class WorkerPool {
+ public:
+  WorkerPool(WorkerPoolConfig config, util::Rng rng)
+      : config_(config), rng_(rng), workers_(config.workers) {}
+
+  /// Places one job that the head-node cache decided to serve with
+  /// `image` (post-request snapshot). Returns the bytes transferred for
+  /// this job (0 when the chosen worker holds the current version).
+  util::Bytes dispatch(const core::Image& image);
+
+  [[nodiscard]] util::Bytes transferred_bytes() const noexcept {
+    return transferred_;
+  }
+  [[nodiscard]] std::uint64_t transfers() const noexcept { return transfers_; }
+  [[nodiscard]] std::uint64_t local_hits() const noexcept { return local_hits_; }
+  [[nodiscard]] std::uint64_t stale_refetches() const noexcept {
+    return stale_refetches_;
+  }
+
+ private:
+  struct LocalCopy {
+    std::uint32_t version = 0;
+    util::Bytes bytes = 0;
+    std::uint64_t last_used = 0;
+  };
+  struct Worker {
+    std::unordered_map<std::uint64_t, LocalCopy> copies;  // image id -> copy
+    util::Bytes used = 0;
+  };
+
+  void evict_worker(Worker& worker, util::Bytes needed);
+
+  WorkerPoolConfig config_;
+  util::Rng rng_;
+  std::vector<Worker> workers_;
+  std::uint32_t next_worker_ = 0;
+  std::uint64_t clock_ = 0;
+  util::Bytes transferred_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t local_hits_ = 0;
+  std::uint64_t stale_refetches_ = 0;
+};
+
+/// One end-to-end run: head-node LANDLORD cache + worker pool over a
+/// request stream.
+struct TransferResult {
+  core::CacheCounters head_counters;
+  util::Bytes transferred_bytes = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t stale_refetches = 0;
+  util::Bytes requested_bytes = 0;
+};
+
+[[nodiscard]] TransferResult run_with_workers(
+    const pkg::Repository& repo, const core::CacheConfig& cache_config,
+    const WorkerPoolConfig& pool_config,
+    const std::vector<spec::Specification>& specs,
+    const std::vector<std::uint32_t>& stream, std::uint64_t seed);
+
+}  // namespace landlord::sim

@@ -1,0 +1,74 @@
+#include "sim/workload.hpp"
+
+#include <cassert>
+
+namespace landlord::sim {
+
+spec::Specification WorkloadGenerator::dependency_closure_spec() {
+  const auto n = static_cast<std::uint32_t>(repo_->size());
+  const auto k = static_cast<std::uint32_t>(
+      rng_.uniform(1, std::min(config_.max_initial_selection, n)));
+  const auto indices = rng_.sample_without_replacement(n, k);
+  std::vector<pkg::PackageId> selection;
+  selection.reserve(indices.size());
+  for (std::uint32_t i : indices) selection.push_back(pkg::package_id(i));
+  return spec::Specification::from_request(*repo_, selection, "sim:deps");
+}
+
+spec::Specification WorkloadGenerator::next_specification() {
+  // Both schemes start from a dependency-closure image; the random scheme
+  // then re-draws the same *number* of packages uniformly (Fig. 7's
+  // size-matched control).
+  spec::Specification base = dependency_closure_spec();
+  if (config_.scheme == ImageScheme::kDependencyClosure) return base;
+
+  const auto count = static_cast<std::uint32_t>(base.size());
+  const auto indices = rng_.sample_without_replacement(
+      static_cast<std::uint32_t>(repo_->size()), count);
+  spec::PackageSet set(repo_->size());
+  for (std::uint32_t i : indices) set.insert(pkg::package_id(i));
+  return spec::Specification(std::move(set), "sim:random");
+}
+
+std::vector<spec::Specification> WorkloadGenerator::unique_specifications() {
+  std::vector<spec::Specification> out;
+  out.reserve(config_.unique_jobs);
+  for (std::uint32_t i = 0; i < config_.unique_jobs; ++i) {
+    out.push_back(next_specification());
+  }
+  return out;
+}
+
+spec::Specification WorkloadGenerator::evolved_specification(
+    const spec::Specification& spec, double upgrade_probability) {
+  if (!chains_) chains_ = std::make_unique<pkg::VersionChains>(*repo_);
+  std::vector<pkg::PackageId> selection;
+  selection.reserve(spec.size());
+  spec.packages().for_each([&](pkg::PackageId id) {
+    if (rng_.chance(upgrade_probability)) {
+      if (auto next = chains_->successor(id)) {
+        selection.push_back(*next);
+        return;
+      }
+    }
+    selection.push_back(id);
+  });
+  return spec::Specification::from_request(*repo_, selection,
+                                           spec.provenance() + ":evolved");
+}
+
+std::vector<std::uint32_t> WorkloadGenerator::request_stream() {
+  std::vector<std::uint32_t> stream;
+  stream.reserve(static_cast<std::size_t>(config_.unique_jobs) * config_.repetitions);
+  for (std::uint32_t rep = 0; rep < config_.repetitions; ++rep) {
+    for (std::uint32_t job = 0; job < config_.unique_jobs; ++job) {
+      stream.push_back(job);
+    }
+  }
+  if (config_.shuffle_stream) {
+    rng_.shuffle(std::span<std::uint32_t>(stream));
+  }
+  return stream;
+}
+
+}  // namespace landlord::sim

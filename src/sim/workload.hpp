@@ -1,0 +1,84 @@
+// Simulated HTC job workloads (§VI, "Simulating HTC Jobs").
+//
+// Two image-request schemes from the paper:
+//
+//  * kDependencyClosure — "we randomly made an initial selection of up to
+//    100 packages" then "added the closure of the package dependencies",
+//    so images carry the repository's hierarchical structure (shared core
+//    components appear in almost every image).
+//  * kUniformRandom — the Fig. 7 control: an image with the *same package
+//    count* as a dependency-closure image, but the packages are chosen
+//    uniformly at random with no dependency relationships. No structural
+//    overlap, so Jaccard merging should find little to exploit.
+//
+// A request stream repeats each unique specification `repetitions` times
+// (the paper's single-run uses 500 unique jobs x 5), shuffled so repeats
+// interleave the way a multi-user submission stream would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pkg/repository.hpp"
+#include "pkg/versions.hpp"
+#include "spec/specification.hpp"
+#include "util/rng.hpp"
+
+namespace landlord::sim {
+
+enum class ImageScheme : std::uint8_t { kDependencyClosure, kUniformRandom };
+
+[[nodiscard]] constexpr const char* to_string(ImageScheme scheme) noexcept {
+  switch (scheme) {
+    case ImageScheme::kDependencyClosure: return "deps";
+    case ImageScheme::kUniformRandom: return "random";
+  }
+  return "?";
+}
+
+struct WorkloadConfig {
+  std::uint32_t unique_jobs = 500;
+  std::uint32_t repetitions = 5;
+  /// Initial selection size is uniform in [1, max_initial_selection].
+  std::uint32_t max_initial_selection = 100;
+  ImageScheme scheme = ImageScheme::kDependencyClosure;
+  /// Shuffle the request stream so repetitions interleave.
+  bool shuffle_stream = true;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const pkg::Repository& repo, WorkloadConfig config,
+                    util::Rng rng)
+      : repo_(&repo), config_(config), rng_(rng) {}
+
+  /// One simulated image request under the configured scheme.
+  [[nodiscard]] spec::Specification next_specification();
+
+  /// `unique_jobs` distinct specifications.
+  [[nodiscard]] std::vector<spec::Specification> unique_specifications();
+
+  /// Workload drift ("as a user's work evolves, different jobs need
+  /// different software, and new containers are generated", §I): returns
+  /// an evolved copy of `spec` where each member package independently
+  /// upgrades to its project's next version with probability
+  /// `upgrade_probability`, re-closed over dependencies. Version chains
+  /// are computed lazily on first use.
+  [[nodiscard]] spec::Specification evolved_specification(
+      const spec::Specification& spec, double upgrade_probability);
+
+  /// Indices into the unique-spec vector forming the request stream
+  /// (each index appears `repetitions` times).
+  [[nodiscard]] std::vector<std::uint32_t> request_stream();
+
+ private:
+  [[nodiscard]] spec::Specification dependency_closure_spec();
+
+  const pkg::Repository* repo_;
+  WorkloadConfig config_;
+  util::Rng rng_;
+  std::unique_ptr<pkg::VersionChains> chains_;  ///< lazy (drift only)
+};
+
+}  // namespace landlord::sim

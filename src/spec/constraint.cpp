@@ -1,0 +1,176 @@
+#include "spec/constraint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "util/version.hpp"
+
+namespace landlord::spec {
+
+util::Result<VersionConstraint> parse_constraint(std::string_view text) {
+  // Trim.
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  if (text.empty()) return util::Error{"empty constraint"};
+
+  // Find the operator (two-char ops first).
+  static constexpr struct {
+    std::string_view token;
+    ConstraintOp op;
+  } kOps[] = {
+      {"==", ConstraintOp::kEq}, {"!=", ConstraintOp::kNe},
+      {"<=", ConstraintOp::kLe}, {">=", ConstraintOp::kGe},
+      {"<", ConstraintOp::kLt},  {">", ConstraintOp::kGt},
+  };
+
+  std::size_t op_pos = std::string_view::npos;
+  std::size_t op_len = 0;
+  ConstraintOp op = ConstraintOp::kEq;
+  for (const auto& candidate : kOps) {
+    const std::size_t pos = text.find(candidate.token);
+    if (pos != std::string_view::npos &&
+        (op_pos == std::string_view::npos || pos < op_pos ||
+         (pos == op_pos && candidate.token.size() > op_len))) {
+      op_pos = pos;
+      op_len = candidate.token.size();
+      op = candidate.op;
+    }
+  }
+
+  VersionConstraint out;
+  if (op_pos == std::string_view::npos) {
+    // Bare package name: any version. Encoded as `>= ""` which every
+    // version satisfies.
+    out.package = std::string(text);
+    out.op = ConstraintOp::kGe;
+    out.version.clear();
+    if (out.package.find(' ') != std::string::npos) {
+      return util::Error{"constraint has embedded space: " + out.package};
+    }
+    return out;
+  }
+
+  std::string_view name = text.substr(0, op_pos);
+  std::string_view version = text.substr(op_pos + op_len);
+  while (!name.empty() && std::isspace(static_cast<unsigned char>(name.back())))
+    name.remove_suffix(1);
+  while (!version.empty() && std::isspace(static_cast<unsigned char>(version.front())))
+    version.remove_prefix(1);
+  if (name.empty()) return util::Error{"constraint missing package name"};
+  if (version.empty()) return util::Error{"constraint missing version"};
+  out.package = std::string(name);
+  out.op = op;
+  out.version = std::string(version);
+  return out;
+}
+
+namespace {
+
+/// Interval with optional exclusions over the totally ordered version
+/// space; empty() answers satisfiability for one package name.
+struct VersionRange {
+  // Bounds are version strings; empty lower bound = -inf (every version
+  // compares >= ""). has_upper tracks whether an upper bound exists.
+  std::string lower;        // -inf encoded as ""
+  bool lower_strict = false;
+  bool has_upper = false;
+  std::string upper;
+  bool upper_strict = false;
+  std::vector<std::string> pinned;     // from ==
+  std::vector<std::string> excluded;   // from !=
+
+  [[nodiscard]] bool admits(std::string_view v) const {
+    const int lc = version_compare(v, lower);
+    if (lower_strict ? lc <= 0 : lc < 0) return false;
+    if (has_upper) {
+      const int uc = version_compare(v, upper);
+      if (upper_strict ? uc >= 0 : uc > 0) return false;
+    }
+    return std::none_of(excluded.begin(), excluded.end(), [&](const std::string& e) {
+      return version_compare(v, e) == 0;
+    });
+  }
+
+  [[nodiscard]] bool satisfiable() const {
+    if (!pinned.empty()) {
+      // All pins must agree, and the pin must fall inside the range.
+      for (std::size_t i = 1; i < pinned.size(); ++i) {
+        if (version_compare(pinned[i], pinned[0]) != 0) return false;
+      }
+      return admits(pinned[0]);
+    }
+    // Range emptiness: with a dense (append-only, all versions present)
+    // version space, [lower, upper] is non-empty iff lower < upper or
+    // (lower == upper and neither side strict). != exclusions never
+    // exhaust a dense range unless it is a single point.
+    if (!has_upper) return true;
+    const int c = version_compare(lower, upper);
+    if (c > 0) return false;
+    if (c == 0) {
+      if (lower_strict || upper_strict) return false;
+      // Single point: excluded?
+      return admits(lower);
+    }
+    return true;
+  }
+
+  void apply(const VersionConstraint& constraint) {
+    switch (constraint.op) {
+      case ConstraintOp::kEq:
+        pinned.push_back(constraint.version);
+        break;
+      case ConstraintOp::kNe:
+        excluded.push_back(constraint.version);
+        break;
+      case ConstraintOp::kLt:
+      case ConstraintOp::kLe: {
+        const bool strict = constraint.op == ConstraintOp::kLt;
+        if (!has_upper || version_compare(constraint.version, upper) < 0 ||
+            (version_compare(constraint.version, upper) == 0 && strict)) {
+          upper = constraint.version;
+          upper_strict = strict;
+          has_upper = true;
+        }
+        break;
+      }
+      case ConstraintOp::kGt:
+      case ConstraintOp::kGe: {
+        const bool strict = constraint.op == ConstraintOp::kGt;
+        if (version_compare(constraint.version, lower) > 0 ||
+            (version_compare(constraint.version, lower) == 0 && strict)) {
+          lower = constraint.version;
+          lower_strict = strict;
+        }
+        break;
+      }
+    }
+  }
+};
+
+bool satisfiable_impl(std::span<const VersionConstraint> a,
+                      std::span<const VersionConstraint> b) {
+  std::map<std::string_view, VersionRange> by_package;
+  for (const auto* group : {&a, &b}) {
+    for (const auto& constraint : *group) {
+      by_package[constraint.package].apply(constraint);
+    }
+  }
+  return std::all_of(by_package.begin(), by_package.end(),
+                     [](const auto& entry) { return entry.second.satisfiable(); });
+}
+
+}  // namespace
+
+bool ConflictChecker::compatible(std::span<const VersionConstraint> a,
+                                 std::span<const VersionConstraint> b) {
+  return satisfiable_impl(a, b);
+}
+
+bool ConflictChecker::satisfiable(std::span<const VersionConstraint> constraints) {
+  return satisfiable_impl(constraints, {});
+}
+
+}  // namespace landlord::spec

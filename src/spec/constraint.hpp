@@ -1,0 +1,69 @@
+// Version constraints and specification conflict checking.
+//
+// The Jaccard metric "does not capture conflicts between components"
+// (§V): two specifications may carry version constraints that cannot be
+// simultaneously satisfied, and whether that matters depends on the
+// package manager. We model the common constraint language
+// (name {== != < <= > >=} version) and check joint satisfiability under
+// the append-only-repo assumption (every named version remains
+// available, as with CVMFS) — so a conflict can only arise from the
+// constraints themselves, e.g. {python == 3.8} vs {python == 3.9} when
+// at most one version of `python` may be materialised in an image.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/version.hpp"
+
+namespace landlord::spec {
+
+enum class ConstraintOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+[[nodiscard]] constexpr const char* to_string(ConstraintOp op) noexcept {
+  switch (op) {
+    case ConstraintOp::kEq: return "==";
+    case ConstraintOp::kNe: return "!=";
+    case ConstraintOp::kLt: return "<";
+    case ConstraintOp::kLe: return "<=";
+    case ConstraintOp::kGt: return ">";
+    case ConstraintOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+struct VersionConstraint {
+  std::string package;  ///< project name the constraint applies to
+  ConstraintOp op = ConstraintOp::kEq;
+  std::string version;
+
+  [[nodiscard]] bool operator==(const VersionConstraint&) const = default;
+};
+
+/// Natural version ordering (see util/version.hpp); re-exported here
+/// because constraints are its primary consumer.
+using util::version_compare;
+
+/// Parses "name==1.2.3", "name >= 4", "name" (any version). Whitespace
+/// around the operator is accepted.
+[[nodiscard]] util::Result<VersionConstraint> parse_constraint(std::string_view text);
+
+/// Checks whether one package name's constraints admit at least one
+/// version, assuming a totally ordered, dense version space (append-only
+/// repository: all versions exist). Constraints on different packages
+/// never interact.
+class ConflictChecker {
+ public:
+  /// True iff the union of `a` and `b` is jointly satisfiable for every
+  /// package name mentioned.
+  [[nodiscard]] static bool compatible(std::span<const VersionConstraint> a,
+                                       std::span<const VersionConstraint> b);
+
+  /// True iff `constraints` alone are satisfiable.
+  [[nodiscard]] static bool satisfiable(std::span<const VersionConstraint> constraints);
+};
+
+}  // namespace landlord::spec

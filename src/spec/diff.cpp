@@ -1,0 +1,63 @@
+#include "spec/diff.hpp"
+
+#include <sstream>
+
+#include "util/bytes.hpp"
+
+namespace landlord::spec {
+
+SetDiff diff(const pkg::Repository& repo, const PackageSet& requested,
+             const PackageSet& image) {
+  SetDiff d;
+  d.missing = requested;
+  d.missing.subtract(image);
+  d.extra = image;
+  d.extra.subtract(requested);
+  d.shared = requested;
+  {
+    // shared = requested ∩ image = requested \ missing
+    d.shared.subtract(d.missing);
+  }
+  d.missing_bytes = repo.bytes_of(d.missing.bits());
+  d.extra_bytes = repo.bytes_of(d.extra.bits());
+  d.shared_bytes = repo.bytes_of(d.shared.bits());
+  return d;
+}
+
+namespace {
+
+void name_some(std::ostringstream& out, const pkg::Repository& repo,
+               const PackageSet& set, std::size_t max_named) {
+  std::size_t named = 0;
+  set.for_each([&](pkg::PackageId id) {
+    if (named < max_named) {
+      out << (named > 0 ? ", " : "") << repo[id].key();
+    }
+    ++named;
+  });
+  if (named > max_named) out << ", ... (" << named - max_named << " more)";
+}
+
+}  // namespace
+
+std::string describe_diff(const pkg::Repository& repo, const SetDiff& d,
+                          std::size_t max_named) {
+  std::ostringstream out;
+  if (d.satisfied()) {
+    out << "satisfied";
+    if (d.extra.empty()) {
+      out << " exactly";
+    } else {
+      out << ", ships " << util::format_bytes(d.extra_bytes) << " of unrequested data ("
+          << static_cast<int>(100.0 * d.utilization()) << "% utilization): ";
+      name_some(out, repo, d.extra, max_named);
+    }
+  } else {
+    out << "missing " << d.missing.size() << " package(s) ("
+        << util::format_bytes(d.missing_bytes) << "): ";
+    name_some(out, repo, d.missing, max_named);
+  }
+  return out.str();
+}
+
+}  // namespace landlord::spec

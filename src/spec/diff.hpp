@@ -1,0 +1,49 @@
+// Specification / image diffing.
+//
+// §IV's key insight is that specifications compare where images cannot.
+// These helpers make the comparison concrete: what a candidate image is
+// missing for a spec, what extra (unrequested) data it would ship, and a
+// byte-level breakdown administrators can act on.
+#pragma once
+
+#include <string>
+
+#include "pkg/repository.hpp"
+#include "spec/package_set.hpp"
+
+namespace landlord::spec {
+
+struct SetDiff {
+  PackageSet missing;  ///< in the spec but not the image
+  PackageSet extra;    ///< in the image but not requested
+  PackageSet shared;   ///< in both
+  util::Bytes missing_bytes = 0;
+  util::Bytes extra_bytes = 0;
+  util::Bytes shared_bytes = 0;
+
+  /// True iff the image satisfies the spec (nothing missing).
+  [[nodiscard]] bool satisfied() const noexcept { return missing.empty(); }
+
+  /// Fraction of image bytes the spec actually uses; 1 for an exact
+  /// match, lower for bloat (the per-pair container efficiency).
+  [[nodiscard]] double utilization() const noexcept {
+    const auto image_bytes = shared_bytes + extra_bytes;
+    return image_bytes > 0
+               ? static_cast<double>(shared_bytes) / static_cast<double>(image_bytes)
+               : 1.0;
+  }
+};
+
+/// Computes the three-way split between a requested set and an image's
+/// contents (both over `repo`'s universe).
+[[nodiscard]] SetDiff diff(const pkg::Repository& repo, const PackageSet& requested,
+                           const PackageSet& image);
+
+/// Human-readable one-paragraph summary ("satisfied, ships 1.2 GiB of
+/// unrequested data (83% utilization)" / "missing 3 packages: ...").
+/// Lists at most `max_named` package keys per category.
+[[nodiscard]] std::string describe_diff(const pkg::Repository& repo,
+                                        const SetDiff& d,
+                                        std::size_t max_named = 5);
+
+}  // namespace landlord::spec

@@ -1,0 +1,207 @@
+#include "spec/inference.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <sstream>
+
+#include "spec/constraint.hpp"
+
+namespace landlord::spec {
+
+namespace {
+
+bool is_ident_char(char ch) noexcept {
+  return std::isalnum(static_cast<unsigned char>(ch)) != 0 || ch == '_' ||
+         ch == '-' || ch == '.';
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  return text;
+}
+
+/// First dotted-path component: "a.b.c" -> "a".
+std::string top_level(std::string_view module_path) {
+  const std::size_t dot = module_path.find('.');
+  return std::string(module_path.substr(0, dot));
+}
+
+void push_unique(std::vector<Requirement>& out, Requirement req) {
+  if (req.project.empty()) return;
+  if (std::find(out.begin(), out.end(), req) == out.end()) {
+    out.push_back(std::move(req));
+  }
+}
+
+std::vector<std::string_view> split_words(std::string_view line) {
+  std::vector<std::string_view> words;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i > start) words.push_back(line.substr(start, i - start));
+  }
+  return words;
+}
+
+}  // namespace
+
+std::vector<Requirement> scan_python_imports(std::istream& in) {
+  std::vector<Requirement> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view text = trim(line);
+    // Strip trailing comment (best-effort; ignores '#' inside strings).
+    if (const std::size_t hash = text.find('#'); hash != std::string_view::npos) {
+      text = trim(text.substr(0, hash));
+    }
+    if (text.starts_with("import ")) {
+      // import a, b.c as d, e
+      std::string_view rest = text.substr(7);
+      std::size_t pos = 0;
+      while (pos <= rest.size()) {
+        const std::size_t comma = rest.find(',', pos);
+        std::string_view item = trim(rest.substr(
+            pos, comma == std::string_view::npos ? std::string_view::npos
+                                                 : comma - pos));
+        // Drop "as alias".
+        if (const std::size_t as_pos = item.find(" as "); as_pos != std::string_view::npos) {
+          item = trim(item.substr(0, as_pos));
+        }
+        // Validate a module path token.
+        if (!item.empty() &&
+            std::all_of(item.begin(), item.end(), is_ident_char)) {
+          push_unique(out, Requirement{top_level(item), ""});
+        }
+        if (comma == std::string_view::npos) break;
+        pos = comma + 1;
+      }
+    } else if (text.starts_with("from ")) {
+      // from x.y import z
+      std::string_view rest = trim(text.substr(5));
+      const std::size_t space = rest.find(' ');
+      std::string_view module = rest.substr(0, space);
+      if (!module.empty() && module.front() != '.' &&
+          std::all_of(module.begin(), module.end(), is_ident_char)) {
+        push_unique(out, Requirement{top_level(module), ""});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Requirement> scan_module_loads(std::istream& in) {
+  std::vector<Requirement> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view text = trim(line);
+    if (const std::size_t hash = text.find('#'); hash != std::string_view::npos) {
+      text = trim(text.substr(0, hash));
+    }
+    auto words = split_words(text);
+    if (words.size() < 3) continue;
+    if (words[0] != "module" && words[0] != "ml") continue;
+    if (words[1] != "load" && words[1] != "add") continue;
+    for (std::size_t i = 2; i < words.size(); ++i) {
+      std::string_view word = words[i];
+      if (word.starts_with('-')) continue;  // skip flags
+      const std::size_t slash = word.find('/');
+      Requirement req;
+      if (slash == std::string_view::npos) {
+        req.project = std::string(word);
+      } else {
+        req.project = std::string(word.substr(0, slash));
+        req.version = std::string(word.substr(slash + 1));
+      }
+      push_unique(out, std::move(req));
+    }
+  }
+  return out;
+}
+
+std::vector<Requirement> scan_job_log(std::istream& in) {
+  std::vector<Requirement> out;
+  std::string line;
+  constexpr std::string_view kMount = "/cvmfs/";
+  while (std::getline(in, line)) {
+    std::string_view text = line;
+    std::size_t pos = 0;
+    while ((pos = text.find(kMount, pos)) != std::string_view::npos) {
+      // /cvmfs/<repo>/<project>/<version>/...
+      std::size_t cursor = pos + kMount.size();
+      auto next_component = [&]() -> std::string_view {
+        const std::size_t start = cursor;
+        while (cursor < text.size() && text[cursor] != '/' &&
+               !std::isspace(static_cast<unsigned char>(text[cursor])) &&
+               text[cursor] != '"' && text[cursor] != '\'') {
+          ++cursor;
+        }
+        std::string_view component = text.substr(start, cursor - start);
+        if (cursor < text.size() && text[cursor] == '/') ++cursor;
+        return component;
+      };
+      const std::string_view repo_name = next_component();
+      const std::string_view project = next_component();
+      const std::string_view version = next_component();
+      if (!repo_name.empty() && !project.empty()) {
+        push_unique(out, Requirement{std::string(project), std::string(version)});
+      }
+      pos = cursor;
+    }
+  }
+  return out;
+}
+
+PackageResolver::PackageResolver(const pkg::Repository& repo) : repo_(&repo) {
+  for (std::uint32_t i = 0; i < repo.size(); ++i) {
+    const auto id = pkg::package_id(i);
+    const auto& info = repo[id];
+    auto [it, inserted] = newest_.emplace(info.name, id);
+    if (!inserted &&
+        version_compare(info.version, repo[it->second].version) > 0) {
+      it->second = id;
+    }
+  }
+}
+
+std::optional<pkg::PackageId> PackageResolver::resolve(const Requirement& req) const {
+  if (!req.version.empty()) {
+    return repo_->find(req.project + "/" + req.version);
+  }
+  auto it = newest_.find(req.project);
+  if (it == newest_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<pkg::PackageId> PackageResolver::resolve_all(
+    std::span<const Requirement> requirements,
+    std::vector<std::string>* unresolved) const {
+  std::vector<pkg::PackageId> out;
+  out.reserve(requirements.size());
+  for (const auto& req : requirements) {
+    if (auto id = resolve(req)) {
+      out.push_back(*id);
+    } else if (unresolved != nullptr) {
+      unresolved->push_back(req.version.empty()
+                                ? req.project
+                                : req.project + "/" + req.version);
+    }
+  }
+  return out;
+}
+
+Specification infer_specification(const pkg::Repository& repo,
+                                  std::span<const Requirement> requirements,
+                                  std::string provenance,
+                                  std::vector<std::string>* unresolved) {
+  const PackageResolver resolver(repo);
+  const auto ids = resolver.resolve_all(requirements, unresolved);
+  return Specification::from_request(repo, ids, std::move(provenance));
+}
+
+}  // namespace landlord::spec

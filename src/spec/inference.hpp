@@ -1,0 +1,80 @@
+// Specification inference ("we also developed several simple analysis
+// tools to automatically generate specifications by scanning for Python
+// import statements, module load directives, or logs from previous
+// jobs", §V "LANDLORD Deployment").
+//
+// Each scanner extracts requirement tokens from a text source; the
+// PackageResolver maps tokens to concrete packages in a repository
+// (picking the newest version when the token names only a project), and
+// infer_specification() assembles the dependency-closed Specification.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "pkg/repository.hpp"
+#include "spec/specification.hpp"
+
+namespace landlord::spec {
+
+/// A requirement discovered in a source: a project name and optionally a
+/// pinned version (empty = any / newest).
+struct Requirement {
+  std::string project;
+  std::string version;  ///< empty means "latest available"
+
+  [[nodiscard]] bool operator==(const Requirement&) const = default;
+};
+
+/// Scans Python source for imported top-level modules:
+///   import a, b.c as d      -> a, b
+///   from x.y import z       -> x
+/// Lines inside strings/comments are ignored on a best-effort,
+/// line-oriented basis (matching the paper's "simple analysis tools").
+[[nodiscard]] std::vector<Requirement> scan_python_imports(std::istream& in);
+
+/// Scans shell scripts for environment-module directives:
+///   module load root/6.18.04 geant4
+///   module add python          (alias)
+/// Each argument yields a Requirement; "name/version" splits into both.
+[[nodiscard]] std::vector<Requirement> scan_module_loads(std::istream& in);
+
+/// Scans job logs for file accesses under a CVMFS-style mount:
+///   ... /cvmfs/<repo>/<project>/<version>/... -> {project, version}
+/// Any token containing "/cvmfs/" is considered.
+[[nodiscard]] std::vector<Requirement> scan_job_log(std::istream& in);
+
+/// Maps project names (and optional versions) to packages: exact
+/// "name/version" when the version is given, else the newest version of
+/// the project by natural version order.
+class PackageResolver {
+ public:
+  explicit PackageResolver(const pkg::Repository& repo);
+
+  [[nodiscard]] std::optional<pkg::PackageId> resolve(const Requirement& req) const;
+
+  /// Resolves every requirement it can; unresolved project names are
+  /// appended to `unresolved` when non-null.
+  [[nodiscard]] std::vector<pkg::PackageId> resolve_all(
+      std::span<const Requirement> requirements,
+      std::vector<std::string>* unresolved = nullptr) const;
+
+ private:
+  const pkg::Repository* repo_;
+  // project name -> newest package of that project
+  std::unordered_map<std::string, pkg::PackageId> newest_;
+};
+
+/// End-to-end: resolve requirements and build the closure-expanded
+/// Specification. Unresolvable requirements are skipped (reported via
+/// `unresolved`), matching the tools' best-effort behaviour.
+[[nodiscard]] Specification infer_specification(
+    const pkg::Repository& repo, std::span<const Requirement> requirements,
+    std::string provenance, std::vector<std::string>* unresolved = nullptr);
+
+}  // namespace landlord::spec

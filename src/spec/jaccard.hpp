@@ -1,0 +1,31 @@
+// Jaccard distance between package sets (§V, "Similarity Metric").
+//
+//   d_j(A, B) = 1 - |A ∩ B| / |A ∪ B|
+//
+// The paper chooses this metric because it is "simple, adequate, and
+// non-controversial": near-identical specifications score close to 0,
+// disjoint ones score 1, and repeated merges push a bloated image's
+// distance from any individual request upward until it stops being a
+// merge candidate and ages out of the cache.
+#pragma once
+
+#include "spec/package_set.hpp"
+
+namespace landlord::spec {
+
+/// Jaccard similarity |A∩B| / |A∪B|; defined as 1 for two empty sets.
+[[nodiscard]] inline double jaccard_similarity(const PackageSet& a,
+                                               const PackageSet& b) noexcept {
+  const std::size_t inter = a.intersection_size(b);
+  const std::size_t uni = a.size() + b.size() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+/// Jaccard distance 1 - similarity; defined as 0 for two empty sets.
+[[nodiscard]] inline double jaccard_distance(const PackageSet& a,
+                                             const PackageSet& b) noexcept {
+  return 1.0 - jaccard_similarity(a, b);
+}
+
+}  // namespace landlord::spec

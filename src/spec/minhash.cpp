@@ -1,0 +1,109 @@
+#include "spec/minhash.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace landlord::spec {
+
+namespace {
+
+/// Strong 64-bit mix (xxhash/murmur finalizer family); h(seed, x) acts as
+/// an independent hash function per seed.
+constexpr std::uint64_t mix(std::uint64_t seed, std::uint64_t x) noexcept {
+  std::uint64_t h = x + seed;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+MinHasher::MinHasher(std::size_t k, std::uint64_t seed) {
+  assert(k > 0);
+  seeds_.resize(k);
+  std::uint64_t sm = seed;
+  for (auto& s : seeds_) s = util::splitmix64(sm);
+}
+
+MinHashSignature MinHasher::sign(const PackageSet& set) const {
+  MinHashSignature signature;
+  signature.components.assign(seeds_.size(),
+                              std::numeric_limits<std::uint64_t>::max());
+  set.for_each([&](pkg::PackageId id) {
+    const auto element = static_cast<std::uint64_t>(pkg::to_index(id));
+    for (std::size_t i = 0; i < seeds_.size(); ++i) {
+      signature.components[i] =
+          std::min(signature.components[i], mix(seeds_[i], element));
+    }
+  });
+  return signature;
+}
+
+double MinHasher::estimate_similarity(const MinHashSignature& a,
+                                      const MinHashSignature& b) noexcept {
+  assert(a.size() == b.size() && a.size() > 0);
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    matches += (a.components[i] == b.components[i]) ? 1u : 0u;
+  }
+  return static_cast<double>(matches) / static_cast<double>(a.size());
+}
+
+std::uint64_t LshIndex::band_hash(const MinHashSignature& signature,
+                                  std::size_t band) const noexcept {
+  assert(signature.size() % bands_ == 0 &&
+         "band count must divide signature length");
+  const std::size_t rows = signature.size() / bands_;
+  std::uint64_t h = 0x811c9dc5ULL ^ static_cast<std::uint64_t>(band);
+  for (std::size_t r = 0; r < rows; ++r) {
+    h = mix(h, signature.components[band * rows + r]);
+  }
+  return h;
+}
+
+void LshIndex::insert(std::uint64_t item, const MinHashSignature& signature) {
+  if (tables_.empty()) tables_.resize(bands_);
+  for (std::size_t band = 0; band < bands_; ++band) {
+    tables_[band][band_hash(signature, band)].push_back(item);
+  }
+  ++items_;
+}
+
+void LshIndex::erase(std::uint64_t item, const MinHashSignature& signature) {
+  if (tables_.empty()) return;
+  bool found = false;
+  for (std::size_t band = 0; band < bands_; ++band) {
+    auto it = tables_[band].find(band_hash(signature, band));
+    if (it == tables_[band].end()) continue;
+    auto& bucket = it->second;
+    auto pos = std::find(bucket.begin(), bucket.end(), item);
+    if (pos != bucket.end()) {
+      bucket.erase(pos);
+      found = true;
+      if (bucket.empty()) tables_[band].erase(it);
+    }
+  }
+  if (found && items_ > 0) --items_;
+}
+
+std::vector<std::uint64_t> LshIndex::candidates(
+    const MinHashSignature& signature) const {
+  std::vector<std::uint64_t> out;
+  if (tables_.empty()) return out;
+  for (std::size_t band = 0; band < bands_; ++band) {
+    auto it = tables_[band].find(band_hash(signature, band));
+    if (it == tables_[band].end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace landlord::spec

@@ -1,0 +1,84 @@
+// MinHash signatures and LSH banding (§V cites Broder '97).
+//
+// The Jaccard distance over explicit sets costs O(universe/64) per pair;
+// that is fine for a 9,660-package repository but not for "very large
+// specifications" — the paper notes metadata listings for full-repository
+// CVMFS images ran to gigabytes. MinHash compresses a set into k 64-bit
+// component minima such that P[sig_a[i] == sig_b[i]] equals the Jaccard
+// similarity, giving a constant-time unbiased estimator; LSH banding
+// turns a signature store into a sublinear "find candidates within
+// distance α" index that cache policies can use as a prefilter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "spec/package_set.hpp"
+
+namespace landlord::spec {
+
+/// A MinHash signature: component i is min over set elements of h_i(x).
+struct MinHashSignature {
+  std::vector<std::uint64_t> components;
+
+  [[nodiscard]] std::size_t size() const noexcept { return components.size(); }
+};
+
+/// Produces signatures with k independent hash functions derived from a
+/// seed. Two MinHashers with equal (k, seed) produce comparable signatures.
+class MinHasher {
+ public:
+  explicit MinHasher(std::size_t k = 128, std::uint64_t seed = 0x9d2c5680);
+
+  [[nodiscard]] std::size_t k() const noexcept { return seeds_.size(); }
+
+  [[nodiscard]] MinHashSignature sign(const PackageSet& set) const;
+
+  /// Unbiased Jaccard similarity estimate: matching component fraction.
+  /// Signatures must come from MinHashers with identical (k, seed).
+  [[nodiscard]] static double estimate_similarity(const MinHashSignature& a,
+                                                  const MinHashSignature& b) noexcept;
+
+  /// 1 - estimate_similarity.
+  [[nodiscard]] static double estimate_distance(const MinHashSignature& a,
+                                                const MinHashSignature& b) noexcept {
+    return 1.0 - estimate_similarity(a, b);
+  }
+
+ private:
+  std::vector<std::uint64_t> seeds_;
+};
+
+/// Locality-sensitive index over MinHash signatures: signatures are cut
+/// into `bands` bands of k/bands rows; items sharing any band hash are
+/// candidate neighbours. With similarity s, the candidate probability is
+/// 1 - (1 - s^rows)^bands — an S-curve whose threshold is tuned via the
+/// band count.
+class LshIndex {
+ public:
+  /// `bands` must divide the signature length used with this index.
+  explicit LshIndex(std::size_t bands = 16) : bands_(bands) {}
+
+  void insert(std::uint64_t item, const MinHashSignature& signature);
+  void erase(std::uint64_t item, const MinHashSignature& signature);
+
+  /// Item ids sharing at least one band with `signature` (deduplicated,
+  /// unspecified order).
+  [[nodiscard]] std::vector<std::uint64_t> candidates(
+      const MinHashSignature& signature) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_; }
+
+ private:
+  [[nodiscard]] std::uint64_t band_hash(const MinHashSignature& signature,
+                                        std::size_t band) const noexcept;
+
+  std::size_t bands_;
+  std::size_t items_ = 0;
+  // One bucket map per band: band hash -> item ids.
+  std::vector<std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>> tables_;
+};
+
+}  // namespace landlord::spec

@@ -1,0 +1,91 @@
+#include "spec/resolver.hpp"
+
+#include <algorithm>
+
+namespace landlord::spec {
+
+namespace {
+
+/// Does `version` satisfy a single constraint?
+bool satisfies(const std::string& version, const VersionConstraint& c) {
+  const int cmp = version_compare(version, c.version);
+  switch (c.op) {
+    case ConstraintOp::kEq: return cmp == 0;
+    case ConstraintOp::kNe: return cmp != 0;
+    case ConstraintOp::kLt: return cmp < 0;
+    case ConstraintOp::kLe: return cmp <= 0;
+    case ConstraintOp::kGt: return cmp > 0;
+    case ConstraintOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Resolver::Resolver(const pkg::Repository& repo) : repo_(&repo) {
+  for (std::uint32_t i = 0; i < repo.size(); ++i) {
+    const auto id = pkg::package_id(i);
+    by_project_[repo[id].name].push_back(id);
+  }
+  for (auto& [name, versions] : by_project_) {
+    std::sort(versions.begin(), versions.end(), [&repo](pkg::PackageId a, pkg::PackageId b) {
+      return version_compare(repo[a].version, repo[b].version) > 0;
+    });
+  }
+}
+
+std::vector<pkg::PackageId> Resolver::versions_of(const std::string& project) const {
+  auto it = by_project_.find(project);
+  return it != by_project_.end() ? it->second : std::vector<pkg::PackageId>{};
+}
+
+std::optional<pkg::PackageId> Resolver::best_version(
+    const std::string& project,
+    std::span<const VersionConstraint> constraints) const {
+  auto it = by_project_.find(project);
+  if (it == by_project_.end()) return std::nullopt;
+  for (pkg::PackageId candidate : it->second) {  // newest first
+    const auto& version = (*repo_)[candidate].version;
+    const bool ok = std::all_of(
+        constraints.begin(), constraints.end(),
+        [&](const VersionConstraint& c) {
+          return c.package != project || satisfies(version, c);
+        });
+    if (ok) return candidate;
+  }
+  return std::nullopt;
+}
+
+util::Result<Resolution> Resolver::resolve(
+    std::span<const VersionConstraint> constraints) const {
+  if (!ConflictChecker::satisfiable(constraints)) {
+    return util::Error{"constraint set is self-contradictory"};
+  }
+
+  Resolution resolution;
+  std::vector<std::string> seen;
+  for (const auto& constraint : constraints) {
+    if (std::find(seen.begin(), seen.end(), constraint.package) != seen.end()) {
+      continue;
+    }
+    seen.push_back(constraint.package);
+    const auto chosen = best_version(constraint.package, constraints);
+    if (!chosen) {
+      if (!by_project_.contains(constraint.package)) {
+        return util::Error{"unknown project: " + constraint.package};
+      }
+      return util::Error{"no version of " + constraint.package +
+                         " satisfies the constraints"};
+    }
+    resolution.selected.push_back(*chosen);
+  }
+
+  resolution.specification =
+      Specification::from_request(*repo_, resolution.selected, "resolver");
+  for (const auto& constraint : constraints) {
+    resolution.specification.add_constraint(constraint);
+  }
+  return resolution;
+}
+
+}  // namespace landlord::spec

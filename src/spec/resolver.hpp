@@ -1,0 +1,63 @@
+// Constraint-based version resolution.
+//
+// The paper's specifications name exact package versions (CVMFS is
+// append-only, so "all previous versions remain available", §V), but
+// general package managers accept *constraints* ("root >= 6.18",
+// "python == 3.8") that must be resolved to concrete versions before an
+// image can be materialised. This resolver provides that substrate:
+// for each named project it selects the newest version satisfying every
+// constraint on that project, then expands the dependency closure.
+//
+// Resolution is deliberately per-project (no backtracking across
+// projects): that matches the repositories LANDLORD targets, where a
+// project's builds pin their dependencies' versions and cross-project
+// conflicts are expressed — and detected — at the constraint level via
+// spec::ConflictChecker.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pkg/repository.hpp"
+#include "spec/constraint.hpp"
+#include "spec/specification.hpp"
+#include "util/result.hpp"
+
+namespace landlord::spec {
+
+struct Resolution {
+  /// Concrete package chosen for each named project, in input order
+  /// (deduplicated by project).
+  std::vector<pkg::PackageId> selected;
+  /// Fully dependency-closed specification, carrying the constraints.
+  Specification specification;
+};
+
+class Resolver {
+ public:
+  explicit Resolver(const pkg::Repository& repo);
+
+  /// All versions of `project`, newest first (natural version order).
+  [[nodiscard]] std::vector<pkg::PackageId> versions_of(const std::string& project) const;
+
+  /// Newest version of `project` satisfying every constraint in
+  /// `constraints` that names it; nullopt if none (or unknown project).
+  [[nodiscard]] std::optional<pkg::PackageId> best_version(
+      const std::string& project,
+      std::span<const VersionConstraint> constraints) const;
+
+  /// Resolves every distinct project named in `constraints` to a
+  /// concrete package and builds the closed specification. Fails when
+  /// the constraint set is self-contradictory, a project is unknown, or
+  /// no version satisfies a project's constraints.
+  [[nodiscard]] util::Result<Resolution> resolve(
+      std::span<const VersionConstraint> constraints) const;
+
+ private:
+  const pkg::Repository* repo_;
+  // project name -> versions, newest first.
+  std::unordered_map<std::string, std::vector<pkg::PackageId>> by_project_;
+};
+
+}  // namespace landlord::spec

@@ -1,0 +1,61 @@
+#include "spec/specfile.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace landlord::spec {
+
+util::Result<std::vector<VersionConstraint>> parse_specfile(std::istream& in) {
+  std::vector<VersionConstraint> constraints;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view text = line;
+    if (const auto hash = text.find('#'); hash != std::string_view::npos) {
+      text = text.substr(0, hash);
+    }
+    // Skip blank (or comment-only) lines.
+    const auto non_space = text.find_first_not_of(" \t");
+    if (non_space == std::string_view::npos) continue;
+
+    auto constraint = parse_constraint(text);
+    if (!constraint) {
+      return util::Error::at_line(line_no, constraint.error().message);
+    }
+    constraints.push_back(std::move(constraint).value());
+  }
+  return constraints;
+}
+
+util::Result<std::vector<VersionConstraint>> parse_specfile_text(
+    const std::string& text) {
+  std::istringstream in(text);
+  return parse_specfile(in);
+}
+
+void write_specfile(std::ostream& out,
+                    std::span<const VersionConstraint> constraints) {
+  out << "# landlord requirements\n";
+  for (const auto& constraint : constraints) {
+    out << constraint.package;
+    if (!constraint.version.empty()) {
+      out << ' ' << to_string(constraint.op) << ' ' << constraint.version;
+    }
+    out << '\n';
+  }
+}
+
+util::Result<Specification> specification_from_file(std::istream& in,
+                                                    const pkg::Repository& repo) {
+  auto constraints = parse_specfile(in);
+  if (!constraints) return constraints.error();
+  const Resolver resolver(repo);
+  auto resolution = resolver.resolve(constraints.value());
+  if (!resolution) return resolution.error();
+  return std::move(resolution).value().specification;
+}
+
+}  // namespace landlord::spec

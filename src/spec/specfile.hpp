@@ -1,0 +1,47 @@
+// Declarative requirements files.
+//
+// §II cites Binder's "declarative requirement files" as the alternative
+// to build recipes: "a set of dependencies has no order, and so one may
+// combine or break apart sets without starting over". This module gives
+// LANDLORD that front door — a requirements file of version constraints:
+//
+//   # landlord requirements
+//   root >= 6.18
+//   root < 6.20
+//   geant4 == 10.6-x86_64
+//   python               # any version (newest)
+//
+// parse_specfile() reads constraints; resolve via spec::Resolver turns
+// them into a concrete, dependency-closed Specification.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "spec/resolver.hpp"
+#include "spec/constraint.hpp"
+#include "spec/specification.hpp"
+#include "util/result.hpp"
+
+namespace landlord::spec {
+
+/// Parses a requirements file: one constraint per line, '#' comments,
+/// blank lines ignored. Fails with the offending line number on syntax
+/// errors.
+[[nodiscard]] util::Result<std::vector<VersionConstraint>> parse_specfile(
+    std::istream& in);
+
+[[nodiscard]] util::Result<std::vector<VersionConstraint>> parse_specfile_text(
+    const std::string& text);
+
+/// Writes constraints back out in the same format (round-trips through
+/// parse_specfile).
+void write_specfile(std::ostream& out,
+                    std::span<const VersionConstraint> constraints);
+
+/// End-to-end: parse + resolve against a repository.
+[[nodiscard]] util::Result<Specification> specification_from_file(
+    std::istream& in, const pkg::Repository& repo);
+
+}  // namespace landlord::spec

@@ -1,0 +1,91 @@
+// Container specification: the declarative unit LANDLORD manages.
+//
+// A specification states *what must be present* in an image — a set of
+// packages plus optional version constraints — and nothing about image
+// contents or build steps (§IV, "Key Insight"). Unlike recipes,
+// specifications can be compared (Jaccard), tested for satisfaction
+// (subset), checked for conflicts, and merged (union) mechanically.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pkg/repository.hpp"
+#include "spec/constraint.hpp"
+#include "spec/jaccard.hpp"
+#include "spec/package_set.hpp"
+
+namespace landlord::spec {
+
+class Specification {
+ public:
+  Specification() = default;
+
+  explicit Specification(PackageSet packages, std::string provenance = {})
+      : packages_(std::move(packages)), provenance_(std::move(provenance)) {}
+
+  /// Builds a specification from requested packages, expanding the
+  /// dependency closure so the image is functional (§VI: "we recursively
+  /// include dependencies of requested software").
+  [[nodiscard]] static Specification from_request(
+      const pkg::Repository& repo, std::span<const pkg::PackageId> requested,
+      std::string provenance = {}) {
+    return Specification(PackageSet(repo.closure_of(requested)),
+                         std::move(provenance));
+  }
+
+  [[nodiscard]] const PackageSet& packages() const noexcept { return packages_; }
+  [[nodiscard]] std::size_t size() const noexcept { return packages_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return packages_.empty(); }
+
+  [[nodiscard]] const std::vector<VersionConstraint>& constraints() const noexcept {
+    return constraints_;
+  }
+  void add_constraint(VersionConstraint constraint) {
+    constraints_.push_back(std::move(constraint));
+  }
+
+  /// Where this spec came from (hand-written, python-imports, job-log, ...).
+  [[nodiscard]] const std::string& provenance() const noexcept { return provenance_; }
+
+  /// True iff an image with package set `image` satisfies this spec.
+  [[nodiscard]] bool satisfied_by(const PackageSet& image) const noexcept {
+    return packages_.is_subset_of(image);
+  }
+
+  /// Jaccard distance between the package sets of two specifications.
+  [[nodiscard]] double distance_to(const Specification& other) const noexcept {
+    return jaccard_distance(packages_, other.packages_);
+  }
+
+  /// True iff the two specifications' constraints are jointly satisfiable
+  /// (§V: checked only after Jaccard prioritisation).
+  [[nodiscard]] bool compatible_with(const Specification& other) const {
+    return ConflictChecker::compatible(constraints_, other.constraints_);
+  }
+
+  /// Composite specification: union of package sets and constraints.
+  /// Callers must check compatible_with() first; merging incompatible
+  /// specs produces an unsatisfiable composite.
+  [[nodiscard]] Specification merged_with(const Specification& other) const {
+    Specification out(packages_.unioned_with(other.packages_),
+                      provenance_.empty() ? other.provenance_ : provenance_);
+    out.constraints_ = constraints_;
+    out.constraints_.insert(out.constraints_.end(), other.constraints_.begin(),
+                            other.constraints_.end());
+    return out;
+  }
+
+  /// Total on-disk bytes of the packages this spec names.
+  [[nodiscard]] util::Bytes bytes(const pkg::Repository& repo) const {
+    return repo.bytes_of(packages_.bits());
+  }
+
+ private:
+  PackageSet packages_;
+  std::vector<VersionConstraint> constraints_;
+  std::string provenance_;
+};
+
+}  // namespace landlord::spec

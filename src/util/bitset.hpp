@@ -1,0 +1,148 @@
+// Dense dynamic bitset sized at construction.
+//
+// This is the workhorse of the whole reproduction: container
+// specifications and cached images are sets over a fixed package universe
+// (9,660 packages in the SFT-like repository), so subset tests, unions,
+// intersections and Jaccard distances all reduce to a few hundred 64-bit
+// word operations. Everything is inline and branch-light so a full cache
+// scan stays in the nanosecond-per-image regime.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace landlord::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// All-zero bitset over a universe of `bits` elements.
+  explicit DynamicBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+
+  void set(std::size_t i) noexcept {
+    assert(i < bits_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void reset(std::size_t i) noexcept {
+    assert(i < bits_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    assert(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+  }
+
+  [[nodiscard]] bool none() const noexcept {
+    for (std::uint64_t w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  /// In-place union; operands must share a universe size.
+  DynamicBitset& operator|=(const DynamicBitset& other) noexcept {
+    assert(bits_ == other.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  /// In-place intersection.
+  DynamicBitset& operator&=(const DynamicBitset& other) noexcept {
+    assert(bits_ == other.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  /// In-place difference (this \ other).
+  DynamicBitset& operator-=(const DynamicBitset& other) noexcept {
+    assert(bits_ == other.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  [[nodiscard]] bool operator==(const DynamicBitset& other) const noexcept = default;
+
+  /// |this ∩ other| without materialising the intersection.
+  [[nodiscard]] std::size_t intersection_count(const DynamicBitset& other) const noexcept {
+    assert(bits_ == other.bits_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+    }
+    return total;
+  }
+
+  /// |this ∪ other| without materialising the union.
+  [[nodiscard]] std::size_t union_count(const DynamicBitset& other) const noexcept {
+    assert(bits_ == other.bits_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      total += static_cast<std::size_t>(std::popcount(words_[i] | other.words_[i]));
+    }
+    return total;
+  }
+
+  /// True iff every element of *this is in `other` (early exit per word).
+  [[nodiscard]] bool is_subset_of(const DynamicBitset& other) const noexcept {
+    assert(bits_ == other.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~other.words_[i]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool intersects(const DynamicBitset& other) const noexcept {
+    assert(bits_ == other.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
+  /// Calls fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(w));
+        fn(wi * 64 + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> to_indices() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(count());
+    for_each_set([&out](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace landlord::util

@@ -1,0 +1,78 @@
+#include "util/bytes.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace landlord::util {
+
+namespace {
+constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB", "GiB", "TiB"};
+}  // namespace
+
+std::string format_bytes(Bytes n) {
+  double value = static_cast<double>(n);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(n));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::optional<Bytes> parse_bytes(std::string_view text) {
+  // Trim whitespace.
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  if (text.empty()) return std::nullopt;
+
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || value < 0.0) return std::nullopt;
+
+  std::string_view suffix{ptr, static_cast<std::size_t>(end - ptr)};
+  while (!suffix.empty() && std::isspace(static_cast<unsigned char>(suffix.front())))
+    suffix.remove_prefix(1);
+
+  double multiplier = 1.0;
+  if (!suffix.empty()) {
+    switch (std::toupper(static_cast<unsigned char>(suffix.front()))) {
+      case 'B': multiplier = 1.0; break;
+      case 'K': multiplier = static_cast<double>(kKiB); break;
+      case 'M': multiplier = static_cast<double>(kMiB); break;
+      case 'G': multiplier = static_cast<double>(kGiB); break;
+      case 'T': multiplier = static_cast<double>(kTiB); break;
+      default: return std::nullopt;
+    }
+    // Accept trailing "B", "iB" forms ("KB", "KiB", "K"); reject garbage.
+    std::string_view rest = suffix.substr(1);
+    if (!rest.empty()) {
+      if (rest == "B" || rest == "b") {
+        // fine
+      } else if (rest.size() == 2 &&
+                 (rest[0] == 'i' || rest[0] == 'I') &&
+                 (rest[1] == 'B' || rest[1] == 'b')) {
+        // fine
+      } else if (suffix.front() == 'B' || suffix.front() == 'b') {
+        return std::nullopt;  // "B" followed by anything is malformed
+      } else {
+        return std::nullopt;
+      }
+    }
+  }
+  return static_cast<Bytes>(std::llround(value * multiplier));
+}
+
+}  // namespace landlord::util

@@ -1,0 +1,40 @@
+// Byte-size arithmetic and formatting.
+//
+// All storage accounting in the simulator is in exact integer bytes;
+// humanised strings appear only at the reporting edge.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace landlord::util {
+
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024ULL;
+inline constexpr Bytes kMiB = kKiB * 1024ULL;
+inline constexpr Bytes kGiB = kMiB * 1024ULL;
+inline constexpr Bytes kTiB = kGiB * 1024ULL;
+
+/// "1.4 TiB", "8.4 GiB", "512 B" — three significant-ish digits, binary
+/// units, chosen so the magnitude lands in [1, 1024).
+[[nodiscard]] std::string format_bytes(Bytes n);
+
+/// Bytes expressed as a double count of GiB (for plotting axes).
+[[nodiscard]] constexpr double to_gib(Bytes n) noexcept {
+  return static_cast<double>(n) / static_cast<double>(kGiB);
+}
+
+/// Bytes expressed as a double count of TiB.
+[[nodiscard]] constexpr double to_tib(Bytes n) noexcept {
+  return static_cast<double>(n) / static_cast<double>(kTiB);
+}
+
+/// Parses "1.4TB", "2 GiB", "512K", "100" (bytes), case-insensitive,
+/// decimal and binary suffixes treated identically (binary). Returns
+/// nullopt on malformed input.
+[[nodiscard]] std::optional<Bytes> parse_bytes(std::string_view text);
+
+}  // namespace landlord::util

@@ -1,0 +1,63 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace landlord::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_env_once;
+
+LogLevel parse_level(const char* text) {
+  std::string s = text ? text : "";
+  for (auto& ch : s) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+void init_from_env() {
+  if (const char* env = std::getenv("LANDLORD_LOG")) {
+    g_level.store(parse_level(env), std::memory_order_relaxed);
+  }
+}
+
+constexpr const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) noexcept {
+  std::call_once(g_env_once, init_from_env);
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void emit(LogLevel level, std::string_view message) {
+  static std::mutex io_mutex;
+  std::scoped_lock lock(io_mutex);
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+}  // namespace detail
+
+}  // namespace landlord::util

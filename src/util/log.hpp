@@ -1,0 +1,46 @@
+// Leveled logging to stderr. Benches default to Warn so figure output on
+// stdout stays clean; set LANDLORD_LOG=debug|info|warn|error to override.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace landlord::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; initialised from $LANDLORD_LOG on first use.
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view message);
+}
+
+/// Stream-style one-shot logger: Log(LogLevel::kInfo) << "x=" << x;
+class Log {
+ public:
+  explicit Log(LogLevel level) noexcept : level_(level) {}
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+  ~Log() {
+    if (level_ >= log_level()) detail::emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  Log& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace landlord::util
+
+#define LANDLORD_LOG_DEBUG ::landlord::util::Log(::landlord::util::LogLevel::kDebug)
+#define LANDLORD_LOG_INFO ::landlord::util::Log(::landlord::util::LogLevel::kInfo)
+#define LANDLORD_LOG_WARN ::landlord::util::Log(::landlord::util::LogLevel::kWarn)
+#define LANDLORD_LOG_ERROR ::landlord::util::Log(::landlord::util::LogLevel::kError)

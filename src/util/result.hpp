@@ -1,0 +1,54 @@
+// A small Result<T> for recoverable errors (parse failures, I/O), used
+// where exceptions would obscure the common error path. gcc 12 does not
+// ship std::expected; this is the minimal subset the library needs.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace landlord::util {
+
+/// Error payload: a human-readable message plus optional source location
+/// context (file/line of the *input* being processed, not the C++ source).
+struct Error {
+  std::string message;
+
+  [[nodiscard]] static Error at_line(std::size_t line, std::string what) {
+    return Error{"line " + std::to_string(line) + ": " + std::move(what)};
+  }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+}  // namespace landlord::util

@@ -1,0 +1,86 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace landlord::util {
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  assert(bound > 0 && "uniform() requires a positive bound");
+  // Lemire's unbiased multiply-shift with rejection on the low word.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) noexcept {
+  assert(mean > 0.0);
+  // Inverse-CDF; 1 - u avoids log(0).
+  return -mean * std::log1p(-uniform_double());
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  assert(xm > 0.0 && alpha > 0.0);
+  const double u = 1.0 - uniform_double();  // in (0, 1]
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::normal() noexcept {
+  // Box-Muller without the cached second variate, so successive calls do
+  // not depend on hidden state beyond the generator itself.
+  const double u1 = 1.0 - uniform_double();
+  const double u2 = uniform_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(mu + sigma * normal());
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) noexcept {
+  assert(n > 0);
+  // Inverse-CDF over the (approximate) continuous Zipf distribution via
+  // the generalized harmonic integral; adequate for workload skew.
+  if (s <= 0.0) return static_cast<std::size_t>(uniform(n));
+  const double u = uniform_double();
+  const double nd = static_cast<double>(n);
+  double rank = 0.0;
+  if (std::abs(s - 1.0) < 1e-9) {
+    rank = std::exp(u * std::log(nd + 1.0)) - 1.0;
+  } else {
+    const double h = std::pow(nd + 1.0, 1.0 - s) - 1.0;
+    rank = std::pow(1.0 + u * h, 1.0 / (1.0 - s)) - 1.0;
+  }
+  auto idx = static_cast<std::size_t>(rank);
+  return idx >= n ? n - 1 : idx;
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  assert(k <= n && "cannot sample more elements than the population holds");
+  // Floyd's algorithm: O(k) expected insertions.
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(k);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    auto t = static_cast<std::uint32_t>(uniform(static_cast<std::uint64_t>(j) + 1));
+    if (chosen.contains(t)) t = j;
+    chosen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace landlord::util

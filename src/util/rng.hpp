@@ -1,0 +1,133 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every stochastic component of the simulator draws from an explicitly
+// seeded Rng so that experiment results are reproducible bit-for-bit
+// regardless of thread scheduling: each replicate of a sweep derives an
+// independent stream from (seed, stream-id) via SplitMix64 seeding of
+// xoshiro256**.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace landlord::util {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and for deriving independent substreams.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator so it composes with <random>,
+/// but the convenience members below avoid distribution-object noise
+/// at call sites.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from SplitMix64 over `seed`.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent generator for substream `stream`. Two calls
+  /// with distinct stream ids yield statistically independent sequences.
+  [[nodiscard]] Rng split(std::uint64_t stream) const noexcept {
+    std::uint64_t sm = state_[0] ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    Rng child{};
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform_double() < p; }
+
+  /// Exponential variate with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Pareto (power-law) variate with scale xm > 0 and shape alpha > 0;
+  /// used for heavy-tailed package-size modelling.
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept;
+
+  /// Log-normal variate parameterised by the underlying normal's mu/sigma.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+
+  /// Standard normal variate (Box-Muller, no caching, deterministic).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Zipf-like rank selection over [0, n): returns small ranks with
+  /// probability proportional to 1/(rank+1)^s. Requires n > 0.
+  [[nodiscard]] std::size_t zipf(std::size_t n, double s) noexcept;
+
+  /// Samples k distinct indices from [0, n) (Floyd's algorithm). The
+  /// returned order is unspecified. Requires k <= n.
+  [[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(
+      std::uint32_t n, std::uint32_t k);
+
+  /// Fisher-Yates shuffle of `items` in place.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; requires a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) noexcept {
+    return items[static_cast<std::size_t>(uniform(items.size()))];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace landlord::util

@@ -1,0 +1,108 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace landlord::util {
+
+Summary::Summary(std::span<const double> sample)
+    : sample_(sample.begin(), sample.end()) {}
+
+void Summary::add(double value) {
+  sample_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = sample_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::mean() const {
+  assert(!sample_.empty());
+  return sum() / static_cast<double>(sample_.size());
+}
+
+double Summary::sum() const {
+  return std::accumulate(sample_.begin(), sample_.end(), 0.0);
+}
+
+double Summary::stddev() const {
+  if (sample_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : sample_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(sample_.size() - 1));
+}
+
+double Summary::min() const {
+  assert(!sample_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Summary::max() const {
+  assert(!sample_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Summary::median() const { return quantile(0.5); }
+
+double Summary::quantile(double q) const {
+  assert(!sample_.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void OnlineStats::add(double value) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++n_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (value - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::vector<double> elementwise_median(
+    const std::vector<std::vector<double>>& series) {
+  assert(!series.empty());
+  const std::size_t len = series.front().size();
+  for (const auto& s : series) {
+    assert(s.size() == len && "all series must have equal length");
+    (void)s;
+  }
+  std::vector<double> out(len, 0.0);
+  std::vector<double> column(series.size());
+  for (std::size_t i = 0; i < len; ++i) {
+    for (std::size_t r = 0; r < series.size(); ++r) column[r] = series[r][i];
+    std::sort(column.begin(), column.end());
+    const std::size_t n = column.size();
+    out[i] = (n % 2 == 1) ? column[n / 2]
+                          : 0.5 * (column[n / 2 - 1] + column[n / 2]);
+  }
+  return out;
+}
+
+}  // namespace landlord::util

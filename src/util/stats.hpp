@@ -1,0 +1,75 @@
+// Summary statistics used throughout the experiment harness.
+//
+// The paper reports the *median* over 20 simulation replicates at every
+// sweep point; Summary provides exact order statistics over a collected
+// sample, and OnlineStats provides numerically stable streaming moments
+// (Welford) where retaining the sample would be wasteful.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace landlord::util {
+
+/// Exact order statistics and moments over a finite sample.
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::span<const double> sample);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const noexcept { return sample_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sample_.empty(); }
+
+  /// Arithmetic mean; requires a non-empty sample.
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Median (average of middle pair for even n); requires non-empty.
+  [[nodiscard]] double median() const;
+  /// Linear-interpolated quantile, q in [0, 1]; requires non-empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double sum() const;
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return sample_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> sample_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Welford's online mean/variance; O(1) memory.
+class OnlineStats {
+ public:
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Element-wise median across equally long series: result[i] is the
+/// median of series[r][i] over all replicates r. Requires at least one
+/// series; all series must have equal length.
+[[nodiscard]] std::vector<double> elementwise_median(
+    const std::vector<std::vector<double>>& series);
+
+}  // namespace landlord::util

@@ -1,0 +1,46 @@
+// Plain-text and CSV table emission for benchmark reports.
+//
+// Every figure-regeneration bench prints (a) an aligned human-readable
+// table on stdout and (b) optionally a machine-readable CSV next to it,
+// so plots can be regenerated without re-running the simulation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace landlord::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Column-aligned plain text (headers, rule, rows).
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to `path`, creating parent-less file;
+  /// returns false (and leaves no partial file guarantees) on I/O error.
+  [[nodiscard]] bool save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+[[nodiscard]] std::string fmt(double value, int digits = 2);
+
+/// Formats an integral count with no decoration.
+[[nodiscard]] std::string fmt(std::uint64_t value);
+
+}  // namespace landlord::util

@@ -1,0 +1,68 @@
+#include "util/version.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace landlord::util {
+
+namespace {
+
+bool is_digit(char ch) noexcept {
+  return std::isdigit(static_cast<unsigned char>(ch)) != 0;
+}
+
+/// Extracts the next chunk of `text` starting at `pos`: a maximal run of
+/// digits or of non-digit, non-separator characters. Separators ('.',
+/// '-', '_') are skipped. Returns the chunk and whether it is numeric.
+struct Chunk {
+  std::string_view text;
+  bool numeric = false;
+};
+
+Chunk next_chunk(std::string_view text, std::size_t& pos) noexcept {
+  while (pos < text.size() &&
+         (text[pos] == '.' || text[pos] == '-' || text[pos] == '_')) {
+    ++pos;
+  }
+  const std::size_t start = pos;
+  if (pos >= text.size()) return {{}, false};
+  const bool numeric = is_digit(text[pos]);
+  while (pos < text.size() && text[pos] != '.' && text[pos] != '-' &&
+         text[pos] != '_' && is_digit(text[pos]) == numeric) {
+    ++pos;
+  }
+  return {text.substr(start, pos - start), numeric};
+}
+
+int compare_numeric(std::string_view a, std::string_view b) noexcept {
+  // Strip leading zeros, then compare by length then lexically.
+  a.remove_prefix(std::min(a.find_first_not_of('0'), a.size()));
+  b.remove_prefix(std::min(b.find_first_not_of('0'), b.size()));
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  const int c = a.compare(b);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+}  // namespace
+
+int version_compare(std::string_view a, std::string_view b) noexcept {
+  std::size_t pa = 0, pb = 0;
+  for (;;) {
+    const Chunk ca = next_chunk(a, pa);
+    const Chunk cb = next_chunk(b, pb);
+    if (ca.text.empty() && cb.text.empty()) return 0;
+    if (ca.text.empty()) return -1;  // "1.2" < "1.2.1"
+    if (cb.text.empty()) return 1;
+    if (ca.numeric && cb.numeric) {
+      if (const int c = compare_numeric(ca.text, cb.text); c != 0) return c;
+    } else if (ca.numeric != cb.numeric) {
+      // Numeric chunks sort after alphabetic ones (rpmvercmp convention).
+      return ca.numeric ? 1 : -1;
+    } else {
+      if (const int c = ca.text.compare(cb.text); c != 0) return c < 0 ? -1 : 1;
+    }
+  }
+}
+
+
+}  // namespace landlord::util

@@ -1,0 +1,17 @@
+// Natural version-string ordering.
+//
+// Splits version strings into numeric / alphabetic chunks separated by
+// '.', '-', '_' and compares numerically where both chunks are numeric
+// ("1.10" > "1.9"), matching RPM's rpmvercmp behaviour for common
+// version strings. Shared by the constraint checker, the resolver, and
+// version-chain utilities.
+#pragma once
+
+#include <string_view>
+
+namespace landlord::util {
+
+/// Returns <0, 0, >0 like strcmp.
+[[nodiscard]] int version_compare(std::string_view a, std::string_view b) noexcept;
+
+}  // namespace landlord::util

@@ -1,0 +1,118 @@
+#include "hep/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pkg/synthetic.hpp"
+#include "spec/jaccard.hpp"
+
+namespace landlord::hep {
+namespace {
+
+const pkg::Repository& repo() {
+  static const pkg::Repository r = pkg::default_repository(42);
+  return r;
+}
+
+TEST(HepApps, SevenBenchmarkApps) {
+  const auto apps = benchmark_apps();
+  ASSERT_EQ(apps.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& app : apps) names.insert(app.name);
+  EXPECT_TRUE(names.contains("alice-gen-sim"));
+  EXPECT_TRUE(names.contains("atlas-gen"));
+  EXPECT_TRUE(names.contains("atlas-sim"));
+  EXPECT_TRUE(names.contains("cms-digi"));
+  EXPECT_TRUE(names.contains("cms-gen-sim"));
+  EXPECT_TRUE(names.contains("cms-reco"));
+  EXPECT_TRUE(names.contains("lhcb-gen-sim"));
+}
+
+TEST(HepApps, PaperNumbersPreserved) {
+  // Spot-check against Fig. 2 of the paper.
+  for (const auto& app : benchmark_apps()) {
+    if (app.name == "atlas-sim") {
+      EXPECT_DOUBLE_EQ(app.paper_running_s, 5340.0);
+      EXPECT_DOUBLE_EQ(app.paper_prep_s, 115.0);
+      EXPECT_DOUBLE_EQ(app.paper_image_gb, 7.6);
+      EXPECT_DOUBLE_EQ(app.paper_repo_tb, 4.8);
+    }
+    EXPECT_GT(app.paper_running_s, 0.0);
+    EXPECT_GT(app.paper_image_gb, 0.0);
+  }
+}
+
+TEST(HepApps, SpecificationsAreDeterministic) {
+  const auto& app = benchmark_apps()[0];
+  const auto a = app_specification(repo(), app, 1);
+  const auto b = app_specification(repo(), app, 1);
+  EXPECT_TRUE(a.packages() == b.packages());
+}
+
+TEST(HepApps, SpecificationSizeNearPaperTarget) {
+  // Greedy accumulation overshoots by at most one leaf closure, and no
+  // image can be smaller than its experiment's shared base (framework
+  // hub + universal core), which in the synthetic repository is ~6-9 GB.
+  constexpr double kBaseFloorGb = 10.0;
+  for (const auto& app : benchmark_apps()) {
+    const auto spec = app_specification(repo(), app, 1);
+    const double gb = static_cast<double>(spec.bytes(repo())) / 1e9;
+    EXPECT_GT(gb, app.paper_image_gb * 0.8) << app.name;
+    EXPECT_LT(gb, std::max(app.paper_image_gb * 2.5, kBaseFloorGb)) << app.name;
+  }
+}
+
+TEST(HepApps, SpecificationsAreDependencyClosed) {
+  const auto spec = app_specification(repo(), benchmark_apps()[3], 2);
+  bool closed = true;
+  spec.packages().for_each([&](pkg::PackageId id) {
+    for (pkg::PackageId dep : repo()[id].deps) {
+      closed &= spec.packages().contains(dep);
+    }
+  });
+  EXPECT_TRUE(closed);
+}
+
+TEST(HepApps, SpecDrawsFromOwnExperimentSubtree) {
+  const auto& cms_app = benchmark_apps()[3];  // cms-digi
+  const auto spec = app_specification(repo(), cms_app, 3);
+  int cms = 0, other_experiment = 0;
+  spec.packages().for_each([&](pkg::PackageId id) {
+    const auto& name = repo()[id].name;
+    if (name.starts_with("cms-")) ++cms;
+    else if (name.starts_with("atlas-") || name.starts_with("alice-") ||
+             name.starts_with("lhcb-")) ++other_experiment;
+    // core / sft packages are shared infrastructure; not counted.
+  });
+  EXPECT_GT(cms, 0);
+  EXPECT_GT(cms, other_experiment * 3);
+}
+
+TEST(HepApps, SameExperimentAppsShareMoreThanCrossExperiment) {
+  // The paper's premise: images from the same experiment overlap heavily.
+  const auto atlas_gen = app_specification(repo(), benchmark_apps()[1], 4);
+  const auto atlas_sim = app_specification(repo(), benchmark_apps()[2], 4);
+  const auto cms_digi = app_specification(repo(), benchmark_apps()[3], 4);
+  const double same =
+      spec::jaccard_similarity(atlas_gen.packages(), atlas_sim.packages());
+  const double cross =
+      spec::jaccard_similarity(atlas_gen.packages(), cms_digi.packages());
+  EXPECT_GT(same, cross);
+}
+
+TEST(HepApps, ProvenanceIsAppName) {
+  const auto spec = app_specification(repo(), benchmark_apps()[6], 5);
+  EXPECT_EQ(spec.provenance(), "lhcb-gen-sim");
+}
+
+TEST(HepApps, DifferentSeedsGiveDifferentSelections) {
+  const auto& app = benchmark_apps()[4];
+  const auto a = app_specification(repo(), app, 1);
+  const auto b = app_specification(repo(), app, 2);
+  EXPECT_FALSE(a.packages() == b.packages());
+}
+
+}  // namespace
+}  // namespace landlord::hep

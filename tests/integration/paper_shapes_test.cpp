@@ -1,0 +1,139 @@
+// Integration: qualitative claims of the paper's evaluation (§VI) hold on
+// the reproduction at reduced replicate counts. These are the invariants
+// EXPERIMENTS.md reports at full scale; here they gate regressions.
+#include <gtest/gtest.h>
+
+#include "pkg/synthetic.hpp"
+#include "sim/sweep.hpp"
+
+namespace landlord {
+namespace {
+
+const pkg::Repository& repo() {
+  static const pkg::Repository r = pkg::default_repository(42);
+  return r;
+}
+
+sim::SweepConfig sweep_base() {
+  sim::SweepConfig config;
+  config.alphas = {0.40, 0.60, 0.75, 0.90, 1.00};
+  config.replicates = 3;
+  config.base.cache.capacity = 1400ULL * 1000 * 1000 * 1000;
+  config.base.workload.unique_jobs = 500;
+  config.base.workload.repetitions = 5;
+  config.base.seed = 4242;
+  return config;
+}
+
+const std::vector<sim::SweepPoint>& default_sweep() {
+  static const auto points = run_sweep(repo(), sweep_base());
+  return points;
+}
+
+// Fig. 4a: at low alpha inserts/deletes dominate and track each other;
+// merges grow with alpha; at alpha=1 hits jump and merges collapse.
+TEST(PaperShapes, Fig4aOperationMix) {
+  const auto& points = default_sweep();
+  const auto& low = points[0];    // 0.40
+  const auto& mid = points[2];    // 0.75
+  const auto& high = points[3];   // 0.90
+  const auto& one = points[4];    // 1.00
+
+  EXPECT_GT(low.inserts, low.merges);
+  EXPECT_NEAR(low.inserts, low.deletes, low.inserts * 0.25);  // lockstep
+  EXPECT_GT(mid.merges, low.merges);
+  EXPECT_GT(high.merges, low.merges);
+  EXPECT_LT(high.inserts, low.inserts);
+  // Alpha = 1: single image — hits jump, merges collapse vs 0.90.
+  EXPECT_GT(one.hits, high.hits);
+  EXPECT_LT(one.merges, high.merges);
+  EXPECT_LE(one.inserts, 2.0);
+}
+
+// Fig. 4b: unique data grows with alpha; total >> unique at low alpha;
+// at alpha=1 they coincide.
+TEST(PaperShapes, Fig4bDuplication) {
+  const auto& points = default_sweep();
+  EXPECT_GT(points[0].total_gb, points[0].unique_gb * 3);
+  EXPECT_GT(points[4].unique_gb, points[0].unique_gb);
+  EXPECT_NEAR(points[4].total_gb, points[4].unique_gb,
+              points[4].unique_gb * 0.01);
+}
+
+// Fig. 4c: at low alpha actual writes are at or slightly below requested
+// (reuse); in the upper range the merge rewrites push actual above
+// requested.
+TEST(PaperShapes, Fig4cWriteAmplification) {
+  const auto& points = default_sweep();
+  EXPECT_LE(points[0].written_tb, points[0].requested_tb * 1.05);
+  EXPECT_GT(points[3].written_tb, points[0].written_tb);
+  EXPECT_GT(points[3].written_tb, points[3].requested_tb);
+}
+
+// Fig. 8: container efficiency decreases in alpha, cache efficiency
+// increases; the two cross somewhere in the operational zone.
+TEST(PaperShapes, Fig8EfficiencyTradeoff) {
+  const auto& points = default_sweep();
+  EXPECT_GT(points[0].container_efficiency, 90.0);
+  EXPECT_LT(points[4].container_efficiency, points[0].container_efficiency);
+  EXPECT_GT(points[4].cache_efficiency, points[0].cache_efficiency);
+  EXPECT_NEAR(points[4].cache_efficiency, 100.0, 1.0);
+}
+
+// Fig. 7: the uniform-random workload gains little from merging in the
+// operational range — merges stay far below the dependency workload's.
+TEST(PaperShapes, Fig7RandomWorkloadResistsMerging) {
+  auto config = sweep_base();
+  config.alphas = {0.75};
+  config.base.workload.unique_jobs = 100;
+
+  const auto deps = run_sweep(repo(), config);
+  config.base.workload.scheme = sim::ImageScheme::kUniformRandom;
+  const auto random = run_sweep(repo(), config);
+
+  ASSERT_EQ(deps.size(), 1u);
+  ASSERT_EQ(random.size(), 1u);
+  EXPECT_LT(random[0].merges, deps[0].merges / 2);
+  // Random images keep near-perfect container efficiency (no merging
+  // means nothing unrequested is shipped).
+  EXPECT_GT(random[0].container_efficiency, deps[0].container_efficiency);
+}
+
+// Fig. 6a/6b: larger cache -> lower cache efficiency (more duplication
+// retained) at moderate alpha.
+TEST(PaperShapes, Fig6CacheSizeInverseToEfficiency) {
+  auto config = sweep_base();
+  config.alphas = {0.75};
+  config.base.workload.unique_jobs = 120;
+
+  config.base.cache.capacity = repo().total_bytes();  // 1x repo
+  const auto small = run_sweep(repo(), config);
+  config.base.cache.capacity = repo().total_bytes() * 5;  // 5x repo
+  const auto large = run_sweep(repo(), config);
+
+  EXPECT_GT(small[0].cache_efficiency, large[0].cache_efficiency);
+  // "A larger cache also allows for more opportunities to merge images,
+  // leading to decreased container efficiency" (§VI).
+  EXPECT_LE(large[0].container_efficiency,
+            small[0].container_efficiency + 5.0);
+}
+
+// Fig. 6c/6d: 500 vs 1000 unique jobs behave nearly identically (steady
+// state), while 100 jobs have not converged. At reduced scale we assert
+// the weaker, robust half: doubling jobs at steady state moves the
+// efficiencies by little.
+TEST(PaperShapes, Fig6SteadyStateInJobCount) {
+  auto config = sweep_base();
+  config.alphas = {0.75};
+
+  config.base.workload.unique_jobs = 300;
+  const auto a = run_sweep(repo(), config);
+  config.base.workload.unique_jobs = 600;
+  const auto b = run_sweep(repo(), config);
+
+  EXPECT_NEAR(a[0].cache_efficiency, b[0].cache_efficiency, 12.0);
+  EXPECT_NEAR(a[0].container_efficiency, b[0].container_efficiency, 12.0);
+}
+
+}  // namespace
+}  // namespace landlord

@@ -1,0 +1,114 @@
+#include "landlord/concurrent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "pkg/synthetic.hpp"
+#include "sim/workload.hpp"
+
+namespace landlord::core {
+namespace {
+
+const pkg::Repository& repo() {
+  static const pkg::Repository r = [] {
+    pkg::SyntheticRepoParams params;
+    params.total_packages = 600;
+    auto result = pkg::generate_repository(params, 141);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }();
+  return r;
+}
+
+CacheConfig config(double alpha = 0.8) {
+  CacheConfig c;
+  c.alpha = alpha;
+  c.capacity = repo().total_bytes() / 2;
+  return c;
+}
+
+TEST(ConcurrentCache, SingleThreadedBehavesLikeCache) {
+  ConcurrentCache concurrent(repo(), config());
+  Cache plain(repo(), config());
+
+  sim::WorkloadConfig workload;
+  workload.unique_jobs = 30;
+  workload.repetitions = 2;
+  workload.max_initial_selection = 10;
+  sim::WorkloadGenerator generator(repo(), workload, util::Rng(3));
+  const auto specs = generator.unique_specifications();
+  const auto stream = generator.request_stream();
+
+  for (auto index : stream) {
+    const auto a = concurrent.request(specs[index]);
+    const auto b = plain.request(specs[index]);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.image_bytes, b.image_bytes);
+  }
+  EXPECT_EQ(concurrent.counters().hits, plain.counters().hits);
+  EXPECT_EQ(concurrent.total_bytes(), plain.total_bytes());
+}
+
+TEST(ConcurrentCache, ParallelSubmissionsConserveAccounting) {
+  ConcurrentCache cache(repo(), config());
+
+  sim::WorkloadConfig workload;
+  workload.unique_jobs = 40;
+  workload.max_initial_selection = 10;
+  sim::WorkloadGenerator generator(repo(), workload, util::Rng(5));
+  const auto specs = generator.unique_specifications();
+
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 50;
+  std::atomic<int> satisfied{0};
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        util::Rng rng(static_cast<std::uint64_t>(t) + 100);
+        for (int i = 0; i < kRequestsPerThread; ++i) {
+          const auto& spec = specs[rng.uniform(specs.size())];
+          const auto outcome = cache.request(spec);
+          const auto image = cache.find(outcome.image);
+          // The image can be evicted by another thread between request
+          // and find; when it is still resident it must satisfy the spec.
+          if (image.has_value() && spec.satisfied_by(image->contents)) {
+            ++satisfied;
+          }
+        }
+      });
+    }
+  }
+
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.requests,
+            static_cast<std::uint64_t>(kThreads) * kRequestsPerThread);
+  EXPECT_EQ(counters.requests, counters.hits + counters.merges + counters.inserts);
+  // The vast majority of lookups observe their image resident.
+  EXPECT_GT(satisfied.load(), kThreads * kRequestsPerThread * 9 / 10);
+  EXPECT_LE(cache.unique_bytes(), cache.total_bytes());
+}
+
+TEST(ConcurrentCache, WithExclusiveSeesConsistentState) {
+  ConcurrentCache cache(repo(), config());
+  sim::WorkloadConfig workload;
+  workload.unique_jobs = 10;
+  workload.max_initial_selection = 6;
+  sim::WorkloadGenerator generator(repo(), workload, util::Rng(7));
+  for (const auto& spec : generator.unique_specifications()) {
+    (void)cache.request(spec);
+  }
+  const auto total = cache.with_exclusive([](Cache& inner) {
+    util::Bytes sum = 0;
+    inner.for_each_image([&](const Image& image) { sum += image.bytes; });
+    EXPECT_EQ(sum, inner.total_bytes());
+    return sum;
+  });
+  EXPECT_EQ(total, cache.total_bytes());
+}
+
+}  // namespace
+}  // namespace landlord::core

@@ -1,0 +1,119 @@
+// Failure injection: the manifest and trace parsers must reject (never
+// crash on) corrupted input — truncated lines, binary garbage, random
+// token mutations of valid manifests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "pkg/manifest.hpp"
+#include "pkg/synthetic.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace landlord::pkg {
+namespace {
+
+std::string valid_manifest_text() {
+  SyntheticRepoParams params;
+  params.total_packages = 60;
+  auto repo = generate_repository(params, 7);
+  EXPECT_TRUE(repo.ok());
+  std::ostringstream out;
+  write_manifest(repo.value(), out);
+  return out.str();
+}
+
+class ManifestFuzzTest : public testing::TestWithParam<int> {};
+
+TEST_P(ManifestFuzzTest, RandomMutationsNeverCrash) {
+  const std::string base = valid_manifest_text();
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = base;
+    // Apply a handful of random byte mutations / truncations.
+    const auto mutations = 1 + rng.uniform(8);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      if (mutated.empty()) break;
+      const auto pos = static_cast<std::size_t>(rng.uniform(mutated.size()));
+      switch (rng.uniform(4)) {
+        case 0:  // flip a byte
+          mutated[pos] = static_cast<char>(rng.uniform(32, 126));
+          break;
+        case 1:  // delete a byte
+          mutated.erase(pos, 1);
+          break;
+        case 2:  // duplicate a chunk
+          mutated.insert(pos, mutated.substr(pos, std::min<std::size_t>(
+                                                      16, mutated.size() - pos)));
+          break;
+        case 3:  // truncate
+          mutated.resize(pos);
+          break;
+      }
+    }
+    // Must terminate and either parse or fail gracefully.
+    auto result = parse_manifest_text(mutated);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error().message.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ManifestFuzzTest, testing::Range(1, 5));
+
+TEST(ManifestFuzz, BinaryGarbageRejected) {
+  std::string garbage;
+  util::Rng rng(99);
+  for (int i = 0; i < 4096; ++i) {
+    garbage.push_back(static_cast<char>(rng.uniform(256)));
+  }
+  auto result = parse_manifest_text(garbage);
+  // Whatever the bytes, this is astronomically unlikely to be valid; the
+  // requirement is graceful rejection, not crash.
+  if (!result.ok()) {
+    EXPECT_FALSE(result.error().message.empty());
+  }
+}
+
+TEST(ManifestFuzz, HugeSizeValuesHandled) {
+  auto result = parse_manifest_text(
+      "package x 1 18446744073709551615 leaf\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()[package_id(0)].size,
+            18446744073709551615ULL);
+  // Overflowing the u64 is a parse error, not UB.
+  EXPECT_FALSE(parse_manifest_text(
+                   "package x 1 99999999999999999999999999 leaf\n")
+                   .ok());
+}
+
+TEST(TraceFuzz, RandomMutationsNeverCrash) {
+  SyntheticRepoParams params;
+  params.total_packages = 60;
+  auto repo = generate_repository(params, 7);
+  ASSERT_TRUE(repo.ok());
+
+  std::string base = "landlord-trace v1\njob 0 " +
+                     repo.value()[package_id(0)].key() + " " +
+                     repo.value()[package_id(5)].key() +
+                     "\nrequest 0\nrequest 0\n";
+  util::Rng rng(5);
+  for (int round = 0; round < 100; ++round) {
+    std::string mutated = base;
+    const auto pos = static_cast<std::size_t>(rng.uniform(mutated.size()));
+    if (rng.chance(0.5)) {
+      mutated[pos] = static_cast<char>(rng.uniform(32, 126));
+    } else {
+      mutated.resize(pos);
+    }
+    std::istringstream in(mutated);
+    auto result = sim::read_trace(in, repo.value());
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error().message.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace landlord::pkg

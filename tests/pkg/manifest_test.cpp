@@ -1,0 +1,133 @@
+#include "pkg/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace landlord::pkg {
+namespace {
+
+constexpr const char* kSample = R"(# sample manifest
+package base 1.0 1000 core
+package libA 2.0 500 library
+dep base/1.0
+package app 0.1 100 leaf
+dep libA/2.0
+)";
+
+TEST(Manifest, ParsesValidManifest) {
+  auto result = parse_manifest_text(kSample);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const auto& repo = result.value();
+  EXPECT_EQ(repo.size(), 3u);
+  EXPECT_EQ(repo.total_bytes(), util::Bytes{1600});
+  const auto app = repo.find("app/0.1");
+  ASSERT_TRUE(app.has_value());
+  EXPECT_EQ(repo[*app].tier, PackageTier::kLeaf);
+  EXPECT_EQ(repo.closure(*app).count(), 3u);
+}
+
+TEST(Manifest, ParsesTiers) {
+  auto result = parse_manifest_text(kSample);
+  ASSERT_TRUE(result.ok());
+  const auto& repo = result.value();
+  EXPECT_EQ(repo[*repo.find("base/1.0")].tier, PackageTier::kCore);
+  EXPECT_EQ(repo[*repo.find("libA/2.0")].tier, PackageTier::kLibrary);
+}
+
+TEST(Manifest, IgnoresCommentsAndBlankLines) {
+  auto result = parse_manifest_text(
+      "\n# comment\n\npackage x 1 10 leaf\n\n# more\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 1u);
+}
+
+TEST(Manifest, HandlesCrlfLineEndings) {
+  auto result = parse_manifest_text("package x 1 10 leaf\r\npackage y 1 5 core\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+TEST(Manifest, HandlesTabsAndExtraSpaces) {
+  auto result = parse_manifest_text("package\tx  1\t10   leaf\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().find("x/1").has_value());
+}
+
+TEST(Manifest, ForwardDepReference) {
+  auto result = parse_manifest_text(
+      "package app 1 1 leaf\ndep lib/1\npackage lib 1 1 library\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().closure(*result.value().find("app/1")).count(), 2u);
+}
+
+TEST(Manifest, RejectsBadDirective) {
+  auto result = parse_manifest_text("frobnicate x\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("line 1"), std::string::npos);
+}
+
+TEST(Manifest, RejectsWrongArity) {
+  EXPECT_FALSE(parse_manifest_text("package x 1 10\n").ok());
+  EXPECT_FALSE(parse_manifest_text("package x 1 10 leaf extra\n").ok());
+  EXPECT_FALSE(parse_manifest_text("package x 1 10 leaf\ndep a b\n").ok());
+}
+
+TEST(Manifest, RejectsBadSize) {
+  auto result = parse_manifest_text("package x 1 notanumber leaf\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("bad size"), std::string::npos);
+}
+
+TEST(Manifest, RejectsBadTier) {
+  auto result = parse_manifest_text("package x 1 10 gigantic\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("tier"), std::string::npos);
+}
+
+TEST(Manifest, RejectsDepBeforePackage) {
+  auto result = parse_manifest_text("dep x/1\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("before any package"), std::string::npos);
+}
+
+TEST(Manifest, RejectsDanglingDep) {
+  auto result = parse_manifest_text("package x 1 10 leaf\ndep ghost/1\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Manifest, EmptyInputYieldsEmptyRepo) {
+  auto result = parse_manifest_text("");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 0u);
+}
+
+TEST(Manifest, RoundTripsThroughWriter) {
+  auto original = parse_manifest_text(kSample);
+  ASSERT_TRUE(original.ok());
+  std::ostringstream out;
+  write_manifest(original.value(), out);
+  auto reparsed = parse_manifest_text(out.str());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().message;
+  const auto& a = original.value();
+  const auto& b = reparsed.value();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    const auto& pa = a[package_id(i)];
+    const auto id_b = b.find(pa.key());
+    ASSERT_TRUE(id_b.has_value()) << pa.key();
+    EXPECT_EQ(b[*id_b].size, pa.size);
+    EXPECT_EQ(b[*id_b].tier, pa.tier);
+    EXPECT_EQ(b[*id_b].deps.size(), pa.deps.size());
+  }
+}
+
+TEST(Manifest, LoadMissingFileFails) {
+  auto result = load_manifest("/nonexistent/path/manifest.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace landlord::pkg

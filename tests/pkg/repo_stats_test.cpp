@@ -1,0 +1,69 @@
+#include "pkg/repo_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pkg/synthetic.hpp"
+
+namespace landlord::pkg {
+namespace {
+
+Repository chain_repo() {
+  // a -> b -> c (depth 2), plus isolated d.
+  RepositoryBuilder builder;
+  builder.add({"c", "1", 10, PackageTier::kCore, {}});
+  builder.add({"b", "1", 20, PackageTier::kLibrary, {"c/1"}});
+  builder.add({"a", "1", 30, PackageTier::kLeaf, {"b/1"}});
+  builder.add({"d", "1", 40, PackageTier::kLeaf, {}});
+  auto result = std::move(builder).build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(RepoStats, CountsAndBytes) {
+  const auto stats = compute_stats(chain_repo());
+  EXPECT_EQ(stats.packages, 4u);
+  EXPECT_EQ(stats.core_packages, 1u);
+  EXPECT_EQ(stats.library_packages, 1u);
+  EXPECT_EQ(stats.leaf_packages, 2u);
+  EXPECT_EQ(stats.total_bytes, util::Bytes{100});
+}
+
+TEST(RepoStats, MeanDirectDeps) {
+  const auto stats = compute_stats(chain_repo());
+  EXPECT_DOUBLE_EQ(stats.mean_direct_deps, 0.5);  // 2 edges / 4 packages
+}
+
+TEST(RepoStats, ClosureStats) {
+  const auto stats = compute_stats(chain_repo());
+  // closures: c=1, b=2, a=3, d=1 -> mean 1.75, max 3.
+  EXPECT_DOUBLE_EQ(stats.mean_closure_packages, 1.75);
+  EXPECT_EQ(stats.max_closure_packages, 3u);
+}
+
+TEST(RepoStats, MaxDepthIsLongestChain) {
+  const auto stats = compute_stats(chain_repo());
+  EXPECT_EQ(stats.max_depth, 2u);
+}
+
+TEST(RepoStats, EmptyRepo) {
+  RepositoryBuilder builder;
+  auto repo = std::move(builder).build();
+  ASSERT_TRUE(repo.ok());
+  const auto stats = compute_stats(repo.value());
+  EXPECT_EQ(stats.packages, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_direct_deps, 0.0);
+  EXPECT_EQ(stats.max_depth, 0u);
+}
+
+TEST(RepoStats, SyntheticRepoHasBoundedDepth) {
+  SyntheticRepoParams params;
+  params.total_packages = 500;
+  auto repo = generate_repository(params, 11);
+  ASSERT_TRUE(repo.ok());
+  const auto stats = compute_stats(repo.value());
+  EXPECT_GT(stats.max_depth, 1u);
+  EXPECT_LT(stats.max_depth, 40u);
+}
+
+}  // namespace
+}  // namespace landlord::pkg

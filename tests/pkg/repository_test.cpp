@@ -1,0 +1,223 @@
+#include "pkg/repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace landlord::pkg {
+namespace {
+
+RepositoryBuilder::Declaration decl(std::string name, std::string version,
+                                    util::Bytes size,
+                                    std::vector<std::string> deps = {},
+                                    PackageTier tier = PackageTier::kLeaf) {
+  return {std::move(name), std::move(version), size, tier, std::move(deps)};
+}
+
+Repository small_repo() {
+  // base <- libA <- app1 ; base <- libB <- app2 ; app3 -> libA, libB
+  RepositoryBuilder b;
+  b.add(decl("base", "1.0", 100, {}, PackageTier::kCore));
+  b.add(decl("libA", "2.0", 50, {"base/1.0"}, PackageTier::kLibrary));
+  b.add(decl("libB", "1.5", 60, {"base/1.0"}, PackageTier::kLibrary));
+  b.add(decl("app1", "0.1", 10, {"libA/2.0"}));
+  b.add(decl("app2", "0.2", 20, {"libB/1.5"}));
+  b.add(decl("app3", "0.3", 30, {"libA/2.0", "libB/1.5"}));
+  auto result = std::move(b).build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(RepositoryBuilder, BuildsValidRepo) {
+  const auto repo = small_repo();
+  EXPECT_EQ(repo.size(), 6u);
+  EXPECT_EQ(repo.total_bytes(), util::Bytes{270});
+}
+
+TEST(RepositoryBuilder, ForwardDependencyReferencesAllowed) {
+  // deps may reference packages declared later in the manifest.
+  RepositoryBuilder b;
+  b.add(decl("app", "1", 10, {"lib/1"}));
+  b.add(decl("lib", "1", 10));
+  auto result = std::move(b).build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+TEST(RepositoryBuilder, RejectsDuplicateKeys) {
+  RepositoryBuilder b;
+  b.add(decl("x", "1", 1));
+  b.add(decl("x", "1", 2));
+  auto result = std::move(b).build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("duplicate"), std::string::npos);
+}
+
+TEST(RepositoryBuilder, AllowsSameNameDifferentVersion) {
+  RepositoryBuilder b;
+  b.add(decl("x", "1", 1));
+  b.add(decl("x", "2", 2));
+  EXPECT_TRUE(std::move(b).build().ok());
+}
+
+TEST(RepositoryBuilder, RejectsUnresolvedDependency) {
+  RepositoryBuilder b;
+  b.add(decl("x", "1", 1, {"ghost/9"}));
+  auto result = std::move(b).build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("unresolved"), std::string::npos);
+}
+
+TEST(RepositoryBuilder, RejectsSelfDependency) {
+  RepositoryBuilder b;
+  b.add(decl("x", "1", 1, {"x/1"}));
+  auto result = std::move(b).build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("itself"), std::string::npos);
+}
+
+TEST(RepositoryBuilder, RejectsCycle) {
+  RepositoryBuilder b;
+  b.add(decl("a", "1", 1, {"b/1"}));
+  b.add(decl("b", "1", 1, {"c/1"}));
+  b.add(decl("c", "1", 1, {"a/1"}));
+  auto result = std::move(b).build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("cycle"), std::string::npos);
+}
+
+TEST(RepositoryBuilder, RejectsEmptyNameOrVersion) {
+  {
+    RepositoryBuilder b;
+    b.add(decl("", "1", 1));
+    EXPECT_FALSE(std::move(b).build().ok());
+  }
+  {
+    RepositoryBuilder b;
+    b.add(decl("x", "", 1));
+    EXPECT_FALSE(std::move(b).build().ok());
+  }
+}
+
+TEST(RepositoryBuilder, DeduplicatesDepEdges) {
+  RepositoryBuilder b;
+  b.add(decl("lib", "1", 5));
+  b.add(decl("app", "1", 1, {"lib/1", "lib/1", "lib/1"}));
+  auto repo = std::move(b).build();
+  ASSERT_TRUE(repo.ok());
+  const auto app = repo.value().find("app/1");
+  ASSERT_TRUE(app.has_value());
+  EXPECT_EQ(repo.value()[*app].deps.size(), 1u);
+}
+
+TEST(Repository, FindByKey) {
+  const auto repo = small_repo();
+  const auto id = repo.find("libA/2.0");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(repo[*id].name, "libA");
+  EXPECT_EQ(repo[*id].version, "2.0");
+  EXPECT_FALSE(repo.find("nope/0").has_value());
+}
+
+TEST(Repository, PackagesInTier) {
+  const auto repo = small_repo();
+  EXPECT_EQ(repo.packages_in_tier(PackageTier::kCore).size(), 1u);
+  EXPECT_EQ(repo.packages_in_tier(PackageTier::kLibrary).size(), 2u);
+  EXPECT_EQ(repo.packages_in_tier(PackageTier::kLeaf).size(), 3u);
+}
+
+TEST(Repository, ClosureIncludesSelfAndTransitiveDeps) {
+  const auto repo = small_repo();
+  const auto app1 = *repo.find("app1/0.1");
+  const auto& closure = repo.closure(app1);
+  EXPECT_EQ(closure.count(), 3u);  // app1, libA, base
+  EXPECT_TRUE(closure.test(to_index(app1)));
+  EXPECT_TRUE(closure.test(to_index(*repo.find("libA/2.0"))));
+  EXPECT_TRUE(closure.test(to_index(*repo.find("base/1.0"))));
+  EXPECT_FALSE(closure.test(to_index(*repo.find("libB/1.5"))));
+}
+
+TEST(Repository, ClosureOfLeafWithNoDepsIsSelf) {
+  RepositoryBuilder b;
+  b.add(decl("solo", "1", 7));
+  auto repo = std::move(b).build();
+  ASSERT_TRUE(repo.ok());
+  EXPECT_EQ(repo.value().closure(package_id(0)).count(), 1u);
+}
+
+TEST(Repository, ClosureOfSelectionUnions) {
+  const auto repo = small_repo();
+  const std::vector<PackageId> selection = {*repo.find("app1/0.1"),
+                                            *repo.find("app2/0.2")};
+  const auto closure = repo.closure_of(selection);
+  EXPECT_EQ(closure.count(), 5u);  // everything except app3
+  EXPECT_FALSE(closure.test(to_index(*repo.find("app3/0.3"))));
+}
+
+TEST(Repository, ClosureOfEmptySelectionIsEmpty) {
+  const auto repo = small_repo();
+  EXPECT_EQ(repo.closure_of({}).count(), 0u);
+}
+
+TEST(Repository, SharedDependencyCountedOnce) {
+  const auto repo = small_repo();
+  const std::vector<PackageId> selection = {*repo.find("app1/0.1"),
+                                            *repo.find("app3/0.3")};
+  // app1: {app1, libA, base}; app3: {app3, libA, libB, base} — union 5.
+  EXPECT_EQ(repo.closure_of(selection).count(), 5u);
+}
+
+TEST(Repository, BytesOfSumsSelectedSizes) {
+  const auto repo = small_repo();
+  const auto closure = repo.closure(*repo.find("app1/0.1"));
+  EXPECT_EQ(repo.bytes_of(closure), util::Bytes{160});  // 10 + 50 + 100
+}
+
+TEST(Repository, DependentsAreReverseEdges) {
+  const auto repo = small_repo();
+  const auto libA = *repo.find("libA/2.0");
+  const auto dependents = repo.dependents(libA);
+  std::set<std::string> names;
+  for (PackageId id : dependents) names.insert(repo[id].name);
+  EXPECT_EQ(names, (std::set<std::string>{"app1", "app3"}));
+}
+
+TEST(Repository, TopologicalOrderRespectsDependencies) {
+  const auto repo = small_repo();
+  const auto order = repo.topological_order();
+  ASSERT_EQ(order.size(), repo.size());
+  std::vector<std::size_t> position(repo.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[to_index(order[i])] = i;
+  }
+  for (std::uint32_t i = 0; i < repo.size(); ++i) {
+    for (PackageId dep : repo[package_id(i)].deps) {
+      EXPECT_LT(position[to_index(dep)], position[i])
+          << repo[package_id(i)].key() << " before its dependency "
+          << repo[dep].key();
+    }
+  }
+}
+
+TEST(Repository, EmptySetHelper) {
+  const auto repo = small_repo();
+  const auto set = repo.empty_set();
+  EXPECT_EQ(set.size(), repo.size());
+  EXPECT_TRUE(set.none());
+}
+
+TEST(Repository, DiamondClosureCountedOnce) {
+  // top -> left, right; left -> bottom; right -> bottom.
+  RepositoryBuilder b;
+  b.add(decl("bottom", "1", 1));
+  b.add(decl("left", "1", 1, {"bottom/1"}));
+  b.add(decl("right", "1", 1, {"bottom/1"}));
+  b.add(decl("top", "1", 1, {"left/1", "right/1"}));
+  auto repo = std::move(b).build();
+  ASSERT_TRUE(repo.ok());
+  EXPECT_EQ(repo.value().closure(*repo.value().find("top/1")).count(), 4u);
+}
+
+}  // namespace
+}  // namespace landlord::pkg

@@ -1,0 +1,222 @@
+#include "pkg/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pkg/repo_stats.hpp"
+#include "util/rng.hpp"
+
+namespace landlord::pkg {
+namespace {
+
+// A reduced-size repository keeps the suite fast; structure checks don't
+// need the full 9,660 packages.
+SyntheticRepoParams small_params() {
+  SyntheticRepoParams params;
+  params.total_packages = 800;
+  return params;
+}
+
+TEST(SyntheticRepo, ExactPackageCount) {
+  auto result = generate_repository(small_params(), 1);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().size(), 800u);
+}
+
+TEST(SyntheticRepo, DeterministicInSeed) {
+  auto a = generate_repository(small_params(), 7);
+  auto b = generate_repository(small_params(), 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (std::uint32_t i = 0; i < a.value().size(); ++i) {
+    const auto& pa = a.value()[package_id(i)];
+    const auto& pb = b.value()[package_id(i)];
+    EXPECT_EQ(pa.key(), pb.key());
+    EXPECT_EQ(pa.size, pb.size);
+    EXPECT_EQ(pa.deps, pb.deps);
+  }
+}
+
+TEST(SyntheticRepo, DifferentSeedsDiffer) {
+  auto a = generate_repository(small_params(), 1);
+  auto b = generate_repository(small_params(), 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_different = false;
+  for (std::uint32_t i = 0; i < a.value().size() && !any_different; ++i) {
+    any_different = a.value()[package_id(i)].size != b.value()[package_id(i)].size;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SyntheticRepo, HasAllThreeTiers) {
+  auto repo = generate_repository(small_params(), 3);
+  ASSERT_TRUE(repo.ok());
+  const auto stats = compute_stats(repo.value());
+  EXPECT_GT(stats.core_packages, 0u);
+  EXPECT_GT(stats.library_packages, 0u);
+  EXPECT_GT(stats.leaf_packages, 0u);
+  // Leaves dominate (long tail).
+  EXPECT_GT(stats.leaf_packages, stats.library_packages);
+  EXPECT_GT(stats.library_packages, stats.core_packages);
+}
+
+TEST(SyntheticRepo, ExperimentPrefixesPresent) {
+  auto repo = generate_repository(small_params(), 4);
+  ASSERT_TRUE(repo.ok());
+  std::set<std::string> prefixes;
+  for (std::uint32_t i = 0; i < repo.value().size(); ++i) {
+    const auto& name = repo.value()[package_id(i)].name;
+    const auto dash = name.find('-');
+    if (dash != std::string::npos) prefixes.insert(name.substr(0, dash));
+  }
+  for (const char* experiment : {"alice", "atlas", "cms", "lhcb", "sft"}) {
+    EXPECT_TRUE(prefixes.contains(experiment)) << experiment;
+  }
+}
+
+TEST(SyntheticRepo, FrameworkHubsExist) {
+  auto repo = generate_repository(small_params(), 5);
+  ASSERT_TRUE(repo.ok());
+  bool found = false;
+  for (std::uint32_t i = 0; i < repo.value().size(); ++i) {
+    if (repo.value()[package_id(i)].name.find("framework") != std::string::npos) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SyntheticRepo, CoreComponentsAreNearUniversal) {
+  // "certain core components are used near-universally" (§VI): a random
+  // leaf's closure almost always reaches some core package.
+  auto repo = generate_repository(small_params(), 6);
+  ASSERT_TRUE(repo.ok());
+  const auto& r = repo.value();
+  const auto leaves = r.packages_in_tier(PackageTier::kLeaf);
+  ASSERT_FALSE(leaves.empty());
+  int reaching_core = 0;
+  for (PackageId leaf : leaves) {
+    bool reaches = false;
+    r.closure(leaf).for_each_set([&](std::size_t i) {
+      reaches |= r[package_id(static_cast<std::uint32_t>(i))].tier ==
+                 PackageTier::kCore;
+    });
+    reaching_core += reaches ? 1 : 0;
+  }
+  EXPECT_GT(reaching_core, static_cast<int>(leaves.size() * 9 / 10));
+}
+
+TEST(SyntheticRepo, ClosureAmplificationMatchesFig3Shape) {
+  // Paper-scale repository: selections of <=100 packages close to roughly
+  // 5x as many packages; large selections amplify less (Fig. 3).
+  auto repo = default_repository(42);
+  util::Rng rng(99);
+  auto median_amplification = [&](std::uint32_t k) {
+    double total = 0.0;
+    constexpr int kReps = 10;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto indices = rng.sample_without_replacement(
+          static_cast<std::uint32_t>(repo.size()), k);
+      std::vector<PackageId> ids;
+      ids.reserve(indices.size());
+      for (auto i : indices) ids.push_back(package_id(i));
+      total += static_cast<double>(repo.closure_of(ids).count()) / k;
+    }
+    return total / kReps;
+  };
+  const double small_amp = median_amplification(100);
+  const double large_amp = median_amplification(1000);
+  EXPECT_GT(small_amp, 3.0);
+  EXPECT_LT(small_amp, 8.0);
+  EXPECT_LT(large_amp, small_amp);  // flattening
+}
+
+TEST(SyntheticRepo, DefaultRepositoryIsPaperScale) {
+  auto repo = default_repository(42);
+  EXPECT_EQ(repo.size(), 9660u);
+  // Multi-hundred-GB software repository.
+  EXPECT_GT(repo.total_bytes(), 100 * util::kGiB);
+}
+
+TEST(SyntheticRepo, AdjacentVersionsShareDependencies) {
+  // The contemporaneous version mapping should make consecutive versions
+  // of one project share most of their closure.
+  auto repo = generate_repository(small_params(), 8);
+  ASSERT_TRUE(repo.ok());
+  const auto& r = repo.value();
+  int compared = 0;
+  double similarity_sum = 0.0;
+  for (std::uint32_t i = 0; i + 1 < r.size(); ++i) {
+    const auto& a = r[package_id(i)];
+    const auto& b = r[package_id(i + 1)];
+    if (a.name != b.name) continue;
+    const auto& ca = r.closure(package_id(i));
+    const auto& cb = r.closure(package_id(i + 1));
+    const double inter = static_cast<double>(ca.intersection_count(cb));
+    const double uni = static_cast<double>(ca.union_count(cb));
+    similarity_sum += inter / uni;
+    ++compared;
+  }
+  ASSERT_GT(compared, 10);
+  EXPECT_GT(similarity_sum / compared, 0.35);
+}
+
+TEST(SyntheticRepo, PypiLikePresetIsFlatterThanDefault) {
+  SyntheticRepoParams flat = pypi_like_params();
+  flat.total_packages = 800;
+  SyntheticRepoParams hier = small_params();
+  auto flat_repo = generate_repository(flat, 9);
+  auto hier_repo = generate_repository(hier, 9);
+  ASSERT_TRUE(flat_repo.ok() && hier_repo.ok());
+  const auto flat_stats = compute_stats(flat_repo.value());
+  const auto hier_stats = compute_stats(hier_repo.value());
+  EXPECT_LT(flat_stats.mean_closure_packages, hier_stats.mean_closure_packages);
+  EXPECT_LE(flat_stats.max_depth, hier_stats.max_depth);
+  // No framework hubs in the flat preset.
+  bool hub_found = false;
+  for (std::uint32_t i = 0; i < flat_repo.value().size(); ++i) {
+    hub_found |= flat_repo.value()[package_id(i)].name.find("framework") !=
+                 std::string::npos;
+  }
+  EXPECT_FALSE(hub_found);
+}
+
+TEST(SyntheticRepo, RejectsZeroPackages) {
+  SyntheticRepoParams params;
+  params.total_packages = 0;
+  EXPECT_FALSE(generate_repository(params, 1).ok());
+}
+
+TEST(SyntheticRepo, RejectsBadFractions) {
+  SyntheticRepoParams params;
+  params.core_fraction = 0.6;
+  params.library_fraction = 0.6;
+  EXPECT_FALSE(generate_repository(params, 1).ok());
+}
+
+TEST(SyntheticRepo, RejectsBadVersionRange) {
+  SyntheticRepoParams params;
+  params.min_versions = 5;
+  params.max_versions = 2;
+  EXPECT_FALSE(generate_repository(params, 1).ok());
+}
+
+TEST(SyntheticRepo, RejectsExperimentArityMismatch) {
+  SyntheticRepoParams params;
+  params.experiments = {"a", "b"};
+  params.experiment_weights = {1.0};
+  EXPECT_FALSE(generate_repository(params, 1).ok());
+}
+
+TEST(SyntheticRepo, PackageSizesArePositive) {
+  auto repo = generate_repository(small_params(), 9);
+  ASSERT_TRUE(repo.ok());
+  for (std::uint32_t i = 0; i < repo.value().size(); ++i) {
+    EXPECT_GE(repo.value()[package_id(i)].size, util::Bytes{4096});
+  }
+}
+
+}  // namespace
+}  // namespace landlord::pkg

@@ -1,0 +1,83 @@
+#include "pkg/versions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pkg/synthetic.hpp"
+#include "util/version.hpp"
+
+namespace landlord::pkg {
+namespace {
+
+Repository chain_repo() {
+  RepositoryBuilder b;
+  b.add({"proj", "1.0", 10, PackageTier::kLibrary, {}});
+  b.add({"proj", "1.10", 10, PackageTier::kLibrary, {}});  // > 1.9 numerically
+  b.add({"proj", "1.9", 10, PackageTier::kLibrary, {}});
+  b.add({"solo", "2.0", 10, PackageTier::kLeaf, {}});
+  auto result = std::move(b).build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(VersionChains, SuccessorFollowsNaturalOrder) {
+  const auto repo = chain_repo();
+  const VersionChains chains(repo);
+  const auto v1 = *repo.find("proj/1.0");
+  const auto v19 = *repo.find("proj/1.9");
+  const auto v110 = *repo.find("proj/1.10");
+
+  ASSERT_TRUE(chains.successor(v1).has_value());
+  EXPECT_EQ(*chains.successor(v1), v19);  // 1.0 -> 1.9 -> 1.10
+  ASSERT_TRUE(chains.successor(v19).has_value());
+  EXPECT_EQ(*chains.successor(v19), v110);
+  EXPECT_FALSE(chains.successor(v110).has_value());
+}
+
+TEST(VersionChains, PredecessorMirrorsSuccessor) {
+  const auto repo = chain_repo();
+  const VersionChains chains(repo);
+  const auto v19 = *repo.find("proj/1.9");
+  const auto v110 = *repo.find("proj/1.10");
+  ASSERT_TRUE(chains.predecessor(v110).has_value());
+  EXPECT_EQ(*chains.predecessor(v110), v19);
+  EXPECT_FALSE(chains.predecessor(*repo.find("proj/1.0")).has_value());
+}
+
+TEST(VersionChains, SingleVersionProjectHasNoNeighbours) {
+  const auto repo = chain_repo();
+  const VersionChains chains(repo);
+  const auto solo = *repo.find("solo/2.0");
+  EXPECT_FALSE(chains.successor(solo).has_value());
+  EXPECT_FALSE(chains.predecessor(solo).has_value());
+  EXPECT_EQ(chains.newest(solo), solo);
+}
+
+TEST(VersionChains, NewestWalksToChainEnd) {
+  const auto repo = chain_repo();
+  const VersionChains chains(repo);
+  EXPECT_EQ(chains.newest(*repo.find("proj/1.0")), *repo.find("proj/1.10"));
+  EXPECT_EQ(chains.newest(*repo.find("proj/1.10")), *repo.find("proj/1.10"));
+}
+
+TEST(VersionChains, ConsistentOnSyntheticRepository) {
+  SyntheticRepoParams params;
+  params.total_packages = 500;
+  auto repo = generate_repository(params, 31);
+  ASSERT_TRUE(repo.ok());
+  const VersionChains chains(repo.value());
+  for (std::uint32_t i = 0; i < repo.value().size(); ++i) {
+    const auto id = package_id(i);
+    if (auto next = chains.successor(id)) {
+      // Same project, strictly newer version, and we are its predecessor.
+      EXPECT_EQ(repo.value()[*next].name, repo.value()[id].name);
+      EXPECT_GT(util::version_compare(repo.value()[*next].version,
+                                      repo.value()[id].version),
+                0);
+      ASSERT_TRUE(chains.predecessor(*next).has_value());
+      EXPECT_EQ(*chains.predecessor(*next), id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace landlord::pkg

@@ -1,0 +1,102 @@
+#include "shrinkwrap/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pkg/synthetic.hpp"
+
+namespace landlord::shrinkwrap {
+namespace {
+
+const pkg::Repository& repo() {
+  static const pkg::Repository r = [] {
+    pkg::SyntheticRepoParams params;
+    params.total_packages = 400;
+    auto result = pkg::generate_repository(params, 31);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }();
+  return r;
+}
+
+spec::Specification spec_for(std::initializer_list<std::uint32_t> ids) {
+  std::vector<pkg::PackageId> request;
+  for (auto i : ids) request.push_back(pkg::package_id(i));
+  return spec::Specification::from_request(repo(), request);
+}
+
+TEST(ImageBuilder, ColdBuildFetchesMostOfTheImage) {
+  // A cold build downloads everything except intra-image duplicates (two
+  // versions of one project inside the same closure share chunks).
+  ImageBuilder builder(repo());
+  const auto built = builder.build(spec_for({100}));
+  EXPECT_GT(built.bytes, util::Bytes{0});
+  EXPECT_GT(built.files, 0u);
+  EXPECT_LE(built.fetched_bytes, built.bytes);
+  EXPECT_GT(built.fetched_bytes, built.bytes / 2);
+}
+
+TEST(ImageBuilder, RebuildFetchesNothingNew) {
+  ImageBuilder builder(repo());
+  const auto spec = spec_for({100, 101});
+  (void)builder.build(spec);
+  const auto rebuilt = builder.build(spec);
+  EXPECT_EQ(rebuilt.fetched_bytes, util::Bytes{0});
+  EXPECT_GT(rebuilt.bytes, util::Bytes{0});  // still written in full
+}
+
+TEST(ImageBuilder, OverlappingSpecFetchesOnlyDelta) {
+  ImageBuilder builder(repo());
+  const auto a = builder.build(spec_for({100, 101}));
+  const auto b = builder.build(spec_for({100, 101, 102}));
+  EXPECT_LT(b.fetched_bytes, b.bytes);
+  EXPECT_GT(a.fetched_bytes, util::Bytes{0});
+}
+
+TEST(ImageBuilder, PrepTimeGrowsWithImageSize) {
+  ImageBuilder builder(repo());
+  const auto small = builder.build(spec_for({50}));
+  ImageBuilder cold(repo());
+  const auto large = cold.build(spec_for({50, 150, 250, 350}));
+  EXPECT_GT(large.bytes, small.bytes);
+  EXPECT_GT(large.prep_seconds, small.prep_seconds);
+}
+
+TEST(ImageBuilder, ModelSecondsComposition) {
+  BuildTimeModel model;
+  model.fixed_overhead_s = 10.0;
+  model.download_bytes_per_s = 100.0;
+  model.compress_bytes_per_s = 200.0;
+  model.per_file_s = 1.0;
+  ImageBuilder builder(repo(), {}, model);
+  // 10 + 1000/100 + 400/200 + 5*1 = 10 + 10 + 2 + 5 = 27.
+  EXPECT_DOUBLE_EQ(builder.model_seconds(400, 1000, 5), 27.0);
+}
+
+TEST(ImageBuilder, EmptySpecCostsOnlyOverhead) {
+  ImageBuilder builder(repo());
+  const auto built = builder.build(spec::Specification(spec::PackageSet(repo().size())));
+  EXPECT_EQ(built.bytes, util::Bytes{0});
+  EXPECT_EQ(built.files, 0u);
+  EXPECT_DOUBLE_EQ(built.prep_seconds, BuildTimeModel{}.fixed_overhead_s);
+}
+
+TEST(ImageBuilder, ChunkCacheGrowsAcrossBuilds) {
+  ImageBuilder builder(repo());
+  (void)builder.build(spec_for({10}));
+  const auto after_one = builder.chunk_cache().chunk_count();
+  (void)builder.build(spec_for({20}));
+  EXPECT_GT(builder.chunk_cache().chunk_count(), after_one);
+}
+
+TEST(ImageBuilder, DefaultModelGivesFig2ScalePrepTimes) {
+  // A ~5 GB image should prepare in tens of seconds, matching the Fig. 2
+  // band (37-115 s for 2.7-8.4 GB images).
+  ImageBuilder builder(repo());
+  const double seconds =
+      builder.model_seconds(5'000'000'000ULL, 5'000'000'000ULL, 1000);
+  EXPECT_GT(seconds, 20.0);
+  EXPECT_LT(seconds, 150.0);
+}
+
+}  // namespace
+}  // namespace landlord::shrinkwrap

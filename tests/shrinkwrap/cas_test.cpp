@@ -1,0 +1,82 @@
+#include "shrinkwrap/cas.hpp"
+
+#include <gtest/gtest.h>
+
+namespace landlord::shrinkwrap {
+namespace {
+
+TEST(Cas, StartsEmpty) {
+  Cas cas;
+  EXPECT_EQ(cas.chunk_count(), 0u);
+  EXPECT_EQ(cas.unique_bytes(), util::Bytes{0});
+  EXPECT_EQ(cas.logical_bytes(), util::Bytes{0});
+}
+
+TEST(Cas, FirstReferenceAddsUniqueBytes) {
+  Cas cas;
+  cas.add_chunk(0xabc, 100);
+  EXPECT_TRUE(cas.contains(0xabc));
+  EXPECT_EQ(cas.chunk_count(), 1u);
+  EXPECT_EQ(cas.unique_bytes(), util::Bytes{100});
+  EXPECT_EQ(cas.logical_bytes(), util::Bytes{100});
+}
+
+TEST(Cas, DuplicateReferenceOnlyGrowsLogical) {
+  Cas cas;
+  cas.add_chunk(0xabc, 100);
+  cas.add_chunk(0xabc, 100);
+  cas.add_chunk(0xabc, 100);
+  EXPECT_EQ(cas.chunk_count(), 1u);
+  EXPECT_EQ(cas.unique_bytes(), util::Bytes{100});
+  EXPECT_EQ(cas.logical_bytes(), util::Bytes{300});
+}
+
+TEST(Cas, DistinctChunksAccumulate) {
+  Cas cas;
+  cas.add_chunk(1, 10);
+  cas.add_chunk(2, 20);
+  EXPECT_EQ(cas.chunk_count(), 2u);
+  EXPECT_EQ(cas.unique_bytes(), util::Bytes{30});
+}
+
+TEST(Cas, DropLastReferenceFrees) {
+  Cas cas;
+  cas.add_chunk(7, 50);
+  cas.drop_chunk(7);
+  EXPECT_FALSE(cas.contains(7));
+  EXPECT_EQ(cas.unique_bytes(), util::Bytes{0});
+  EXPECT_EQ(cas.logical_bytes(), util::Bytes{0});
+}
+
+TEST(Cas, DropKeepsChunkWhileReferenced) {
+  Cas cas;
+  cas.add_chunk(7, 50);
+  cas.add_chunk(7, 50);
+  cas.drop_chunk(7);
+  EXPECT_TRUE(cas.contains(7));
+  EXPECT_EQ(cas.unique_bytes(), util::Bytes{50});
+  EXPECT_EQ(cas.logical_bytes(), util::Bytes{50});
+}
+
+TEST(Cas, DropUnknownChunkIsNoop) {
+  Cas cas;
+  cas.drop_chunk(999);
+  EXPECT_EQ(cas.chunk_count(), 0u);
+}
+
+TEST(Cas, InterleavedLifecycle) {
+  Cas cas;
+  cas.add_chunk(1, 10);
+  cas.add_chunk(2, 20);
+  cas.add_chunk(1, 10);
+  cas.drop_chunk(2);
+  EXPECT_EQ(cas.unique_bytes(), util::Bytes{10});
+  EXPECT_EQ(cas.logical_bytes(), util::Bytes{20});
+  cas.drop_chunk(1);
+  cas.drop_chunk(1);
+  EXPECT_EQ(cas.chunk_count(), 0u);
+  EXPECT_EQ(cas.logical_bytes(), util::Bytes{0});
+}
+
+}  // namespace
+}  // namespace landlord::shrinkwrap

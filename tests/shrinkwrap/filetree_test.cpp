@@ -1,0 +1,154 @@
+#include "shrinkwrap/filetree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "pkg/synthetic.hpp"
+
+namespace landlord::shrinkwrap {
+namespace {
+
+pkg::Repository versioned_repo() {
+  pkg::RepositoryBuilder b;
+  b.add({"proj", "1.0", 100 * util::kMiB, pkg::PackageTier::kLibrary, {}});
+  b.add({"proj", "2.0", 100 * util::kMiB, pkg::PackageTier::kLibrary, {}});
+  b.add({"proj", "3.0", 100 * util::kMiB, pkg::PackageTier::kLibrary, {}});
+  b.add({"other", "1.0", 64 * util::kMiB, pkg::PackageTier::kLeaf, {}});
+  b.add({"tiny", "1.0", 8192, pkg::PackageTier::kLeaf, {}});
+  auto result = std::move(b).build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(FileTree, Deterministic) {
+  const auto repo = versioned_repo();
+  FileTreeModel m1(repo), m2(repo);
+  const auto f1 = m1.files(pkg::package_id(0));
+  const auto f2 = m2.files(pkg::package_id(0));
+  ASSERT_EQ(f1.size(), f2.size());
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_EQ(f1[i].content, f2[i].content);
+    EXPECT_EQ(f1[i].size, f2[i].size);
+  }
+}
+
+TEST(FileTree, FileCountRespectsBounds) {
+  const auto repo = versioned_repo();
+  FileTreeParams params;
+  params.min_files = 3;
+  params.max_files = 50;
+  FileTreeModel model(repo, params);
+  for (std::uint32_t i = 0; i < repo.size(); ++i) {
+    const auto files = model.files(pkg::package_id(i));
+    EXPECT_GE(files.size(), 3u);
+    EXPECT_LE(files.size(), 50u);
+  }
+}
+
+TEST(FileTree, TinyPackageGetsMinFiles) {
+  const auto repo = versioned_repo();
+  FileTreeModel model(repo);
+  const auto files = model.files(*repo.find("tiny/1.0"));
+  EXPECT_EQ(files.size(), FileTreeParams{}.min_files);
+}
+
+TEST(FileTree, AllFileSizesPositiveish) {
+  const auto repo = versioned_repo();
+  FileTreeModel model(repo);
+  for (std::uint32_t i = 0; i < repo.size(); ++i) {
+    for (const auto& file : model.files(pkg::package_id(i))) {
+      EXPECT_GE(file.size, util::Bytes{0});
+    }
+  }
+}
+
+TEST(FileTree, ConsecutiveVersionsShareContent) {
+  const auto repo = versioned_repo();
+  FileTreeParams params;
+  params.version_share_probability = 0.7;
+  FileTreeModel model(repo, params);
+  const auto v1 = model.files(*repo.find("proj/1.0"));
+  const auto v2 = model.files(*repo.find("proj/2.0"));
+  std::set<ChunkHash> h1;
+  for (const auto& f : v1) h1.insert(f.content);
+  std::size_t shared = 0;
+  for (const auto& f : v2) shared += h1.contains(f.content) ? 1u : 0u;
+  // With share probability 0.7 and 25 files, the binomial tail below 20%
+  // sharing is negligible.
+  EXPECT_GT(shared, v2.size() / 5);
+  EXPECT_LT(shared, v2.size());  // but a rebuild changes *something*
+}
+
+TEST(FileTree, UnrelatedProjectsShareNothing) {
+  const auto repo = versioned_repo();
+  FileTreeModel model(repo);
+  std::set<ChunkHash> a;
+  for (const auto& f : model.files(*repo.find("proj/1.0"))) a.insert(f.content);
+  for (const auto& f : model.files(*repo.find("other/1.0"))) {
+    EXPECT_FALSE(a.contains(f.content));
+  }
+}
+
+TEST(FileTree, SharedFilesHaveIdenticalSizes) {
+  // CAS correctness requires equal content hash => equal size.
+  const auto repo = versioned_repo();
+  FileTreeModel model(repo);
+  std::map<ChunkHash, util::Bytes> sizes;
+  for (std::uint32_t i = 0; i < repo.size(); ++i) {
+    for (const auto& file : model.files(pkg::package_id(i))) {
+      auto [it, inserted] = sizes.emplace(file.content, file.size);
+      if (!inserted) {
+        EXPECT_EQ(it->second, file.size) << "chunk " << file.content;
+      }
+    }
+  }
+}
+
+TEST(FileTree, VersionChainSharingIsTransitive) {
+  // v3 may inherit a file unchanged since v1; hash equality must agree
+  // across the whole chain (same anchor), not just adjacent versions.
+  const auto repo = versioned_repo();
+  FileTreeModel model(repo);
+  const auto v1 = model.files(*repo.find("proj/1.0"));
+  const auto v2 = model.files(*repo.find("proj/2.0"));
+  const auto v3 = model.files(*repo.find("proj/3.0"));
+  const std::size_t n = std::min({v1.size(), v2.size(), v3.size()});
+  for (std::size_t f = 0; f < n; ++f) {
+    if (v3[f].content == v1[f].content) {
+      // If v3 kept v1's file, v2 must have kept it too (no resurrection).
+      EXPECT_EQ(v2[f].content, v1[f].content) << "file " << f;
+    }
+  }
+}
+
+TEST(FileTree, TreeBytesInReasonableRangeOfPackageSize) {
+  // Cross-version shared files re-anchor sizes, so totals drift from the
+  // declared package size but must stay the same order of magnitude.
+  const auto repo = versioned_repo();
+  FileTreeModel model(repo);
+  for (std::uint32_t i = 0; i < repo.size(); ++i) {
+    const auto id = pkg::package_id(i);
+    const auto declared = repo[id].size;
+    const auto actual = model.tree_bytes(id);
+    EXPECT_GT(actual, declared / 8) << repo[id].key();
+    EXPECT_LT(actual, declared * 8) << repo[id].key();
+  }
+}
+
+TEST(FileTree, WorksOnSyntheticRepository) {
+  pkg::SyntheticRepoParams params;
+  params.total_packages = 300;
+  auto repo = pkg::generate_repository(params, 21);
+  ASSERT_TRUE(repo.ok());
+  FileTreeModel model(repo.value());
+  std::uint64_t total_files = 0;
+  for (std::uint32_t i = 0; i < repo.value().size(); ++i) {
+    total_files += model.files(pkg::package_id(i)).size();
+  }
+  EXPECT_GT(total_files, 300u * FileTreeParams{}.min_files - 1);
+}
+
+}  // namespace
+}  // namespace landlord::shrinkwrap

@@ -1,0 +1,94 @@
+// §IV's key insight, demonstrated: "two container images may be
+// functionally identical despite having different contents if the build
+// process is not strictly deterministic" — so content-level comparison
+// fails where specification-level comparison works.
+#include <gtest/gtest.h>
+
+#include "pkg/synthetic.hpp"
+#include "shrinkwrap/builder.hpp"
+
+namespace landlord::shrinkwrap {
+namespace {
+
+const pkg::Repository& repo() {
+  static const pkg::Repository r = [] {
+    pkg::SyntheticRepoParams params;
+    params.total_packages = 300;
+    auto result = pkg::generate_repository(params, 17);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }();
+  return r;
+}
+
+spec::Specification spec_for(std::initializer_list<std::uint32_t> ids) {
+  std::vector<pkg::PackageId> request;
+  for (auto i : ids) request.push_back(pkg::package_id(i));
+  return spec::Specification::from_request(repo(), request);
+}
+
+TEST(Nondeterminism, DeterministicBuilderDigestsAgree) {
+  ImageBuilder a(repo()), b(repo());
+  const auto spec = spec_for({100, 200});
+  EXPECT_EQ(a.build(spec).content_digest, b.build(spec).content_digest);
+}
+
+TEST(Nondeterminism, NoisyRebuildsOfSameSpecDifferInContent) {
+  BuildNoiseModel noise;
+  noise.noise_files = 3;
+  ImageBuilder builder(repo(), {}, {}, noise);
+  const auto spec = spec_for({100, 200});
+  const auto first = builder.build(spec);
+  const auto second = builder.build(spec);
+  // Functionally identical images (same spec!), different contents —
+  // a content-addressed or byte-level cache would treat them as
+  // distinct; the specification comparison is what establishes
+  // equivalence.
+  EXPECT_NE(first.content_digest, second.content_digest);
+  EXPECT_TRUE(spec.packages() == spec.packages());  // trivially equal
+}
+
+TEST(Nondeterminism, NoiseInflatesBytesAndFiles) {
+  BuildNoiseModel noise;
+  noise.noise_files = 5;
+  noise.noise_file_bytes = 1000;
+  ImageBuilder noisy(repo(), {}, {}, noise);
+  ImageBuilder clean(repo());
+  const auto spec = spec_for({50});
+  const auto with_noise = noisy.build(spec);
+  const auto without = clean.build(spec);
+  EXPECT_EQ(with_noise.bytes, without.bytes + 5000);
+  EXPECT_EQ(with_noise.files, without.files + 5);
+}
+
+TEST(Nondeterminism, NoiseIsNotDownloaded) {
+  BuildNoiseModel noise;
+  noise.noise_files = 4;
+  ImageBuilder builder(repo(), {}, {}, noise);
+  const auto spec = spec_for({50});
+  const auto first = builder.build(spec);
+  const auto second = builder.build(spec);
+  // Noise is generated locally; the rebuild fetches nothing.
+  EXPECT_LT(first.fetched_bytes, first.bytes);
+  EXPECT_EQ(second.fetched_bytes, util::Bytes{0});
+}
+
+TEST(Nondeterminism, DigestIsOrderIndependentForSameContents) {
+  // Two specs with the same package set digest identically on cold
+  // builders regardless of construction path.
+  ImageBuilder a(repo()), b(repo());
+  auto s1 = spec_for({10, 20, 30});
+  std::vector<pkg::PackageId> reversed = {pkg::package_id(30), pkg::package_id(20),
+                                          pkg::package_id(10)};
+  auto s2 = spec::Specification::from_request(repo(), reversed);
+  EXPECT_EQ(a.build(s1).content_digest, b.build(s2).content_digest);
+}
+
+TEST(Nondeterminism, DifferentSpecsDigestDifferently) {
+  ImageBuilder a(repo()), b(repo());
+  EXPECT_NE(a.build(spec_for({10})).content_digest,
+            b.build(spec_for({11})).content_digest);
+}
+
+}  // namespace
+}  // namespace landlord::shrinkwrap

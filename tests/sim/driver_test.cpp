@@ -1,0 +1,114 @@
+#include "sim/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pkg/synthetic.hpp"
+
+namespace landlord::sim {
+namespace {
+
+const pkg::Repository& repo() {
+  static const pkg::Repository r = [] {
+    pkg::SyntheticRepoParams params;
+    params.total_packages = 1000;
+    auto result = pkg::generate_repository(params, 51);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }();
+  return r;
+}
+
+SimulationConfig small_config(double alpha) {
+  SimulationConfig config;
+  config.cache.alpha = alpha;
+  config.cache.capacity = repo().total_bytes() / 3;
+  config.workload.unique_jobs = 50;
+  config.workload.repetitions = 3;
+  config.workload.max_initial_selection = 20;
+  config.seed = 9;
+  return config;
+}
+
+TEST(Driver, ProcessesWholeStream) {
+  const auto result = run_simulation(repo(), small_config(0.8));
+  EXPECT_EQ(result.counters.requests, 150u);
+  EXPECT_EQ(result.counters.requests,
+            result.counters.hits + result.counters.merges + result.counters.inserts);
+}
+
+TEST(Driver, DeterministicInSeed) {
+  const auto a = run_simulation(repo(), small_config(0.8));
+  const auto b = run_simulation(repo(), small_config(0.8));
+  EXPECT_EQ(a.counters.hits, b.counters.hits);
+  EXPECT_EQ(a.counters.merges, b.counters.merges);
+  EXPECT_EQ(a.counters.inserts, b.counters.inserts);
+  EXPECT_EQ(a.counters.deletes, b.counters.deletes);
+  EXPECT_EQ(a.final_total_bytes, b.final_total_bytes);
+  EXPECT_EQ(a.counters.written_bytes, b.counters.written_bytes);
+}
+
+TEST(Driver, SeedChangesWorkload) {
+  auto config = small_config(0.8);
+  const auto a = run_simulation(repo(), config);
+  config.seed = 10;
+  const auto b = run_simulation(repo(), config);
+  EXPECT_NE(a.counters.requested_bytes, b.counters.requested_bytes);
+}
+
+TEST(Driver, EfficienciesInRange) {
+  for (double alpha : {0.0, 0.5, 0.9, 1.0}) {
+    const auto result = run_simulation(repo(), small_config(alpha));
+    EXPECT_GE(result.cache_efficiency, 0.0);
+    EXPECT_LE(result.cache_efficiency, 1.0 + 1e-9);
+    EXPECT_GE(result.container_efficiency, 0.0);
+    EXPECT_LE(result.container_efficiency, 1.0 + 1e-9);
+  }
+}
+
+TEST(Driver, UniqueNeverExceedsTotal) {
+  const auto result = run_simulation(repo(), small_config(0.7));
+  EXPECT_LE(result.final_unique_bytes, result.final_total_bytes);
+}
+
+TEST(Driver, TimeSeriesRecordedWhenEnabled) {
+  auto config = small_config(0.8);
+  config.cache.record_time_series = true;
+  const auto result = run_simulation(repo(), config);
+  EXPECT_EQ(result.series.samples().size(), 150u);
+  // Cumulative counters in the series are monotone.
+  const auto& samples = result.series.samples();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].hits, samples[i - 1].hits);
+    EXPECT_GE(samples[i].merges, samples[i - 1].merges);
+    EXPECT_GE(samples[i].inserts, samples[i - 1].inserts);
+    EXPECT_GE(samples[i].deletes, samples[i - 1].deletes);
+    EXPECT_GE(samples[i].cumulative_written, samples[i - 1].cumulative_written);
+    EXPECT_GE(samples[i].cumulative_requested, samples[i - 1].cumulative_requested);
+  }
+}
+
+TEST(Driver, AlphaZeroBehavesLikeLru) {
+  const auto result = run_simulation(repo(), small_config(0.0));
+  EXPECT_EQ(result.counters.merges, 0u);
+  EXPECT_GT(result.counters.inserts, 0u);
+}
+
+TEST(Driver, AlphaOneBuildsSingleImage) {
+  auto config = small_config(1.0);
+  config.cache.capacity = repo().total_bytes() * 2;
+  const auto result = run_simulation(repo(), config);
+  EXPECT_EQ(result.final_image_count, 1u);
+  EXPECT_DOUBLE_EQ(result.cache_efficiency, 1.0);
+}
+
+TEST(Driver, RepetitionsIncreaseHits) {
+  auto config = small_config(0.6);
+  config.workload.repetitions = 1;
+  const auto once = run_simulation(repo(), config);
+  config.workload.repetitions = 5;
+  const auto five = run_simulation(repo(), config);
+  EXPECT_GT(five.counters.hits, once.counters.hits);
+}
+
+}  // namespace
+}  // namespace landlord::sim

@@ -1,0 +1,100 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pkg/synthetic.hpp"
+
+namespace landlord::sim {
+namespace {
+
+const pkg::Repository& repo() {
+  static const pkg::Repository r = [] {
+    pkg::SyntheticRepoParams params;
+    params.total_packages = 800;
+    auto result = pkg::generate_repository(params, 61);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }();
+  return r;
+}
+
+SweepConfig small_sweep() {
+  SweepConfig config;
+  config.alphas = {0.2, 0.6, 0.95};
+  config.replicates = 3;
+  config.base.cache.capacity = repo().total_bytes() / 3;
+  config.base.workload.unique_jobs = 30;
+  config.base.workload.repetitions = 3;
+  config.base.workload.max_initial_selection = 15;
+  config.base.seed = 17;
+  return config;
+}
+
+TEST(Sweep, OnePointPerAlpha) {
+  const auto points = run_sweep(repo(), small_sweep());
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].alpha, 0.2);
+  EXPECT_DOUBLE_EQ(points[2].alpha, 0.95);
+}
+
+TEST(Sweep, DefaultAlphasMatchPaperGrid) {
+  const auto alphas = SweepConfig::default_alphas();
+  ASSERT_EQ(alphas.size(), 13u);  // 0.40 .. 1.00 step 0.05
+  EXPECT_DOUBLE_EQ(alphas.front(), 0.40);
+  EXPECT_DOUBLE_EQ(alphas.back(), 1.00);
+  for (std::size_t i = 1; i < alphas.size(); ++i) {
+    EXPECT_NEAR(alphas[i] - alphas[i - 1], 0.05, 1e-12);
+  }
+}
+
+TEST(Sweep, SerialAndParallelAgreeExactly) {
+  const auto serial = run_sweep(repo(), small_sweep(), nullptr);
+  util::ThreadPool pool(4);
+  const auto parallel = run_sweep(repo(), small_sweep(), &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].hits, parallel[i].hits);
+    EXPECT_DOUBLE_EQ(serial[i].merges, parallel[i].merges);
+    EXPECT_DOUBLE_EQ(serial[i].inserts, parallel[i].inserts);
+    EXPECT_DOUBLE_EQ(serial[i].total_gb, parallel[i].total_gb);
+    EXPECT_DOUBLE_EQ(serial[i].cache_efficiency, parallel[i].cache_efficiency);
+  }
+}
+
+TEST(Sweep, RerunIsDeterministic) {
+  const auto a = run_sweep(repo(), small_sweep());
+  const auto b = run_sweep(repo(), small_sweep());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].written_tb, b[i].written_tb);
+    EXPECT_DOUBLE_EQ(a[i].container_efficiency, b[i].container_efficiency);
+  }
+}
+
+TEST(Sweep, OperationCountsConserveRequests) {
+  // Median-of-sums won't exactly equal the request count, but each
+  // replicate conserves it, so the medians must sum close to it.
+  const auto points = run_sweep(repo(), small_sweep());
+  const double requests = 30.0 * 3.0;
+  for (const auto& point : points) {
+    EXPECT_NEAR(point.hits + point.merges + point.inserts, requests,
+                requests * 0.1);
+  }
+}
+
+TEST(Sweep, HighAlphaMergesMoreThanLowAlpha) {
+  const auto points = run_sweep(repo(), small_sweep());
+  EXPECT_GT(points[2].merges, points[0].merges);
+  EXPECT_LT(points[2].inserts, points[0].inserts);
+}
+
+TEST(Sweep, EfficiencyPercentagesInRange) {
+  for (const auto& point : run_sweep(repo(), small_sweep())) {
+    EXPECT_GE(point.cache_efficiency, 0.0);
+    EXPECT_LE(point.cache_efficiency, 100.0 + 1e-9);
+    EXPECT_GE(point.container_efficiency, 0.0);
+    EXPECT_LE(point.container_efficiency, 100.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace landlord::sim

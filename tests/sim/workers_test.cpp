@@ -1,0 +1,167 @@
+#include "sim/workers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pkg/synthetic.hpp"
+#include "sim/workload.hpp"
+
+namespace landlord::sim {
+namespace {
+
+using pkg::package_id;
+
+const pkg::Repository& repo() {
+  static const pkg::Repository r = [] {
+    pkg::SyntheticRepoParams params;
+    params.total_packages = 800;
+    auto result = pkg::generate_repository(params, 81);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }();
+  return r;
+}
+
+core::Image make_image(std::uint64_t id, util::Bytes bytes,
+                       std::uint32_t version = 0) {
+  core::Image image;
+  image.id = core::ImageId{id};
+  image.bytes = bytes;
+  image.version = version;
+  return image;
+}
+
+TEST(WorkerPool, FirstDispatchTransfers) {
+  WorkerPool pool({.workers = 2}, util::Rng(1));
+  EXPECT_EQ(pool.dispatch(make_image(1, 100)), util::Bytes{100});
+  EXPECT_EQ(pool.transferred_bytes(), util::Bytes{100});
+  EXPECT_EQ(pool.transfers(), 1u);
+}
+
+TEST(WorkerPool, SameWorkerSameVersionIsLocalHit) {
+  WorkerPoolConfig config;
+  config.workers = 1;
+  WorkerPool pool(config, util::Rng(1));
+  (void)pool.dispatch(make_image(1, 100));
+  EXPECT_EQ(pool.dispatch(make_image(1, 100)), util::Bytes{0});
+  EXPECT_EQ(pool.local_hits(), 1u);
+  EXPECT_EQ(pool.transferred_bytes(), util::Bytes{100});
+}
+
+TEST(WorkerPool, RoundRobinSpreadsCopies) {
+  WorkerPoolConfig config;
+  config.workers = 2;
+  config.scheduling = Scheduling::kRoundRobin;
+  WorkerPool pool(config, util::Rng(1));
+  (void)pool.dispatch(make_image(1, 100));  // worker 0
+  (void)pool.dispatch(make_image(1, 100));  // worker 1: must transfer again
+  EXPECT_EQ(pool.transfers(), 2u);
+  EXPECT_EQ(pool.local_hits(), 0u);
+  (void)pool.dispatch(make_image(1, 100));  // worker 0 again: local
+  EXPECT_EQ(pool.local_hits(), 1u);
+}
+
+TEST(WorkerPool, StaleVersionRefetches) {
+  WorkerPoolConfig config;
+  config.workers = 1;
+  WorkerPool pool(config, util::Rng(1));
+  (void)pool.dispatch(make_image(1, 100, 0));
+  EXPECT_EQ(pool.dispatch(make_image(1, 120, 1)), util::Bytes{120});
+  EXPECT_EQ(pool.stale_refetches(), 1u);
+  EXPECT_EQ(pool.transferred_bytes(), util::Bytes{220});
+}
+
+TEST(WorkerPool, ScratchEvictionLru) {
+  WorkerPoolConfig config;
+  config.workers = 1;
+  config.scratch_per_worker = 150;
+  WorkerPool pool(config, util::Rng(1));
+  (void)pool.dispatch(make_image(1, 100));
+  (void)pool.dispatch(make_image(2, 100));  // evicts image 1 locally
+  EXPECT_EQ(pool.dispatch(make_image(1, 100)), util::Bytes{100});  // refetch
+  EXPECT_EQ(pool.transfers(), 3u);
+}
+
+TEST(WorkerPool, RandomSchedulingStillAccounts) {
+  WorkerPoolConfig config;
+  config.workers = 4;
+  config.scheduling = Scheduling::kRandom;
+  WorkerPool pool(config, util::Rng(7));
+  util::Bytes total = 0;
+  for (int i = 0; i < 20; ++i) total += pool.dispatch(make_image(1, 50));
+  EXPECT_EQ(total, pool.transferred_bytes());
+  EXPECT_EQ(pool.transfers() + pool.local_hits(), 20u);
+}
+
+TEST(RunWithWorkers, EndToEndAccounting) {
+  WorkloadConfig workload;
+  workload.unique_jobs = 40;
+  workload.repetitions = 3;
+  workload.max_initial_selection = 10;
+  WorkloadGenerator generator(repo(), workload, util::Rng(9));
+  const auto specs = generator.unique_specifications();
+  const auto stream = generator.request_stream();
+
+  core::CacheConfig cache_config;
+  cache_config.alpha = 0.8;
+  cache_config.capacity = repo().total_bytes();
+  WorkerPoolConfig pool_config;
+  pool_config.workers = 4;
+  pool_config.scratch_per_worker = repo().total_bytes();
+
+  const auto result = run_with_workers(repo(), cache_config, pool_config, specs,
+                                       stream, 11);
+  EXPECT_EQ(result.head_counters.requests, stream.size());
+  EXPECT_GT(result.transferred_bytes, util::Bytes{0});
+  EXPECT_EQ(result.transfers + result.local_hits,
+            result.head_counters.requests);
+  EXPECT_GT(result.requested_bytes, util::Bytes{0});
+}
+
+TEST(RunWithWorkers, HighAlphaTransfersMoreBytesPerJob) {
+  // Fat merged images get rewritten constantly, so worker copies go
+  // stale and transfers balloon — the downstream cost of high alpha.
+  WorkloadConfig workload;
+  workload.unique_jobs = 60;
+  workload.repetitions = 4;
+  workload.max_initial_selection = 15;
+  WorkloadGenerator generator(repo(), workload, util::Rng(13));
+  const auto specs = generator.unique_specifications();
+  const auto stream = generator.request_stream();
+
+  auto transfer_at = [&](double alpha) {
+    core::CacheConfig cache_config;
+    cache_config.alpha = alpha;
+    cache_config.capacity = repo().total_bytes();
+    WorkerPoolConfig pool_config;
+    pool_config.workers = 4;
+    pool_config.scratch_per_worker = repo().total_bytes();
+    return run_with_workers(repo(), cache_config, pool_config, specs, stream, 17)
+        .transferred_bytes;
+  };
+  EXPECT_GT(transfer_at(0.95), transfer_at(0.0));
+}
+
+TEST(RunWithWorkers, DeterministicInSeed) {
+  WorkloadConfig workload;
+  workload.unique_jobs = 30;
+  workload.repetitions = 2;
+  WorkloadGenerator generator(repo(), workload, util::Rng(19));
+  const auto specs = generator.unique_specifications();
+  const auto stream = generator.request_stream();
+
+  core::CacheConfig cache_config;
+  cache_config.alpha = 0.8;
+  cache_config.capacity = repo().total_bytes();
+  WorkerPoolConfig pool_config;
+  pool_config.scheduling = Scheduling::kRandom;
+
+  const auto a = run_with_workers(repo(), cache_config, pool_config, specs,
+                                  stream, 23);
+  const auto b = run_with_workers(repo(), cache_config, pool_config, specs,
+                                  stream, 23);
+  EXPECT_EQ(a.transferred_bytes, b.transferred_bytes);
+  EXPECT_EQ(a.local_hits, b.local_hits);
+}
+
+}  // namespace
+}  // namespace landlord::sim

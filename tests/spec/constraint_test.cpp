@@ -1,0 +1,210 @@
+#include "spec/constraint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace landlord::spec {
+namespace {
+
+// ---- version_compare ----
+
+struct VersionCase {
+  const char* a;
+  const char* b;
+  int expected;  // sign
+};
+
+class VersionCompareTest : public testing::TestWithParam<VersionCase> {};
+
+TEST_P(VersionCompareTest, Compares) {
+  const auto& p = GetParam();
+  const int result = version_compare(p.a, p.b);
+  if (p.expected < 0) {
+    EXPECT_LT(result, 0) << p.a << " vs " << p.b;
+  } else if (p.expected == 0) {
+    EXPECT_EQ(result, 0) << p.a << " vs " << p.b;
+  } else {
+    EXPECT_GT(result, 0) << p.a << " vs " << p.b;
+  }
+  // Antisymmetry.
+  const int reversed = version_compare(p.b, p.a);
+  EXPECT_EQ(result < 0, reversed > 0);
+  EXPECT_EQ(result == 0, reversed == 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, VersionCompareTest,
+    testing::Values(
+        VersionCase{"1.0", "1.0", 0},
+        VersionCase{"1.0", "2.0", -1},
+        VersionCase{"1.9", "1.10", -1},       // numeric, not lexical
+        VersionCase{"1.2", "1.2.1", -1},      // prefix is smaller
+        VersionCase{"1.02", "1.2", 0},        // leading zeros ignored
+        VersionCase{"6.18.04", "6.18.4", 0},
+        VersionCase{"6.18.04", "6.19.00", -1},
+        VersionCase{"1.0-rc", "1.0-1", -1},   // alpha sorts before numeric
+        VersionCase{"2.0a", "2.0b", -1},
+        VersionCase{"v1.2", "v1.3", -1},
+        VersionCase{"10", "9", 1},
+        VersionCase{"1_5", "1.5", 0},         // separators equivalent
+        VersionCase{"", "", 0},
+        VersionCase{"", "1", -1}));
+
+// ---- parse_constraint ----
+
+TEST(ParseConstraint, ParsesAllOperators) {
+  const struct {
+    const char* text;
+    ConstraintOp op;
+  } cases[] = {
+      {"pkg==1.0", ConstraintOp::kEq}, {"pkg!=1.0", ConstraintOp::kNe},
+      {"pkg<1.0", ConstraintOp::kLt},  {"pkg<=1.0", ConstraintOp::kLe},
+      {"pkg>1.0", ConstraintOp::kGt},  {"pkg>=1.0", ConstraintOp::kGe},
+  };
+  for (const auto& c : cases) {
+    auto result = parse_constraint(c.text);
+    ASSERT_TRUE(result.ok()) << c.text;
+    EXPECT_EQ(result.value().package, "pkg");
+    EXPECT_EQ(result.value().op, c.op);
+    EXPECT_EQ(result.value().version, "1.0");
+  }
+}
+
+TEST(ParseConstraint, ToleratesWhitespace) {
+  auto result = parse_constraint("  root >= 6.18.04  ");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().package, "root");
+  EXPECT_EQ(result.value().op, ConstraintOp::kGe);
+  EXPECT_EQ(result.value().version, "6.18.04");
+}
+
+TEST(ParseConstraint, BareNameMeansAnyVersion) {
+  auto result = parse_constraint("geant4");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().package, "geant4");
+  EXPECT_EQ(result.value().op, ConstraintOp::kGe);
+  EXPECT_TRUE(result.value().version.empty());
+}
+
+TEST(ParseConstraint, RejectsMalformed) {
+  EXPECT_FALSE(parse_constraint("").ok());
+  EXPECT_FALSE(parse_constraint("==1.0").ok());
+  EXPECT_FALSE(parse_constraint("pkg==").ok());
+  EXPECT_FALSE(parse_constraint("two words").ok());
+}
+
+TEST(ToString, OperatorNames) {
+  EXPECT_STREQ(to_string(ConstraintOp::kEq), "==");
+  EXPECT_STREQ(to_string(ConstraintOp::kNe), "!=");
+  EXPECT_STREQ(to_string(ConstraintOp::kLt), "<");
+  EXPECT_STREQ(to_string(ConstraintOp::kLe), "<=");
+  EXPECT_STREQ(to_string(ConstraintOp::kGt), ">");
+  EXPECT_STREQ(to_string(ConstraintOp::kGe), ">=");
+}
+
+// ---- ConflictChecker ----
+
+VersionConstraint vc(const char* text) {
+  auto result = parse_constraint(text);
+  EXPECT_TRUE(result.ok()) << text;
+  return result.value();
+}
+
+TEST(ConflictChecker, EmptyConstraintsAlwaysCompatible) {
+  EXPECT_TRUE(ConflictChecker::compatible({}, {}));
+}
+
+TEST(ConflictChecker, DifferentPackagesNeverConflict) {
+  const std::vector<VersionConstraint> a = {vc("python==3.8")};
+  const std::vector<VersionConstraint> b = {vc("root==6.18")};
+  EXPECT_TRUE(ConflictChecker::compatible(a, b));
+}
+
+TEST(ConflictChecker, EqualPinsAgree) {
+  const std::vector<VersionConstraint> a = {vc("python==3.8")};
+  const std::vector<VersionConstraint> b = {vc("python==3.8")};
+  EXPECT_TRUE(ConflictChecker::compatible(a, b));
+}
+
+TEST(ConflictChecker, ConflictingPins) {
+  const std::vector<VersionConstraint> a = {vc("python==3.8")};
+  const std::vector<VersionConstraint> b = {vc("python==3.9")};
+  EXPECT_FALSE(ConflictChecker::compatible(a, b));
+}
+
+TEST(ConflictChecker, PinInsideRangeOk) {
+  const std::vector<VersionConstraint> a = {vc("python==3.8")};
+  const std::vector<VersionConstraint> b = {vc("python>=3.0"), vc("python<4.0")};
+  EXPECT_TRUE(ConflictChecker::compatible(a, b));
+}
+
+TEST(ConflictChecker, PinOutsideRangeConflicts) {
+  const std::vector<VersionConstraint> a = {vc("python==2.7")};
+  const std::vector<VersionConstraint> b = {vc("python>=3.0")};
+  EXPECT_FALSE(ConflictChecker::compatible(a, b));
+}
+
+TEST(ConflictChecker, PinExcludedByNe) {
+  const std::vector<VersionConstraint> a = {vc("python==3.8")};
+  const std::vector<VersionConstraint> b = {vc("python!=3.8")};
+  EXPECT_FALSE(ConflictChecker::compatible(a, b));
+}
+
+TEST(ConflictChecker, DisjointRangesConflict) {
+  const std::vector<VersionConstraint> a = {vc("gcc<8")};
+  const std::vector<VersionConstraint> b = {vc("gcc>9")};
+  EXPECT_FALSE(ConflictChecker::compatible(a, b));
+}
+
+TEST(ConflictChecker, OverlappingRangesOk) {
+  const std::vector<VersionConstraint> a = {vc("gcc>=8"), vc("gcc<11")};
+  const std::vector<VersionConstraint> b = {vc("gcc>=10")};
+  EXPECT_TRUE(ConflictChecker::compatible(a, b));
+}
+
+TEST(ConflictChecker, TouchingBoundsInclusiveOk) {
+  const std::vector<VersionConstraint> a = {vc("x>=2.0")};
+  const std::vector<VersionConstraint> b = {vc("x<=2.0")};
+  EXPECT_TRUE(ConflictChecker::compatible(a, b));  // exactly 2.0 works
+}
+
+TEST(ConflictChecker, TouchingBoundsStrictConflicts) {
+  const std::vector<VersionConstraint> a = {vc("x>2.0")};
+  const std::vector<VersionConstraint> b = {vc("x<=2.0")};
+  EXPECT_FALSE(ConflictChecker::compatible(a, b));
+}
+
+TEST(ConflictChecker, SinglePointRangeExcludedByNe) {
+  const std::vector<VersionConstraint> a = {vc("x>=2.0"), vc("x<=2.0")};
+  const std::vector<VersionConstraint> b = {vc("x!=2.0")};
+  EXPECT_FALSE(ConflictChecker::compatible(a, b));
+}
+
+TEST(ConflictChecker, NeAloneIsSatisfiable) {
+  const std::vector<VersionConstraint> a = {vc("x!=1.0"), vc("x!=2.0")};
+  EXPECT_TRUE(ConflictChecker::satisfiable(a));
+}
+
+TEST(ConflictChecker, BareNameCompatibleWithEverything) {
+  const std::vector<VersionConstraint> a = {vc("x")};
+  const std::vector<VersionConstraint> b = {vc("x==0.1")};
+  EXPECT_TRUE(ConflictChecker::compatible(a, b));
+}
+
+TEST(ConflictChecker, SatisfiableSelfCheck) {
+  EXPECT_TRUE(ConflictChecker::satisfiable({}));
+  const std::vector<VersionConstraint> contradictory = {vc("x==1"), vc("x==2")};
+  EXPECT_FALSE(ConflictChecker::satisfiable(contradictory));
+}
+
+TEST(ConflictChecker, CompatibilityIsSymmetric) {
+  const std::vector<VersionConstraint> a = {vc("python==3.8"), vc("gcc>=9")};
+  const std::vector<VersionConstraint> b = {vc("python>=3.0"), vc("gcc<12")};
+  EXPECT_EQ(ConflictChecker::compatible(a, b), ConflictChecker::compatible(b, a));
+  const std::vector<VersionConstraint> c = {vc("python==2.7")};
+  EXPECT_EQ(ConflictChecker::compatible(a, c), ConflictChecker::compatible(c, a));
+}
+
+}  // namespace
+}  // namespace landlord::spec

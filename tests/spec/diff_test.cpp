@@ -1,0 +1,116 @@
+#include "spec/diff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace landlord::spec {
+namespace {
+
+using pkg::package_id;
+
+pkg::Repository flat_repo(std::uint32_t n, util::Bytes each = 10) {
+  pkg::RepositoryBuilder b;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    b.add({"p" + std::to_string(i), "1", each, pkg::PackageTier::kLeaf, {}});
+  }
+  auto result = std::move(b).build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+PackageSet make_set(std::size_t universe, std::initializer_list<std::uint32_t> ids) {
+  PackageSet s(universe);
+  for (auto i : ids) s.insert(package_id(i));
+  return s;
+}
+
+TEST(Diff, ExactMatch) {
+  const auto repo = flat_repo(20);
+  const auto set = make_set(repo.size(), {1, 2, 3});
+  const auto d = diff(repo, set, set);
+  EXPECT_TRUE(d.satisfied());
+  EXPECT_TRUE(d.missing.empty());
+  EXPECT_TRUE(d.extra.empty());
+  EXPECT_EQ(d.shared.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.utilization(), 1.0);
+  EXPECT_EQ(d.shared_bytes, util::Bytes{30});
+}
+
+TEST(Diff, SupersetImage) {
+  const auto repo = flat_repo(20);
+  const auto requested = make_set(repo.size(), {1, 2});
+  const auto image = make_set(repo.size(), {1, 2, 3, 4});
+  const auto d = diff(repo, requested, image);
+  EXPECT_TRUE(d.satisfied());
+  EXPECT_EQ(d.extra.size(), 2u);
+  EXPECT_EQ(d.extra_bytes, util::Bytes{20});
+  EXPECT_DOUBLE_EQ(d.utilization(), 0.5);
+}
+
+TEST(Diff, MissingPackages) {
+  const auto repo = flat_repo(20);
+  const auto requested = make_set(repo.size(), {1, 2, 5});
+  const auto image = make_set(repo.size(), {1, 2, 3});
+  const auto d = diff(repo, requested, image);
+  EXPECT_FALSE(d.satisfied());
+  EXPECT_EQ(d.missing.size(), 1u);
+  EXPECT_TRUE(d.missing.contains(package_id(5)));
+  EXPECT_EQ(d.shared.size(), 2u);
+  EXPECT_EQ(d.extra.size(), 1u);
+}
+
+TEST(Diff, PartitionsAreDisjointAndCover) {
+  const auto repo = flat_repo(50);
+  const auto requested = make_set(repo.size(), {1, 2, 3, 10, 11});
+  const auto image = make_set(repo.size(), {2, 3, 20, 21});
+  const auto d = diff(repo, requested, image);
+  EXPECT_EQ(d.missing.intersection_size(d.shared), 0u);
+  EXPECT_EQ(d.extra.intersection_size(d.shared), 0u);
+  EXPECT_EQ(d.missing.intersection_size(d.extra), 0u);
+  EXPECT_EQ(d.missing.size() + d.shared.size(), requested.size());
+  EXPECT_EQ(d.extra.size() + d.shared.size(), image.size());
+}
+
+TEST(Diff, EmptyBothSides) {
+  const auto repo = flat_repo(10);
+  const auto d = diff(repo, PackageSet(repo.size()), PackageSet(repo.size()));
+  EXPECT_TRUE(d.satisfied());
+  EXPECT_DOUBLE_EQ(d.utilization(), 1.0);
+}
+
+TEST(DescribeDiff, ExactMatchText) {
+  const auto repo = flat_repo(20);
+  const auto set = make_set(repo.size(), {1});
+  const auto text = describe_diff(repo, diff(repo, set, set));
+  EXPECT_EQ(text, "satisfied exactly");
+}
+
+TEST(DescribeDiff, BloatText) {
+  const auto repo = flat_repo(20);
+  const auto requested = make_set(repo.size(), {1});
+  const auto image = make_set(repo.size(), {1, 2});
+  const auto text = describe_diff(repo, diff(repo, requested, image));
+  EXPECT_NE(text.find("unrequested"), std::string::npos);
+  EXPECT_NE(text.find("p2/1"), std::string::npos);
+  EXPECT_NE(text.find("50% utilization"), std::string::npos);
+}
+
+TEST(DescribeDiff, MissingText) {
+  const auto repo = flat_repo(20);
+  const auto requested = make_set(repo.size(), {1, 2});
+  const auto image = make_set(repo.size(), {1});
+  const auto text = describe_diff(repo, diff(repo, requested, image));
+  EXPECT_NE(text.find("missing 1 package"), std::string::npos);
+  EXPECT_NE(text.find("p2/1"), std::string::npos);
+}
+
+TEST(DescribeDiff, TruncatesLongLists) {
+  const auto repo = flat_repo(30);
+  PackageSet requested(repo.size());
+  for (std::uint32_t i = 0; i < 10; ++i) requested.insert(package_id(i));
+  const auto text =
+      describe_diff(repo, diff(repo, requested, PackageSet(repo.size())), 3);
+  EXPECT_NE(text.find("(7 more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace landlord::spec

@@ -1,0 +1,236 @@
+#include "spec/inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace landlord::spec {
+namespace {
+
+std::vector<Requirement> scan_python(const char* text) {
+  std::istringstream in(text);
+  return scan_python_imports(in);
+}
+
+std::vector<Requirement> scan_modules(const char* text) {
+  std::istringstream in(text);
+  return scan_module_loads(in);
+}
+
+std::vector<Requirement> scan_log(const char* text) {
+  std::istringstream in(text);
+  return scan_job_log(in);
+}
+
+// ---- Python import scanning ----
+
+TEST(PythonImports, PlainImport) {
+  const auto reqs = scan_python("import numpy\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0], (Requirement{"numpy", ""}));
+}
+
+TEST(PythonImports, MultipleModulesOneLine) {
+  const auto reqs = scan_python("import os, numpy, ROOT\n");
+  ASSERT_EQ(reqs.size(), 3u);
+  EXPECT_EQ(reqs[1].project, "numpy");
+  EXPECT_EQ(reqs[2].project, "ROOT");
+}
+
+TEST(PythonImports, DottedPathYieldsTopLevel) {
+  const auto reqs = scan_python("import scipy.optimize\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].project, "scipy");
+}
+
+TEST(PythonImports, ImportAsAlias) {
+  const auto reqs = scan_python("import numpy as np\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].project, "numpy");
+}
+
+TEST(PythonImports, FromImport) {
+  const auto reqs = scan_python("from ROOT import TFile\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].project, "ROOT");
+}
+
+TEST(PythonImports, FromDottedImport) {
+  const auto reqs = scan_python("from scipy.stats import norm\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].project, "scipy");
+}
+
+TEST(PythonImports, RelativeImportIgnored) {
+  EXPECT_TRUE(scan_python("from .local import thing\n").empty());
+}
+
+TEST(PythonImports, CommentsIgnored) {
+  EXPECT_TRUE(scan_python("# import fake\n").empty());
+  const auto reqs = scan_python("import real  # import fake\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].project, "real");
+}
+
+TEST(PythonImports, DeduplicatesRepeats) {
+  const auto reqs = scan_python("import numpy\nimport numpy\n");
+  EXPECT_EQ(reqs.size(), 1u);
+}
+
+TEST(PythonImports, IndentedImportsCount) {
+  const auto reqs = scan_python("    import lazy_module\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].project, "lazy_module");
+}
+
+TEST(PythonImports, NonImportLinesIgnored) {
+  EXPECT_TRUE(scan_python("x = 1\nprint('import nothing')\n").empty());
+}
+
+// ---- module load scanning ----
+
+TEST(ModuleLoads, BasicLoad) {
+  const auto reqs = scan_modules("module load root\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0], (Requirement{"root", ""}));
+}
+
+TEST(ModuleLoads, NameSlashVersion) {
+  const auto reqs = scan_modules("module load root/6.18.04\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0], (Requirement{"root", "6.18.04"}));
+}
+
+TEST(ModuleLoads, MultipleModules) {
+  const auto reqs = scan_modules("module load root/6.18 geant4 python/3.8\n");
+  ASSERT_EQ(reqs.size(), 3u);
+  EXPECT_EQ(reqs[1].project, "geant4");
+  EXPECT_EQ(reqs[2].version, "3.8");
+}
+
+TEST(ModuleLoads, AddAliasAndMlAlias) {
+  EXPECT_EQ(scan_modules("module add boost\n").size(), 1u);
+  EXPECT_EQ(scan_modules("ml load fftw\n").size(), 1u);
+}
+
+TEST(ModuleLoads, SkipsFlags) {
+  const auto reqs = scan_modules("module load --silent root\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].project, "root");
+}
+
+TEST(ModuleLoads, IgnoresOtherModuleCommands) {
+  EXPECT_TRUE(scan_modules("module list\nmodule purge\n").empty());
+}
+
+TEST(ModuleLoads, IgnoresComments) {
+  EXPECT_TRUE(scan_modules("# module load fake\n").empty());
+}
+
+// ---- job log scanning ----
+
+TEST(JobLog, ExtractsCvmfsPaths) {
+  const auto reqs = scan_log(
+      "12:00:01 open /cvmfs/sft.cern.ch/ROOT/6.18.04/lib/libCore.so OK\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0], (Requirement{"ROOT", "6.18.04"}));
+}
+
+TEST(JobLog, MultiplePathsPerLine) {
+  const auto reqs = scan_log(
+      "ld: /cvmfs/repo/a/1/x.so /cvmfs/repo/b/2/y.so\n");
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].project, "a");
+  EXPECT_EQ(reqs[1].version, "2");
+}
+
+TEST(JobLog, DeduplicatesAccesses) {
+  const auto reqs = scan_log(
+      "/cvmfs/r/p/1/a\n/cvmfs/r/p/1/b\n/cvmfs/r/p/1/c\n");
+  EXPECT_EQ(reqs.size(), 1u);
+}
+
+TEST(JobLog, DifferentVersionsAreDistinct) {
+  const auto reqs = scan_log("/cvmfs/r/p/1/a\n/cvmfs/r/p/2/a\n");
+  EXPECT_EQ(reqs.size(), 2u);
+}
+
+TEST(JobLog, IgnoresLinesWithoutCvmfs) {
+  EXPECT_TRUE(scan_log("opened /usr/lib/libc.so\n").empty());
+}
+
+TEST(JobLog, HandlesQuotedPaths) {
+  const auto reqs = scan_log("exec(\"/cvmfs/r/tool/3.1/bin/run\")\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0], (Requirement{"tool", "3.1"}));
+}
+
+// ---- resolver + end-to-end inference ----
+
+pkg::Repository versioned_repo() {
+  pkg::RepositoryBuilder b;
+  b.add({"base", "1.0", 100, pkg::PackageTier::kCore, {}});
+  b.add({"root", "6.18.04", 500, pkg::PackageTier::kLibrary, {"base/1.0"}});
+  b.add({"root", "6.20.00", 520, pkg::PackageTier::kLibrary, {"base/1.0"}});
+  b.add({"numpy", "1.19", 50, pkg::PackageTier::kLibrary, {"base/1.0"}});
+  auto result = std::move(b).build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(PackageResolver, ExactVersionMatch) {
+  const auto repo = versioned_repo();
+  const PackageResolver resolver(repo);
+  const auto id = resolver.resolve({"root", "6.18.04"});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(repo[*id].version, "6.18.04");
+}
+
+TEST(PackageResolver, BareNamePicksNewestVersion) {
+  const auto repo = versioned_repo();
+  const PackageResolver resolver(repo);
+  const auto id = resolver.resolve({"root", ""});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(repo[*id].version, "6.20.00");
+}
+
+TEST(PackageResolver, UnknownPackageReturnsNullopt) {
+  const auto repo = versioned_repo();
+  const PackageResolver resolver(repo);
+  EXPECT_FALSE(resolver.resolve({"ghost", ""}).has_value());
+  EXPECT_FALSE(resolver.resolve({"root", "9.99"}).has_value());
+}
+
+TEST(PackageResolver, ResolveAllReportsUnresolved) {
+  const auto repo = versioned_repo();
+  const PackageResolver resolver(repo);
+  const std::vector<Requirement> reqs = {
+      {"root", ""}, {"ghost", ""}, {"numpy", "1.19"}};
+  std::vector<std::string> unresolved;
+  const auto ids = resolver.resolve_all(reqs, &unresolved);
+  EXPECT_EQ(ids.size(), 2u);
+  ASSERT_EQ(unresolved.size(), 1u);
+  EXPECT_EQ(unresolved[0], "ghost");
+}
+
+TEST(InferSpecification, EndToEndWithClosure) {
+  const auto repo = versioned_repo();
+  const std::vector<Requirement> reqs = {{"root", "6.18.04"}};
+  std::vector<std::string> unresolved;
+  const auto spec = infer_specification(repo, reqs, "python-imports", &unresolved);
+  EXPECT_TRUE(unresolved.empty());
+  EXPECT_EQ(spec.size(), 2u);  // root + base
+  EXPECT_EQ(spec.provenance(), "python-imports");
+}
+
+TEST(InferSpecification, SkipsUnresolvableRequirements) {
+  const auto repo = versioned_repo();
+  const std::vector<Requirement> reqs = {{"ghost", ""}, {"numpy", ""}};
+  std::vector<std::string> unresolved;
+  const auto spec = infer_specification(repo, reqs, "", &unresolved);
+  EXPECT_EQ(spec.size(), 2u);  // numpy + base
+  EXPECT_EQ(unresolved.size(), 1u);
+}
+
+}  // namespace
+}  // namespace landlord::spec

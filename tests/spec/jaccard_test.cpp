@@ -1,0 +1,116 @@
+#include "spec/jaccard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace landlord::spec {
+namespace {
+
+using pkg::package_id;
+
+PackageSet make_set(std::size_t universe, std::initializer_list<std::uint32_t> ids) {
+  PackageSet s(universe);
+  for (auto i : ids) s.insert(package_id(i));
+  return s;
+}
+
+TEST(Jaccard, IdenticalSetsDistanceZero) {
+  const auto a = make_set(50, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, a), 1.0);
+}
+
+TEST(Jaccard, DisjointSetsDistanceOne) {
+  const auto a = make_set(50, {1, 2});
+  const auto b = make_set(50, {3, 4});
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, b), 1.0);
+}
+
+TEST(Jaccard, KnownOverlap) {
+  // |A∩B| = 2, |A∪B| = 4 -> similarity 0.5.
+  const auto a = make_set(50, {1, 2, 3});
+  const auto b = make_set(50, {2, 3, 4});
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, b), 0.5);
+}
+
+TEST(Jaccard, OneElementDifference) {
+  // The paper's motivating case: specs differing by one element are close.
+  PackageSet a(200), b(200);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    a.insert(package_id(i));
+    b.insert(package_id(i));
+  }
+  b.insert(package_id(150));
+  EXPECT_NEAR(jaccard_distance(a, b), 1.0 / 101.0, 1e-12);
+}
+
+TEST(Jaccard, BothEmptyConventions) {
+  const PackageSet a(10), b(10);
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, b), 0.0);
+}
+
+TEST(Jaccard, EmptyVsNonEmptyIsMaximallyDistant) {
+  const PackageSet empty(10);
+  const auto b = make_set(10, {1});
+  EXPECT_DOUBLE_EQ(jaccard_distance(empty, b), 1.0);
+}
+
+TEST(Jaccard, Symmetric) {
+  const auto a = make_set(100, {1, 5, 9, 13});
+  const auto b = make_set(100, {5, 9, 77});
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, b), jaccard_distance(b, a));
+}
+
+TEST(Jaccard, SubsetDistanceIsSizeRatio) {
+  // A ⊂ B -> d = 1 - |A|/|B|.
+  PackageSet a(100), b(100);
+  for (std::uint32_t i = 0; i < 25; ++i) a.insert(package_id(i));
+  for (std::uint32_t i = 0; i < 100; ++i) b.insert(package_id(i));
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, b), 0.75);
+}
+
+// Property: metric axioms (range, identity, symmetry, triangle
+// inequality — Jaccard distance is a true metric).
+class JaccardPropertyTest
+    : public testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(JaccardPropertyTest, MetricAxiomsHold) {
+  const auto [seed, density] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  constexpr std::size_t kUniverse = 300;
+  auto random_set = [&]() {
+    PackageSet s(kUniverse);
+    for (std::uint32_t i = 0; i < kUniverse; ++i) {
+      if (rng.chance(density)) s.insert(package_id(i));
+    }
+    return s;
+  };
+  const auto a = random_set();
+  const auto b = random_set();
+  const auto c = random_set();
+
+  const double dab = jaccard_distance(a, b);
+  const double dba = jaccard_distance(b, a);
+  const double dac = jaccard_distance(a, c);
+  const double dcb = jaccard_distance(c, b);
+
+  EXPECT_GE(dab, 0.0);
+  EXPECT_LE(dab, 1.0);
+  EXPECT_DOUBLE_EQ(dab, dba);
+  EXPECT_DOUBLE_EQ(jaccard_distance(a, a), 0.0);
+  // Triangle inequality.
+  EXPECT_LE(dab, dac + dcb + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSets, JaccardPropertyTest,
+    testing::Combine(testing::Range(1, 9),
+                     testing::Values(0.05, 0.3, 0.7)));
+
+}  // namespace
+}  // namespace landlord::spec

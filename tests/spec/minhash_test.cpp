@@ -1,0 +1,172 @@
+#include "spec/minhash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "spec/jaccard.hpp"
+#include "util/rng.hpp"
+
+namespace landlord::spec {
+namespace {
+
+using pkg::package_id;
+
+PackageSet random_set(util::Rng& rng, std::size_t universe, double density) {
+  PackageSet s(universe);
+  for (std::uint32_t i = 0; i < universe; ++i) {
+    if (rng.chance(density)) s.insert(package_id(i));
+  }
+  return s;
+}
+
+TEST(MinHash, SignatureLengthEqualsK) {
+  MinHasher hasher(64);
+  PackageSet s(100);
+  s.insert(package_id(1));
+  EXPECT_EQ(hasher.sign(s).size(), 64u);
+}
+
+TEST(MinHash, DeterministicForSameInput) {
+  MinHasher hasher(32);
+  util::Rng rng(5);
+  const auto s = random_set(rng, 200, 0.2);
+  const auto sig1 = hasher.sign(s);
+  const auto sig2 = hasher.sign(s);
+  EXPECT_EQ(sig1.components, sig2.components);
+}
+
+TEST(MinHash, IdenticalSetsEstimateOne) {
+  MinHasher hasher(64);
+  util::Rng rng(6);
+  const auto s = random_set(rng, 200, 0.3);
+  EXPECT_DOUBLE_EQ(MinHasher::estimate_similarity(hasher.sign(s), hasher.sign(s)),
+                   1.0);
+}
+
+TEST(MinHash, DisjointSetsEstimateNearZero) {
+  MinHasher hasher(128);
+  PackageSet a(400), b(400);
+  for (std::uint32_t i = 0; i < 100; ++i) a.insert(package_id(i));
+  for (std::uint32_t i = 200; i < 300; ++i) b.insert(package_id(i));
+  EXPECT_LT(MinHasher::estimate_similarity(hasher.sign(a), hasher.sign(b)), 0.1);
+}
+
+TEST(MinHash, EstimateTracksExactJaccard) {
+  // The estimator's standard error is ~sqrt(s(1-s)/k); with k=256 we
+  // check within 3 sigma over several random pairs.
+  MinHasher hasher(256);
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = random_set(rng, 500, 0.3);
+    auto b = a;
+    // Perturb b so similarity varies by trial.
+    for (std::uint32_t i = 0; i < 500; ++i) {
+      if (rng.chance(0.1)) {
+        const auto id = package_id(i);
+        if (b.contains(id)) b.erase(id); else b.insert(id);
+      }
+    }
+    const double exact = jaccard_similarity(a, b);
+    const double estimate =
+        MinHasher::estimate_similarity(hasher.sign(a), hasher.sign(b));
+    const double sigma = std::sqrt(exact * (1.0 - exact) / 256.0);
+    EXPECT_NEAR(estimate, exact, std::max(3.0 * sigma, 0.04));
+  }
+}
+
+TEST(MinHash, DifferentSeedsGiveDifferentSignatures) {
+  MinHasher h1(32, 1), h2(32, 2);
+  util::Rng rng(8);
+  const auto s = random_set(rng, 200, 0.3);
+  EXPECT_NE(h1.sign(s).components, h2.sign(s).components);
+}
+
+TEST(MinHash, EmptySetSignatureIsSentinel) {
+  MinHasher hasher(16);
+  const auto sig = hasher.sign(PackageSet(100));
+  for (auto component : sig.components) {
+    EXPECT_EQ(component, std::numeric_limits<std::uint64_t>::max());
+  }
+}
+
+TEST(LshIndex, FindsIdenticalItem) {
+  MinHasher hasher(64);
+  LshIndex index(16);
+  util::Rng rng(9);
+  const auto s = random_set(rng, 300, 0.25);
+  index.insert(42, hasher.sign(s));
+  const auto candidates = index.candidates(hasher.sign(s));
+  EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), 42u) !=
+              candidates.end());
+}
+
+TEST(LshIndex, HighSimilarityPairsAreCandidates) {
+  MinHasher hasher(64);
+  LshIndex index(32);  // 2 rows/band: lenient threshold
+  util::Rng rng(10);
+  const auto a = random_set(rng, 300, 0.3);
+  auto b = a;
+  // ~95% similar.
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    if (rng.chance(0.01)) b.insert(package_id(i));
+  }
+  index.insert(1, hasher.sign(a));
+  const auto candidates = index.candidates(hasher.sign(b));
+  EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), 1u) !=
+              candidates.end());
+}
+
+TEST(LshIndex, DistantItemsUsuallyNotCandidates) {
+  MinHasher hasher(64);
+  LshIndex index(8);  // 8 rows/band: strict threshold
+  util::Rng rng(11);
+  int false_candidates = 0;
+  for (std::uint64_t item = 0; item < 50; ++item) {
+    index.insert(item, hasher.sign(random_set(rng, 400, 0.1)));
+  }
+  for (int probe = 0; probe < 20; ++probe) {
+    const auto probe_set = random_set(rng, 400, 0.1);
+    false_candidates += static_cast<int>(index.candidates(hasher.sign(probe_set)).size());
+  }
+  // Random 10%-density sets have Jaccard ~0.05; with 8-row bands nearly
+  // none should collide.
+  EXPECT_LT(false_candidates, 10);
+}
+
+TEST(LshIndex, EraseRemovesItem) {
+  MinHasher hasher(64);
+  LshIndex index(16);
+  util::Rng rng(12);
+  const auto s = random_set(rng, 300, 0.25);
+  const auto sig = hasher.sign(s);
+  index.insert(7, sig);
+  EXPECT_EQ(index.size(), 1u);
+  index.erase(7, sig);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.candidates(sig).empty());
+}
+
+TEST(LshIndex, EraseUnknownItemIsNoop) {
+  MinHasher hasher(64);
+  LshIndex index(16);
+  util::Rng rng(13);
+  index.erase(99, hasher.sign(random_set(rng, 300, 0.2)));
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(LshIndex, CandidatesAreDeduplicated) {
+  MinHasher hasher(64);
+  LshIndex index(16);
+  util::Rng rng(14);
+  const auto s = random_set(rng, 300, 0.3);
+  index.insert(5, hasher.sign(s));
+  // Probing with the identical signature matches all 16 bands but the
+  // item must appear once.
+  const auto candidates = index.candidates(hasher.sign(s));
+  EXPECT_EQ(std::count(candidates.begin(), candidates.end(), 5u), 1);
+}
+
+}  // namespace
+}  // namespace landlord::spec

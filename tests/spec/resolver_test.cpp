@@ -1,0 +1,148 @@
+#include "spec/resolver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace landlord::spec {
+namespace {
+
+pkg::Repository versioned_repo() {
+  pkg::RepositoryBuilder b;
+  b.add({"base", "1.0", 100, pkg::PackageTier::kCore, {}});
+  b.add({"root", "6.16.00", 400, pkg::PackageTier::kLibrary, {"base/1.0"}});
+  b.add({"root", "6.18.04", 500, pkg::PackageTier::kLibrary, {"base/1.0"}});
+  b.add({"root", "6.20.02", 520, pkg::PackageTier::kLibrary, {"base/1.0"}});
+  b.add({"python", "2.7", 80, pkg::PackageTier::kLibrary, {"base/1.0"}});
+  b.add({"python", "3.8", 90, pkg::PackageTier::kLibrary, {"base/1.0"}});
+  auto result = std::move(b).build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+VersionConstraint vc(const char* text) {
+  auto result = parse_constraint(text);
+  EXPECT_TRUE(result.ok()) << text;
+  return result.value();
+}
+
+TEST(Resolver, VersionsNewestFirst) {
+  const auto repo = versioned_repo();
+  const Resolver resolver(repo);
+  const auto versions = resolver.versions_of("root");
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_EQ(repo[versions[0]].version, "6.20.02");
+  EXPECT_EQ(repo[versions[1]].version, "6.18.04");
+  EXPECT_EQ(repo[versions[2]].version, "6.16.00");
+}
+
+TEST(Resolver, VersionsOfUnknownProjectEmpty) {
+  const auto repo = versioned_repo();
+  EXPECT_TRUE(Resolver(repo).versions_of("ghost").empty());
+}
+
+TEST(Resolver, BestVersionUnconstrained) {
+  const auto repo = versioned_repo();
+  const Resolver resolver(repo);
+  const auto best = resolver.best_version("root", {});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(repo[*best].version, "6.20.02");
+}
+
+TEST(Resolver, BestVersionWithUpperBound) {
+  const auto repo = versioned_repo();
+  const Resolver resolver(repo);
+  const std::vector constraints = {vc("root<6.20")};
+  const auto best = resolver.best_version("root", constraints);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(repo[*best].version, "6.18.04");
+}
+
+TEST(Resolver, BestVersionExactPin) {
+  const auto repo = versioned_repo();
+  const Resolver resolver(repo);
+  const std::vector constraints = {vc("root==6.16.00")};
+  const auto best = resolver.best_version("root", constraints);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(repo[*best].version, "6.16.00");
+}
+
+TEST(Resolver, BestVersionIgnoresOtherProjectsConstraints) {
+  const auto repo = versioned_repo();
+  const Resolver resolver(repo);
+  const std::vector constraints = {vc("python==2.7")};
+  const auto best = resolver.best_version("root", constraints);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(repo[*best].version, "6.20.02");
+}
+
+TEST(Resolver, BestVersionNoneSatisfies) {
+  const auto repo = versioned_repo();
+  const Resolver resolver(repo);
+  const std::vector constraints = {vc("root>7.0")};
+  EXPECT_FALSE(resolver.best_version("root", constraints).has_value());
+}
+
+TEST(Resolver, ResolveMultipleProjects) {
+  const auto repo = versioned_repo();
+  const Resolver resolver(repo);
+  const std::vector constraints = {vc("root>=6.18"), vc("root<6.20"),
+                                   vc("python>=3")};
+  auto resolution = resolver.resolve(constraints);
+  ASSERT_TRUE(resolution.ok()) << resolution.error().message;
+  ASSERT_EQ(resolution.value().selected.size(), 2u);
+  EXPECT_EQ(repo[resolution.value().selected[0]].version, "6.18.04");
+  EXPECT_EQ(repo[resolution.value().selected[1]].version, "3.8");
+  // The specification is dependency-closed (base included) and carries
+  // the constraints.
+  EXPECT_EQ(resolution.value().specification.size(), 3u);
+  EXPECT_EQ(resolution.value().specification.constraints().size(), 3u);
+}
+
+TEST(Resolver, ResolveRejectsContradiction) {
+  const auto repo = versioned_repo();
+  const Resolver resolver(repo);
+  const std::vector constraints = {vc("root==6.18.04"), vc("root==6.20.02")};
+  auto resolution = resolver.resolve(constraints);
+  ASSERT_FALSE(resolution.ok());
+  EXPECT_NE(resolution.error().message.find("contradictory"), std::string::npos);
+}
+
+TEST(Resolver, ResolveRejectsUnknownProject) {
+  const auto repo = versioned_repo();
+  const Resolver resolver(repo);
+  const std::vector constraints = {vc("ghost>=1")};
+  auto resolution = resolver.resolve(constraints);
+  ASSERT_FALSE(resolution.ok());
+  EXPECT_NE(resolution.error().message.find("unknown project"), std::string::npos);
+}
+
+TEST(Resolver, ResolveRejectsUnsatisfiableVersion) {
+  const auto repo = versioned_repo();
+  const Resolver resolver(repo);
+  // Satisfiable in the abstract (dense version space) but no concrete
+  // version exists between the bounds.
+  const std::vector constraints = {vc("root>6.18.04"), vc("root<6.20")};
+  auto resolution = resolver.resolve(constraints);
+  ASSERT_FALSE(resolution.ok());
+  EXPECT_NE(resolution.error().message.find("no version"), std::string::npos);
+}
+
+TEST(Resolver, ResolveEmptyConstraintsGivesEmptySpec) {
+  const auto repo = versioned_repo();
+  const Resolver resolver(repo);
+  auto resolution = resolver.resolve({});
+  ASSERT_TRUE(resolution.ok());
+  EXPECT_TRUE(resolution.value().selected.empty());
+  EXPECT_TRUE(resolution.value().specification.empty());
+}
+
+TEST(Resolver, NeConstraintSkipsNewest) {
+  const auto repo = versioned_repo();
+  const Resolver resolver(repo);
+  const std::vector constraints = {vc("root!=6.20.02")};
+  const auto best = resolver.best_version("root", constraints);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(repo[*best].version, "6.18.04");
+}
+
+}  // namespace
+}  // namespace landlord::spec

@@ -1,0 +1,100 @@
+#include "spec/specfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace landlord::spec {
+namespace {
+
+pkg::Repository versioned_repo() {
+  pkg::RepositoryBuilder b;
+  b.add({"base", "1.0", 100, pkg::PackageTier::kCore, {}});
+  b.add({"root", "6.16.00", 400, pkg::PackageTier::kLibrary, {"base/1.0"}});
+  b.add({"root", "6.18.04", 500, pkg::PackageTier::kLibrary, {"base/1.0"}});
+  b.add({"root", "6.20.02", 520, pkg::PackageTier::kLibrary, {"base/1.0"}});
+  b.add({"geant4", "10.6", 900, pkg::PackageTier::kLibrary, {"base/1.0"}});
+  auto result = std::move(b).build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(Specfile, ParsesConstraintsCommentsBlanks) {
+  auto result = parse_specfile_text(R"(# landlord requirements
+root >= 6.18   # keep modern
+root < 6.20
+
+geant4 == 10.6
+python
+)");
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const auto& constraints = result.value();
+  ASSERT_EQ(constraints.size(), 4u);
+  EXPECT_EQ(constraints[0].package, "root");
+  EXPECT_EQ(constraints[0].op, ConstraintOp::kGe);
+  EXPECT_EQ(constraints[1].op, ConstraintOp::kLt);
+  EXPECT_EQ(constraints[2].version, "10.6");
+  EXPECT_TRUE(constraints[3].version.empty());  // bare name: any version
+}
+
+TEST(Specfile, ReportsLineNumberOnError) {
+  auto result = parse_specfile_text("root >= 6.18\n== oops\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(Specfile, EmptyFileGivesNoConstraints) {
+  auto result = parse_specfile_text("\n# nothing\n\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(Specfile, HandlesCrlf) {
+  auto result = parse_specfile_text("root >= 6.18\r\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].version, "6.18");
+}
+
+TEST(Specfile, RoundTripsThroughWriter) {
+  auto original = parse_specfile_text("root >= 6.18\nroot < 6.20\ngeant4 == 10.6\npython\n");
+  ASSERT_TRUE(original.ok());
+  std::ostringstream out;
+  write_specfile(out, original.value());
+  auto reparsed = parse_specfile_text(out.str());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().message;
+  ASSERT_EQ(reparsed.value().size(), original.value().size());
+  for (std::size_t i = 0; i < original.value().size(); ++i) {
+    EXPECT_EQ(reparsed.value()[i], original.value()[i]);
+  }
+}
+
+TEST(Specfile, EndToEndResolution) {
+  const auto repo = versioned_repo();
+  std::istringstream in("root >= 6.18\nroot < 6.20\ngeant4\n");
+  auto spec = specification_from_file(in, repo);
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  // root 6.18.04, geant4 10.6, plus base via closure.
+  EXPECT_EQ(spec.value().size(), 3u);
+  EXPECT_TRUE(spec.value().packages().contains(*repo.find("root/6.18.04")));
+  EXPECT_TRUE(spec.value().packages().contains(*repo.find("geant4/10.6")));
+  EXPECT_TRUE(spec.value().packages().contains(*repo.find("base/1.0")));
+  EXPECT_EQ(spec.value().constraints().size(), 3u);
+}
+
+TEST(Specfile, EndToEndUnsatisfiableFails) {
+  const auto repo = versioned_repo();
+  std::istringstream in("root > 6.20.02\n");
+  auto spec = specification_from_file(in, repo);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.error().message.find("no version"), std::string::npos);
+}
+
+TEST(Specfile, EndToEndSyntaxErrorPropagates) {
+  const auto repo = versioned_repo();
+  std::istringstream in("root >=\n");
+  EXPECT_FALSE(specification_from_file(in, repo).ok());
+}
+
+}  // namespace
+}  // namespace landlord::spec

@@ -1,0 +1,118 @@
+#include "spec/specification.hpp"
+
+#include <gtest/gtest.h>
+
+namespace landlord::spec {
+namespace {
+
+using pkg::package_id;
+
+pkg::Repository test_repo() {
+  pkg::RepositoryBuilder b;
+  b.add({"base", "1", 100, pkg::PackageTier::kCore, {}});
+  b.add({"lib", "1", 50, pkg::PackageTier::kLibrary, {"base/1"}});
+  b.add({"app", "1", 10, pkg::PackageTier::kLeaf, {"lib/1"}});
+  b.add({"other", "1", 20, pkg::PackageTier::kLeaf, {"base/1"}});
+  auto result = std::move(b).build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(Specification, FromRequestExpandsClosure) {
+  const auto repo = test_repo();
+  const std::vector<pkg::PackageId> request = {*repo.find("app/1")};
+  const auto spec = Specification::from_request(repo, request, "test");
+  EXPECT_EQ(spec.size(), 3u);  // app, lib, base
+  EXPECT_EQ(spec.provenance(), "test");
+}
+
+TEST(Specification, EmptyRequestGivesEmptySpec) {
+  const auto repo = test_repo();
+  const auto spec = Specification::from_request(repo, {});
+  EXPECT_TRUE(spec.empty());
+}
+
+TEST(Specification, SatisfiedBySupersetImage) {
+  const auto repo = test_repo();
+  const auto spec =
+      Specification::from_request(repo, std::vector{*repo.find("app/1")});
+  PackageSet everything(repo.size());
+  for (std::uint32_t i = 0; i < repo.size(); ++i) everything.insert(package_id(i));
+  EXPECT_TRUE(spec.satisfied_by(everything));
+  EXPECT_TRUE(spec.satisfied_by(spec.packages()));
+}
+
+TEST(Specification, NotSatisfiedByPartialImage) {
+  const auto repo = test_repo();
+  const auto spec =
+      Specification::from_request(repo, std::vector{*repo.find("app/1")});
+  PackageSet partial(repo.size());
+  partial.insert(*repo.find("app/1"));
+  EXPECT_FALSE(spec.satisfied_by(partial));  // missing lib and base
+}
+
+TEST(Specification, DistanceToSelfIsZero) {
+  const auto repo = test_repo();
+  const auto spec =
+      Specification::from_request(repo, std::vector{*repo.find("app/1")});
+  EXPECT_DOUBLE_EQ(spec.distance_to(spec), 0.0);
+}
+
+TEST(Specification, DistanceReflectsSharedClosure) {
+  const auto repo = test_repo();
+  const auto a =
+      Specification::from_request(repo, std::vector{*repo.find("app/1")});
+  const auto b =
+      Specification::from_request(repo, std::vector{*repo.find("other/1")});
+  // a = {app, lib, base}, b = {other, base}; intersection {base}, union 4.
+  EXPECT_DOUBLE_EQ(a.distance_to(b), 0.75);
+}
+
+TEST(Specification, MergeIsUnionOfPackagesAndConstraints) {
+  const auto repo = test_repo();
+  auto a = Specification::from_request(repo, std::vector{*repo.find("app/1")}, "a");
+  auto b = Specification::from_request(repo, std::vector{*repo.find("other/1")}, "b");
+  a.add_constraint({"python", ConstraintOp::kEq, "3.8"});
+  b.add_constraint({"gcc", ConstraintOp::kGe, "9"});
+  const auto merged = a.merged_with(b);
+  EXPECT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged.constraints().size(), 2u);
+  EXPECT_EQ(merged.provenance(), "a");
+  // Merged spec satisfies both constituents.
+  EXPECT_TRUE(a.satisfied_by(merged.packages()));
+  EXPECT_TRUE(b.satisfied_by(merged.packages()));
+}
+
+TEST(Specification, MergePrefersNonEmptyProvenance) {
+  const auto repo = test_repo();
+  const auto a = Specification::from_request(repo, std::vector{*repo.find("app/1")});
+  const auto b =
+      Specification::from_request(repo, std::vector{*repo.find("other/1")}, "named");
+  EXPECT_EQ(a.merged_with(b).provenance(), "named");
+}
+
+TEST(Specification, CompatibleWithoutConstraints) {
+  const auto repo = test_repo();
+  const auto a = Specification::from_request(repo, std::vector{*repo.find("app/1")});
+  const auto b = Specification::from_request(repo, std::vector{*repo.find("other/1")});
+  EXPECT_TRUE(a.compatible_with(b));
+}
+
+TEST(Specification, IncompatibleConstraintsDetected) {
+  const auto repo = test_repo();
+  auto a = Specification::from_request(repo, std::vector{*repo.find("app/1")});
+  auto b = Specification::from_request(repo, std::vector{*repo.find("other/1")});
+  a.add_constraint({"python", ConstraintOp::kEq, "3.8"});
+  b.add_constraint({"python", ConstraintOp::kEq, "3.9"});
+  EXPECT_FALSE(a.compatible_with(b));
+}
+
+TEST(Specification, BytesSumsClosureSizes) {
+  const auto repo = test_repo();
+  const auto spec =
+      Specification::from_request(repo, std::vector{*repo.find("app/1")});
+  EXPECT_EQ(spec.bytes(repo), util::Bytes{160});  // 10 + 50 + 100
+}
+
+}  // namespace
+}  // namespace landlord::spec

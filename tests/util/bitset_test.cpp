@@ -1,0 +1,189 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace landlord::util {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, SetTestReset) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitset, SetIdempotent) {
+  DynamicBitset b(10);
+  b.set(5);
+  b.set(5);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DynamicBitset, ClearResetsEverything) {
+  DynamicBitset b(128);
+  for (std::size_t i = 0; i < 128; i += 3) b.set(i);
+  b.clear();
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(DynamicBitset, UnionIntersectionDifference) {
+  DynamicBitset a(200), b(200);
+  a.set(1);
+  a.set(100);
+  a.set(150);
+  b.set(100);
+  b.set(199);
+
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 4u);
+  EXPECT_TRUE(u.test(1) && u.test(100) && u.test(150) && u.test(199));
+
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(100));
+
+  DynamicBitset d = a;
+  d -= b;
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_TRUE(d.test(1) && d.test(150));
+  EXPECT_FALSE(d.test(100));
+}
+
+TEST(DynamicBitset, CountsWithoutMaterialising) {
+  DynamicBitset a(128), b(128);
+  for (std::size_t i = 0; i < 64; ++i) a.set(i);
+  for (std::size_t i = 32; i < 96; ++i) b.set(i);
+  EXPECT_EQ(a.intersection_count(b), 32u);
+  EXPECT_EQ(a.union_count(b), 96u);
+}
+
+TEST(DynamicBitset, SubsetDetection) {
+  DynamicBitset small(100), big(100);
+  small.set(10);
+  small.set(90);
+  big.set(10);
+  big.set(90);
+  big.set(50);
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(small.is_subset_of(small));  // reflexive
+}
+
+TEST(DynamicBitset, EmptySetIsSubsetOfAll) {
+  DynamicBitset empty(64), any(64);
+  any.set(3);
+  EXPECT_TRUE(empty.is_subset_of(any));
+  EXPECT_TRUE(empty.is_subset_of(empty));
+}
+
+TEST(DynamicBitset, Intersects) {
+  DynamicBitset a(100), b(100), c(100);
+  a.set(5);
+  b.set(5);
+  c.set(6);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(DynamicBitset, Equality) {
+  DynamicBitset a(50), b(50);
+  EXPECT_EQ(a, b);
+  a.set(7);
+  EXPECT_NE(a, b);
+  b.set(7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DynamicBitset, ForEachSetVisitsInOrder) {
+  DynamicBitset b(150);
+  const std::vector<std::size_t> expected = {0, 63, 64, 127, 149};
+  for (auto i : expected) b.set(i);
+  std::vector<std::size_t> visited;
+  b.for_each_set([&visited](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(DynamicBitset, ToIndicesMatchesForEach) {
+  DynamicBitset b(100);
+  b.set(2);
+  b.set(64);
+  b.set(99);
+  EXPECT_EQ(b.to_indices(), (std::vector<std::uint32_t>{2, 64, 99}));
+}
+
+TEST(DynamicBitset, NonMultipleOf64Sizes) {
+  DynamicBitset b(65);
+  b.set(64);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.word_count(), 2u);
+}
+
+// Property sweep: random sets obey set algebra identities.
+class BitsetPropertyTest : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BitsetPropertyTest, AlgebraIdentitiesHold) {
+  const auto [universe, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  DynamicBitset a(static_cast<std::size_t>(universe));
+  DynamicBitset b(static_cast<std::size_t>(universe));
+  for (int i = 0; i < universe; ++i) {
+    if (rng.chance(0.3)) a.set(static_cast<std::size_t>(i));
+    if (rng.chance(0.3)) b.set(static_cast<std::size_t>(i));
+  }
+
+  // |A∪B| = |A| + |B| - |A∩B|
+  EXPECT_EQ(a.union_count(b), a.count() + b.count() - a.intersection_count(b));
+  // Symmetry
+  EXPECT_EQ(a.intersection_count(b), b.intersection_count(a));
+  EXPECT_EQ(a.union_count(b), b.union_count(a));
+  // A∩B ⊆ A ⊆ A∪B
+  DynamicBitset inter = a;
+  inter &= b;
+  DynamicBitset uni = a;
+  uni |= b;
+  EXPECT_TRUE(inter.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(uni));
+  // (A \ B) ∩ B = ∅
+  DynamicBitset diff = a;
+  diff -= b;
+  EXPECT_FALSE(diff.intersects(b) && diff.intersection_count(b) > 0);
+  EXPECT_EQ(diff.intersection_count(b), 0u);
+  // A = (A \ B) ∪ (A ∩ B)
+  DynamicBitset rebuilt = diff;
+  rebuilt |= inter;
+  EXPECT_EQ(rebuilt, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSets, BitsetPropertyTest,
+    testing::Combine(testing::Values(1, 13, 64, 65, 128, 1000, 9660),
+                     testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace landlord::util

@@ -1,0 +1,89 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace landlord::util {
+namespace {
+
+TEST(FormatBytes, PlainBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1023), "1023 B");
+}
+
+TEST(FormatBytes, BinaryUnits) {
+  EXPECT_EQ(format_bytes(kKiB), "1.00 KiB");
+  EXPECT_EQ(format_bytes(kMiB), "1.00 MiB");
+  EXPECT_EQ(format_bytes(kGiB), "1.00 GiB");
+  EXPECT_EQ(format_bytes(kTiB), "1.00 TiB");
+}
+
+TEST(FormatBytes, FractionalValues) {
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(kGiB * 5 / 2), "2.50 GiB");
+}
+
+TEST(FormatBytes, StopsAtTiB) {
+  EXPECT_EQ(format_bytes(2048 * kTiB), "2048.00 TiB");
+}
+
+TEST(ToGib, ExactConversions) {
+  EXPECT_DOUBLE_EQ(to_gib(kGiB), 1.0);
+  EXPECT_DOUBLE_EQ(to_gib(kGiB / 2), 0.5);
+  EXPECT_DOUBLE_EQ(to_tib(kTiB * 3), 3.0);
+}
+
+TEST(ParseBytes, PlainNumber) {
+  EXPECT_EQ(parse_bytes("100"), Bytes{100});
+  EXPECT_EQ(parse_bytes("0"), Bytes{0});
+}
+
+TEST(ParseBytes, Suffixes) {
+  EXPECT_EQ(parse_bytes("1K"), kKiB);
+  EXPECT_EQ(parse_bytes("1KB"), kKiB);
+  EXPECT_EQ(parse_bytes("1KiB"), kKiB);
+  EXPECT_EQ(parse_bytes("2M"), 2 * kMiB);
+  EXPECT_EQ(parse_bytes("3G"), 3 * kGiB);
+  EXPECT_EQ(parse_bytes("4T"), 4 * kTiB);
+}
+
+TEST(ParseBytes, CaseInsensitive) {
+  EXPECT_EQ(parse_bytes("1k"), kKiB);
+  EXPECT_EQ(parse_bytes("1gb"), kGiB);
+  EXPECT_EQ(parse_bytes("1tib"), kTiB);
+}
+
+TEST(ParseBytes, FractionalValues) {
+  EXPECT_EQ(parse_bytes("1.5K"), Bytes{1536});
+  EXPECT_EQ(parse_bytes("0.5G"), kGiB / 2);
+}
+
+TEST(ParseBytes, WhitespaceTolerant) {
+  EXPECT_EQ(parse_bytes("  2 GiB "), 2 * kGiB);
+  EXPECT_EQ(parse_bytes("\t1K"), kKiB);
+}
+
+TEST(ParseBytes, ExplicitByteSuffix) {
+  EXPECT_EQ(parse_bytes("100B"), Bytes{100});
+  EXPECT_EQ(parse_bytes("100 b"), Bytes{100});
+}
+
+TEST(ParseBytes, RejectsMalformed) {
+  EXPECT_FALSE(parse_bytes("").has_value());
+  EXPECT_FALSE(parse_bytes("abc").has_value());
+  EXPECT_FALSE(parse_bytes("1X").has_value());
+  EXPECT_FALSE(parse_bytes("-5K").has_value());
+  EXPECT_FALSE(parse_bytes("1Kib extra").has_value());
+  EXPECT_FALSE(parse_bytes("1Bx").has_value());
+}
+
+TEST(ParseBytes, RoundTripsFormatMagnitudes) {
+  for (Bytes v : {kKiB, kMiB, kGiB, kTiB, 3 * kGiB}) {
+    const auto parsed = parse_bytes(format_bytes(v));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+}  // namespace
+}  // namespace landlord::util

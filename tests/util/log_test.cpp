@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace landlord::util {
+namespace {
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(original);
+}
+
+TEST(Log, SuppressedMessagesDoNotEvaluateExpensively) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "payload";
+  };
+  // operator<< short-circuits below the level; the expression is still
+  // evaluated (stream semantics), but nothing is formatted or emitted.
+  LANDLORD_LOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(original);
+}
+
+TEST(Log, EmitsAtOrAboveLevel) {
+  // Smoke: emitting at every level must not crash or deadlock.
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  LANDLORD_LOG_DEBUG << "debug " << 1;
+  LANDLORD_LOG_INFO << "info " << 2.5;
+  LANDLORD_LOG_WARN << "warn";
+  LANDLORD_LOG_ERROR << "error";
+  set_log_level(original);
+}
+
+TEST(Log, LevelOrderingIsMonotone) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug), static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo), static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn), static_cast<int>(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace landlord::util

@@ -1,0 +1,56 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace landlord::util {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Error{"bad input"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.error().message, "bad input");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  auto moved = std::move(r).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<std::string> r(std::string("abc"));
+  r.value() += "def";
+  EXPECT_EQ(r.value(), "abcdef");
+}
+
+TEST(Error, AtLineFormatsContext) {
+  const Error e = Error::at_line(17, "unexpected token");
+  EXPECT_EQ(e.message, "line 17: unexpected token");
+}
+
+TEST(Result, WorksWithMoveOnlyTypes) {
+  struct MoveOnly {
+    explicit MoveOnly(int x) : value(x) {}
+    MoveOnly(MoveOnly&&) = default;
+    MoveOnly& operator=(MoveOnly&&) = default;
+    MoveOnly(const MoveOnly&) = delete;
+    int value;
+  };
+  Result<MoveOnly> r(MoveOnly{9});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::move(r).value().value, 9);
+}
+
+}  // namespace
+}  // namespace landlord::util

@@ -1,0 +1,246 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace landlord::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(99);
+  const auto first = a();
+  a.reseed(99);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng root(7);
+  Rng s1 = root.split(1);
+  Rng s1_again = root.split(1);
+  EXPECT_EQ(s1(), s1_again());
+  int equal = 0;
+  Rng x = root.split(1), y = root.split(2);
+  for (int i = 0; i < 1000; ++i) equal += (x() == y()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng a(5), b(5);
+  (void)a.split(3);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformBoundRespected) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBoundOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(21);
+  std::array<int, 10> histogram{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.uniform(10)];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(19);
+  int successes = 0;
+  for (int i = 0; i < 100000; ++i) successes += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(successes / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.exponential(4.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.1);
+}
+
+TEST(Rng, ParetoAtLeastScale) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(37);
+  std::vector<double> draws;
+  for (int i = 0; i < 20001; ++i) draws.push_back(rng.lognormal(2.0, 0.5));
+  std::nth_element(draws.begin(), draws.begin() + 10000, draws.end());
+  EXPECT_NEAR(draws[10000], std::exp(2.0), 0.2);
+}
+
+TEST(Rng, ZipfInRangeAndSkewed) {
+  Rng rng(41);
+  std::array<int, 100> histogram{};
+  for (int i = 0; i < 100000; ++i) {
+    const std::size_t r = rng.zipf(100, 1.0);
+    ASSERT_LT(r, 100u);
+    ++histogram[r];
+  }
+  // Rank 0 should dominate rank 50 heavily under s=1.
+  EXPECT_GT(histogram[0], 10 * histogram[50]);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniform) {
+  Rng rng(43);
+  std::array<int, 10> histogram{};
+  for (int i = 0; i < 50000; ++i) ++histogram[rng.zipf(10, 0.0)];
+  for (int count : histogram) EXPECT_NEAR(count, 5000, 500);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(47);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sample_without_replacement(100, 30);
+    ASSERT_EQ(sample.size(), 30u);
+    std::set<std::uint32_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (auto v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(53);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementZero) {
+  Rng rng(59);
+  EXPECT_TRUE(rng.sample_without_replacement(10, 0).empty());
+}
+
+TEST(Rng, SampleWithoutReplacementCoversPopulation) {
+  // Every element should be reachable over many draws.
+  Rng rng(61);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 2000 && seen.size() < 20; ++i) {
+    for (auto v : rng.sample_without_replacement(20, 3)) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(67);
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  auto copy = values;
+  rng.shuffle(std::span<int>(copy));
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, values);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(71);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  rng.shuffle(std::span<int>(shuffled));
+  EXPECT_NE(shuffled, values);
+}
+
+TEST(Rng, PickReturnsMember) {
+  Rng rng(73);
+  const std::vector<int> values = {3, 1, 4, 1, 5};
+  for (int i = 0; i < 100; ++i) {
+    const int v = rng.pick(std::span<const int>(values));
+    EXPECT_TRUE(std::find(values.begin(), values.end(), v) != values.end());
+  }
+}
+
+TEST(Splitmix64, KnownFixpointFreeAndDeterministic) {
+  std::uint64_t s1 = 0, s2 = 0;
+  const auto a = splitmix64(s1);
+  const auto b = splitmix64(s2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(s1, 0u);  // state advanced
+}
+
+}  // namespace
+}  // namespace landlord::util

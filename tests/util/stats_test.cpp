@@ -1,0 +1,147 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace landlord::util {
+namespace {
+
+TEST(Summary, MeanOfKnownSample) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(Summary, MedianOddCount) {
+  Summary s;
+  for (double v : {5.0, 1.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Summary, MedianEvenCountAveragesMiddlePair) {
+  Summary s;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(Summary, SingleElement) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, MinMax) {
+  const std::vector<double> data = {3.0, -1.0, 7.0, 0.0};
+  Summary s{std::span<const double>(data)};
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(Summary, StddevKnownValue) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  // Sample stddev of this classic example is sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, QuantileEndpoints) {
+  Summary s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 40.0);
+}
+
+TEST(Summary, QuantileInterpolates) {
+  Summary s;
+  for (double v : {0.0, 10.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+}
+
+TEST(Summary, AddAfterQuantileInvalidatesSortCache) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(Summary, ConstructFromSpan) {
+  const std::vector<double> data = {1.0, 2.0, 3.0};
+  Summary s{std::span<const double>(data)};
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(OnlineStats, MatchesBatchMoments) {
+  OnlineStats online;
+  Summary batch;
+  Summary reference;
+  for (double v : {1.5, 2.5, 3.5, 10.0, -2.0}) {
+    online.add(v);
+    reference.add(v);
+  }
+  (void)batch;
+  EXPECT_NEAR(online.mean(), reference.mean(), 1e-12);
+  EXPECT_NEAR(online.stddev(), reference.stddev(), 1e-12);
+  EXPECT_DOUBLE_EQ(online.min(), -2.0);
+  EXPECT_DOUBLE_EQ(online.max(), 10.0);
+  EXPECT_EQ(online.count(), 5u);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(OnlineStats, NumericallyStableForLargeOffsets) {
+  OnlineStats s;
+  // Welford should not cancel catastrophically near 1e9.
+  for (double v : {1e9 + 1, 1e9 + 2, 1e9 + 3}) s.add(v);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(ElementwiseMedian, SingleSeries) {
+  const std::vector<std::vector<double>> series = {{1.0, 2.0, 3.0}};
+  EXPECT_EQ(elementwise_median(series), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(ElementwiseMedian, OddReplicates) {
+  const std::vector<std::vector<double>> series = {
+      {1.0, 10.0}, {2.0, 30.0}, {3.0, 20.0}};
+  EXPECT_EQ(elementwise_median(series), (std::vector<double>{2.0, 20.0}));
+}
+
+TEST(ElementwiseMedian, EvenReplicatesAverages) {
+  const std::vector<std::vector<double>> series = {{1.0}, {3.0}};
+  EXPECT_EQ(elementwise_median(series), (std::vector<double>{2.0}));
+}
+
+TEST(ElementwiseMedian, EmptySeriesLength) {
+  const std::vector<std::vector<double>> series = {{}, {}};
+  EXPECT_TRUE(elementwise_median(series).empty());
+}
+
+}  // namespace
+}  // namespace landlord::util

@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace landlord::util {
+namespace {
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "count"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("12345"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, RowAndColumnCounts) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t({"field"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  t.add_row({"line\nbreak"});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(), "field\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"line\nbreak\"\n");
+}
+
+TEST(Table, SaveCsvWritesFile) {
+  Table t({"k", "v"});
+  t.add_row({"seed", "42"});
+  const std::string path = testing::TempDir() + "/landlord_table_test.csv";
+  ASSERT_TRUE(t.save_csv(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "k,v\nseed,42\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, SaveCsvFailsForBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.save_csv("/nonexistent-dir-xyz/file.csv"));
+}
+
+TEST(Fmt, DoubleDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, Integral) {
+  EXPECT_EQ(fmt(std::uint64_t{0}), "0");
+  EXPECT_EQ(fmt(std::uint64_t{18446744073709551615ULL}), "18446744073709551615");
+}
+
+}  // namespace
+}  // namespace landlord::util

@@ -1,0 +1,58 @@
+// Direct tests of util::version_compare (the spec::constraint suite
+// exercises it through the re-export; these pin the util-level contract
+// and the orderings the resolver and version chains rely on).
+#include "util/version.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace landlord::util {
+namespace {
+
+TEST(VersionCompare, TotalOrderOverRealisticVersions) {
+  // Sorted with version_compare, these must come out in this exact order.
+  std::vector<std::string> expected = {
+      "v1.0-x86_64", "v1.2-x86_64", "v1.10-x86_64",
+      "v2.0-x86_64", "v10.0-x86_64"};
+  auto shuffled = expected;
+  std::reverse(shuffled.begin(), shuffled.end());
+  std::sort(shuffled.begin(), shuffled.end(),
+            [](const std::string& a, const std::string& b) {
+              return version_compare(a, b) < 0;
+            });
+  EXPECT_EQ(shuffled, expected);
+}
+
+TEST(VersionCompare, Transitivity) {
+  const char* versions[] = {"1.0", "1.0.1", "1.1", "1.9", "1.10", "2", "2.0a"};
+  for (const char* a : versions) {
+    for (const char* b : versions) {
+      for (const char* c : versions) {
+        if (version_compare(a, b) <= 0 && version_compare(b, c) <= 0) {
+          EXPECT_LE(version_compare(a, c), 0) << a << " " << b << " " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(VersionCompare, ReflexiveEquality) {
+  for (const char* v : {"", "1", "1.0-rc2", "v6.18.04-x86_64-gcc8-opt"}) {
+    EXPECT_EQ(version_compare(v, v), 0) << v;
+  }
+}
+
+TEST(VersionCompare, SeparatorNormalisation) {
+  EXPECT_EQ(version_compare("1-2-3", "1.2.3"), 0);
+  EXPECT_EQ(version_compare("1_2", "1-2"), 0);
+}
+
+TEST(VersionCompare, EmptyIsSmallest) {
+  EXPECT_LT(version_compare("", "0"), 0);
+  EXPECT_LT(version_compare("", "a"), 0);
+}
+
+}  // namespace
+}  // namespace landlord::util
