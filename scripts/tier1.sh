@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full test suite, then the concurrency suite
+# again under ThreadSanitizer (catches data races the plain run cannot).
+#
+#   $ scripts/tier1.sh [jobs]
+#
+# Exit status is non-zero if any stage fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== stage 1: release build + full ctest =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== stage 2: ThreadSanitizer build + concurrency-labelled tests =="
+cmake -B build-tsan -S . -DLANDLORD_SANITIZE=thread \
+  -DLANDLORD_BUILD_BENCH=OFF -DLANDLORD_BUILD_EXAMPLES=OFF
+cmake --build build-tsan --target concurrency_tests -j "$JOBS"
+ctest --test-dir build-tsan -L concurrency --output-on-failure -j "$JOBS"
+
+echo "tier-1: all stages passed"

@@ -51,11 +51,16 @@ void Cache::index_erase(const Image& image) {
 
 std::optional<ImageId> Cache::find_superset(const spec::Specification& spec) {
   // "for i ∈ I do: if s ⊆ i then return i" — any superset serves; we take
-  // the smallest so jobs ship the least unrequested data.
+  // the smallest so jobs ship the least unrequested data. Byte ties break
+  // on the lower id so the choice is independent of map iteration order
+  // (the sharded cache must reproduce it shard by shard).
   const Image* best = nullptr;
   for (const auto& [id, image] : images_) {
     if (spec.packages().is_subset_of(image.contents)) {
-      if (best == nullptr || image.bytes < best->bytes) best = &image;
+      if (best == nullptr || image.bytes < best->bytes ||
+          (image.bytes == best->bytes && to_value(image.id) < to_value(best->id))) {
+        best = &image;
+      }
     }
   }
   if (best == nullptr) return std::nullopt;
@@ -97,10 +102,19 @@ std::optional<ImageId> Cache::find_merge_candidate(const spec::Specification& sp
   if (candidates.empty()) return std::nullopt;
 
   if (config_.policy != MergePolicy::kFirstFit) {
-    // "Selection can be sorted by dj()" — try closest first.
+    // "Selection can be sorted by dj()" — try closest first; distance
+    // ties break on the lower id so the order is deterministic.
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& a, const Candidate& b) {
-                return a.distance < b.distance;
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return to_value(a.id) < to_value(b.id);
+              });
+  } else {
+    // First-fit takes the oldest (lowest-id) close-enough image — the
+    // deterministic analogue of "first in storage order".
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return to_value(a.id) < to_value(b.id);
               });
   }
   for (const auto& candidate : candidates) {
@@ -276,31 +290,15 @@ void Cache::evict_over_budget() {
     // policies) a just-incremented hit count, so under kLru it is never
     // chosen while any other image exists.
     auto victim = images_.end();
-    auto worse = [this](const Image& candidate, const Image& current) {
-      switch (config_.eviction) {
-        case EvictionPolicy::kLru:
-          return candidate.last_used < current.last_used;
-        case EvictionPolicy::kLfu:
-          if (candidate.hits != current.hits) return candidate.hits < current.hits;
-          return candidate.last_used < current.last_used;
-        case EvictionPolicy::kLargestFirst:
-          if (candidate.bytes != current.bytes) return candidate.bytes > current.bytes;
-          return candidate.last_used < current.last_used;
-        case EvictionPolicy::kHitDensity: {
-          const double cd = static_cast<double>(candidate.hits) /
-                            static_cast<double>(std::max<util::Bytes>(1, candidate.bytes));
-          const double xd = static_cast<double>(current.hits) /
-                            static_cast<double>(std::max<util::Bytes>(1, current.bytes));
-          if (cd != xd) return cd < xd;
-          return candidate.last_used < current.last_used;
-        }
-      }
-      return candidate.last_used < current.last_used;
+    auto key_of = [](const Image& image) {
+      return EvictionKey{image.last_used, image.hits, image.bytes,
+                         to_value(image.id)};
     };
     for (auto it = images_.begin(); it != images_.end(); ++it) {
       if (it->second.last_used == clock_) continue;  // never evict the
                                                      // image just served
-      if (victim == images_.end() || worse(it->second, victim->second)) {
+      if (victim == images_.end() ||
+          evict_before(config_.eviction, key_of(it->second), key_of(victim->second))) {
         victim = it;
       }
     }

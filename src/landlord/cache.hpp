@@ -56,6 +56,14 @@ struct CacheConfig {
   /// regular use, the bloated image will eventually be evicted" (§V).
   /// 0 disables idle eviction (paper behaviour: space pressure only).
   std::uint64_t max_idle_requests = 0;
+
+  /// Concurrency (extension): number of shards the image namespace is
+  /// partitioned across by core::ShardedCache. 1 (the default) keeps
+  /// today's single-map behaviour; core::Landlord routes through a
+  /// ShardedCache when shards > 1. With a single replay thread, any
+  /// shard count produces bit-identical decisions to the sequential
+  /// Cache (see tests/landlord/sharded_cache_test.cpp).
+  std::uint32_t shards = 1;
 };
 
 class Cache {

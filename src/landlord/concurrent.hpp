@@ -1,13 +1,16 @@
-// Thread-safe cache adapter.
+// Thread-safe cache adapter (single global mutex).
 //
 // A head node serves submissions from many users concurrently (§V:
 // LANDLORD sits in the submission path of a batch or pilot-job system).
 // Algorithm 1 mutates shared state on every request, so the adapter
 // serialises requests behind a mutex — decision latency is microseconds
-// (see bench/micro_ops), so a single lock sustains >10^5 submissions/s,
-// far beyond any site's submission rate; the expensive work (image
-// materialisation) happens outside the lock in callers like
-// core::Landlord.
+// (see bench/micro_ops); the expensive work (image materialisation)
+// happens outside the lock in callers like core::Landlord.
+//
+// The single mutex caps Algorithm 1 throughput at one core. For
+// multi-core decision throughput use core::ShardedCache
+// (landlord/sharded.hpp), which partitions the namespace across
+// per-shard mutexes; bench/micro_concurrent compares the two.
 #pragma once
 
 #include <mutex>

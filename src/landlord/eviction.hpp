@@ -14,7 +14,10 @@
 //                    small images)
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+
+#include "util/bytes.hpp"
 
 namespace landlord::core {
 
@@ -24,6 +27,46 @@ enum class EvictionPolicy : std::uint8_t {
   kLargestFirst,
   kHitDensity,
 };
+
+/// The fields a victim decision depends on, snapshotted from an Image.
+/// Shared between the sequential Cache and the ShardedCache so both pick
+/// bit-identical victims from identical states.
+struct EvictionKey {
+  std::uint64_t last_used = 0;
+  std::uint64_t hits = 0;
+  util::Bytes bytes = 0;
+  std::uint64_t id = 0;
+};
+
+/// True iff `a` should be evicted before `b` under `policy`. Fully
+/// deterministic: every policy falls through to the older LRU stamp and
+/// finally the smaller image id, so victim choice never depends on hash
+/// map iteration order (a precondition for the sharded/sequential
+/// equivalence oracle).
+[[nodiscard]] inline bool evict_before(EvictionPolicy policy,
+                                       const EvictionKey& a,
+                                       const EvictionKey& b) noexcept {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      break;  // LRU/ID fallthrough below
+    case EvictionPolicy::kLfu:
+      if (a.hits != b.hits) return a.hits < b.hits;
+      break;
+    case EvictionPolicy::kLargestFirst:
+      if (a.bytes != b.bytes) return a.bytes > b.bytes;
+      break;
+    case EvictionPolicy::kHitDensity: {
+      const double ad = static_cast<double>(a.hits) /
+                        static_cast<double>(std::max<util::Bytes>(1, a.bytes));
+      const double bd = static_cast<double>(b.hits) /
+                        static_cast<double>(std::max<util::Bytes>(1, b.bytes));
+      if (ad != bd) return ad < bd;
+      break;
+    }
+  }
+  if (a.last_used != b.last_used) return a.last_used < b.last_used;
+  return a.id < b.id;
+}
 
 [[nodiscard]] constexpr const char* to_string(EvictionPolicy policy) noexcept {
   switch (policy) {

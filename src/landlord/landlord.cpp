@@ -3,7 +3,8 @@
 namespace landlord::core {
 
 JobPlacement Landlord::submit(const spec::Specification& spec) {
-  const Cache::Outcome outcome = cache_.request(spec);
+  const Cache::Outcome outcome =
+      sharded_ ? sharded_->request(spec) : cache_.request(spec);
 
   JobPlacement placement;
   placement.kind = outcome.kind;
@@ -15,12 +16,15 @@ JobPlacement Landlord::submit(const spec::Specification& spec) {
     // Materialise (or re-materialise after a merge or split) the image
     // the cache decided on. The builder's persistent chunk cache means only content
     // not fetched before is downloaded; the whole image is still written.
-    auto image = cache_.find(outcome.image);
+    auto image = sharded_ ? sharded_->find(outcome.image) : cache_.find(outcome.image);
     if (image.has_value()) {
       spec::Specification materialised{image->contents};
+      // The builder mutates its chunk cache; one lock keeps concurrent
+      // sharded submissions safe without slowing the hit path above.
+      std::scoped_lock lock(build_mutex_);
       const auto built = builder_.build(materialised);
       placement.prep_seconds = built.prep_seconds;
-      prep_seconds_ += built.prep_seconds;
+      prep_seconds_.fetch_add(built.prep_seconds, std::memory_order_relaxed);
     }
   }
   return placement;

@@ -10,9 +10,14 @@
 // the placement decision and the modelled preparation cost.
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 
 #include "landlord/cache.hpp"
+#include "landlord/sharded.hpp"
 #include "shrinkwrap/builder.hpp"
 
 namespace landlord::core {
@@ -28,11 +33,19 @@ struct JobPlacement {
 
 class Landlord {
  public:
+  /// With `cache_config.shards <= 1` (the default) the decision layer is
+  /// the sequential core::Cache — today's behaviour, bit for bit. With
+  /// `shards > 1` requests route through a core::ShardedCache and
+  /// submit() may be called from multiple threads concurrently (the
+  /// builder is serialised behind its own mutex; decisions are not).
   Landlord(const pkg::Repository& repo, CacheConfig cache_config,
            shrinkwrap::FileTreeParams tree_params = {},
            shrinkwrap::BuildTimeModel time_model = {})
       : repo_(&repo),
         cache_(repo, cache_config),
+        sharded_(cache_config.shards > 1
+                     ? std::make_unique<ShardedCache>(repo, cache_config)
+                     : nullptr),
         builder_(repo, tree_params, time_model) {}
 
   /// Prepares a suitable container image for the job's specification and
@@ -40,20 +53,45 @@ class Landlord {
   /// Shrinkwrap time model; hits cost nothing.
   [[nodiscard]] JobPlacement submit(const spec::Specification& spec);
 
+  /// The sequential decision layer. Meaningful only when shards <= 1;
+  /// sharded deployments read through counters()/find()/sharded().
   [[nodiscard]] const Cache& cache() const noexcept { return cache_; }
+  /// The sharded decision layer, or nullptr when shards <= 1.
+  [[nodiscard]] const ShardedCache* sharded() const noexcept { return sharded_.get(); }
   [[nodiscard]] const shrinkwrap::ImageBuilder& builder() const noexcept {
     return builder_;
   }
   [[nodiscard]] const pkg::Repository& repository() const noexcept { return *repo_; }
 
+  /// Decision-layer reads that dispatch to whichever cache is active.
+  [[nodiscard]] CacheCounters counters() const {
+    return sharded_ ? sharded_->counters() : cache_.counters();
+  }
+  [[nodiscard]] std::size_t image_count() const {
+    return sharded_ ? sharded_->image_count() : cache_.image_count();
+  }
+  [[nodiscard]] util::Bytes total_bytes() const {
+    return sharded_ ? sharded_->total_bytes() : cache_.total_bytes();
+  }
+  [[nodiscard]] util::Bytes unique_bytes() const {
+    return sharded_ ? sharded_->unique_bytes() : cache_.unique_bytes();
+  }
+  [[nodiscard]] std::optional<Image> find(ImageId id) const {
+    return sharded_ ? sharded_->find(id) : cache_.find(id);
+  }
+
   /// Total modelled seconds spent preparing images so far.
-  [[nodiscard]] double total_prep_seconds() const noexcept { return prep_seconds_; }
+  [[nodiscard]] double total_prep_seconds() const noexcept {
+    return prep_seconds_.load(std::memory_order_relaxed);
+  }
 
  private:
   const pkg::Repository* repo_;
   Cache cache_;
+  std::unique_ptr<ShardedCache> sharded_;
   shrinkwrap::ImageBuilder builder_;
-  double prep_seconds_ = 0.0;
+  std::mutex build_mutex_;  ///< serialises builder_ under concurrent submit()
+  std::atomic<double> prep_seconds_ = 0.0;
 };
 
 }  // namespace landlord::core

@@ -31,17 +31,24 @@ bool parse_number(std::string_view token, T& out) {
   return ec == std::errc{} && ptr == token.data() + token.size();
 }
 
-}  // namespace
+/// One parsed snapshot image, ready for adoption into either cache kind.
+struct Record {
+  spec::PackageSet contents;
+  std::vector<spec::VersionConstraint> constraints;
+  std::uint64_t hits = 0;
+  std::uint32_t merge_count = 0;
+  std::uint32_t version = 0;
+};
 
-void save_cache(std::ostream& out, const Cache& cache, const pkg::Repository& repo) {
+/// Writes the shared snapshot format from a pre-collected image list.
+void write_snapshot(std::ostream& out, std::vector<Image> images,
+                    const pkg::Repository& repo, util::Bytes total_bytes) {
   out << kMagic << '\n';
-  out << "# " << cache.image_count() << " images, "
-      << cache.total_bytes() << " bytes\n";
+  out << "# " << images.size() << " images, " << total_bytes << " bytes\n";
   // Stable order: by LRU stamp, so restore reproduces recency.
-  std::vector<Image> images;
-  cache.for_each_image([&images](const Image& image) { images.push_back(image); });
   std::sort(images.begin(), images.end(), [](const Image& a, const Image& b) {
-    return a.last_used < b.last_used;
+    if (a.last_used != b.last_used) return a.last_used < b.last_used;
+    return to_value(a.id) < to_value(b.id);
   });
   std::size_t ordinal = 0;
   for (const auto& image : images) {
@@ -57,8 +64,9 @@ void save_cache(std::ostream& out, const Cache& cache, const pkg::Repository& re
   }
 }
 
-util::Result<Cache> restore_cache(std::istream& in, const pkg::Repository& repo,
-                                  CacheConfig config) {
+/// Parses the snapshot body (magic line onward) into adoption records.
+util::Result<std::vector<Record>> parse_snapshot(std::istream& in,
+                                                 const pkg::Repository& repo) {
   std::string line;
   std::size_t line_no = 0;
   if (!std::getline(in, line)) return util::Error{"empty cache snapshot"};
@@ -71,13 +79,6 @@ util::Result<Cache> restore_cache(std::istream& in, const pkg::Repository& repo,
 
   // Parse everything first so constraints (which follow their image
   // line) can be attached before adoption.
-  struct Record {
-    spec::PackageSet contents;
-    std::vector<spec::VersionConstraint> constraints;
-    std::uint64_t hits = 0;
-    std::uint32_t merge_count = 0;
-    std::uint32_t version = 0;
-  };
   std::vector<Record> records;
 
   while (std::getline(in, line)) {
@@ -123,16 +124,48 @@ util::Result<Cache> restore_cache(std::istream& in, const pkg::Repository& repo,
           line_no, "unknown directive '" + std::string(words.front()) + "'");
     }
   }
+  return records;
+}
+
+}  // namespace
+
+void save_cache(std::ostream& out, const Cache& cache, const pkg::Repository& repo) {
+  std::vector<Image> images;
+  cache.for_each_image([&images](const Image& image) { images.push_back(image); });
+  write_snapshot(out, std::move(images), repo, cache.total_bytes());
+}
+
+void save_cache(std::ostream& out, const ShardedCache& cache,
+                const pkg::Repository& repo) {
+  write_snapshot(out, cache.snapshot_images(), repo, cache.total_bytes());
+}
+
+util::Result<Cache> restore_cache(std::istream& in, const pkg::Repository& repo,
+                                  CacheConfig config) {
+  auto records = parse_snapshot(in, repo);
+  if (!records.ok()) return records.error();
 
   // Adopt in snapshot (LRU) order. If the new budget is smaller than the
   // snapshot, adopt() evicts the least-recently-adopted images — exactly
   // the right casualties.
   Cache cache(repo, config);
-  for (auto& record : records) {
+  for (auto& record : records.value()) {
     (void)cache.adopt(std::move(record.contents), std::move(record.constraints),
                       record.hits, record.merge_count, record.version);
   }
   return cache;
+}
+
+util::Result<std::size_t> restore_cache_into(std::istream& in,
+                                             const pkg::Repository& repo,
+                                             ShardedCache& cache) {
+  auto records = parse_snapshot(in, repo);
+  if (!records.ok()) return records.error();
+  for (auto& record : records.value()) {
+    (void)cache.adopt(std::move(record.contents), std::move(record.constraints),
+                      record.hits, record.merge_count, record.version);
+  }
+  return records.value().size();
 }
 
 bool save_cache_file(const std::string& path, const Cache& cache,

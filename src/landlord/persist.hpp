@@ -14,16 +14,25 @@
 //   constraint <image-ordinal> <name><op><version>
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 #include "landlord/cache.hpp"
+#include "landlord/sharded.hpp"
 #include "util/result.hpp"
 
 namespace landlord::core {
 
 /// Writes a snapshot of every cached image.
 void save_cache(std::ostream& out, const Cache& cache, const pkg::Repository& repo);
+
+/// Sharded variant: takes every shard lock (ShardedCache::snapshot_images)
+/// so the snapshot is one consistent point-in-time state even while other
+/// threads keep submitting. Same on-disk format; a snapshot written by
+/// either cache restores into either.
+void save_cache(std::ostream& out, const ShardedCache& cache,
+                const pkg::Repository& repo);
 
 /// Restores a snapshot into a new cache with `config`. Images are
 /// re-admitted verbatim (ids are reassigned; LRU order follows snapshot
@@ -33,6 +42,15 @@ void save_cache(std::ostream& out, const Cache& cache, const pkg::Repository& re
 [[nodiscard]] util::Result<Cache> restore_cache(std::istream& in,
                                                 const pkg::Repository& repo,
                                                 CacheConfig config);
+
+/// Restores a snapshot into an existing (typically freshly constructed)
+/// ShardedCache, re-homing each image onto its band-signature shard.
+/// Returns the number of images adopted. The cache's own config governs
+/// capacity, so an over-budget snapshot is trimmed exactly like the
+/// sequential restore.
+[[nodiscard]] util::Result<std::size_t> restore_cache_into(std::istream& in,
+                                                           const pkg::Repository& repo,
+                                                           ShardedCache& cache);
 
 /// File convenience wrappers.
 [[nodiscard]] bool save_cache_file(const std::string& path, const Cache& cache,

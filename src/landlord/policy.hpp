@@ -4,8 +4,8 @@
 // "Selection can be sorted by d_j()". How candidates are enumerated is a
 // policy choice with cost/quality trade-offs:
 //
-//  * kFirstFit   — scan in storage order, take the first close-enough,
-//                  compatible image. Cheapest, order-dependent.
+//  * kFirstFit   — take the oldest (lowest-id) close-enough, compatible
+//                  image; no distance sort. Cheapest.
 //  * kBestFit    — compute d_j for every cached image, try candidates in
 //                  increasing distance. The paper's suggested sort.
 //  * kMinHashLsh — prefilter candidates through an LSH index over MinHash

@@ -1,0 +1,530 @@
+#include "landlord/sharded.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "spec/jaccard.hpp"
+
+namespace landlord::core {
+
+ShardedCache::ShardedCache(const pkg::Repository& repo, CacheConfig config)
+    : repo_(&repo),
+      config_(config),
+      shards_(std::max<std::uint32_t>(1, config.shards)),
+      hasher_(config.minhash_k) {
+  assert(config_.alpha >= 0.0 && config_.alpha <= 1.0);
+  assert(config_.lsh_bands > 0 && config_.minhash_k % config_.lsh_bands == 0 &&
+         "band count must divide the MinHash signature length");
+  for (Shard& shard : shards_) shard.lsh = spec::LshIndex(config_.lsh_bands);
+}
+
+std::unique_lock<std::mutex> ShardedCache::lock_shard(const Shard& shard) const {
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard.lock_contentions.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  shard.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return lock;
+}
+
+std::size_t ShardedCache::home_of(const spec::PackageSet& contents) const {
+  if (shards_.size() <= 1) return 0;
+  // Only band 0 of the signature feeds the homing hash, so sign just
+  // those k/bands rows — ~30x cheaper than a full signature and
+  // bit-identical to hashing the full signature's band 0.
+  const auto prefix =
+      hasher_.sign_prefix(contents, hasher_.k() / config_.lsh_bands);
+  return static_cast<std::size_t>(spec::band_signature_hash(prefix, 1) %
+                                  shards_.size());
+}
+
+void ShardedCache::index_insert(Shard& shard, const Image& image) {
+  if (config_.policy != MergePolicy::kMinHashLsh) return;
+  auto signature = hasher_.sign(image.contents);
+  shard.lsh.insert(to_value(image.id), signature);
+  shard.signatures.emplace(to_value(image.id), std::move(signature));
+}
+
+void ShardedCache::index_erase(Shard& shard, const Image& image) {
+  if (config_.policy != MergePolicy::kMinHashLsh) return;
+  auto it = shard.signatures.find(to_value(image.id));
+  if (it == shard.signatures.end()) return;
+  shard.lsh.erase(to_value(image.id), it->second);
+  shard.signatures.erase(it);
+}
+
+Cache::Outcome ShardedCache::request(const spec::Specification& spec) {
+  assert(spec.packages().universe() == repo_->size() &&
+         "spec universe must match the cache's repository");
+  const std::uint64_t now = clock_.fetch_add(1) + 1;
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  const util::Bytes requested = spec.bytes(*repo_);
+  counters_.requested_bytes.fetch_add(requested, std::memory_order_relaxed);
+
+  const Cache::Outcome outcome = serve(spec, now, requested);
+
+  counters_.container_efficiency_sum.fetch_add(
+      outcome.image_bytes > 0
+          ? static_cast<double>(requested) / static_cast<double>(outcome.image_bytes)
+          : 1.0,
+      std::memory_order_relaxed);
+
+  enforce_budget(now);
+  evict_idle(now);
+  return outcome;
+}
+
+Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
+                                   std::uint64_t now, util::Bytes requested) {
+  for (;;) {
+    // ---- Phase 1: cross-shard superset scan (smallest bytes, then
+    // lowest id — the sequential Cache's deterministic hit choice),
+    // holding one shard lock at a time.
+    bool hit_found = false;
+    util::Bytes hit_bytes = 0;
+    std::uint64_t hit_id = 0;
+    std::size_t hit_shard = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      auto lock = lock_shard(shards_[s]);
+      for (const auto& [id, image] : shards_[s].images) {
+        if (!spec.packages().is_subset_of(image.contents)) continue;
+        if (!hit_found || image.bytes < hit_bytes ||
+            (image.bytes == hit_bytes && id < hit_id)) {
+          hit_found = true;
+          hit_bytes = image.bytes;
+          hit_id = id;
+          hit_shard = s;
+        }
+      }
+    }
+    if (hit_found) {
+      bool stale = false;
+      const auto outcome = apply_hit(hit_shard, hit_id, spec, now, requested, stale);
+      if (!stale) return outcome;
+      // A racing writer evicted or shrank the chosen image between scan
+      // and apply; re-run the decision.
+      counters_.optimistic_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
+    // ---- Phase 2: merge-candidate collection across shards.
+    struct MergeCandidate {
+      double distance;
+      std::uint64_t id;
+      std::size_t shard;
+    };
+    std::vector<MergeCandidate> candidates;
+    std::optional<spec::MinHashSignature> signature;
+    if (config_.policy == MergePolicy::kMinHashLsh) {
+      signature = hasher_.sign(spec.packages());
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      auto lock = lock_shard(shards_[s]);
+      auto consider = [&](const Image& image) {
+        const double d = spec::jaccard_distance(spec.packages(), image.contents);
+        if (d < config_.alpha || config_.alpha >= 1.0) {
+          candidates.push_back({d, to_value(image.id), s});
+        }
+      };
+      if (config_.policy == MergePolicy::kMinHashLsh) {
+        for (std::uint64_t id : shards_[s].lsh.candidates(*signature)) {
+          auto it = shards_[s].images.find(id);
+          assert(it != shards_[s].images.end() && "LSH index out of sync with shard");
+          consider(it->second);
+        }
+      } else {
+        for (const auto& [id, image] : shards_[s].images) consider(image);
+      }
+    }
+    if (config_.policy == MergePolicy::kFirstFit) {
+      // Oldest (lowest-id) candidate first — matches the sequential cache.
+      std::sort(candidates.begin(), candidates.end(),
+                [](const MergeCandidate& a, const MergeCandidate& b) {
+                  return a.id < b.id;
+                });
+    } else {
+      std::sort(candidates.begin(), candidates.end(),
+                [](const MergeCandidate& a, const MergeCandidate& b) {
+                  if (a.distance != b.distance) return a.distance < b.distance;
+                  return a.id < b.id;
+                });
+    }
+
+    bool merged = false;
+    Cache::Outcome merge_outcome;
+    for (const auto& candidate : candidates) {
+      Shard& shard = shards_[candidate.shard];
+      auto lock = lock_shard(shard);
+      auto it = shard.images.find(candidate.id);
+      if (it == shard.images.end()) continue;  // evicted since the scan
+      Image& image = it->second;
+      // Revalidate under the lock: a racing merge may have grown the
+      // image past the α ball since we measured it.
+      const double distance =
+          spec::jaccard_distance(spec.packages(), image.contents);
+      if (!(distance < config_.alpha || config_.alpha >= 1.0)) continue;
+      if (!spec::ConflictChecker::compatible(spec.constraints(), image.constraints)) {
+        counters_.conflict_rejections.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+
+      // Apply the merge (mirrors the sequential Cache's merge arm).
+      index_erase(shard, image);
+      total_bytes_.fetch_sub(image.bytes);
+      image.contents.merge(spec.packages());
+      image.bytes = repo_->bytes_of(image.contents.bits());
+      image.constraints.insert(image.constraints.end(), spec.constraints().begin(),
+                               spec.constraints().end());
+      image.last_used = now;
+      ++image.merge_count;
+      ++image.version;
+      if (image.lineage.size() >= config_.max_lineage) {
+        image.lineage[0].merge(image.lineage[1]);
+        image.lineage.erase(image.lineage.begin() + 1);
+      }
+      image.lineage.push_back(spec.packages());
+      total_bytes_.fetch_add(image.bytes);
+      counters_.written_bytes.fetch_add(image.bytes, std::memory_order_relaxed);
+      counters_.merges.fetch_add(1, std::memory_order_relaxed);
+      merge_outcome = {RequestKind::kMerge, image.id, image.bytes, false};
+
+      // The merged contents may band-hash to a different shard.
+      const std::size_t new_home = home_of(image.contents);
+      if (new_home == candidate.shard) {
+        index_insert(shard, image);
+      } else {
+        rehome_locked(lock, candidate.shard, new_home, candidate.id);
+        counters_.cross_shard_moves.fetch_add(1, std::memory_order_relaxed);
+      }
+      merged = true;
+      break;
+    }
+    if (merged) return merge_outcome;
+
+    // ---- Phase 3: insert a fresh image on its home shard.
+    Image image;
+    image.id = ImageId{id_counter_.fetch_add(1)};
+    image.contents = spec.packages();
+    image.bytes = requested;
+    image.constraints = spec.constraints();
+    image.last_used = now;
+    image.lineage.push_back(spec.packages());
+    total_bytes_.fetch_add(image.bytes);
+    counters_.written_bytes.fetch_add(image.bytes, std::memory_order_relaxed);
+    counters_.inserts.fetch_add(1, std::memory_order_relaxed);
+    const Cache::Outcome outcome{RequestKind::kInsert, image.id, image.bytes, false};
+    const std::size_t home =
+        signature ? (shards_.size() <= 1
+                         ? 0
+                         : static_cast<std::size_t>(
+                               spec::band_signature_hash(*signature,
+                                                         config_.lsh_bands) %
+                               shards_.size()))
+                  : home_of(spec.packages());
+    {
+      Shard& shard = shards_[home];
+      auto lock = lock_shard(shard);
+      ++shard.homed_inserts;
+      index_insert(shard, image);
+      shard.images.emplace(to_value(image.id), std::move(image));
+    }
+    image_count_.fetch_add(1);
+    return outcome;
+  }
+}
+
+Cache::Outcome ShardedCache::apply_hit(std::size_t shard_index, std::uint64_t id,
+                                       const spec::Specification& spec,
+                                       std::uint64_t now, util::Bytes requested,
+                                       bool& stale) {
+  Shard& shard = shards_[shard_index];
+  auto lock = lock_shard(shard);
+  auto it = shard.images.find(id);
+  if (it == shard.images.end() || !spec.satisfied_by(it->second.contents)) {
+    stale = true;
+    return {};
+  }
+  Image& image = it->second;
+  image.last_used = now;
+  ++image.hits;
+  counters_.hits.fetch_add(1, std::memory_order_relaxed);
+  if (config_.enable_split && image.merge_count > 0 && image.bytes > 0 &&
+      static_cast<double>(requested) / static_cast<double>(image.bytes) <
+          config_.split_utilization) {
+    return split_locked(lock, shard_index, image, spec, now);
+  }
+  return {RequestKind::kHit, image.id, image.bytes, false};
+}
+
+Cache::Outcome ShardedCache::split_locked(std::unique_lock<std::mutex>& source_lock,
+                                          std::size_t shard_index, Image& bloated,
+                                          const spec::Specification& spec,
+                                          std::uint64_t now) {
+  Shard& shard = shards_[shard_index];
+  index_erase(shard, bloated);
+  total_bytes_.fetch_sub(bloated.bytes);
+
+  // Part A exactly covers the request; part B is the union of lineage
+  // entries not subsumed by it (see Cache::split_image).
+  Image part_a;
+  part_a.id = ImageId{id_counter_.fetch_add(1)};
+  part_a.contents = spec.packages();
+  part_a.bytes = repo_->bytes_of(part_a.contents.bits());
+  part_a.constraints = spec.constraints();
+  part_a.last_used = now;
+  part_a.hits = 1;
+  part_a.lineage.push_back(spec.packages());
+
+  spec::PackageSet remainder(repo_->size());
+  std::vector<spec::PackageSet> remainder_lineage;
+  for (auto& entry : bloated.lineage) {
+    if (entry.is_subset_of(part_a.contents)) continue;
+    remainder.merge(entry);
+    remainder_lineage.push_back(std::move(entry));
+  }
+
+  counters_.written_bytes.fetch_add(part_a.bytes, std::memory_order_relaxed);
+  counters_.splits.fetch_add(1, std::memory_order_relaxed);
+  total_bytes_.fetch_add(part_a.bytes);
+  const Cache::Outcome outcome{RequestKind::kHit, part_a.id, part_a.bytes, true};
+
+  if (!remainder.empty()) {
+    // The remainder keeps the bloated image's id (continuation, shrunk).
+    bloated.contents = std::move(remainder);
+    bloated.bytes = repo_->bytes_of(bloated.contents.bits());
+    bloated.lineage = std::move(remainder_lineage);
+    bloated.merge_count = static_cast<std::uint32_t>(bloated.lineage.size()) - 1;
+    ++bloated.version;
+    total_bytes_.fetch_add(bloated.bytes);
+    counters_.written_bytes.fetch_add(bloated.bytes, std::memory_order_relaxed);
+    index_insert(shard, bloated);
+  } else {
+    shard.images.erase(to_value(bloated.id));  // `bloated` dangles past here
+    image_count_.fetch_sub(1);
+    counters_.deletes.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Place part A on its home shard. Lock order is increasing index:
+  // a higher-index home is locked while still holding the source; a
+  // lower-index home is locked only after releasing the source (part A
+  // is still private, so it cannot be observed half-placed).
+  const std::size_t home = home_of(part_a.contents);
+  if (home != shard_index) {
+    counters_.cross_shard_moves.fetch_add(1, std::memory_order_relaxed);
+    if (home < shard_index) source_lock.unlock();
+    Shard& target = shards_[home];
+    auto target_lock = lock_shard(target);
+    index_insert(target, part_a);
+    target.images.emplace(to_value(part_a.id), std::move(part_a));
+  } else {
+    index_insert(shard, part_a);
+    shard.images.emplace(to_value(part_a.id), std::move(part_a));
+  }
+  image_count_.fetch_add(1);
+  return outcome;
+}
+
+void ShardedCache::rehome_locked(std::unique_lock<std::mutex>& source_lock,
+                                 std::size_t source_index,
+                                 std::size_t target_index, std::uint64_t id) {
+  // Precondition: the caller holds `source_lock` on shards_[source_index]
+  // and has already erased the image's index entries there.
+  Shard& source = shards_[source_index];
+  Shard& target = shards_[target_index];
+  auto node = source.images.extract(id);
+  assert(!node.empty());
+  if (target_index > source_index) {
+    // Increasing-index order: safe to acquire while holding the source.
+    auto target_lock = lock_shard(target);
+    index_insert(target, node.mapped());
+    target.images.insert(std::move(node));
+  } else {
+    // Never lock a lower index while holding a higher one: extract
+    // privately, release, then lock the target. The image is briefly
+    // invisible to scans but never duplicated or lost.
+    source_lock.unlock();
+    auto target_lock = lock_shard(target);
+    index_insert(target, node.mapped());
+    target.images.insert(std::move(node));
+  }
+}
+
+void ShardedCache::enforce_budget(std::uint64_t now) {
+  while (total_bytes_.load(std::memory_order_acquire) > config_.capacity &&
+         image_count_.load(std::memory_order_acquire) > 1) {
+    // Global victim scan, one shard lock at a time.
+    bool found = false;
+    EvictionKey best{};
+    std::size_t best_shard = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      auto lock = lock_shard(shards_[s]);
+      for (const auto& [id, image] : shards_[s].images) {
+        if (image.last_used == now) continue;  // never evict the image
+                                               // just served
+        const EvictionKey key{image.last_used, image.hits, image.bytes, id};
+        if (!found || evict_before(config_.eviction, key, best)) {
+          found = true;
+          best = key;
+          best_shard = s;
+        }
+      }
+    }
+    if (!found) break;  // only the just-served image left
+
+    Shard& shard = shards_[best_shard];
+    auto lock = lock_shard(shard);
+    auto it = shard.images.find(best.id);
+    if (it == shard.images.end() || it->second.last_used != best.last_used ||
+        it->second.bytes != best.bytes) {
+      // The victim was touched or evicted by a racing request; rescan.
+      counters_.optimistic_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    total_bytes_.fetch_sub(it->second.bytes);
+    index_erase(shard, it->second);
+    shard.images.erase(it);
+    image_count_.fetch_sub(1);
+    counters_.deletes.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedCache::evict_idle(std::uint64_t now) {
+  if (config_.max_idle_requests == 0) return;
+  for (Shard& shard : shards_) {
+    auto lock = lock_shard(shard);
+    for (auto it = shard.images.begin(); it != shard.images.end();) {
+      const Image& image = it->second;
+      // `last_used > now` means a racing request stamped it after us.
+      if (image.last_used < now && now - image.last_used > config_.max_idle_requests) {
+        total_bytes_.fetch_sub(image.bytes);
+        index_erase(shard, image);
+        it = shard.images.erase(it);
+        image_count_.fetch_sub(1);
+        counters_.deletes.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+ImageId ShardedCache::adopt(spec::PackageSet contents,
+                            std::vector<spec::VersionConstraint> constraints,
+                            std::uint64_t hits, std::uint32_t merge_count,
+                            std::uint32_t version) {
+  assert(contents.universe() == repo_->size());
+  const std::uint64_t now = clock_.fetch_add(1) + 1;
+  Image image;
+  image.id = ImageId{id_counter_.fetch_add(1)};
+  image.bytes = repo_->bytes_of(contents.bits());
+  image.contents = std::move(contents);
+  image.constraints = std::move(constraints);
+  image.hits = hits;
+  image.merge_count = merge_count;
+  image.version = version;
+  image.last_used = now;
+  image.lineage.push_back(image.contents);
+  total_bytes_.fetch_add(image.bytes);
+  const ImageId id = image.id;
+  const std::size_t home = home_of(image.contents);
+  {
+    Shard& shard = shards_[home];
+    auto lock = lock_shard(shard);
+    ++shard.homed_inserts;
+    index_insert(shard, image);
+    shard.images.emplace(to_value(id), std::move(image));
+  }
+  image_count_.fetch_add(1);
+  enforce_budget(now);
+  return id;
+}
+
+util::Bytes ShardedCache::unique_bytes() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const Shard& shard : shards_) locks.push_back(lock_shard(shard));
+  util::DynamicBitset all(repo_->size());
+  bool any = false;
+  for (const Shard& shard : shards_) {
+    for (const auto& [id, image] : shard.images) {
+      all |= image.contents.bits();
+      any = true;
+    }
+  }
+  return any ? repo_->bytes_of(all) : 0;
+}
+
+double ShardedCache::cache_efficiency() const {
+  const util::Bytes unique = unique_bytes();
+  const util::Bytes total = total_bytes_.load(std::memory_order_acquire);
+  if (total == 0) return 1.0;
+  return static_cast<double>(unique) / static_cast<double>(total);
+}
+
+CacheCounters ShardedCache::counters() const {
+  CacheCounters out;
+  out.requests = counters_.requests.load();
+  out.hits = counters_.hits.load();
+  out.merges = counters_.merges.load();
+  out.inserts = counters_.inserts.load();
+  out.deletes = counters_.deletes.load();
+  out.splits = counters_.splits.load();
+  out.conflict_rejections = counters_.conflict_rejections.load();
+  out.requested_bytes = counters_.requested_bytes.load();
+  out.written_bytes = counters_.written_bytes.load();
+  out.container_efficiency_sum = counters_.container_efficiency_sum.load();
+  out.optimistic_retries = counters_.optimistic_retries.load();
+  out.cross_shard_moves = counters_.cross_shard_moves.load();
+  std::uint64_t contentions = 0;
+  for (const Shard& shard : shards_) {
+    contentions += shard.lock_contentions.load(std::memory_order_relaxed);
+  }
+  out.shard_lock_contentions = contentions;
+  return out;
+}
+
+std::optional<Image> ShardedCache::find(ImageId id) const {
+  for (const Shard& shard : shards_) {
+    auto lock = lock_shard(shard);
+    auto it = shard.images.find(to_value(id));
+    if (it != shard.images.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::vector<ShardStats> ShardedCache::shard_stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    auto lock = lock_shard(shard);
+    ShardStats stats;
+    stats.shard = s;
+    stats.images = shard.images.size();
+    for (const auto& [id, image] : shard.images) stats.bytes += image.bytes;
+    stats.homed_inserts = shard.homed_inserts;
+    stats.lock_acquisitions = shard.lock_acquisitions.load(std::memory_order_relaxed);
+    stats.lock_contentions = shard.lock_contentions.load(std::memory_order_relaxed);
+    out.push_back(stats);
+  }
+  return out;
+}
+
+std::vector<Image> ShardedCache::snapshot_images() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const Shard& shard : shards_) locks.push_back(lock_shard(shard));
+  std::vector<Image> out;
+  out.reserve(image_count_.load(std::memory_order_acquire));
+  for (const Shard& shard : shards_) {
+    for (const auto& [id, image] : shard.images) out.push_back(image);
+  }
+  std::sort(out.begin(), out.end(), [](const Image& a, const Image& b) {
+    return to_value(a.id) < to_value(b.id);
+  });
+  return out;
+}
+
+}  // namespace landlord::core

@@ -1,0 +1,184 @@
+// Sharded concurrent LANDLORD cache.
+//
+// core::ConcurrentCache serialises every request behind one mutex, so a
+// head node's Algorithm 1 throughput is capped at single-core speed. The
+// ShardedCache partitions the image namespace across N shards keyed by
+// the MinHash/LSH band signature of each image's contents
+// (spec::band_signature_hash), so near-duplicate specifications — the
+// ones likely to hit or merge with each other — tend to co-locate on one
+// shard while unrelated traffic proceeds in parallel on the others.
+//
+// Concurrency protocol (per request):
+//   1. *Decision phase* — the superset scan and the merge-candidate scan
+//      visit shards one at a time, holding only that shard's lock, and
+//      collect (id, bytes/distance) candidates. No two shard locks are
+//      ever held during a scan.
+//   2. *Apply phase* — the winning shard is re-locked and the decision
+//      revalidated (the image may have changed since the scan); a stale
+//      decision is retried from the top and counted in
+//      CacheCounters::optimistic_retries. Mutations (hit bookkeeping,
+//      merge, insert) happen under exactly one shard lock.
+//   3. *Cross-shard path* — a merge or split can change an image's band
+//      signature so that it homes to a different shard. When the target
+//      shard has a higher index the image moves under both locks,
+//      acquired in increasing index order (the global lock order; the
+//      all-shard snapshot path acquires 0..N-1 the same way, so the
+//      system is deadlock-free). When the target index is lower, the
+//      image is extracted under the source lock and re-inserted under
+//      the target lock — briefly invisible, never duplicated.
+//   4. *Budget* — total bytes and image count live in shared atomic
+//      ledgers. Eviction re-scans all shards for the globally worst
+//      victim (per EvictionPolicy, deterministic id tie-break) and
+//      revalidates it under its shard lock before erasing.
+//
+// Determinism: with one replay thread, every decision (hit choice, merge
+// candidate order, victim choice, id assignment) is bit-identical to the
+// sequential core::Cache for ANY shard count — the equivalence oracle in
+// tests/landlord/sharded_cache_test.cpp replays identical traces through
+// both and compares counters and final image sets. Multi-threaded runs
+// are linearizable per shard and preserve the cache invariants
+// (tests/landlord/sharded_stress_test.cpp) but their interleaving, and
+// hence exact counters, depend on the schedule.
+//
+// Unsupported in sharded mode: CacheConfig::record_time_series (the
+// per-request cache-wide union would serialise every request again); the
+// flag is ignored.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "landlord/cache.hpp"
+
+namespace landlord::core {
+
+/// Point-in-time observability snapshot of one shard.
+struct ShardStats {
+  std::size_t shard = 0;
+  std::uint64_t images = 0;            ///< images resident on this shard
+  util::Bytes bytes = 0;               ///< their total size
+  std::uint64_t homed_inserts = 0;     ///< inserts/adopts placed here
+  std::uint64_t lock_acquisitions = 0; ///< times this shard's lock was taken
+  std::uint64_t lock_contentions = 0;  ///< acquisitions that had to wait
+};
+
+class ShardedCache {
+ public:
+  /// Shard count comes from config.shards (clamped to >= 1).
+  ShardedCache(const pkg::Repository& repo, CacheConfig config);
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  /// Thread-safe Algorithm 1 request (hit / merge / insert + eviction).
+  Cache::Outcome request(const spec::Specification& spec);
+
+  /// Re-admits an image from a persisted snapshot (see Cache::adopt).
+  /// Thread-safe, though restores normally run single-threaded.
+  ImageId adopt(spec::PackageSet contents,
+                std::vector<spec::VersionConstraint> constraints,
+                std::uint64_t hits, std::uint32_t merge_count,
+                std::uint32_t version);
+
+  // ---- Introspection (each call is individually consistent) ----
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t image_count() const noexcept {
+    return image_count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] util::Bytes total_bytes() const noexcept {
+    return total_bytes_.load(std::memory_order_acquire);
+  }
+  /// Deduplicated footprint; takes every shard lock (increasing order).
+  [[nodiscard]] util::Bytes unique_bytes() const;
+  /// unique/total under the all-shard lock; 1 for an empty cache.
+  [[nodiscard]] double cache_efficiency() const;
+  /// Materialises the atomic ledgers into a plain counters snapshot.
+  [[nodiscard]] CacheCounters counters() const;
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  /// Copy of the image if resident (locks its shard).
+  [[nodiscard]] std::optional<Image> find(ImageId id) const;
+  /// Per-shard occupancy and lock-contention counters.
+  [[nodiscard]] std::vector<ShardStats> shard_stats() const;
+
+  /// Consistent point-in-time copy of every image: all shard locks are
+  /// held (in increasing index order) for the duration, so the result is
+  /// a true snapshot — the sharded analogue of
+  /// ConcurrentCache::with_exclusive for persistence.
+  [[nodiscard]] std::vector<Image> snapshot_images() const;
+
+  /// Visits a consistent snapshot of every cached image.
+  template <typename Fn>
+  void for_each_image(Fn&& fn) const {
+    for (const Image& image : snapshot_images()) fn(image);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, Image> images;
+    // MinHash/LSH state (kMinHashLsh policy only), guarded by `mutex`.
+    spec::LshIndex lsh;
+    std::unordered_map<std::uint64_t, spec::MinHashSignature> signatures;
+    std::uint64_t homed_inserts = 0;  // guarded by `mutex`
+    // Lock telemetry; relaxed atomics so readers need not take `mutex`.
+    mutable std::atomic<std::uint64_t> lock_acquisitions{0};
+    mutable std::atomic<std::uint64_t> lock_contentions{0};
+  };
+
+  /// Locks one shard, counting contention when the fast path misses.
+  [[nodiscard]] std::unique_lock<std::mutex> lock_shard(const Shard& shard) const;
+  /// Shard an image with these contents homes to (band-signature hash).
+  [[nodiscard]] std::size_t home_of(const spec::PackageSet& contents) const;
+
+  Cache::Outcome serve(const spec::Specification& spec, std::uint64_t now,
+                       util::Bytes requested);
+  Cache::Outcome apply_hit(std::size_t shard_index, std::uint64_t id,
+                           const spec::Specification& spec, std::uint64_t now,
+                           util::Bytes requested, bool& stale);
+  Cache::Outcome split_locked(std::unique_lock<std::mutex>& source_lock,
+                              std::size_t shard_index, Image& bloated,
+                              const spec::Specification& spec,
+                              std::uint64_t now);
+  void rehome_locked(std::unique_lock<std::mutex>& source_lock,
+                     std::size_t source_index, std::size_t target_index,
+                     std::uint64_t id);
+
+  void index_insert(Shard& shard, const Image& image);
+  void index_erase(Shard& shard, const Image& image);
+
+  void enforce_budget(std::uint64_t now);
+  void evict_idle(std::uint64_t now);
+
+  const pkg::Repository* repo_;
+  CacheConfig config_;
+  std::vector<Shard> shards_;
+  spec::MinHasher hasher_;
+
+  // Shared ledgers.
+  std::atomic<util::Bytes> total_bytes_{0};
+  std::atomic<std::uint64_t> image_count_{0};
+  std::atomic<std::uint64_t> clock_{0};
+  std::atomic<std::uint64_t> id_counter_{0};
+
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> merges{0};
+    std::atomic<std::uint64_t> inserts{0};
+    std::atomic<std::uint64_t> deletes{0};
+    std::atomic<std::uint64_t> splits{0};
+    std::atomic<std::uint64_t> conflict_rejections{0};
+    std::atomic<util::Bytes> requested_bytes{0};
+    std::atomic<util::Bytes> written_bytes{0};
+    std::atomic<double> container_efficiency_sum{0.0};
+    std::atomic<std::uint64_t> optimistic_retries{0};
+    std::atomic<std::uint64_t> cross_shard_moves{0};
+  };
+  AtomicCounters counters_;
+};
+
+}  // namespace landlord::core

@@ -27,6 +27,12 @@ struct CacheCounters {
   util::Bytes requested_bytes = 0;  ///< Σ size of what each job asked for
   util::Bytes written_bytes = 0;    ///< Σ bytes written creating/merging images
 
+  // ---- Concurrency observability (ShardedCache only; always 0 for the
+  // sequential Cache and for any sharded run with a single thread). ----
+  std::uint64_t shard_lock_contentions = 0;  ///< shard-lock waits (try_lock missed)
+  std::uint64_t optimistic_retries = 0;  ///< decisions invalidated by a racing writer
+  std::uint64_t cross_shard_moves = 0;   ///< images re-homed after merge/split
+
   /// Σ over requests of (requested bytes / used-image bytes); divide by
   /// `requests` for the paper's container efficiency.
   double container_efficiency_sum = 0.0;

@@ -1,0 +1,59 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+
+namespace landlord::sim {
+
+ParallelResult run_parallel(const pkg::Repository& repo,
+                            const ParallelConfig& config) {
+  // Same RNG discipline as run_simulation so the two drivers replay the
+  // same workload for the same (workload, seed).
+  util::Rng root(config.seed);
+  WorkloadGenerator generator(repo, config.workload, root.split(1));
+
+  const auto specs = generator.unique_specifications();
+  const auto stream = generator.request_stream();
+
+  const std::uint32_t threads = std::max<std::uint32_t>(1, config.threads);
+  core::ShardedCache cache(repo, config.cache);
+
+  // Workers park on the barrier so the storm starts (and is timed) as one
+  // burst rather than staggered by thread-creation latency.
+  std::barrier start_line(static_cast<std::ptrdiff_t>(threads) + 1);
+  std::vector<std::jthread> workers;
+  workers.reserve(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      start_line.arrive_and_wait();
+      for (std::size_t i = t; i < stream.size(); i += threads) {
+        cache.request(specs[stream[i]]);
+      }
+    });
+  }
+
+  const auto begin = std::chrono::steady_clock::now();
+  start_line.arrive_and_wait();
+  workers.clear();  // joins every jthread
+  const auto end = std::chrono::steady_clock::now();
+
+  ParallelResult result;
+  result.counters = cache.counters();
+  result.final_total_bytes = cache.total_bytes();
+  result.final_unique_bytes = cache.unique_bytes();
+  result.cache_efficiency = cache.cache_efficiency();
+  result.container_efficiency = result.counters.container_efficiency();
+  result.final_image_count = cache.image_count();
+  result.wall_seconds = std::chrono::duration<double>(end - begin).count();
+  result.requests_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(stream.size()) / result.wall_seconds
+          : 0.0;
+  result.shards = cache.shard_stats();
+  return result;
+}
+
+}  // namespace landlord::sim

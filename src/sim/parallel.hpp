@@ -1,0 +1,50 @@
+// Multi-threaded replay driver: one workload stream, K worker threads,
+// one ShardedCache.
+//
+// A distributed HTC head node takes submissions from many schedulers at
+// once (§V: LANDLORD sits in the submission path of a batch or pilot-job
+// system). This driver models that: the deterministic workload stream is
+// dealt round-robin across K threads (thread t replays indices t, t+K,
+// t+2K, ...) which start together behind a barrier and hammer a shared
+// core::ShardedCache. With threads = 1 the replay order is exactly the
+// sequential stream, so run_parallel(threads=1) is the bit-for-bit
+// equivalence twin of run_simulation for any shard count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "landlord/sharded.hpp"
+#include "pkg/repository.hpp"
+#include "sim/workload.hpp"
+
+namespace landlord::sim {
+
+struct ParallelConfig {
+  core::CacheConfig cache;  ///< cache.shards sets the shard count
+  WorkloadConfig workload;
+  std::uint64_t seed = 1;
+  std::uint32_t threads = 1;  ///< worker threads replaying the stream
+};
+
+/// Everything the concurrency figures need from one run.
+struct ParallelResult {
+  core::CacheCounters counters;
+  util::Bytes final_total_bytes = 0;
+  util::Bytes final_unique_bytes = 0;
+  double cache_efficiency = 1.0;      ///< unique/total at end of run
+  double container_efficiency = 1.0;  ///< mean requested/used over requests
+  std::uint64_t final_image_count = 0;
+  double wall_seconds = 0.0;          ///< barrier release -> last join
+  double requests_per_second = 0.0;
+  std::vector<core::ShardStats> shards;  ///< per-shard occupancy/contention
+};
+
+/// Generates the workload from (seed) — identical to run_simulation's for
+/// the same config — and replays it through a fresh ShardedCache from
+/// `threads` workers. Deterministic in `config` when threads == 1;
+/// schedule-dependent (but invariant-preserving) otherwise.
+[[nodiscard]] ParallelResult run_parallel(const pkg::Repository& repo,
+                                          const ParallelConfig& config);
+
+}  // namespace landlord::sim

@@ -32,12 +32,17 @@ MinHasher::MinHasher(std::size_t k, std::uint64_t seed) {
 }
 
 MinHashSignature MinHasher::sign(const PackageSet& set) const {
+  return sign_prefix(set, seeds_.size());
+}
+
+MinHashSignature MinHasher::sign_prefix(const PackageSet& set,
+                                        std::size_t rows) const {
+  const std::size_t count = std::min(rows, seeds_.size());
   MinHashSignature signature;
-  signature.components.assign(seeds_.size(),
-                              std::numeric_limits<std::uint64_t>::max());
+  signature.components.assign(count, std::numeric_limits<std::uint64_t>::max());
   set.for_each([&](pkg::PackageId id) {
     const auto element = static_cast<std::uint64_t>(pkg::to_index(id));
-    for (std::size_t i = 0; i < seeds_.size(); ++i) {
+    for (std::size_t i = 0; i < count; ++i) {
       signature.components[i] =
           std::min(signature.components[i], mix(seeds_[i], element));
     }
@@ -55,16 +60,21 @@ double MinHasher::estimate_similarity(const MinHashSignature& a,
   return static_cast<double>(matches) / static_cast<double>(a.size());
 }
 
-std::uint64_t LshIndex::band_hash(const MinHashSignature& signature,
-                                  std::size_t band) const noexcept {
-  assert(signature.size() % bands_ == 0 &&
+std::uint64_t band_signature_hash(const MinHashSignature& signature,
+                                  std::size_t bands, std::size_t band) noexcept {
+  assert(bands > 0 && signature.size() % bands == 0 &&
          "band count must divide signature length");
-  const std::size_t rows = signature.size() / bands_;
+  const std::size_t rows = signature.size() / bands;
   std::uint64_t h = 0x811c9dc5ULL ^ static_cast<std::uint64_t>(band);
   for (std::size_t r = 0; r < rows; ++r) {
     h = mix(h, signature.components[band * rows + r]);
   }
   return h;
+}
+
+std::uint64_t LshIndex::band_hash(const MinHashSignature& signature,
+                                  std::size_t band) const noexcept {
+  return band_signature_hash(signature, bands_, band);
 }
 
 void LshIndex::insert(std::uint64_t item, const MinHashSignature& signature) {

@@ -36,6 +36,12 @@ class MinHasher {
 
   [[nodiscard]] MinHashSignature sign(const PackageSet& set) const;
 
+  /// First `rows` components of sign(set) — bit-identical to the full
+  /// signature's prefix at a fraction of the cost. Shard homing needs
+  /// only one band (k/bands rows), not the whole signature.
+  [[nodiscard]] MinHashSignature sign_prefix(const PackageSet& set,
+                                             std::size_t rows) const;
+
   /// Unbiased Jaccard similarity estimate: matching component fraction.
   /// Signatures must come from MinHashers with identical (k, seed).
   [[nodiscard]] static double estimate_similarity(const MinHashSignature& a,
@@ -50,6 +56,16 @@ class MinHasher {
  private:
   std::vector<std::uint64_t> seeds_;
 };
+
+/// Stable 64-bit digest of one LSH band of a signature (band 0 by
+/// default). `bands` must divide the signature length. Two sets whose
+/// Jaccard similarity is s collide on a band with probability s^rows —
+/// core::ShardedCache uses this as its shard-homing key so that
+/// near-duplicate specifications tend to land on the same shard, keeping
+/// merges shard-local.
+[[nodiscard]] std::uint64_t band_signature_hash(const MinHashSignature& signature,
+                                               std::size_t bands,
+                                               std::size_t band = 0) noexcept;
 
 /// Locality-sensitive index over MinHash signatures: signatures are cut
 /// into `bands` bands of k/bands rows; items sharing any band hash are

@@ -5,8 +5,10 @@
 #include <tuple>
 
 #include "landlord/cache.hpp"
+#include "landlord/sharded.hpp"
 #include "pkg/synthetic.hpp"
 #include "sim/workload.hpp"
+#include "util/rng.hpp"
 
 namespace landlord::core {
 namespace {
@@ -153,6 +155,54 @@ TEST(CacheProperty, AlphaOneConvergesToSingleImage) {
   }
   EXPECT_EQ(cache.image_count(), 1u);
   EXPECT_DOUBLE_EQ(cache.cache_efficiency(), 1.0);
+}
+
+TEST(CacheProperty, EfficiencyBoundsHoldUnderRandomConfigs) {
+  // unique_bytes <= total_bytes and cache_efficiency in (0, 1] must hold
+  // for every (alpha, capacity, policy) draw, on both the sequential and
+  // the sharded cache (which shares the atomic ledger arithmetic).
+  const auto& repo = shared_repo();
+  util::Rng rng(2024);
+  constexpr MergePolicy kPolicies[] = {MergePolicy::kBestFit, MergePolicy::kFirstFit,
+                                       MergePolicy::kMinHashLsh};
+
+  for (std::uint64_t draw = 0; draw < 6; ++draw) {
+    CacheConfig config;
+    config.alpha = rng.uniform_double();
+    config.policy = kPolicies[rng.uniform(3)];
+    // Capacity between 10% and 110% of the repository footprint.
+    config.capacity = repo.total_bytes() / 10 +
+                      static_cast<util::Bytes>(rng.uniform_double() *
+                                               static_cast<double>(repo.total_bytes()));
+    config.shards = static_cast<std::uint32_t>(rng.uniform(1, 8));
+
+    sim::WorkloadConfig workload;
+    workload.unique_jobs = 40;
+    workload.repetitions = 2;
+    workload.max_initial_selection = 15;
+    sim::WorkloadGenerator generator(repo, workload, rng.split(100 + draw));
+    const auto specs = generator.unique_specifications();
+    const auto stream = generator.request_stream();
+
+    Cache sequential(repo, config);
+    ShardedCache sharded(repo, config);
+    for (std::uint32_t index : stream) {
+      (void)sequential.request(specs[index]);
+      (void)sharded.request(specs[index]);
+
+      EXPECT_LE(sequential.unique_bytes(), sequential.total_bytes());
+      EXPECT_LE(sharded.unique_bytes(), sharded.total_bytes());
+      for (const double efficiency :
+           {sequential.cache_efficiency(), sharded.cache_efficiency()}) {
+        EXPECT_GT(efficiency, 0.0) << "alpha=" << config.alpha;
+        EXPECT_LE(efficiency, 1.0) << "alpha=" << config.alpha;
+      }
+    }
+    // Single-threaded replay: the two caches must agree on the bounds'
+    // inputs exactly, whatever the shard count drawn.
+    EXPECT_EQ(sequential.total_bytes(), sharded.total_bytes());
+    EXPECT_EQ(sequential.unique_bytes(), sharded.unique_bytes());
+  }
 }
 
 TEST(CacheProperty, PoliciesAgreeOnHitOutcomes) {

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <barrier>
+#include <sstream>
 #include <thread>
 
+#include "landlord/persist.hpp"
+#include "landlord/sharded.hpp"
 #include "pkg/synthetic.hpp"
 #include "sim/workload.hpp"
 
@@ -108,6 +112,101 @@ TEST(ConcurrentCache, WithExclusiveSeesConsistentState) {
     return sum;
   });
   EXPECT_EQ(total, cache.total_bytes());
+}
+
+TEST(ConcurrentCache, PersistRoundTripUnderConcurrentSubmission) {
+  // A head node checkpoints its cache while submissions keep arriving.
+  // with_exclusive holds the cache mutex across the whole save, so every
+  // snapshot taken mid-storm must parse, restore, and satisfy the
+  // accounting identities — a torn write would fail the restore.
+  ConcurrentCache cache(repo(), config(0.6));
+
+  sim::WorkloadConfig workload;
+  workload.unique_jobs = 40;
+  workload.max_initial_selection = 10;
+  sim::WorkloadGenerator generator(repo(), workload, util::Rng(19));
+  const auto specs = generator.unique_specifications();
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 60;
+  std::barrier start(kThreads + 1);
+  std::vector<std::jthread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      util::Rng rng(static_cast<std::uint64_t>(t) + 500);
+      start.arrive_and_wait();
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        (void)cache.request(specs[rng.uniform(specs.size())]);
+      }
+    });
+  }
+
+  start.arrive_and_wait();
+  int snapshots = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::stringstream out;
+    const auto saved_bytes = cache.with_exclusive([&](Cache& inner) {
+      save_cache(out, inner, repo());
+      return inner.total_bytes();
+    });
+
+    auto restored = restore_cache(out, repo(), config(0.6));
+    ASSERT_TRUE(restored.ok()) << restored.error().message;
+    EXPECT_EQ(restored.value().total_bytes(), saved_bytes);
+    util::Bytes sum = 0;
+    restored.value().for_each_image([&](const Image& image) { sum += image.bytes; });
+    EXPECT_EQ(sum, restored.value().total_bytes());
+    ++snapshots;
+    std::this_thread::yield();
+  }
+  submitters.clear();
+  EXPECT_EQ(snapshots, 20);
+}
+
+TEST(ShardedCachePersist, SnapshotMidStormRestoresConsistently) {
+  // The sharded analogue: snapshot_images() takes every shard lock, so a
+  // save during a multi-threaded storm is a true point-in-time state.
+  CacheConfig cfg = config(0.7);
+  cfg.shards = 4;
+  ShardedCache cache(repo(), cfg);
+
+  sim::WorkloadConfig workload;
+  workload.unique_jobs = 40;
+  workload.max_initial_selection = 10;
+  sim::WorkloadGenerator generator(repo(), workload, util::Rng(23));
+  const auto specs = generator.unique_specifications();
+
+  constexpr int kThreads = 4;
+  std::barrier start(kThreads + 1);
+  std::vector<std::jthread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      util::Rng rng(static_cast<std::uint64_t>(t) + 900);
+      start.arrive_and_wait();
+      for (int i = 0; i < 60; ++i) {
+        (void)cache.request(specs[rng.uniform(specs.size())]);
+      }
+    });
+  }
+
+  start.arrive_and_wait();
+  for (int round = 0; round < 20; ++round) {
+    std::stringstream out;
+    save_cache(out, cache, repo());
+
+    ShardedCache restored(repo(), cfg);
+    const auto adopted = restore_cache_into(out, repo(), restored);
+    ASSERT_TRUE(adopted.ok()) << adopted.error().message;
+    // A mid-storm snapshot can be transiently over budget; the restore
+    // trims it, so adopted >= resident.
+    EXPECT_GE(adopted.value(), restored.image_count());
+    util::Bytes sum = 0;
+    for (const auto& image : restored.snapshot_images()) sum += image.bytes;
+    EXPECT_EQ(sum, restored.total_bytes());
+    EXPECT_LE(restored.unique_bytes(), restored.total_bytes());
+    std::this_thread::yield();
+  }
+  submitters.clear();
 }
 
 }  // namespace

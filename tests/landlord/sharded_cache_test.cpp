@@ -1,0 +1,225 @@
+// Sequential-equivalence oracle for the sharded cache.
+//
+// With a single replay thread the ShardedCache promises bit-identical
+// decisions to the sequential Cache for ANY shard count (sharded.hpp,
+// "Determinism"). This suite replays the same seeded workload through
+// both and compares every counter and the full final image set — ids,
+// contents, sizes, usage history — across shard counts, merge policies,
+// alphas, eviction pressure, splitting and idle eviction. Any divergence
+// in decision order, tie-breaking or ledger arithmetic fails here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "landlord/cache.hpp"
+#include "landlord/sharded.hpp"
+#include "pkg/synthetic.hpp"
+#include "sim/workload.hpp"
+
+namespace landlord::core {
+namespace {
+
+const pkg::Repository& shared_repo() {
+  static const pkg::Repository repo = [] {
+    pkg::SyntheticRepoParams params;
+    params.total_packages = 1200;
+    auto result = pkg::generate_repository(params, 77);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }();
+  return repo;
+}
+
+struct Replay {
+  std::vector<spec::Specification> specs;
+  std::vector<std::uint32_t> stream;
+};
+
+Replay make_replay(std::uint64_t seed) {
+  sim::WorkloadConfig workload;
+  workload.unique_jobs = 60;
+  workload.repetitions = 3;
+  workload.max_initial_selection = 20;
+  sim::WorkloadGenerator generator(shared_repo(), workload, util::Rng(seed));
+  return {generator.unique_specifications(), generator.request_stream()};
+}
+
+std::vector<Image> sorted_images(std::vector<Image> images) {
+  std::sort(images.begin(), images.end(), [](const Image& a, const Image& b) {
+    return to_value(a.id) < to_value(b.id);
+  });
+  return images;
+}
+
+void expect_equal_counters(const CacheCounters& seq, const CacheCounters& shd) {
+  EXPECT_EQ(seq.requests, shd.requests);
+  EXPECT_EQ(seq.hits, shd.hits);
+  EXPECT_EQ(seq.merges, shd.merges);
+  EXPECT_EQ(seq.inserts, shd.inserts);
+  EXPECT_EQ(seq.deletes, shd.deletes);
+  EXPECT_EQ(seq.splits, shd.splits);
+  EXPECT_EQ(seq.conflict_rejections, shd.conflict_rejections);
+  EXPECT_EQ(seq.requested_bytes, shd.requested_bytes);
+  EXPECT_EQ(seq.written_bytes, shd.written_bytes);
+  EXPECT_DOUBLE_EQ(seq.container_efficiency_sum, shd.container_efficiency_sum);
+  // Single-threaded replay never races: no retries, no contention.
+  EXPECT_EQ(shd.shard_lock_contentions, 0u);
+  EXPECT_EQ(shd.optimistic_retries, 0u);
+}
+
+void expect_equal_images(const Cache& seq, const ShardedCache& shd) {
+  std::vector<Image> sequential;
+  seq.for_each_image([&](const Image& image) { sequential.push_back(image); });
+  sequential = sorted_images(std::move(sequential));
+  const auto sharded = sorted_images(shd.snapshot_images());
+
+  ASSERT_EQ(sequential.size(), sharded.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    const Image& a = sequential[i];
+    const Image& b = sharded[i];
+    EXPECT_EQ(to_value(a.id), to_value(b.id));
+    EXPECT_TRUE(a.contents == b.contents)
+        << "image " << to_value(a.id) << " contents differ";
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.last_used, b.last_used);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.merge_count, b.merge_count);
+    EXPECT_EQ(a.version, b.version);
+    EXPECT_EQ(a.constraints, b.constraints);
+  }
+  EXPECT_EQ(seq.total_bytes(), shd.total_bytes());
+  EXPECT_EQ(seq.unique_bytes(), shd.unique_bytes());
+  EXPECT_EQ(seq.image_count(), shd.image_count());
+  EXPECT_DOUBLE_EQ(seq.cache_efficiency(), shd.cache_efficiency());
+}
+
+/// Replays the same stream through both caches and compares everything.
+void run_oracle(CacheConfig config, std::uint32_t shards, std::uint64_t seed) {
+  const auto& repo = shared_repo();
+  const auto replay = make_replay(seed);
+
+  Cache sequential(repo, config);
+  config.shards = shards;
+  ShardedCache sharded(repo, config);
+
+  for (std::uint32_t index : replay.stream) {
+    const auto expected = sequential.request(replay.specs[index]);
+    const auto actual = sharded.request(replay.specs[index]);
+    ASSERT_EQ(to_value(expected.image), to_value(actual.image))
+        << "decision diverged at stream position";
+    ASSERT_EQ(static_cast<int>(expected.kind), static_cast<int>(actual.kind));
+    ASSERT_EQ(expected.image_bytes, actual.image_bytes);
+    ASSERT_EQ(expected.split, actual.split);
+  }
+  expect_equal_counters(sequential.counters(), sharded.counters());
+  expect_equal_images(sequential, sharded);
+}
+
+class ShardedEquivalenceTest
+    : public testing::TestWithParam<std::tuple<std::uint32_t, double, MergePolicy>> {};
+
+TEST_P(ShardedEquivalenceTest, MatchesSequentialUnderEvictionPressure) {
+  const auto [shards, alpha, policy] = GetParam();
+  CacheConfig config;
+  config.alpha = alpha;
+  config.policy = policy;
+  config.capacity = shared_repo().total_bytes() / 4;  // forces evictions
+  run_oracle(config, shards, /*seed=*/5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsByAlphaByPolicy, ShardedEquivalenceTest,
+    testing::Combine(testing::Values(1u, 2u, 4u, 8u),
+                     testing::Values(0.0, 0.6, 0.95, 1.0),
+                     testing::Values(MergePolicy::kBestFit, MergePolicy::kFirstFit,
+                                     MergePolicy::kMinHashLsh)));
+
+TEST(ShardedEquivalence, SplitConfigMatchesSequential) {
+  CacheConfig config;
+  config.alpha = 0.9;
+  config.enable_split = true;
+  config.split_utilization = 0.5;  // aggressive: plenty of splits
+  config.capacity = shared_repo().total_bytes();
+  for (const std::uint32_t shards : {1u, 4u, 8u}) {
+    run_oracle(config, shards, /*seed=*/9);
+  }
+}
+
+TEST(ShardedEquivalence, IdleEvictionMatchesSequential) {
+  CacheConfig config;
+  config.alpha = 0.5;
+  config.max_idle_requests = 25;
+  config.capacity = shared_repo().total_bytes();
+  for (const std::uint32_t shards : {1u, 4u, 8u}) {
+    run_oracle(config, shards, /*seed=*/13);
+  }
+}
+
+TEST(ShardedEquivalence, AdoptMatchesSequential) {
+  const auto& repo = shared_repo();
+  const auto replay = make_replay(21);
+
+  CacheConfig config;
+  config.alpha = 0.7;
+  config.capacity = repo.total_bytes() / 4;
+  Cache sequential(repo, config);
+  config.shards = 4;
+  ShardedCache sharded(repo, config);
+
+  // Seed both caches through adopt() (the restore path), then keep
+  // requesting — adopted state must not perturb equivalence.
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto& spec = replay.specs[i];
+    const auto a = sequential.adopt(spec.packages(), {}, /*hits=*/i, /*merge_count=*/1,
+                                    /*version=*/2);
+    const auto b = sharded.adopt(spec.packages(), {}, /*hits=*/i, /*merge_count=*/1,
+                                 /*version=*/2);
+    ASSERT_EQ(to_value(a), to_value(b));
+  }
+  for (std::uint32_t index : replay.stream) {
+    const auto expected = sequential.request(replay.specs[index]);
+    const auto actual = sharded.request(replay.specs[index]);
+    ASSERT_EQ(to_value(expected.image), to_value(actual.image));
+  }
+  expect_equal_images(sequential, sharded);
+}
+
+TEST(ShardedEquivalence, ShardStatsAreConsistentWithTotals) {
+  const auto& repo = shared_repo();
+  const auto replay = make_replay(33);
+
+  CacheConfig config;
+  config.alpha = 0.6;
+  config.capacity = repo.total_bytes() / 4;
+  config.shards = 8;
+  ShardedCache cache(repo, config);
+  for (std::uint32_t index : replay.stream) (void)cache.request(replay.specs[index]);
+
+  const auto stats = cache.shard_stats();
+  ASSERT_EQ(stats.size(), 8u);
+  std::uint64_t images = 0;
+  util::Bytes bytes = 0;
+  std::uint64_t inserts = 0;
+  for (const auto& shard : stats) {
+    images += shard.images;
+    bytes += shard.bytes;
+    inserts += shard.homed_inserts;
+    EXPECT_GE(shard.lock_acquisitions, shard.lock_contentions);
+  }
+  EXPECT_EQ(images, cache.image_count());
+  EXPECT_EQ(bytes, cache.total_bytes());
+  // Every insert (and adopted image) was homed to exactly one shard.
+  EXPECT_GE(inserts, cache.counters().inserts);
+
+  // find() agrees with the snapshot for every live image.
+  for (const auto& image : cache.snapshot_images()) {
+    const auto found = cache.find(image.id);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_TRUE(found->contents == image.contents);
+  }
+}
+
+}  // namespace
+}  // namespace landlord::core

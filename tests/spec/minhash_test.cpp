@@ -156,6 +156,26 @@ TEST(LshIndex, EraseUnknownItemIsNoop) {
   EXPECT_EQ(index.size(), 0u);
 }
 
+TEST(MinHash, SignPrefixMatchesFullSignaturePrefix) {
+  // Shard homing hashes only band 0, so sign_prefix must reproduce the
+  // full signature's leading rows exactly (and clamp past k).
+  MinHasher hasher(64);
+  util::Rng rng(15);
+  const auto s = random_set(rng, 300, 0.25);
+  const auto full = hasher.sign(s);
+  for (const std::size_t rows : {std::size_t{1}, std::size_t{4}, std::size_t{64},
+                                 std::size_t{100}}) {
+    const auto prefix = hasher.sign_prefix(s, rows);
+    ASSERT_EQ(prefix.size(), std::min(rows, full.size()));
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      EXPECT_EQ(prefix.components[i], full.components[i]) << "row " << i;
+    }
+  }
+  // Hashing a one-band prefix equals hashing band 0 of the full signature.
+  EXPECT_EQ(band_signature_hash(hasher.sign_prefix(s, 4), 1),
+            band_signature_hash(full, 16, 0));
+}
+
 TEST(LshIndex, CandidatesAreDeduplicated) {
   MinHasher hasher(64);
   LshIndex index(16);
