@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full test suite, then the concurrency suite
-# again under ThreadSanitizer (catches data races the plain run cannot).
+# Tier-1 verification: the full test suite, the concurrency suite again
+# under ThreadSanitizer (catches data races the plain run cannot), and
+# the fault/chaos suite again under ASan+UBSan (catches the memory bugs
+# torn snapshots and degradation paths are most likely to hide).
 #
 #   $ scripts/tier1.sh [jobs]
 #
@@ -19,5 +21,11 @@ cmake -B build-tsan -S . -DLANDLORD_SANITIZE=thread \
   -DLANDLORD_BUILD_BENCH=OFF -DLANDLORD_BUILD_EXAMPLES=OFF
 cmake --build build-tsan --target concurrency_tests -j "$JOBS"
 ctest --test-dir build-tsan -L concurrency --output-on-failure -j "$JOBS"
+
+echo "== stage 3: ASan+UBSan build + fault-labelled tests =="
+cmake -B build-asan -S . -DLANDLORD_SANITIZE=address,undefined \
+  -DLANDLORD_BUILD_BENCH=OFF -DLANDLORD_BUILD_EXAMPLES=OFF
+cmake --build build-asan --target fault_tests -j "$JOBS"
+ctest --test-dir build-asan -L fault --output-on-failure -j "$JOBS"
 
 echo "tier-1: all stages passed"

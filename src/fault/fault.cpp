@@ -1,0 +1,76 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+namespace landlord::fault {
+
+bool FaultPlan::empty() const noexcept {
+  if (!schedule.empty()) return false;
+  return std::all_of(probability.begin(), probability.end(),
+                     [](double p) { return p <= 0.0; });
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const auto& fault : plan_.schedule) {
+    scheduled_[static_cast<std::size_t>(fault.op)].push_back(fault.occurrence);
+  }
+  for (auto& occurrences : scheduled_) {
+    std::sort(occurrences.begin(), occurrences.end());
+  }
+  reset();
+}
+
+void FaultInjector::reset() {
+  std::scoped_lock lock(mutex_);
+  util::Rng root(plan_.seed);
+  for (std::size_t op = 0; op < kFaultOpCount; ++op) {
+    streams_[op].rng = root.split(op + 1);
+    streams_[op].calls = 0;
+    streams_[op].injected = 0;
+  }
+}
+
+bool FaultInjector::should_fail(FaultOp op) {
+  const auto index = static_cast<std::size_t>(op);
+  std::scoped_lock lock(mutex_);
+  Stream& stream = streams_[index];
+  const std::uint64_t occurrence = stream.calls++;
+
+  bool fail = std::binary_search(scheduled_[index].begin(),
+                                 scheduled_[index].end(), occurrence);
+  // The Bernoulli draw is consumed even when the schedule already decided,
+  // so a verdict stays a function of (plan, op, occurrence) alone.
+  const double p = plan_.probability[index];
+  if (p > 0.0 && stream.rng.chance(p)) fail = true;
+  if (fail) ++stream.injected;
+  return fail;
+}
+
+std::uint64_t FaultInjector::occurrences(FaultOp op) const {
+  std::scoped_lock lock(mutex_);
+  return streams_[static_cast<std::size_t>(op)].calls;
+}
+
+std::uint64_t FaultInjector::injected(FaultOp op) const {
+  std::scoped_lock lock(mutex_);
+  return streams_[static_cast<std::size_t>(op)].injected;
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::scoped_lock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& stream : streams_) total += stream.injected;
+  return total;
+}
+
+double BackoffPolicy::delay_for(std::uint32_t attempt, util::Rng& rng) const {
+  double delay = base_delay_s;
+  for (std::uint32_t i = 0; i < attempt; ++i) delay *= multiplier;
+  delay = std::min(delay, max_delay_s);
+  if (jitter > 0.0) {
+    delay *= 1.0 + jitter * (2.0 * rng.uniform_double() - 1.0);
+  }
+  return delay;
+}
+
+}  // namespace landlord::fault

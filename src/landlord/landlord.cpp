@@ -1,9 +1,30 @@
 #include "landlord/landlord.hpp"
 
+#include <istream>
+
 namespace landlord::core {
 
+std::optional<shrinkwrap::BuiltImage> Landlord::build_with_retry(
+    const spec::Specification& spec, fault::FaultOp op, double& backoff_seconds,
+    std::uint32_t& retries) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    auto built = builder_.try_build(spec, injector_, op);
+    if (built.ok()) return std::move(built).value();
+    degraded_.build_failures.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= backoff_.max_retries) return std::nullopt;
+    // Wait (modelled seconds) before retrying; jitter decorrelates a
+    // fleet of head nodes hammering the same failed mirror.
+    const double delay = backoff_.delay_for(attempt, backoff_rng_);
+    backoff_seconds += delay;
+    ++retries;
+    degraded_.retries.fetch_add(1, std::memory_order_relaxed);
+    degraded_.backoffs.fetch_add(1, std::memory_order_relaxed);
+    degraded_.backoff_seconds.fetch_add(delay, std::memory_order_relaxed);
+  }
+}
+
 JobPlacement Landlord::submit(const spec::Specification& spec) {
-  const Cache::Outcome outcome =
+  Cache::Outcome outcome =
       sharded_ ? sharded_->request(spec) : cache_.request(spec);
 
   JobPlacement placement;
@@ -12,22 +33,137 @@ JobPlacement Landlord::submit(const spec::Specification& spec) {
   placement.image_bytes = outcome.image_bytes;
   placement.requested_bytes = spec.bytes(*repo_);
 
-  if (outcome.kind != RequestKind::kHit || outcome.split) {
-    // Materialise (or re-materialise after a merge or split) the image
-    // the cache decided on. The builder's persistent chunk cache means only content
-    // not fetched before is downloaded; the whole image is still written.
-    auto image = sharded_ ? sharded_->find(outcome.image) : cache_.find(outcome.image);
-    if (image.has_value()) {
-      spec::Specification materialised{image->contents};
-      // The builder mutates its chunk cache; one lock keeps concurrent
-      // sharded submissions safe without slowing the hit path above.
-      std::scoped_lock lock(build_mutex_);
-      const auto built = builder_.build(materialised);
-      placement.prep_seconds = built.prep_seconds;
-      prep_seconds_.fetch_add(built.prep_seconds, std::memory_order_relaxed);
+  // Plain hits ship an image that already exists on disk: no build, no
+  // fault surface.
+  if (outcome.kind == RequestKind::kHit && !outcome.split) return placement;
+
+  if (submit_test_hook_) submit_test_hook_();
+
+  // Materialise (or re-materialise after a merge or split) the image the
+  // cache decided on. The builder's persistent chunk cache means only
+  // content not fetched before is downloaded; the whole image is still
+  // written.
+  auto image = sharded_ ? sharded_->find(outcome.image) : cache_.find(outcome.image);
+  if (!image.has_value()) {
+    // TOCTOU: a concurrent eviction removed the decided image between
+    // request() and find(). The build used to be silently skipped here,
+    // under-counting prep cost. Count it and retry the decision once —
+    // the spec re-enters Algorithm 1 and gets a fresh placement.
+    degraded_.toctou_retries.fetch_add(1, std::memory_order_relaxed);
+    outcome = sharded_ ? sharded_->request(spec) : cache_.request(spec);
+    placement.kind = outcome.kind;
+    placement.image = outcome.image;
+    placement.image_bytes = outcome.image_bytes;
+    if (outcome.kind == RequestKind::kHit && !outcome.split) return placement;
+    image = sharded_ ? sharded_->find(outcome.image) : cache_.find(outcome.image);
+    if (!image.has_value()) {
+      // Evicted again under extreme churn: report a degraded placement
+      // rather than looping against a cache thrashing faster than we
+      // can build.
+      placement.degraded = true;
+      return placement;
     }
   }
+
+  spec::Specification materialised{image->contents};
+  // The builder mutates its chunk cache; one lock keeps concurrent
+  // sharded submissions safe without slowing the hit path above.
+  std::scoped_lock lock(build_mutex_);
+  double backoff_seconds = 0.0;
+  std::uint32_t retries = 0;
+
+  // Rung 1: build what the cache decided. A fresh insert is a cold
+  // download; merges and split rebuilds rewrite an existing image.
+  const fault::FaultOp op = outcome.kind == RequestKind::kInsert
+                                ? fault::FaultOp::kBuilderDownload
+                                : fault::FaultOp::kMergeRewrite;
+  auto built = build_with_retry(materialised, op, backoff_seconds, retries);
+
+  if (!built.has_value() && outcome.kind == RequestKind::kMerge) {
+    // Rung 2: the merged image cannot be rewritten. Build an exact,
+    // uncached image of just this spec so the job still runs; the cached
+    // (decision-layer) merge stays and can be rebuilt by a later job.
+    degraded_.fallback_exact_builds.fetch_add(1, std::memory_order_relaxed);
+    placement.degraded = true;
+    built = build_with_retry(spec, fault::FaultOp::kBuilderDownload,
+                             backoff_seconds, retries);
+    if (built.has_value()) {
+      placement.kind = RequestKind::kInsert;
+      placement.image_bytes = placement.requested_bytes;
+    }
+  }
+
+  if (!built.has_value() && outcome.kind == RequestKind::kHit && outcome.split) {
+    // Rung 3: the split part cannot be rebuilt, but the unsplit image
+    // file is still on disk and is a superset of the spec — serve from
+    // it with no rebuild at all.
+    degraded_.fallback_unsplit_hits.fetch_add(1, std::memory_order_relaxed);
+    placement.degraded = true;
+    placement.prep_seconds = backoff_seconds;
+    placement.build_retries = retries;
+    prep_seconds_.fetch_add(backoff_seconds, std::memory_order_relaxed);
+    return placement;
+  }
+
+  if (!built.has_value()) {
+    // Ladder exhausted: surface an error placement instead of aborting.
+    // The decision layer already recorded the operation; the job's
+    // scheduler sees failed=true and can re-queue.
+    degraded_.error_placements.fetch_add(1, std::memory_order_relaxed);
+    placement.failed = true;
+    placement.error = std::string("image build failed after ") +
+                      std::to_string(retries) + " retries (" +
+                      fault::to_string(op) + ")";
+    placement.prep_seconds = backoff_seconds;
+    placement.build_retries = retries;
+    prep_seconds_.fetch_add(backoff_seconds, std::memory_order_relaxed);
+    return placement;
+  }
+
+  placement.prep_seconds = built->prep_seconds + backoff_seconds;
+  placement.build_retries = retries;
+  prep_seconds_.fetch_add(placement.prep_seconds, std::memory_order_relaxed);
   return placement;
+}
+
+util::Result<std::size_t> Landlord::restore(std::istream& in,
+                                            RestoreReport* report) {
+  RestoreReport local;
+  RestoreReport& out = report != nullptr ? *report : local;
+
+  std::size_t adopted = 0;
+  if (sharded_) {
+    auto fresh = std::make_unique<ShardedCache>(*repo_, sharded_->config());
+    auto result = restore_cache_into(in, *repo_, *fresh, &out);
+    if (!result.ok()) return result.error();
+    adopted = result.value();
+    sharded_ = std::move(fresh);
+  } else {
+    auto result = restore_cache(in, *repo_, cache_.config(), &out);
+    if (!result.ok()) return result.error();
+    adopted = result.value().image_count();
+    cache_ = std::move(result).value();
+  }
+  degraded_.recovered_images.fetch_add(adopted, std::memory_order_relaxed);
+  degraded_.lost_records.fetch_add(out.records_lost, std::memory_order_relaxed);
+  return adopted;
+}
+
+fault::DegradedCounters Landlord::degraded() const {
+  fault::DegradedCounters out;
+  out.build_failures = degraded_.build_failures.load(std::memory_order_relaxed);
+  out.retries = degraded_.retries.load(std::memory_order_relaxed);
+  out.backoffs = degraded_.backoffs.load(std::memory_order_relaxed);
+  out.backoff_seconds = degraded_.backoff_seconds.load(std::memory_order_relaxed);
+  out.fallback_exact_builds =
+      degraded_.fallback_exact_builds.load(std::memory_order_relaxed);
+  out.fallback_unsplit_hits =
+      degraded_.fallback_unsplit_hits.load(std::memory_order_relaxed);
+  out.error_placements = degraded_.error_placements.load(std::memory_order_relaxed);
+  out.toctou_retries = degraded_.toctou_retries.load(std::memory_order_relaxed);
+  out.recovered_images = degraded_.recovered_images.load(std::memory_order_relaxed);
+  out.lost_records = degraded_.lost_records.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace landlord::core

@@ -8,15 +8,29 @@
 // Landlord couples the decision layer (core::Cache, Algorithm 1) with the
 // materialisation layer (shrinkwrap::ImageBuilder) so callers get both
 // the placement decision and the modelled preparation cost.
+//
+// Failure story (docs/fault_model.md): when a fault::FaultInjector is
+// attached, image builds can fail. submit() retries with exponential
+// backoff + jitter (modelled seconds, charged to prep time), then walks
+// a degradation ladder — a failed merge rewrite falls back to an exact
+// uncached image of just the spec, a failed split rebuild serves the
+// still-on-disk unsplit image, and only full exhaustion surfaces an
+// error placement (JobPlacement::failed) instead of aborting the job.
+// With no injector (or an empty plan) every path is bit-identical to
+// the fault-free code.
 #pragma once
 
 #include <atomic>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "landlord/cache.hpp"
+#include "landlord/persist.hpp"
 #include "landlord/sharded.hpp"
 #include "shrinkwrap/builder.hpp"
 
@@ -28,7 +42,11 @@ struct JobPlacement {
   ImageId image{};                       ///< image the job runs in
   util::Bytes image_bytes = 0;           ///< size of that image
   util::Bytes requested_bytes = 0;       ///< size the spec actually needed
-  double prep_seconds = 0.0;             ///< 0 for hits; build model otherwise
+  double prep_seconds = 0.0;             ///< 0 for hits; build model + backoff
+  std::uint32_t build_retries = 0;       ///< failed build attempts retried
+  bool degraded = false;  ///< served via a fallback rung (docs/fault_model.md)
+  bool failed = false;    ///< degradation ladder exhausted: no image prepared
+  std::string error;      ///< why, when failed (empty otherwise)
 };
 
 class Landlord {
@@ -50,8 +68,36 @@ class Landlord {
 
   /// Prepares a suitable container image for the job's specification and
   /// reports the placement. Image (re)builds are charged through the
-  /// Shrinkwrap time model; hits cost nothing.
+  /// Shrinkwrap time model; hits cost nothing. Build failures (injected
+  /// via set_fault_injector) are retried, degraded, and — only when the
+  /// whole ladder is exhausted — reported as a failed placement.
   [[nodiscard]] JobPlacement submit(const spec::Specification& spec);
+
+  /// Attaches a fault oracle consulted by every image build and, via the
+  /// persistence wrappers, snapshot I/O. Non-owning; pass nullptr to
+  /// detach. Not thread-safe against in-flight submit() calls.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+    if (injector != nullptr) {
+      backoff_rng_.reseed(injector->plan().seed ^ 0xbacc0ffULL);
+    }
+  }
+  /// Replaces the retry/backoff policy for failed builds.
+  void set_backoff_policy(fault::BackoffPolicy policy) noexcept {
+    backoff_ = policy;
+  }
+  [[nodiscard]] const fault::BackoffPolicy& backoff_policy() const noexcept {
+    return backoff_;
+  }
+
+  /// Replaces the decision-layer state from a cache snapshot — the
+  /// head-node restart path (image files and the builder's chunk cache
+  /// live on disk and survive the crash; decision state comes back from
+  /// the last checkpoint). v2 snapshots recover their valid prefix; the
+  /// report (optional) says what was lost. Returns the number of images
+  /// re-admitted. Not thread-safe against concurrent submit() calls.
+  util::Result<std::size_t> restore(std::istream& in,
+                                    RestoreReport* report = nullptr);
 
   /// The sequential decision layer. Meaningful only when shards <= 1;
   /// sharded deployments read through counters()/find()/sharded().
@@ -80,18 +126,58 @@ class Landlord {
     return sharded_ ? sharded_->find(id) : cache_.find(id);
   }
 
-  /// Total modelled seconds spent preparing images so far.
+  /// Total modelled seconds spent preparing images so far (builds plus
+  /// backoff waits).
   [[nodiscard]] double total_prep_seconds() const noexcept {
     return prep_seconds_.load(std::memory_order_relaxed);
   }
 
+  /// Degraded-mode telemetry snapshot (retries, backoffs, fallbacks,
+  /// recovered/lost snapshot records) — the fault-path companion of
+  /// counters().
+  [[nodiscard]] fault::DegradedCounters degraded() const;
+
+  /// Test-only: runs between the placement decision and the image
+  /// lookup, so tests can deterministically open the TOCTOU window that
+  /// a concurrent eviction would (tests/landlord/fault_test.cpp).
+  void set_submit_test_hook(std::function<void()> hook) {
+    submit_test_hook_ = std::move(hook);
+  }
+
  private:
+  /// Builds `spec` under build_mutex_, retrying per backoff_ while the
+  /// injector keeps failing the `op` class. Accumulates modelled waits
+  /// into `backoff_seconds` and retry counts into `retries`.
+  [[nodiscard]] std::optional<shrinkwrap::BuiltImage> build_with_retry(
+      const spec::Specification& spec, fault::FaultOp op,
+      double& backoff_seconds, std::uint32_t& retries);
+
   const pkg::Repository* repo_;
   Cache cache_;
   std::unique_ptr<ShardedCache> sharded_;
   shrinkwrap::ImageBuilder builder_;
   std::mutex build_mutex_;  ///< serialises builder_ under concurrent submit()
   std::atomic<double> prep_seconds_ = 0.0;
+
+  fault::FaultInjector* injector_ = nullptr;  ///< non-owning; may be null
+  fault::BackoffPolicy backoff_;
+  util::Rng backoff_rng_{0xbacc0ffULL};  ///< jitter stream; under build_mutex_
+  std::function<void()> submit_test_hook_;
+
+  /// Monotone degraded-mode counters (relaxed atomics: telemetry only).
+  struct AtomicDegraded {
+    std::atomic<std::uint64_t> build_failures{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> backoffs{0};
+    std::atomic<double> backoff_seconds{0.0};
+    std::atomic<std::uint64_t> fallback_exact_builds{0};
+    std::atomic<std::uint64_t> fallback_unsplit_hits{0};
+    std::atomic<std::uint64_t> error_placements{0};
+    std::atomic<std::uint64_t> toctou_retries{0};
+    std::atomic<std::uint64_t> recovered_images{0};
+    std::atomic<std::uint64_t> lost_records{0};
+  };
+  AtomicDegraded degraded_;
 };
 
 }  // namespace landlord::core

@@ -28,6 +28,17 @@ double ImageBuilder::model_seconds(util::Bytes bytes, util::Bytes fetched,
          static_cast<double>(files) * time_model_.per_file_s;
 }
 
+util::Result<BuiltImage> ImageBuilder::try_build(const spec::Specification& spec,
+                                                 fault::FaultInjector* faults,
+                                                 fault::FaultOp op) {
+  if (faults != nullptr && faults->should_fail(op)) {
+    return util::Error{std::string("injected ") + fault::to_string(op) +
+                       " failure (occurrence " +
+                       std::to_string(faults->occurrences(op) - 1) + ")"};
+  }
+  return build(spec);
+}
+
 BuiltImage ImageBuilder::build(const spec::Specification& spec) {
   ++build_counter_;
   BuiltImage out;

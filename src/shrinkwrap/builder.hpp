@@ -13,11 +13,13 @@
 
 #include <cstdint>
 
+#include "fault/fault.hpp"
 #include "pkg/repository.hpp"
 #include "shrinkwrap/cas.hpp"
 #include "shrinkwrap/filetree.hpp"
 #include "spec/specification.hpp"
 #include "util/bytes.hpp"
+#include "util/result.hpp"
 
 namespace landlord::shrinkwrap {
 
@@ -63,6 +65,17 @@ class ImageBuilder {
   /// Materialises `spec` (whose package set must already be
   /// dependency-closed). Updates the local chunk cache.
   [[nodiscard]] BuiltImage build(const spec::Specification& spec);
+
+  /// Fallible build: consults `faults` (may be null) before any state
+  /// changes, so a failed attempt leaves the builder — chunk cache and
+  /// build counter — untouched and is safely retryable. With a null
+  /// injector or an empty plan this is bit-identical to build().
+  /// `op` names the operation class being attempted (a fresh download
+  /// vs. the rewrite of a merged image) so fault plans can target them
+  /// independently.
+  [[nodiscard]] util::Result<BuiltImage> try_build(
+      const spec::Specification& spec, fault::FaultInjector* faults = nullptr,
+      fault::FaultOp op = fault::FaultOp::kBuilderDownload);
 
   /// The persistent local chunk cache (download dedup).
   [[nodiscard]] const Cas& chunk_cache() const noexcept { return cache_; }

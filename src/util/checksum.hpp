@@ -1,0 +1,30 @@
+// FNV-1a 64-bit checksums for durable artefacts.
+//
+// Charliecloud's build cache leans on content checksums to detect
+// inconsistent state; the v2 cache snapshot format does the same: every
+// image record carries an FNV-1a digest of its exact serialised bytes,
+// and the trailer chains them so truncation and bit-flips are detected
+// at restore time (docs/formats.md). FNV-1a is not cryptographic — it
+// guards against torn writes and corruption, not adversaries.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace landlord::util {
+
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// FNV-1a over `data`, seedable so digests can be chained.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::string_view data, std::uint64_t seed = kFnv1aOffset) noexcept {
+  std::uint64_t hash = seed;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+}  // namespace landlord::util

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Regenerates the torn-snapshot corpus.
+
+The corpus is checked in so the test suite (persist_corpus_test.cpp)
+exercises byte-exact, reviewable inputs; this script documents how each
+file was derived and recreates it deterministically. Checksums follow
+src/util/checksum.hpp (FNV-1a 64, offset basis seedable for chaining)
+and the v2 grammar in src/landlord/persist.cpp / docs/formats.md.
+
+Usage: python3 generate.py   (from this directory)
+"""
+
+import os
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a64(data: str, seed: int = FNV_OFFSET) -> int:
+    h = seed
+    for b in data.encode():
+        h = ((h ^ b) * FNV_PRIME) & MASK
+    return h
+
+
+MANIFEST = """\
+# Tiny hand-written repository for the snapshot corpus.
+package alpha 1.0 1000 core
+package beta 2.1 2000 library
+dep alpha/1.0
+package gamma 3.0 3000 library
+dep alpha/1.0
+package delta 4.2 500 leaf
+dep beta/2.1
+package epsilon 0.9 800 leaf
+"""
+
+# Record blobs exactly as persist.cpp serialises them (constraint lines
+# belong to the record and are covered by its checksum).
+RECORDS = [
+    "image 4 0 0 alpha/1.0 beta/2.1\n",
+    "image 1 1 1 alpha/1.0 beta/2.1 delta/4.2\nconstraint 1 delta==4.2\n",
+    "image 0 0 0 alpha/1.0 epsilon/0.9\n",
+]
+TOTAL_BYTES = 3000 + 3500 + 1800
+
+
+def v1_snapshot() -> str:
+    out = ["landlord-cache v1\n", f"# {len(RECORDS)} images, {TOTAL_BYTES} bytes\n"]
+    out.extend(RECORDS)
+    return "".join(out)
+
+
+def v2_snapshot() -> str:
+    out = ["landlord-cache v2\n", f"# {len(RECORDS)} images, {TOTAL_BYTES} bytes\n"]
+    chain = FNV_OFFSET
+    for ordinal, blob in enumerate(RECORDS):
+        out.append(blob)
+        out.append(f"check {ordinal} {fnv1a64(blob):x}\n")
+        chain = fnv1a64(blob, chain)
+    out.append(f"end {len(RECORDS)} {chain:x}\n")
+    return "".join(out)
+
+
+def main() -> None:
+    v1 = v1_snapshot()
+    v2 = v2_snapshot()
+    files = {
+        "repo.manifest": MANIFEST,
+        # --- v1: strict restore, any damage fails the whole snapshot ---
+        "v1_good.snapshot": v1,
+        # cut mid-way through a package key on the last image line
+        "v1_truncated.snapshot": v1[: v1.rindex("epsilon") + 3],
+        "v1_badkey.snapshot": v1.replace("beta/2.1 delta", "beta/9.9 delta"),
+        "v1_garbage.snapshot": "not a snapshot\n\x7f\x45\x4c\x46 random bytes\n",
+        # --- v2: checksummed records, prefix recovery -------------------
+        "v2_good.snapshot": v2,
+        # clean cut after record 1's check line: prefix of 2 records, no
+        # tail declared, missing end trailer
+        "v2_truncated_tail.snapshot": v2[: v2.index("image 0 0 0")],
+        # torn mid-way through record 2's image line
+        "v2_torn_record.snapshot": v2[: v2.index("epsilon") + 3],
+        # one byte of record 1 flipped (hits 1 -> 9): its check line no
+        # longer matches, records 1 and 2 are lost
+        "v2_bitflip_record.snapshot": v2.replace(
+            "image 1 1 1 alpha", "image 9 1 1 alpha", 1
+        ),
+        # record 0's digest corrupted (still valid hex, wrong value)
+        "v2_bitflip_check.snapshot": v2.replace(
+            f"check 0 {fnv1a64(RECORDS[0]):x}",
+            f"check 0 {fnv1a64(RECORDS[0]) ^ 0xFF:x}",
+            1,
+        ),
+        # trailer replaced by garbage after all three good records
+        "v2_garbage_tail.snapshot": v2[: v2.index("end ")] + "!!! garbage tail\n",
+        "v2_missing_end.snapshot": v2[: v2.index("end ")],
+        "empty.snapshot": "",
+    }
+    here = os.path.dirname(os.path.abspath(__file__))
+    for name, content in sorted(files.items()):
+        with open(os.path.join(here, name), "w", newline="") as f:
+            f.write(content)
+        print(f"wrote {name} ({len(content)} bytes)")
+
+
+if __name__ == "__main__":
+    main()
