@@ -10,14 +10,21 @@
 //   LANDLORD_REPEATS     repetitions per job           (default 5, paper 5)
 //   LANDLORD_SEED        master seed                   (default 42)
 //   LANDLORD_CSV_DIR     directory for CSV output      (default: none)
+//   LANDLORD_METRICS_OUT Prometheus exposition file    (default: none)
+//
+// Benches that attach an obs::Observability also take `--metrics-out
+// FILE` on the command line (overrides the environment), so a run can
+// leave behind a scrape-able snapshot next to its CSVs.
 #pragma once
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "pkg/synthetic.hpp"
 #include "sim/sweep.hpp"
 #include "util/table.hpp"
@@ -40,6 +47,7 @@ struct BenchEnv {
   std::uint32_t repetitions = 5;
   std::uint64_t seed = 42;
   std::optional<std::string> csv_dir;
+  std::optional<std::string> metrics_out;
 
   static BenchEnv from_environment() {
     BenchEnv env;
@@ -48,9 +56,38 @@ struct BenchEnv {
     env.repetitions = static_cast<std::uint32_t>(env_u64("LANDLORD_REPEATS", 5));
     env.seed = env_u64("LANDLORD_SEED", 42);
     if (const char* dir = std::getenv("LANDLORD_CSV_DIR")) env.csv_dir = dir;
+    if (const char* out = std::getenv("LANDLORD_METRICS_OUT")) env.metrics_out = out;
+    return env;
+  }
+
+  /// Environment knobs plus command-line flags (--metrics-out FILE).
+  static BenchEnv from_args(int argc, char** argv) {
+    BenchEnv env = from_environment();
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--metrics-out" && i + 1 < argc) {
+        env.metrics_out = argv[++i];
+      } else {
+        std::cerr << "warning: unknown argument " << arg
+                  << " (supported: --metrics-out FILE)\n";
+      }
+    }
     return env;
   }
 };
+
+/// Writes the registry's Prometheus text exposition to env.metrics_out,
+/// if set. Call once, after the bench's runs have all finished.
+inline void emit_metrics(const obs::Observability& obs, const BenchEnv& env) {
+  if (!env.metrics_out) return;
+  std::ofstream out(*env.metrics_out);
+  if (!out) {
+    std::cerr << "warning: could not write " << *env.metrics_out << '\n';
+    return;
+  }
+  obs.registry.render_text(out);
+  std::cout << "(metrics written to " << *env.metrics_out << ")\n";
+}
 
 /// The paper-scale synthetic repository all benches share.
 inline const pkg::Repository& shared_repository(std::uint64_t seed) {

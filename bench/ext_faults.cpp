@@ -15,12 +15,16 @@
 #include "sim/crash.hpp"
 #include "sim/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace landlord;
-  const auto env = bench::BenchEnv::from_environment();
+  const auto env = bench::BenchEnv::from_args(argc, argv);
   const auto& repo = bench::shared_repository(env.seed);
   bench::print_header("Extension: fault injection vs hit ratio / prep overhead",
                       env);
+
+  // One bundle for the whole sweep: the snapshot left behind covers
+  // every row (counters are monotone; per-row deltas live in the table).
+  obs::Observability obs(1 << 14);
 
   sim::WorkloadConfig workload;
   workload.unique_jobs = std::min<std::uint32_t>(env.unique_jobs, 300);
@@ -41,6 +45,7 @@ int main() {
     config.faults.fail(fault::FaultOp::kBuilderDownload, rate)
         .fail(fault::FaultOp::kMergeRewrite, rate);
     config.faults.seed = env.seed ^ 0xfa017ULL;
+    if (env.metrics_out) config.obs = &obs;
 
     const auto result = sim::run_crash_replay(repo, config);
     if (rate == 0.0) baseline_prep = result.total_prep_seconds;
@@ -73,6 +78,7 @@ int main() {
     config.crash.crash_every = 400;
     config.faults.fail(fault::FaultOp::kSnapshotWrite, rate);
     config.faults.seed = env.seed ^ 0xc4a54ULL;
+    if (env.metrics_out) config.obs = &obs;
 
     const auto result = sim::run_crash_replay(repo, config);
     crash_table.add_row(
@@ -82,6 +88,7 @@ int main() {
          util::fmt(result.final_image_count)});
   }
   bench::emit(crash_table, env, "ext_faults_crash");
+  bench::emit_metrics(obs, env);
   std::cout << "(seeded faults: every row replays bit-identically; "
             << "see docs/fault_model.md)\n";
   return 0;

@@ -11,9 +11,9 @@
 
 #include "sim/driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace landlord;
-  const auto env = bench::BenchEnv::from_environment();
+  const auto env = bench::BenchEnv::from_args(argc, argv);
   const auto& repo = bench::shared_repository(env.seed);
   bench::print_header("Fig. 5: behavior of a single simulation (alpha=0.75)", env);
 
@@ -24,6 +24,9 @@ int main() {
   config.workload.unique_jobs = env.unique_jobs;
   config.workload.repetitions = env.repetitions;
   config.seed = env.seed;
+
+  obs::Observability obs(1 << 14);
+  if (env.metrics_out) config.obs = &obs;
 
   const auto result = sim::run_simulation(repo, config);
   const auto& samples = result.series.samples();
@@ -47,6 +50,7 @@ int main() {
                    util::fmt(static_cast<double>(s.cumulative_written) / 1e12, 2)});
   }
   bench::emit(table, env, "fig5_single_run");
+  bench::emit_metrics(obs, env);
 
   std::cout << "summary: hits=" << result.counters.hits
             << " inserts=" << result.counters.inserts

@@ -131,6 +131,32 @@ void BM_CacheRequest(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheRequest)->Arg(50)->Arg(200)->Arg(500);
 
+/// Same request loop with Fig.-5 time-series recording on. Every request
+/// samples unique_bytes(); the incremental union ledger answers that in
+/// O(1), so this should sit within noise of BM_CacheRequest rather than
+/// the old O(images × universe) per-request union recompute that made
+/// time-series runs an order of magnitude slower at 500 images.
+void BM_CacheRequestTimeSeries(benchmark::State& state) {
+  core::CacheConfig config;
+  config.alpha = 0.8;
+  config.capacity = repo().total_bytes() * 10;
+  config.record_time_series = true;
+  core::Cache cache(repo(), config);
+
+  sim::WorkloadConfig workload;
+  workload.unique_jobs = static_cast<std::uint32_t>(state.range(0));
+  sim::WorkloadGenerator generator(repo(), workload, util::Rng(8));
+  const auto specs = generator.unique_specifications();
+  for (const auto& s : specs) (void)cache.request(s);
+
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.request(specs[next]));
+    next = (next + 1) % specs.size();
+  }
+}
+BENCHMARK(BM_CacheRequestTimeSeries)->Arg(50)->Arg(200)->Arg(500);
+
 void BM_CacheRequestMinHashPolicy(benchmark::State& state) {
   core::CacheConfig config;
   config.alpha = 0.8;

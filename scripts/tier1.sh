@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full test suite, the concurrency suite again
-# under ThreadSanitizer (catches data races the plain run cannot), and
-# the fault/chaos suite again under ASan+UBSan (catches the memory bugs
-# torn snapshots and degradation paths are most likely to hide).
+# under ThreadSanitizer (catches data races the plain run cannot), the
+# fault/chaos suite again under ASan+UBSan (catches the memory bugs
+# torn snapshots and degradation paths are most likely to hide), and the
+# metrics gate: a short instrumented sim whose Prometheus snapshot must
+# parse and reconcile exactly with the decision-layer counters.
 #
 #   $ scripts/tier1.sh [jobs]
 #
@@ -27,5 +29,19 @@ cmake -B build-asan -S . -DLANDLORD_SANITIZE=address,undefined \
   -DLANDLORD_BUILD_BENCH=OFF -DLANDLORD_BUILD_EXAMPLES=OFF
 cmake --build build-asan --target fault_tests -j "$JOBS"
 ctest --test-dir build-asan -L fault --output-on-failure -j "$JOBS"
+
+echo "== stage 4: metrics snapshot parse + counter/ladder reconciliation =="
+# Runs an instrumented sim + crash replay, writes the exposition, then
+# re-parses it and reconciles every counter family against the
+# CacheCounters/DegradedCounters structs (exit != 0 on a malformed line
+# or any mismatch). The obs-labelled ctest suite covers the same
+# invariants in-process; this exercises the on-disk artifact end to end.
+./build/examples/metrics_snapshot --jobs 80 \
+  --metrics-out build/metrics_snapshot.prom \
+  --trace-out build/metrics_snapshot_trace.jsonl \
+  --check
+test -s build/metrics_snapshot.prom
+grep -q '^landlord_cache_requests_total{kind="hit"} ' build/metrics_snapshot.prom
+ctest --test-dir build -L obs --output-on-failure -j "$JOBS"
 
 echo "tier-1: all stages passed"

@@ -43,7 +43,39 @@ bool FaultInjector::should_fail(FaultOp op) {
   const double p = plan_.probability[index];
   if (p > 0.0 && stream.rng.chance(p)) fail = true;
   if (fail) ++stream.injected;
+
+  if (hooks_.ops[index] != nullptr) hooks_.ops[index]->inc();
+  if (fail) {
+    if (hooks_.injected[index] != nullptr) hooks_.injected[index]->inc();
+    if (hooks_.trace != nullptr) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kFaultInjected;
+      event.detail = to_string(op);
+      event.aux = occurrence;
+      event.failed = true;
+      hooks_.trace->record(event);
+    }
+  }
   return fail;
+}
+
+void FaultInjector::set_observability(obs::Observability* observability) {
+  std::scoped_lock lock(mutex_);
+  if (observability == nullptr) {
+    hooks_ = Hooks{};
+    return;
+  }
+  obs::Registry& reg = observability->registry;
+  for (std::size_t index = 0; index < kFaultOpCount; ++index) {
+    const char* name = to_string(static_cast<FaultOp>(index));
+    hooks_.ops[index] =
+        &reg.counter("landlord_fault_ops_total", {{"op", name}},
+                     "Fault-oracle consultations per operation class.");
+    hooks_.injected[index] =
+        &reg.counter("landlord_fault_injected_total", {{"op", name}},
+                     "Failures injected per operation class.");
+  }
+  hooks_.trace = &observability->trace;
 }
 
 std::uint64_t FaultInjector::occurrences(FaultOp op) const {

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace landlord::fault {
@@ -101,6 +102,11 @@ class FaultInjector {
   /// Rewinds every occurrence stream to the beginning (replay).
   void reset();
 
+  /// Attaches (or detaches, with nullptr) an observability bundle:
+  /// per-class operation/injection counters plus a trace event per
+  /// injected fault. Never changes verdicts. Non-owning.
+  void set_observability(obs::Observability* observability);
+
  private:
   struct Stream {
     util::Rng rng;
@@ -113,6 +119,14 @@ class FaultInjector {
   std::array<Stream, kFaultOpCount> streams_;
   /// Sorted occurrence indices per class, from plan_.schedule.
   std::array<std::vector<std::uint64_t>, kFaultOpCount> scheduled_;
+
+  /// Metric handles resolved at set_observability; null ⇒ no-op.
+  struct Hooks {
+    std::array<obs::Counter*, kFaultOpCount> ops{};       ///< should_fail calls
+    std::array<obs::Counter*, kFaultOpCount> injected{};  ///< failures injected
+    obs::EventTrace* trace = nullptr;
+  };
+  Hooks hooks_;
 };
 
 /// Retry pacing for failed builds: exponential backoff with jitter.

@@ -14,6 +14,75 @@ Cache::Cache(const pkg::Repository& repo, CacheConfig config)
       hasher_(config.minhash_k),
       lsh_(config.lsh_bands) {
   assert(config_.alpha >= 0.0 && config_.alpha <= 1.0);
+  if (config_.record_time_series) ledger_refs_.resize(repo_->size(), 0);
+}
+
+void Cache::set_observability(obs::Observability* observability) {
+  if (observability == nullptr) {
+    hooks_ = Hooks{};
+    return;
+  }
+  obs::Registry& reg = observability->registry;
+  constexpr const char* kRequestsHelp =
+      "Cache requests by Algorithm 1 outcome kind.";
+  hooks_.requests_hit =
+      &reg.counter("landlord_cache_requests_total", {{"kind", "hit"}}, kRequestsHelp);
+  hooks_.requests_merge =
+      &reg.counter("landlord_cache_requests_total", {{"kind", "merge"}}, kRequestsHelp);
+  hooks_.requests_insert =
+      &reg.counter("landlord_cache_requests_total", {{"kind", "insert"}}, kRequestsHelp);
+  constexpr const char* kEvictionsHelp =
+      "Images removed from the cache, by reason (sums to CacheCounters::deletes).";
+  hooks_.evictions_budget =
+      &reg.counter("landlord_cache_evictions_total", {{"reason", "budget"}}, kEvictionsHelp);
+  hooks_.evictions_idle =
+      &reg.counter("landlord_cache_evictions_total", {{"reason", "idle"}}, kEvictionsHelp);
+  hooks_.evictions_split =
+      &reg.counter("landlord_cache_evictions_total", {{"reason", "split-empty"}},
+                   kEvictionsHelp);
+  hooks_.splits = &reg.counter("landlord_cache_splits_total", {},
+                               "Bloated images split along their merge lineage.");
+  hooks_.conflict_rejections =
+      &reg.counter("landlord_cache_conflict_rejections_total", {},
+                   "Merge candidates rejected for constraint conflicts.");
+  hooks_.candidate_scan = &reg.histogram(
+      "landlord_cache_candidate_scan_size",
+      {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024},
+      {}, "Merge candidates within distance alpha per scanned request.");
+  hooks_.request_bytes =
+      &reg.histogram("landlord_cache_request_bytes", obs::default_bytes_buckets(), {},
+                     "Bytes requested per container specification.");
+  hooks_.trace = &observability->trace;
+}
+
+void Cache::ledger_add(const util::DynamicBitset& bits) {
+  if (!config_.record_time_series) return;
+  bits.for_each_set([this](std::size_t i) {
+    if (ledger_refs_[i]++ == 0) {
+      ledger_unique_ += (*repo_)[pkg::package_id(static_cast<std::uint32_t>(i))].size;
+    }
+  });
+}
+
+void Cache::ledger_remove(const util::DynamicBitset& bits) {
+  if (!config_.record_time_series) return;
+  bits.for_each_set([this](std::size_t i) {
+    assert(ledger_refs_[i] > 0 && "union ledger underflow");
+    if (--ledger_refs_[i] == 0) {
+      ledger_unique_ -= (*repo_)[pkg::package_id(static_cast<std::uint32_t>(i))].size;
+    }
+  });
+}
+
+void Cache::trace_eviction(const Image& victim, const char* reason) {
+  if (hooks_.trace == nullptr) return;
+  obs::TraceEvent event;
+  event.kind = obs::EventKind::kEviction;
+  event.image = to_value(victim.id);
+  event.bytes = victim.bytes;
+  event.aux = victim.hits;
+  event.detail = reason;
+  hooks_.trace->record(event);
 }
 
 std::optional<Image> Cache::find(ImageId id) const {
@@ -23,6 +92,10 @@ std::optional<Image> Cache::find(ImageId id) const {
 }
 
 util::Bytes Cache::unique_bytes() const {
+  // With time-series recording on, the union is maintained incrementally
+  // (ledger_add/ledger_remove at every contents mutation) — O(1) here
+  // instead of an O(images × universe) recompute per call.
+  if (config_.record_time_series) return ledger_unique_;
   if (images_.empty()) return 0;
   util::DynamicBitset all(repo_->size());
   for (const auto& [id, image] : images_) all |= image.contents.bits();
@@ -99,6 +172,9 @@ std::optional<ImageId> Cache::find_merge_candidate(const spec::Specification& sp
       break;
     }
   }
+  if (hooks_.candidate_scan != nullptr) {
+    hooks_.candidate_scan->observe(static_cast<double>(candidates.size()));
+  }
   if (candidates.empty()) return std::nullopt;
 
   if (config_.policy != MergePolicy::kFirstFit) {
@@ -123,6 +199,7 @@ std::optional<ImageId> Cache::find_merge_candidate(const spec::Specification& sp
       return candidate.id;
     }
     ++counters_.conflict_rejections;
+    if (hooks_.conflict_rejections != nullptr) hooks_.conflict_rejections->inc();
   }
   return std::nullopt;
 }
@@ -134,6 +211,9 @@ Cache::Outcome Cache::request(const spec::Specification& spec) {
   ++counters_.requests;
   const util::Bytes requested = spec.bytes(*repo_);
   counters_.requested_bytes += requested;
+  if (hooks_.request_bytes != nullptr) {
+    hooks_.request_bytes->observe(static_cast<double>(requested));
+  }
 
   Outcome outcome;
 
@@ -145,25 +225,38 @@ Cache::Outcome Cache::request(const spec::Specification& spec) {
     ImageId served = image.id;
     util::Bytes served_bytes = image.bytes;
     bool split = false;
+    ImageId split_from{};
+    util::Bytes split_from_bytes = 0;
     // Extension: a hit on a badly bloated image (job uses a small
     // fraction of what it would ship) triggers a split along the merge
     // lineage; the job is served from the tightly fitting part.
     if (config_.enable_split && image.merge_count > 0 && image.bytes > 0 &&
         static_cast<double>(requested) / static_cast<double>(image.bytes) <
             config_.split_utilization) {
+      // The ladder's rung-3 fallback needs the *unsplit* image's
+      // identity and size, so capture them before the split rewrites
+      // (or erases) the bloated image.
+      split_from = image.id;
+      split_from_bytes = image.bytes;
       served = split_image(image.id, spec);
       served_bytes = images_.at(to_value(served)).bytes;
       split = true;
     }
-    outcome = {RequestKind::kHit, served, served_bytes, split};
+    outcome = {RequestKind::kHit, served,     served_bytes,
+               split,             split_from, split_from_bytes};
   } else if (auto candidate = find_merge_candidate(spec)) {
     Image& image = images_.at(to_value(*candidate));
     index_erase(image);
     total_bytes_ -= image.bytes;
+    ledger_remove(image.contents.bits());
     image.contents.merge(spec.packages());
+    ledger_add(image.contents.bits());
     image.bytes = repo_->bytes_of(image.contents.bits());
-    image.constraints.insert(image.constraints.end(), spec.constraints().begin(),
-                             spec.constraints().end());
+    // Append-if-absent: workloads reuse a small set of distinct
+    // constraints, so verbatim appending made a hot image's constraint
+    // list (and every ConflictChecker pass over it) grow linearly with
+    // its merge count.
+    spec::merge_constraints(image.constraints, spec.constraints());
     image.last_used = clock_;
     ++image.merge_count;
     ++image.version;
@@ -189,6 +282,7 @@ Cache::Outcome Cache::request(const spec::Specification& spec) {
     image.last_used = clock_;
     image.lineage.push_back(spec.packages());
     total_bytes_ += image.bytes;
+    ledger_add(image.contents.bits());
     counters_.written_bytes += image.bytes;
     ++counters_.inserts;
     const ImageId id = image.id;
@@ -202,6 +296,35 @@ Cache::Outcome Cache::request(const spec::Specification& spec) {
       outcome.image_bytes > 0
           ? static_cast<double>(requested) / static_cast<double>(outcome.image_bytes)
           : 1.0;
+
+  switch (outcome.kind) {
+    case RequestKind::kHit:
+      if (hooks_.requests_hit != nullptr) hooks_.requests_hit->inc();
+      break;
+    case RequestKind::kMerge:
+      if (hooks_.requests_merge != nullptr) hooks_.requests_merge->inc();
+      break;
+    case RequestKind::kInsert:
+      if (hooks_.requests_insert != nullptr) hooks_.requests_insert->inc();
+      break;
+  }
+  if (hooks_.trace != nullptr) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kRequest;
+    event.detail = to_string(outcome.kind);
+    event.image = to_value(outcome.image);
+    event.bytes = outcome.image_bytes;
+    event.aux = requested;
+    hooks_.trace->record(event);
+    if (outcome.split) {
+      obs::TraceEvent split_event;
+      split_event.kind = obs::EventKind::kSplit;
+      split_event.image = to_value(outcome.split_from);
+      split_event.bytes = outcome.split_from_bytes;
+      split_event.aux = to_value(outcome.image);
+      hooks_.trace->record(split_event);
+    }
+  }
 
   evict_over_budget();
   evict_idle();
@@ -225,6 +348,7 @@ ImageId Cache::adopt(spec::PackageSet contents,
   image.last_used = ++clock_;
   image.lineage.push_back(image.contents);
   total_bytes_ += image.bytes;
+  ledger_add(image.contents.bits());
   const ImageId id = image.id;
   index_insert(image);
   images_.emplace(to_value(id), std::move(image));
@@ -236,6 +360,7 @@ ImageId Cache::split_image(ImageId id, const spec::Specification& spec) {
   Image& bloated = images_.at(to_value(id));
   index_erase(bloated);
   total_bytes_ -= bloated.bytes;
+  ledger_remove(bloated.contents.bits());
 
   // Part A exactly covers the request. Part B is the union of lineage
   // entries not subsumed by the request — lineage entries are
@@ -260,8 +385,10 @@ ImageId Cache::split_image(ImageId id, const spec::Specification& spec) {
 
   counters_.written_bytes += part_a.bytes;
   ++counters_.splits;
+  if (hooks_.splits != nullptr) hooks_.splits->inc();
   const ImageId part_a_id = part_a.id;
   total_bytes_ += part_a.bytes;
+  ledger_add(part_a.contents.bits());
   index_insert(part_a);
   images_.emplace(to_value(part_a_id), std::move(part_a));
 
@@ -274,11 +401,13 @@ ImageId Cache::split_image(ImageId id, const spec::Specification& spec) {
     bloated.merge_count = static_cast<std::uint32_t>(bloated.lineage.size()) - 1;
     ++bloated.version;
     total_bytes_ += bloated.bytes;
+    ledger_add(bloated.contents.bits());
     counters_.written_bytes += bloated.bytes;
     index_insert(bloated);
   } else {
     images_.erase(to_value(id));
     ++counters_.deletes;
+    if (hooks_.evictions_split != nullptr) hooks_.evictions_split->inc();
   }
   return part_a_id;
 }
@@ -304,7 +433,10 @@ void Cache::evict_over_budget() {
     }
     if (victim == images_.end()) break;  // only the just-served image left
     total_bytes_ -= victim->second.bytes;
+    ledger_remove(victim->second.contents.bits());
     index_erase(victim->second);
+    if (hooks_.evictions_budget != nullptr) hooks_.evictions_budget->inc();
+    trace_eviction(victim->second, "budget");
     images_.erase(victim);
     ++counters_.deletes;
   }
@@ -315,7 +447,10 @@ void Cache::evict_idle() {
   for (auto it = images_.begin(); it != images_.end();) {
     if (clock_ - it->second.last_used > config_.max_idle_requests) {
       total_bytes_ -= it->second.bytes;
+      ledger_remove(it->second.contents.bits());
       index_erase(it->second);
+      if (hooks_.evictions_idle != nullptr) hooks_.evictions_idle->inc();
+      trace_eviction(it->second, "idle");
       it = images_.erase(it);
       ++counters_.deletes;
     } else {

@@ -23,6 +23,7 @@
 #include "landlord/image.hpp"
 #include "landlord/policy.hpp"
 #include "landlord/stats.hpp"
+#include "obs/obs.hpp"
 #include "pkg/repository.hpp"
 #include "spec/minhash.hpp"
 #include "spec/specification.hpp"
@@ -75,6 +76,13 @@ class Cache {
     ImageId image{};
     util::Bytes image_bytes = 0;  ///< size of the image the job will use
     bool split = false;  ///< a bloated image was split to serve this hit
+    /// When split: id and pre-split size of the bloated image the part
+    /// was carved out of. The remainder (if any) keeps this id at a
+    /// bumped version, so a worker holding the *unsplit* image on disk
+    /// can still be served from it if rebuilding the part fails
+    /// (degradation ladder rung 3).
+    ImageId split_from{};
+    util::Bytes split_from_bytes = 0;
   };
 
   /// Algorithm 1: satisfies `spec`, mutating the cache as needed.
@@ -102,6 +110,13 @@ class Cache {
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::optional<Image> find(ImageId id) const;
 
+  /// Attaches (or detaches, with nullptr) an observability bundle.
+  /// Metric handles are resolved once here; the request hot path then
+  /// only bumps relaxed atomics. Instrumentation never changes
+  /// decisions: an attached cache replays bit-identically to a detached
+  /// one. Non-owning; the bundle must outlive the cache or be detached.
+  void set_observability(obs::Observability* observability);
+
   /// Visits every cached image (unspecified order).
   template <typename Fn>
   void for_each_image(Fn&& fn) const {
@@ -128,6 +143,15 @@ class Cache {
   void index_insert(const Image& image);
   void index_erase(const Image& image);
 
+  /// Incremental view of the cache-wide union: per-package reference
+  /// counts plus the running deduplicated byte total. Maintained on
+  /// every contents mutation so unique_bytes() is O(1) instead of
+  /// O(images × universe) — record_sample used to recompute the union
+  /// per request, dominating time-series runs.
+  void ledger_add(const util::DynamicBitset& bits);
+  void ledger_remove(const util::DynamicBitset& bits);
+  void trace_eviction(const Image& victim, const char* reason);
+
   const pkg::Repository* repo_;
   CacheConfig config_;
   std::unordered_map<std::uint64_t, Image> images_;
@@ -136,6 +160,24 @@ class Cache {
   std::uint64_t id_counter_ = 0;
   CacheCounters counters_;
   TimeSeries series_;
+  std::vector<std::uint32_t> ledger_refs_;  ///< per-package image refcount
+  util::Bytes ledger_unique_ = 0;
+
+  /// Metric handles resolved at set_observability; null ⇒ no-op.
+  struct Hooks {
+    obs::Counter* requests_hit = nullptr;
+    obs::Counter* requests_merge = nullptr;
+    obs::Counter* requests_insert = nullptr;
+    obs::Counter* evictions_budget = nullptr;
+    obs::Counter* evictions_idle = nullptr;
+    obs::Counter* evictions_split = nullptr;
+    obs::Counter* splits = nullptr;
+    obs::Counter* conflict_rejections = nullptr;
+    obs::Histogram* candidate_scan = nullptr;
+    obs::Histogram* request_bytes = nullptr;
+    obs::EventTrace* trace = nullptr;
+  };
+  Hooks hooks_;
 
   // MinHash/LSH state (kMinHashLsh policy only).
   spec::MinHasher hasher_;

@@ -19,6 +19,16 @@ enum class ImageId : std::uint64_t {};
   return static_cast<std::uint64_t>(id);
 }
 
+/// Sentinel for an image that was served to a job but never admitted to
+/// the cache (degradation-ladder rung 2 builds the job's exact request
+/// as a one-off). Never collides with a real id: real ids count up from
+/// zero and would take centuries to wrap.
+inline constexpr ImageId kUncachedImage{~std::uint64_t{0}};
+
+[[nodiscard]] constexpr bool is_uncached(ImageId id) noexcept {
+  return id == kUncachedImage;
+}
+
 struct Image {
   ImageId id{};
   spec::PackageSet contents;    ///< packages materialised in the image

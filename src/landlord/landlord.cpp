@@ -20,10 +20,85 @@ std::optional<shrinkwrap::BuiltImage> Landlord::build_with_retry(
     degraded_.retries.fetch_add(1, std::memory_order_relaxed);
     degraded_.backoffs.fetch_add(1, std::memory_order_relaxed);
     degraded_.backoff_seconds.fetch_add(delay, std::memory_order_relaxed);
+    if (hooks_.build_retries != nullptr) hooks_.build_retries->inc();
+    if (hooks_.backoff_seconds != nullptr) hooks_.backoff_seconds->add(delay);
+    if (hooks_.trace != nullptr) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kBuildRetry;
+      event.detail = fault::to_string(op);
+      event.aux = attempt;
+      event.seconds = delay;
+      hooks_.trace->record(event);
+    }
   }
 }
 
+void Landlord::set_observability(obs::Observability* observability) {
+  obs_ = observability;
+  cache_.set_observability(observability);
+  if (sharded_) sharded_->set_observability(observability);
+  if (observability == nullptr) {
+    hooks_ = Hooks{};
+    return;
+  }
+  obs::Registry& reg = observability->registry;
+  constexpr const char* kRungHelp =
+      "Degradation-ladder rungs taken by submit() (docs/fault_model.md).";
+  hooks_.rung_hit =
+      &reg.counter("landlord_submit_rung_total", {{"rung", "hit"}}, kRungHelp);
+  hooks_.rung_build =
+      &reg.counter("landlord_submit_rung_total", {{"rung", "build"}}, kRungHelp);
+  hooks_.rung_exact = &reg.counter("landlord_submit_rung_total",
+                                   {{"rung", "exact-fallback"}}, kRungHelp);
+  hooks_.rung_unsplit = &reg.counter("landlord_submit_rung_total",
+                                     {{"rung", "unsplit-fallback"}}, kRungHelp);
+  hooks_.rung_error =
+      &reg.counter("landlord_submit_rung_total", {{"rung", "error"}}, kRungHelp);
+  hooks_.toctou_retries =
+      &reg.counter("landlord_submit_toctou_retries_total", {},
+                   "Decided images evicted between request() and find().");
+  hooks_.build_retries =
+      &reg.counter("landlord_submit_build_retries_total", {},
+                   "Failed image builds retried after backoff.");
+  hooks_.backoff_seconds =
+      &reg.gauge("landlord_submit_backoff_seconds_total", {},
+                 "Modelled seconds spent in retry backoff.");
+  hooks_.prep_seconds =
+      &reg.histogram("landlord_submit_prep_seconds", obs::default_seconds_buckets(),
+                     {}, "Modelled image-preparation seconds per placement.");
+  hooks_.invariant_violations =
+      &reg.counter("landlord_placement_invariant_violations_total", {},
+                   "Placements that failed the placement_violation() check.");
+  hooks_.trace = &observability->trace;
+}
+
 JobPlacement Landlord::submit(const spec::Specification& spec) {
+  JobPlacement placement = submit_impl(spec);
+  if (hooks_.prep_seconds != nullptr) {
+    hooks_.prep_seconds->observe(placement.prep_seconds);
+  }
+  // Self-check the reporting invariants. Sequential decision layer only:
+  // under a sharded cache a racing eviction can invalidate find() after
+  // a perfectly sound placement, which would be a false positive.
+  if (hooks_.invariant_violations != nullptr && !sharded_) {
+    if (auto violation = placement_violation(*this, placement)) {
+      hooks_.invariant_violations->inc();
+      if (hooks_.trace != nullptr) {
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::kInvariantViolation;
+        event.detail = to_string(placement.kind);
+        event.image = to_value(placement.image);
+        event.bytes = placement.image_bytes;
+        event.degraded = placement.degraded;
+        event.failed = placement.failed;
+        hooks_.trace->record(event);
+      }
+    }
+  }
+  return placement;
+}
+
+JobPlacement Landlord::submit_impl(const spec::Specification& spec) {
   Cache::Outcome outcome =
       sharded_ ? sharded_->request(spec) : cache_.request(spec);
 
@@ -35,7 +110,10 @@ JobPlacement Landlord::submit(const spec::Specification& spec) {
 
   // Plain hits ship an image that already exists on disk: no build, no
   // fault surface.
-  if (outcome.kind == RequestKind::kHit && !outcome.split) return placement;
+  if (outcome.kind == RequestKind::kHit && !outcome.split) {
+    if (hooks_.rung_hit != nullptr) hooks_.rung_hit->inc();
+    return placement;
+  }
 
   if (submit_test_hook_) submit_test_hook_();
 
@@ -50,11 +128,21 @@ JobPlacement Landlord::submit(const spec::Specification& spec) {
     // under-counting prep cost. Count it and retry the decision once —
     // the spec re-enters Algorithm 1 and gets a fresh placement.
     degraded_.toctou_retries.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_.toctou_retries != nullptr) hooks_.toctou_retries->inc();
+    if (hooks_.trace != nullptr) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kToctouRetry;
+      event.image = to_value(outcome.image);
+      hooks_.trace->record(event);
+    }
     outcome = sharded_ ? sharded_->request(spec) : cache_.request(spec);
     placement.kind = outcome.kind;
     placement.image = outcome.image;
     placement.image_bytes = outcome.image_bytes;
-    if (outcome.kind == RequestKind::kHit && !outcome.split) return placement;
+    if (outcome.kind == RequestKind::kHit && !outcome.split) {
+      if (hooks_.rung_hit != nullptr) hooks_.rung_hit->inc();
+      return placement;
+    }
     image = sharded_ ? sharded_->find(outcome.image) : cache_.find(outcome.image);
     if (!image.has_value()) {
       // Evicted again under extreme churn: report a degraded placement
@@ -84,24 +172,51 @@ JobPlacement Landlord::submit(const spec::Specification& spec) {
     // uncached image of just this spec so the job still runs; the cached
     // (decision-layer) merge stays and can be rebuilt by a later job.
     degraded_.fallback_exact_builds.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_.rung_exact != nullptr) hooks_.rung_exact->inc();
     placement.degraded = true;
     built = build_with_retry(spec, fault::FaultOp::kBuilderDownload,
                              backoff_seconds, retries);
     if (built.has_value()) {
+      // The job runs in a one-off image that was never admitted to the
+      // cache — report the sentinel, not the cached merged image the
+      // placement previously (wrongly) pointed at.
       placement.kind = RequestKind::kInsert;
+      placement.image = kUncachedImage;
       placement.image_bytes = placement.requested_bytes;
+      if (hooks_.trace != nullptr) {
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::kFallbackExact;
+        event.image = to_value(kUncachedImage);
+        event.bytes = placement.requested_bytes;
+        event.aux = to_value(outcome.image);  // the merge that failed
+        event.degraded = true;
+        hooks_.trace->record(event);
+      }
     }
   }
 
   if (!built.has_value() && outcome.kind == RequestKind::kHit && outcome.split) {
     // Rung 3: the split part cannot be rebuilt, but the unsplit image
     // file is still on disk and is a superset of the spec — serve from
-    // it with no rebuild at all.
+    // it. Report that image's identity and size, not the split part the
+    // worker never received.
     degraded_.fallback_unsplit_hits.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_.rung_unsplit != nullptr) hooks_.rung_unsplit->inc();
     placement.degraded = true;
+    placement.image = outcome.split_from;
+    placement.image_bytes = outcome.split_from_bytes;
     placement.prep_seconds = backoff_seconds;
     placement.build_retries = retries;
     prep_seconds_.fetch_add(backoff_seconds, std::memory_order_relaxed);
+    if (hooks_.trace != nullptr) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kFallbackUnsplit;
+      event.image = to_value(outcome.split_from);
+      event.bytes = outcome.split_from_bytes;
+      event.aux = to_value(outcome.image);  // the part that failed to build
+      event.degraded = true;
+      hooks_.trace->record(event);
+    }
     return placement;
   }
 
@@ -110,6 +225,7 @@ JobPlacement Landlord::submit(const spec::Specification& spec) {
     // The decision layer already recorded the operation; the job's
     // scheduler sees failed=true and can re-queue.
     degraded_.error_placements.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_.rung_error != nullptr) hooks_.rung_error->inc();
     placement.failed = true;
     placement.error = std::string("image build failed after ") +
                       std::to_string(retries) + " retries (" +
@@ -117,13 +233,68 @@ JobPlacement Landlord::submit(const spec::Specification& spec) {
     placement.prep_seconds = backoff_seconds;
     placement.build_retries = retries;
     prep_seconds_.fetch_add(backoff_seconds, std::memory_order_relaxed);
+    if (hooks_.trace != nullptr) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kErrorPlacement;
+      event.image = to_value(outcome.image);
+      event.aux = retries;
+      event.seconds = backoff_seconds;
+      event.failed = true;
+      event.detail = fault::to_string(op);
+      hooks_.trace->record(event);
+    }
     return placement;
   }
 
+  if (!placement.degraded && hooks_.rung_build != nullptr) {
+    hooks_.rung_build->inc();
+  }
   placement.prep_seconds = built->prep_seconds + backoff_seconds;
   placement.build_retries = retries;
   prep_seconds_.fetch_add(placement.prep_seconds, std::memory_order_relaxed);
   return placement;
+}
+
+std::optional<std::string> placement_violation(const Landlord& landlord,
+                                               const JobPlacement& placement) {
+  if (placement.failed) {
+    if (placement.error.empty()) return "failed placement carries no error message";
+    return std::nullopt;
+  }
+  if (is_uncached(placement.image)) {
+    if (!placement.degraded) {
+      return "uncached-image sentinel on a non-degraded placement";
+    }
+    if (placement.image_bytes != placement.requested_bytes) {
+      return "uncached exact build reports " + std::to_string(placement.image_bytes) +
+             " bytes, expected the requested " +
+             std::to_string(placement.requested_bytes);
+    }
+    return std::nullopt;
+  }
+  const auto image = landlord.find(placement.image);
+  if (!image.has_value()) {
+    if (placement.degraded) return std::nullopt;  // served from disk, since gone
+    return "placement reports image " + std::to_string(to_value(placement.image)) +
+           " which is not resident in the cache";
+  }
+  if (placement.degraded) {
+    // A resident image on a degraded placement is only legal on rung 3,
+    // where the (shrunk) remainder keeps the unsplit image's id; its
+    // cached size then legitimately differs from the on-disk copy served.
+    if (placement.kind == RequestKind::kInsert) {
+      return "degraded insert placement claims resident cache image " +
+             std::to_string(to_value(placement.image)) +
+             " instead of the uncached sentinel";
+    }
+    return std::nullopt;
+  }
+  if (image->bytes != placement.image_bytes) {
+    return "placement reports " + std::to_string(placement.image_bytes) +
+           " bytes for image " + std::to_string(to_value(placement.image)) +
+           " but the cache holds " + std::to_string(image->bytes);
+  }
+  return std::nullopt;
 }
 
 util::Result<std::size_t> Landlord::restore(std::istream& in,
@@ -146,6 +317,18 @@ util::Result<std::size_t> Landlord::restore(std::istream& in,
   }
   degraded_.recovered_images.fetch_add(adopted, std::memory_order_relaxed);
   degraded_.lost_records.fetch_add(out.records_lost, std::memory_order_relaxed);
+  // The decision layer was just replaced wholesale; without this the
+  // observability attachment would silently vanish across a restart.
+  if (obs_ != nullptr) {
+    set_observability(obs_);
+    if (hooks_.trace != nullptr) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kRestore;
+      event.aux = adopted;             // images re-admitted
+      event.bytes = out.records_lost;  // snapshot records lost
+      hooks_.trace->record(event);
+    }
+  }
   return adopted;
 }
 

@@ -39,8 +39,12 @@ namespace landlord::core {
 /// What submit() decided and what it cost.
 struct JobPlacement {
   RequestKind kind = RequestKind::kHit;  ///< hit / merge / insert
-  ImageId image{};                       ///< image the job runs in
-  util::Bytes image_bytes = 0;           ///< size of that image
+  /// Image the job runs in. kUncachedImage when a degraded exact build
+  /// (ladder rung 2) produced a one-off image that was never admitted to
+  /// the cache; the id of the *unsplit* on-disk image when a failed
+  /// split rebuild fell back to serving it (rung 3).
+  ImageId image{};
+  util::Bytes image_bytes = 0;           ///< size of the image actually served
   util::Bytes requested_bytes = 0;       ///< size the spec actually needed
   double prep_seconds = 0.0;             ///< 0 for hits; build model + backoff
   std::uint32_t build_retries = 0;       ///< failed build attempts retried
@@ -82,6 +86,14 @@ class Landlord {
       backoff_rng_.reseed(injector->plan().seed ^ 0xbacc0ffULL);
     }
   }
+  /// Attaches an observability bundle to this facade and to whichever
+  /// decision layer is active (metric handles resolve once; the hot path
+  /// bumps relaxed atomics). Survives restore(): the fresh decision
+  /// layer is re-attached automatically. Pass nullptr to detach.
+  /// Instrumentation never perturbs placements. Not thread-safe against
+  /// in-flight submit() calls.
+  void set_observability(obs::Observability* observability);
+
   /// Replaces the retry/backoff policy for failed builds.
   void set_backoff_policy(fault::BackoffPolicy policy) noexcept {
     backoff_ = policy;
@@ -145,6 +157,9 @@ class Landlord {
   }
 
  private:
+  /// submit() minus the invariant self-check and prep histogram.
+  [[nodiscard]] JobPlacement submit_impl(const spec::Specification& spec);
+
   /// Builds `spec` under build_mutex_, retrying per backoff_ while the
   /// injector keeps failing the `op` class. Accumulates modelled waits
   /// into `backoff_seconds` and retry counts into `retries`.
@@ -178,6 +193,41 @@ class Landlord {
     std::atomic<std::uint64_t> lost_records{0};
   };
   AtomicDegraded degraded_;
+
+  obs::Observability* obs_ = nullptr;  ///< non-owning; kept for restore()
+
+  /// Metric handles resolved at set_observability; null ⇒ no-op.
+  struct Hooks {
+    obs::Counter* rung_hit = nullptr;      ///< plain hit, nothing to build
+    obs::Counter* rung_build = nullptr;    ///< rung 1: decided image built
+    obs::Counter* rung_exact = nullptr;    ///< rung 2: exact uncached build
+    obs::Counter* rung_unsplit = nullptr;  ///< rung 3: unsplit on-disk hit
+    obs::Counter* rung_error = nullptr;    ///< ladder exhausted
+    obs::Counter* toctou_retries = nullptr;
+    obs::Counter* build_retries = nullptr;
+    obs::Gauge* backoff_seconds = nullptr;
+    obs::Histogram* prep_seconds = nullptr;
+    obs::Counter* invariant_violations = nullptr;
+    obs::EventTrace* trace = nullptr;
+  };
+  Hooks hooks_;
 };
+
+/// Placement-field invariants every submit() result must satisfy:
+///   * a failed placement carries an error message;
+///   * the uncached sentinel appears only on degraded placements and
+///     reports exactly the requested bytes (rung 2 builds the request);
+///   * a non-degraded placement's image id resolves in the cache and its
+///     reported size matches the cached image;
+///   * a degraded kInsert placement never claims a resident cache image
+///     (the rung-2 fallback, by construction, bypassed the cache).
+/// A degraded id that no longer resolves is legal — the unsplit image a
+/// rung-3 fallback served may since have been fully consumed or evicted;
+/// the worker's on-disk copy is what matters.
+/// Returns a description of the violation, or nullopt when sound. Used
+/// by Landlord's own self-check (when observability is attached, with
+/// the sequential decision layer) and by the chaos/fault test suites.
+[[nodiscard]] std::optional<std::string> placement_violation(
+    const Landlord& landlord, const JobPlacement& placement);
 
 }  // namespace landlord::core

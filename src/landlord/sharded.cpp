@@ -23,10 +23,77 @@ std::unique_lock<std::mutex> ShardedCache::lock_shard(const Shard& shard) const 
   std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
   if (!lock.owns_lock()) {
     shard.lock_contentions.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_.lock_contentions != nullptr) hooks_.lock_contentions->inc();
     lock.lock();
   }
   shard.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
   return lock;
+}
+
+void ShardedCache::set_observability(obs::Observability* observability) {
+  if (observability == nullptr) {
+    hooks_ = Hooks{};
+    return;
+  }
+  obs::Registry& reg = observability->registry;
+  // Same families the sequential Cache registers: a Landlord routes
+  // through exactly one of the two, so the shared series never
+  // double-count.
+  constexpr const char* kRequestsHelp =
+      "Cache requests by Algorithm 1 outcome kind.";
+  hooks_.requests_hit =
+      &reg.counter("landlord_cache_requests_total", {{"kind", "hit"}}, kRequestsHelp);
+  hooks_.requests_merge =
+      &reg.counter("landlord_cache_requests_total", {{"kind", "merge"}}, kRequestsHelp);
+  hooks_.requests_insert =
+      &reg.counter("landlord_cache_requests_total", {{"kind", "insert"}}, kRequestsHelp);
+  constexpr const char* kEvictionsHelp =
+      "Images removed from the cache, by reason (sums to CacheCounters::deletes).";
+  hooks_.evictions_budget =
+      &reg.counter("landlord_cache_evictions_total", {{"reason", "budget"}}, kEvictionsHelp);
+  hooks_.evictions_idle =
+      &reg.counter("landlord_cache_evictions_total", {{"reason", "idle"}}, kEvictionsHelp);
+  hooks_.evictions_split =
+      &reg.counter("landlord_cache_evictions_total", {{"reason", "split-empty"}},
+                   kEvictionsHelp);
+  hooks_.splits = &reg.counter("landlord_cache_splits_total", {},
+                               "Bloated images split along their merge lineage.");
+  hooks_.conflict_rejections =
+      &reg.counter("landlord_cache_conflict_rejections_total", {},
+                   "Merge candidates rejected for constraint conflicts.");
+  hooks_.lock_contentions =
+      &reg.counter("landlord_shard_lock_contentions_total", {},
+                   "Shard-lock acquisitions that had to wait.");
+  hooks_.optimistic_retries =
+      &reg.counter("landlord_shard_optimistic_retries_total", {},
+                   "Decisions invalidated by a racing writer and re-run.");
+  hooks_.cross_shard_moves =
+      &reg.counter("landlord_shard_cross_moves_total", {},
+                   "Images re-homed to another shard after a merge or split.");
+  hooks_.shard_images.clear();
+  hooks_.shard_bytes.clear();
+  hooks_.shard_contentions.clear();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const obs::Labels labels{{"shard", std::to_string(s)}};
+    hooks_.shard_images.push_back(&reg.gauge("landlord_shard_images", labels,
+                                             "Images resident per shard."));
+    hooks_.shard_bytes.push_back(&reg.gauge("landlord_shard_bytes", labels,
+                                            "Bytes resident per shard."));
+    hooks_.shard_contentions.push_back(
+        &reg.gauge("landlord_shard_contentions", labels,
+                   "Lock contention count per shard."));
+  }
+  hooks_.trace = &observability->trace;
+}
+
+void ShardedCache::publish_metrics() {
+  if (hooks_.shard_images.empty()) return;
+  for (const ShardStats& stats : shard_stats()) {
+    hooks_.shard_images[stats.shard]->set(static_cast<double>(stats.images));
+    hooks_.shard_bytes[stats.shard]->set(static_cast<double>(stats.bytes));
+    hooks_.shard_contentions[stats.shard]->set(
+        static_cast<double>(stats.lock_contentions));
+  }
 }
 
 std::size_t ShardedCache::home_of(const spec::PackageSet& contents) const {
@@ -106,6 +173,7 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
       // A racing writer evicted or shrank the chosen image between scan
       // and apply; re-run the decision.
       counters_.optimistic_retries.fetch_add(1, std::memory_order_relaxed);
+      if (hooks_.optimistic_retries != nullptr) hooks_.optimistic_retries->inc();
       continue;
     }
 
@@ -167,6 +235,7 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
       if (!(distance < config_.alpha || config_.alpha >= 1.0)) continue;
       if (!spec::ConflictChecker::compatible(spec.constraints(), image.constraints)) {
         counters_.conflict_rejections.fetch_add(1, std::memory_order_relaxed);
+        if (hooks_.conflict_rejections != nullptr) hooks_.conflict_rejections->inc();
         continue;
       }
 
@@ -175,8 +244,9 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
       total_bytes_.fetch_sub(image.bytes);
       image.contents.merge(spec.packages());
       image.bytes = repo_->bytes_of(image.contents.bits());
-      image.constraints.insert(image.constraints.end(), spec.constraints().begin(),
-                               spec.constraints().end());
+      // Append-if-absent, like the sequential merge arm: verbatim
+      // appending let a hot image's constraint list grow without bound.
+      spec::merge_constraints(image.constraints, spec.constraints());
       image.last_used = now;
       ++image.merge_count;
       ++image.version;
@@ -188,6 +258,7 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
       total_bytes_.fetch_add(image.bytes);
       counters_.written_bytes.fetch_add(image.bytes, std::memory_order_relaxed);
       counters_.merges.fetch_add(1, std::memory_order_relaxed);
+      if (hooks_.requests_merge != nullptr) hooks_.requests_merge->inc();
       merge_outcome = {RequestKind::kMerge, image.id, image.bytes, false};
 
       // The merged contents may band-hash to a different shard.
@@ -197,6 +268,7 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
       } else {
         rehome_locked(lock, candidate.shard, new_home, candidate.id);
         counters_.cross_shard_moves.fetch_add(1, std::memory_order_relaxed);
+        if (hooks_.cross_shard_moves != nullptr) hooks_.cross_shard_moves->inc();
       }
       merged = true;
       break;
@@ -214,6 +286,7 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
     total_bytes_.fetch_add(image.bytes);
     counters_.written_bytes.fetch_add(image.bytes, std::memory_order_relaxed);
     counters_.inserts.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_.requests_insert != nullptr) hooks_.requests_insert->inc();
     const Cache::Outcome outcome{RequestKind::kInsert, image.id, image.bytes, false};
     const std::size_t home =
         signature ? (shards_.size() <= 1
@@ -250,6 +323,7 @@ Cache::Outcome ShardedCache::apply_hit(std::size_t shard_index, std::uint64_t id
   image.last_used = now;
   ++image.hits;
   counters_.hits.fetch_add(1, std::memory_order_relaxed);
+  if (hooks_.requests_hit != nullptr) hooks_.requests_hit->inc();
   if (config_.enable_split && image.merge_count > 0 && image.bytes > 0 &&
       static_cast<double>(requested) / static_cast<double>(image.bytes) <
           config_.split_utilization) {
@@ -264,6 +338,7 @@ Cache::Outcome ShardedCache::split_locked(std::unique_lock<std::mutex>& source_l
                                           std::uint64_t now) {
   Shard& shard = shards_[shard_index];
   index_erase(shard, bloated);
+  const util::Bytes pre_split_bytes = bloated.bytes;
   total_bytes_.fetch_sub(bloated.bytes);
 
   // Part A exactly covers the request; part B is the union of lineage
@@ -287,8 +362,13 @@ Cache::Outcome ShardedCache::split_locked(std::unique_lock<std::mutex>& source_l
 
   counters_.written_bytes.fetch_add(part_a.bytes, std::memory_order_relaxed);
   counters_.splits.fetch_add(1, std::memory_order_relaxed);
+  if (hooks_.splits != nullptr) hooks_.splits->inc();
   total_bytes_.fetch_add(part_a.bytes);
-  const Cache::Outcome outcome{RequestKind::kHit, part_a.id, part_a.bytes, true};
+  // Carry the unsplit image's identity/size so the degradation ladder's
+  // rung-3 fallback can report what the worker actually has on disk.
+  Cache::Outcome outcome{RequestKind::kHit, part_a.id, part_a.bytes, true};
+  outcome.split_from = bloated.id;
+  outcome.split_from_bytes = pre_split_bytes;
 
   if (!remainder.empty()) {
     // The remainder keeps the bloated image's id (continuation, shrunk).
@@ -304,6 +384,7 @@ Cache::Outcome ShardedCache::split_locked(std::unique_lock<std::mutex>& source_l
     shard.images.erase(to_value(bloated.id));  // `bloated` dangles past here
     image_count_.fetch_sub(1);
     counters_.deletes.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_.evictions_split != nullptr) hooks_.evictions_split->inc();
   }
 
   // Place part A on its home shard. Lock order is increasing index:
@@ -313,6 +394,7 @@ Cache::Outcome ShardedCache::split_locked(std::unique_lock<std::mutex>& source_l
   const std::size_t home = home_of(part_a.contents);
   if (home != shard_index) {
     counters_.cross_shard_moves.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_.cross_shard_moves != nullptr) hooks_.cross_shard_moves->inc();
     if (home < shard_index) source_lock.unlock();
     Shard& target = shards_[home];
     auto target_lock = lock_shard(target);
@@ -380,10 +462,20 @@ void ShardedCache::enforce_budget(std::uint64_t now) {
         it->second.bytes != best.bytes) {
       // The victim was touched or evicted by a racing request; rescan.
       counters_.optimistic_retries.fetch_add(1, std::memory_order_relaxed);
+      if (hooks_.optimistic_retries != nullptr) hooks_.optimistic_retries->inc();
       continue;
     }
     total_bytes_.fetch_sub(it->second.bytes);
     index_erase(shard, it->second);
+    if (hooks_.evictions_budget != nullptr) hooks_.evictions_budget->inc();
+    if (hooks_.trace != nullptr) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kEviction;
+      event.image = best.id;
+      event.bytes = it->second.bytes;
+      event.detail = "budget";
+      hooks_.trace->record(event);
+    }
     shard.images.erase(it);
     image_count_.fetch_sub(1);
     counters_.deletes.fetch_add(1, std::memory_order_relaxed);
@@ -400,6 +492,7 @@ void ShardedCache::evict_idle(std::uint64_t now) {
       if (image.last_used < now && now - image.last_used > config_.max_idle_requests) {
         total_bytes_.fetch_sub(image.bytes);
         index_erase(shard, image);
+        if (hooks_.evictions_idle != nullptr) hooks_.evictions_idle->inc();
         it = shard.images.erase(it);
         image_count_.fetch_sub(1);
         counters_.deletes.fetch_add(1, std::memory_order_relaxed);

@@ -104,6 +104,17 @@ class ShardedCache {
   /// Per-shard occupancy and lock-contention counters.
   [[nodiscard]] std::vector<ShardStats> shard_stats() const;
 
+  /// Attaches (or detaches, with nullptr) an observability bundle; see
+  /// Cache::set_observability for the contract. Counters are bumped
+  /// inline next to their AtomicCounters twins (so the two reconcile
+  /// exactly); per-shard occupancy gauges are only refreshed by
+  /// publish_metrics().
+  void set_observability(obs::Observability* observability);
+  /// Copies current per-shard occupancy/contention numbers into the
+  /// attached registry's gauges. Call before rendering a snapshot; no-op
+  /// when detached.
+  void publish_metrics();
+
   /// Consistent point-in-time copy of every image: all shard locks are
   /// held (in increasing index order) for the duration, so the result is
   /// a true snapshot — the sharded analogue of
@@ -179,6 +190,26 @@ class ShardedCache {
     std::atomic<std::uint64_t> cross_shard_moves{0};
   };
   AtomicCounters counters_;
+
+  /// Metric handles resolved at set_observability; null ⇒ no-op.
+  struct Hooks {
+    obs::Counter* requests_hit = nullptr;
+    obs::Counter* requests_merge = nullptr;
+    obs::Counter* requests_insert = nullptr;
+    obs::Counter* evictions_budget = nullptr;
+    obs::Counter* evictions_idle = nullptr;
+    obs::Counter* evictions_split = nullptr;
+    obs::Counter* splits = nullptr;
+    obs::Counter* conflict_rejections = nullptr;
+    obs::Counter* lock_contentions = nullptr;
+    obs::Counter* optimistic_retries = nullptr;
+    obs::Counter* cross_shard_moves = nullptr;
+    std::vector<obs::Gauge*> shard_images;       ///< indexed by shard
+    std::vector<obs::Gauge*> shard_bytes;        ///< indexed by shard
+    std::vector<obs::Gauge*> shard_contentions;  ///< indexed by shard
+    obs::EventTrace* trace = nullptr;
+  };
+  Hooks hooks_;
 };
 
 }  // namespace landlord::core

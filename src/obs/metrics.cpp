@@ -1,0 +1,271 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace landlord::obs {
+
+namespace {
+
+/// Prometheus number formatting: integers render without a decimal point
+/// (counters stay exact up to 2^53 when parsed back as doubles), +Inf as
+/// the literal Prometheus uses.
+std::string format_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(0);
+    out << v;
+    return out.str();
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    // Escape per the exposition format; our label values are static
+    // identifiers, so this is belt-and-braces.
+    for (char c : value) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Inserts extra labels (e.g. `le`) into an already-rendered series key.
+std::string with_extra_label(const std::string& family, const Labels& labels,
+                             const std::string& key, const std::string& value) {
+  Labels all = labels;
+  all.emplace_back(key, value);
+  return family + render_labels(all);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end() &&
+         "histogram bounds must be strictly increasing");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  // First bucket whose upper bound admits v; everything above the last
+  // bound lands in the implicit +Inf bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> default_seconds_buckets() {
+  return {0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0, 1800.0};
+}
+
+std::vector<double> default_bytes_buckets() {
+  return {1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12};
+}
+
+Registry::Series& Registry::find_or_create(std::string_view name,
+                                           const Labels& labels, Kind kind,
+                                           std::string_view help) {
+  std::string key = std::string(name) + render_labels(labels);
+  std::scoped_lock lock(mutex_);
+  if (auto it = by_key_.find(key); it != by_key_.end()) {
+    assert(it->second->kind == kind && "metric re-registered as another type");
+    return *it->second;
+  }
+  auto series = std::make_unique<Series>();
+  series->family = std::string(name);
+  series->key = key;
+  series->labels = labels;
+  series->kind = kind;
+  series->help = std::string(help);
+  Series& ref = *series;
+  by_key_.emplace(std::move(key), &ref);
+  series_.push_back(std::move(series));
+  return ref;
+}
+
+Counter& Registry::counter(std::string_view name, const Labels& labels,
+                           std::string_view help) {
+  Series& series = find_or_create(name, labels, Kind::kCounter, help);
+  std::scoped_lock lock(mutex_);
+  if (!series.counter) series.counter = std::make_unique<Counter>();
+  return *series.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels,
+                       std::string_view help) {
+  Series& series = find_or_create(name, labels, Kind::kGauge, help);
+  std::scoped_lock lock(mutex_);
+  if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+  return *series.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds,
+                               const Labels& labels, std::string_view help) {
+  Series& series = find_or_create(name, labels, Kind::kHistogram, help);
+  std::scoped_lock lock(mutex_);
+  if (!series.histogram) {
+    series.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *series.histogram;
+}
+
+void Registry::render_text(std::ostream& out) const {
+  std::scoped_lock lock(mutex_);
+  // Group series by family so # HELP / # TYPE appear once per family,
+  // with series in registration order within a family.
+  std::vector<const Series*> ordered;
+  ordered.reserve(series_.size());
+  for (const auto& series : series_) ordered.push_back(series.get());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Series* a, const Series* b) {
+                     return a->family < b->family;
+                   });
+
+  std::string_view previous_family;
+  for (const Series* series : ordered) {
+    if (series->family != previous_family) {
+      previous_family = series->family;
+      if (!series->help.empty()) {
+        out << "# HELP " << series->family << ' ' << series->help << '\n';
+      }
+      const char* type = series->kind == Kind::kCounter    ? "counter"
+                         : series->kind == Kind::kGauge    ? "gauge"
+                                                           : "histogram";
+      out << "# TYPE " << series->family << ' ' << type << '\n';
+    }
+    switch (series->kind) {
+      case Kind::kCounter:
+        out << series->key << ' '
+            << format_value(static_cast<double>(series->counter->value()))
+            << '\n';
+        break;
+      case Kind::kGauge:
+        out << series->key << ' ' << format_value(series->gauge->value())
+            << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *series->histogram;
+        const auto counts = h.bucket_counts();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += counts[i];
+          out << with_extra_label(series->family + "_bucket", series->labels,
+                                  "le", format_value(h.bounds()[i]))
+              << ' ' << cumulative << '\n';
+        }
+        cumulative += counts[h.bounds().size()];
+        out << with_extra_label(series->family + "_bucket", series->labels,
+                                "le", "+Inf")
+            << ' ' << cumulative << '\n';
+        out << series->family << "_sum" << render_labels(series->labels) << ' '
+            << format_value(h.sum()) << '\n';
+        out << series->family << "_count" << render_labels(series->labels)
+            << ' ' << h.count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string Registry::render_text() const {
+  std::ostringstream out;
+  render_text(out);
+  return out.str();
+}
+
+std::map<std::string, double> Registry::snapshot() const {
+  std::ostringstream text;
+  render_text(text);
+  std::istringstream in(text.str());
+  auto parsed = parse_text(in);
+  assert(parsed.ok() && "registry rendered unparseable exposition");
+  return std::move(parsed).value();
+}
+
+void render_text(const Registry& registry, std::ostream& out) {
+  registry.render_text(out);
+}
+
+util::Result<std::map<std::string, double>> parse_text(std::istream& in) {
+  std::map<std::string, double> out;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    // Split on the last space: the series key itself may contain spaces
+    // only inside quoted label values, which never end the line.
+    const std::size_t space = line.find_last_of(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      return util::Error::at_line(line_number, "expected `series value`: " + line);
+    }
+    const std::string key = line.substr(0, space);
+    const std::string value_text = line.substr(space + 1);
+    if (key.find(' ') != std::string::npos &&
+        key.find('"') == std::string::npos) {
+      return util::Error::at_line(line_number, "malformed series name: " + line);
+    }
+    double value = 0.0;
+    if (value_text == "+Inf") {
+      value = std::numeric_limits<double>::infinity();
+    } else if (value_text == "-Inf") {
+      value = -std::numeric_limits<double>::infinity();
+    } else {
+      char* end = nullptr;
+      value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        return util::Error::at_line(line_number,
+                                    "unparseable value: " + value_text);
+      }
+    }
+    if (!out.emplace(key, value).second) {
+      return util::Error::at_line(line_number, "duplicate series: " + key);
+    }
+  }
+  return out;
+}
+
+}  // namespace landlord::obs

@@ -1,0 +1,164 @@
+// Lock-free metrics primitives and a named registry with Prometheus-style
+// text exposition.
+//
+// The paper's whole argument is quantitative (hit ratio, written bytes,
+// container efficiency under α, §V–§VI), so a run must be able to explain
+// itself without a debugger: every layer of the request path publishes
+// counters, gauges and fixed-bucket histograms into an obs::Registry, and
+// obs::render_text emits the standard `name{label="v"} value` exposition
+// any Prometheus-compatible scraper (or scripts/tier1.sh) can parse back.
+//
+// Concurrency contract: the *hot path* — Counter::inc, Gauge::add/set,
+// Histogram::observe — is wait-free (relaxed atomics, no locks), so it is
+// safe and cheap from every shard/submit thread. Registration and
+// rendering take the registry mutex; callers resolve their handles once
+// at attach time and then only touch atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace landlord::obs {
+
+/// Monotone event count. Wait-free increment; 64-bit, never resets.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time double value. `add` is a CAS loop (no atomic<double>
+/// fetch_add before C++20 libstdc++ exposes it portably for doubles).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (cumulative `le` buckets at render time, like
+/// Prometheus). Bucket bounds are set at registration and never change;
+/// observe() is wait-free.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit +Inf bucket
+  /// is appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket (non-cumulative) counts; index bounds_.size() is +Inf.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// `{key, value}` pairs appended to a family name, rendered in the given
+/// order as `name{k1="v1",k2="v2"}`.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Useful default bounds: modelled seconds for prep/backoff latencies.
+[[nodiscard]] std::vector<double> default_seconds_buckets();
+/// Useful default bounds: bytes from 1 MB to 1 TB, decade-ish steps.
+[[nodiscard]] std::vector<double> default_bytes_buckets();
+
+/// Named metric registry. Lookup-or-create returns a stable reference
+/// that outlives every later registration (deque-backed storage); the
+/// same (name, labels) always yields the same handle, so independent
+/// layers can share a series. Requesting an existing name with a
+/// different metric type is a programming error and asserts.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name, const Labels& labels = {},
+                   std::string_view help = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {},
+               std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds,
+                       const Labels& labels = {}, std::string_view help = {});
+
+  /// Prometheus text exposition: families sorted by name, `# HELP` /
+  /// `# TYPE` headers, histograms expanded into cumulative _bucket /
+  /// _sum / _count series.
+  void render_text(std::ostream& out) const;
+  [[nodiscard]] std::string render_text() const;
+
+  /// Flat snapshot of every series as rendered (histogram expansion
+  /// included), keyed by the full series name with labels.
+  [[nodiscard]] std::map<std::string, double> snapshot() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Series {
+    std::string family;  ///< name without labels
+    std::string key;     ///< family + rendered labels
+    Labels labels;
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Series& find_or_create(std::string_view name, const Labels& labels,
+                         Kind kind, std::string_view help);
+
+  mutable std::mutex mutex_;  ///< registration + render only, never inc()
+  std::vector<std::unique_ptr<Series>> series_;
+  std::map<std::string, Series*> by_key_;
+};
+
+/// Renders `registry` in the Prometheus text exposition format.
+void render_text(const Registry& registry, std::ostream& out);
+
+/// Parses a text exposition back into {series name with labels → value}.
+/// Fails (with the offending line) on anything that is neither a comment,
+/// a blank line, nor `name[{labels}] <number>` — the tier-1 gate runs a
+/// sim with --metrics-out and feeds the file through this.
+[[nodiscard]] util::Result<std::map<std::string, double>> parse_text(
+    std::istream& in);
+
+}  // namespace landlord::obs

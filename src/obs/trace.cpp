@@ -1,0 +1,82 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace landlord::obs {
+
+EventTrace::EventTrace(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void EventTrace::record(TraceEvent event) {
+  std::scoped_lock lock(mutex_);
+  event.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[static_cast<std::size_t>(event.seq % capacity_)] = event;
+  }
+}
+
+std::uint64_t EventTrace::recorded() const {
+  std::scoped_lock lock(mutex_);
+  return next_seq_;
+}
+
+std::vector<TraceEvent> EventTrace::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // The ring wrapped: the oldest retained event sits at the write
+    // cursor (next_seq_ % capacity_).
+    const std::size_t start = static_cast<std::size_t>(next_seq_ % capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(start + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Doubles in the trace are modelled seconds; shortest round-trippable
+/// form keeps the JSONL diffable.
+void append_double(std::string& out, double v) {
+  std::ostringstream text;
+  text.precision(17);
+  text << v;
+  out += text.str();
+}
+
+}  // namespace
+
+void EventTrace::write_jsonl(std::ostream& out) const {
+  for (const TraceEvent& event : snapshot()) {
+    std::string line = "{\"seq\":" + std::to_string(event.seq) +
+                       ",\"event\":\"" + to_string(event.kind) + '"';
+    if (event.detail != nullptr) {
+      line += ",\"detail\":\"";
+      line += event.detail;
+      line += '"';
+    }
+    if (event.image != 0) line += ",\"image\":" + std::to_string(event.image);
+    if (event.bytes != 0) line += ",\"bytes\":" + std::to_string(event.bytes);
+    if (event.aux != 0) line += ",\"aux\":" + std::to_string(event.aux);
+    if (event.seconds != 0.0) {
+      line += ",\"seconds\":";
+      append_double(line, event.seconds);
+    }
+    if (event.degraded) line += ",\"degraded\":true";
+    if (event.failed) line += ",\"failed\":true";
+    line += "}\n";
+    out << line;
+  }
+}
+
+}  // namespace landlord::obs

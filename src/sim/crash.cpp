@@ -64,6 +64,25 @@ CrashReplayResult run_crash_replay(const pkg::Repository& repo,
   landlord.set_fault_injector(&injector);
   landlord.set_backoff_policy(config.backoff);
 
+  obs::Counter* checkpoints_ok = nullptr;
+  obs::Counter* checkpoints_torn = nullptr;
+  obs::Counter* crashes = nullptr;
+  obs::EventTrace* trace = nullptr;
+  if (config.obs != nullptr) {
+    landlord.set_observability(config.obs);
+    injector.set_observability(config.obs);
+    obs::Registry& reg = config.obs->registry;
+    constexpr const char* kCheckpointHelp =
+        "Cache snapshots attempted, by write outcome.";
+    checkpoints_ok = &reg.counter("landlord_checkpoints_total",
+                                  {{"result", "ok"}}, kCheckpointHelp);
+    checkpoints_torn = &reg.counter("landlord_checkpoints_total",
+                                    {{"result", "torn"}}, kCheckpointHelp);
+    crashes = &reg.counter("landlord_crashes_total", {},
+                           "Simulated head-node kill+restore cycles.");
+    trace = &config.obs->trace;
+  }
+
   CrashReplayResult result;
 
   // The checkpoint "disk" starts with an empty-cache snapshot, so a
@@ -86,8 +105,19 @@ CrashReplayResult run_crash_replay(const pkg::Repository& repo,
     if (config.crash.checkpoint_every != 0 &&
         result.requests % config.crash.checkpoint_every == 0) {
       ++result.checkpoints;
-      if (!write_checkpoint(disk, landlord, repo, config.crash.format, injector)) {
-        ++result.torn_checkpoints;
+      const bool ok =
+          write_checkpoint(disk, landlord, repo, config.crash.format, injector);
+      if (!ok) ++result.torn_checkpoints;
+      if (ok && checkpoints_ok != nullptr) checkpoints_ok->inc();
+      if (!ok && checkpoints_torn != nullptr) checkpoints_torn->inc();
+      if (trace != nullptr) {
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::kCheckpoint;
+        event.detail = ok ? "ok" : "torn";
+        event.bytes = disk.size();
+        event.aux = result.requests;
+        event.failed = !ok;
+        trace->record(event);
       }
     }
 
@@ -97,6 +127,7 @@ CrashReplayResult run_crash_replay(const pkg::Repository& repo,
       // first — the external observer saw those jobs run.
       accumulate(result.counters, landlord.counters());
       ++result.crashes;
+      if (crashes != nullptr) crashes->inc();
 
       // Restart: restore whatever the last checkpoint managed to write.
       core::RestoreReport report;

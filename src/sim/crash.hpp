@@ -35,6 +35,10 @@ struct CrashReplayConfig {
   CrashPlan crash;
   fault::FaultPlan faults;  ///< builder + snapshot I/O fault plan
   fault::BackoffPolicy backoff;
+  /// Optional observability bundle attached to the Landlord, the fault
+  /// injector, and the driver's own checkpoint/crash counters for the
+  /// whole service lifetime (non-owning). Never perturbs the replay.
+  obs::Observability* obs = nullptr;
 };
 
 /// Everything a chaos study needs from one crash-replay run.

@@ -13,6 +13,7 @@ SimulationResult run_simulation(const pkg::Repository& repo,
   const auto stream = generator.request_stream();
 
   core::Cache cache(repo, config.cache);
+  if (config.obs != nullptr) cache.set_observability(config.obs);
   for (std::uint32_t index : stream) {
     cache.request(specs[index]);
   }

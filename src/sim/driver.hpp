@@ -13,6 +13,9 @@ struct SimulationConfig {
   core::CacheConfig cache;
   WorkloadConfig workload;
   std::uint64_t seed = 1;
+  /// Optional observability bundle attached to the run's cache for the
+  /// whole replay (non-owning). Metrics/tracing never perturb decisions.
+  obs::Observability* obs = nullptr;
 };
 
 /// Everything the figures need from one run.

@@ -20,6 +20,7 @@ ParallelResult run_parallel(const pkg::Repository& repo,
 
   const std::uint32_t threads = std::max<std::uint32_t>(1, config.threads);
   core::ShardedCache cache(repo, config.cache);
+  if (config.obs != nullptr) cache.set_observability(config.obs);
 
   // Workers park on the barrier so the storm starts (and is timed) as one
   // burst rather than staggered by thread-creation latency.
@@ -53,6 +54,7 @@ ParallelResult run_parallel(const pkg::Repository& repo,
           ? static_cast<double>(stream.size()) / result.wall_seconds
           : 0.0;
   result.shards = cache.shard_stats();
+  if (config.obs != nullptr) cache.publish_metrics();
   return result;
 }
 

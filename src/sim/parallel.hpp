@@ -25,6 +25,9 @@ struct ParallelConfig {
   WorkloadConfig workload;
   std::uint64_t seed = 1;
   std::uint32_t threads = 1;  ///< worker threads replaying the stream
+  /// Optional observability bundle attached to the run's ShardedCache
+  /// (non-owning); per-shard gauges are published before returning.
+  obs::Observability* obs = nullptr;
 };
 
 /// Everything the concurrency figures need from one run.

@@ -8,6 +8,15 @@
 
 namespace landlord::spec {
 
+void merge_constraints(std::vector<VersionConstraint>& into,
+                       std::span<const VersionConstraint> add) {
+  for (const VersionConstraint& constraint : add) {
+    if (std::find(into.begin(), into.end(), constraint) == into.end()) {
+      into.push_back(constraint);
+    }
+  }
+}
+
 util::Result<VersionConstraint> parse_constraint(std::string_view text) {
   // Trim.
   while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))

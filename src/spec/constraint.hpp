@@ -47,6 +47,15 @@ struct VersionConstraint {
 /// because constraints are its primary consumer.
 using util::version_compare;
 
+/// Appends each constraint of `add` to `into` unless an equal constraint
+/// (same package, op and version) is already present, preserving first
+/// occurrence order. Merged cache images accumulate the constraints of
+/// every spec folded in; without dedup a hot image's constraint list
+/// grows linearly with merges even when the workload reuses a handful of
+/// distinct constraints.
+void merge_constraints(std::vector<VersionConstraint>& into,
+                       std::span<const VersionConstraint> add);
+
 /// Parses "name==1.2.3", "name >= 4", "name" (any version). Whitespace
 /// around the operator is accepted.
 [[nodiscard]] util::Result<VersionConstraint> parse_constraint(std::string_view text);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "pkg/synthetic.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
 
 namespace landlord::core {
 namespace {
@@ -359,6 +361,74 @@ TEST(Cache, EmptySpecHitsAnyExistingImage) {
   Cache cache(repo, config(0.5));
   (void)cache.request(make_spec(repo, {1}));
   EXPECT_EQ(cache.request(make_spec(repo, {})).kind, RequestKind::kHit);
+}
+
+TEST(Cache, MergedImageConstraintsStayBoundedUnderRepeatedMerges) {
+  // Regression: the merge path used to append every folded-in spec's
+  // constraints verbatim, so a hot image merging N specs that all carry
+  // {python == 3.8} accumulated N copies — linear bloat that slowed
+  // every later compatibility check. Dedup keeps it at the distinct set.
+  const auto repo = flat_repo(100);
+  Cache cache(repo, config(0.95));
+
+  const spec::VersionConstraint python{"python", spec::ConstraintOp::kEq, "3.8"};
+  const spec::VersionConstraint gcc{"gcc", spec::ConstraintOp::kGe, "12"};
+
+  auto first = make_spec(repo, {1, 2, 3});
+  first.add_constraint(python);
+  const auto inserted = cache.request(first);
+  ASSERT_EQ(inserted.kind, RequestKind::kInsert);
+
+  std::uint64_t merges = 0;
+  for (std::uint32_t k = 4; k < 24; ++k) {
+    auto next = make_spec(repo, {1, 2, k});
+    next.add_constraint(python);  // same constraint every time
+    if (k % 2 == 0) next.add_constraint(gcc);
+    const auto outcome = cache.request(next);
+    if (outcome.kind != RequestKind::kMerge) continue;
+    ++merges;
+    const auto image = cache.find(outcome.image);
+    ASSERT_TRUE(image.has_value());
+    // Bounded by the distinct constraints seen, never by merge count.
+    EXPECT_LE(image->constraints.size(), 2u);
+  }
+  ASSERT_GT(merges, 5u);  // the loop actually exercised the merge arm
+  const auto image = cache.find(inserted.image);
+  ASSERT_TRUE(image.has_value());
+  ASSERT_EQ(image->constraints.size(), 2u);
+  EXPECT_EQ(image->constraints[0], python);  // first-occurrence order kept
+  EXPECT_EQ(image->constraints[1], gcc);
+}
+
+TEST(Cache, IncrementalUniqueBytesLedgerMatchesRecomputeOracle) {
+  // unique_bytes() with time-series recording on is served from the
+  // incremental union ledger (O(1)); it must equal the brute-force union
+  // recompute after every mutation kind — insert, merge, split, and
+  // budget eviction.
+  const auto repo = flat_repo(120);
+  auto cfg = config(0.9, 400);  // small budget: forces evictions
+  cfg.record_time_series = true;
+  cfg.enable_split = true;
+  cfg.split_utilization = 0.4;
+  Cache cache(repo, cfg);
+
+  const auto oracle = [&] {
+    util::DynamicBitset all(repo.size());
+    cache.for_each_image(
+        [&](const Image& image) { all |= image.contents.bits(); });
+    return repo.bytes_of(all);
+  };
+
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    spec::PackageSet set(repo.size());
+    const auto picks = rng.sample_without_replacement(
+        120, static_cast<std::uint32_t>(1 + i % 8));
+    for (auto p : picks) set.insert(package_id(p));
+    (void)cache.request(spec::Specification(std::move(set)));
+    ASSERT_EQ(cache.unique_bytes(), oracle()) << "after request " << i;
+  }
+  EXPECT_GT(cache.counters().deletes, 0u);  // evictions were exercised
 }
 
 }  // namespace

@@ -220,6 +220,17 @@ void expect_invariants(const core::Landlord& landlord) {
   EXPECT_LE(landlord.unique_bytes(), landlord.total_bytes());
 }
 
+/// Placement-field invariants (core::placement_violation) checked after
+/// every submit in the chaos loops. This is what used to catch fire: a
+/// rung-2 fallback claiming the merged *cached* image it never built,
+/// and a rung-3 fallback reporting the split part instead of the
+/// unsplit image it actually served.
+void expect_sound_placement(const core::Landlord& landlord,
+                            const core::JobPlacement& placement) {
+  const auto violation = core::placement_violation(landlord, placement);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
 struct ChaosOutcome {
   core::CacheCounters counters;
   fault::DegradedCounters degraded;
@@ -252,7 +263,12 @@ ChaosOutcome run_chaos(std::uint32_t shards, std::uint64_t fault_seed,
     outcome.prep_seconds += placement.prep_seconds;
     if (placement.degraded) ++outcome.degraded_placements;
     if (placement.failed) ++outcome.failed_placements;
-    if (check_invariants) expect_invariants(landlord);
+    if (check_invariants) {
+      expect_invariants(landlord);
+      // Single-threaded replay: the placement cannot be invalidated by a
+      // racing eviction, so the check is exact for any shard count.
+      expect_sound_placement(landlord, placement);
+    }
   }
   outcome.counters = landlord.counters();
   outcome.degraded = landlord.degraded();
@@ -343,6 +359,13 @@ TEST(Degradation, FailedMergeRewriteFallsBackToExactInsert) {
   EXPECT_EQ(merged.image_bytes, merged.requested_bytes);
   EXPECT_GT(merged.prep_seconds, 0.0);
   EXPECT_EQ(landlord.degraded().fallback_exact_builds, 1u);
+  // Regression: the placement used to claim the *merged cached image* —
+  // an image whose rewrite just failed and whose contents the job never
+  // got. A rung-2 fallback ships a one-off image that is not in the
+  // cache, reported via the uncached sentinel.
+  EXPECT_TRUE(core::is_uncached(merged.image));
+  EXPECT_EQ(core::to_value(merged.image), core::to_value(core::kUncachedImage));
+  expect_sound_placement(landlord, merged);
 }
 
 TEST(Degradation, FailedSplitRebuildServesUnsplitImage) {
@@ -361,7 +384,7 @@ TEST(Degradation, FailedSplitRebuildServesUnsplitImage) {
 
   const auto small = spec_for({500});
   (void)landlord.submit(small);
-  (void)landlord.submit(spec_for({300, 301, 302, 303}));  // merge: bloat
+  const auto bloated = landlord.submit(spec_for({300, 301, 302, 303}));  // merge: bloat
   landlord.set_fault_injector(&injector);                 // faults start now
   const auto placement = landlord.submit(small);          // hit via split
   EXPECT_EQ(placement.kind, core::RequestKind::kHit);
@@ -369,6 +392,14 @@ TEST(Degradation, FailedSplitRebuildServesUnsplitImage) {
   EXPECT_FALSE(placement.failed);
   EXPECT_GT(landlord.counters().splits, 0u);
   EXPECT_EQ(landlord.degraded().fallback_unsplit_hits, 1u);
+  // Regression: the placement used to report the freshly split *part*
+  // (id and bytes of an image whose rebuild just failed). What the job
+  // actually runs in is the worker's on-disk copy of the unsplit bloated
+  // image — its id and pre-split size.
+  EXPECT_EQ(core::to_value(placement.image), core::to_value(bloated.image));
+  EXPECT_EQ(placement.image_bytes, bloated.image_bytes);
+  EXPECT_GT(placement.image_bytes, placement.requested_bytes);
+  expect_sound_placement(landlord, placement);
 }
 
 TEST(Degradation, ExhaustionSurfacesErrorPlacement) {
@@ -389,6 +420,7 @@ TEST(Degradation, ExhaustionSurfacesErrorPlacement) {
   EXPECT_EQ(placement.build_retries, 2u);
   EXPECT_GT(placement.prep_seconds, 0.0);  // backoff waits still charged
   EXPECT_EQ(landlord.degraded().error_placements, 1u);
+  expect_sound_placement(landlord, placement);
 
   // The decision layer stays structurally consistent even though the
   // materialisation failed.
@@ -436,6 +468,7 @@ TEST(Toctou, ConcurrentEvictionIsCountedAndRetriedOnce) {
   ASSERT_TRUE(image.has_value());
   EXPECT_TRUE(spec_b.satisfied_by(image->contents));
   expect_invariants(landlord);
+  expect_sound_placement(landlord, placement);
 }
 
 }  // namespace

@@ -1,0 +1,173 @@
+// Unit tests for the metrics primitives and the registry round trip.
+//
+// The tier-1 gate renders a registry to the Prometheus text format and
+// parses it back (scripts/tier1.sh stage 4), so render_text/parse_text
+// must be exact inverses for every metric kind — including histogram
+// expansion — and the primitives must count exactly, even under
+// contention.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace landlord::obs {
+namespace {
+
+TEST(Counter, CountsExactlyAndMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ExactUnderContention) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&c] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+      });
+    }
+  }
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.add(1.25);
+  g.add(-0.75);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(Histogram, BucketsAreUpperBoundInclusive) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (le is inclusive, Prometheus semantics)
+  h.observe(10.0);   // <= 10
+  h.observe(99.0);   // <= 100
+  h.observe(1000.0); // +Inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 10.0 + 99.0 + 1000.0);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + Inf
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Histogram, DefaultBucketBoundsStrictlyIncrease) {
+  for (const auto& bounds : {default_seconds_buckets(), default_bytes_buckets()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+TEST(Registry, SameNameAndLabelsYieldSameHandle) {
+  Registry reg;
+  Counter& a = reg.counter("requests_total", {{"kind", "hit"}});
+  Counter& b = reg.counter("requests_total", {{"kind", "hit"}});
+  Counter& other = reg.counter("requests_total", {{"kind", "miss"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(other.value(), 0u);
+}
+
+TEST(Registry, RenderTextEmitsHelpTypeAndLabels) {
+  Registry reg;
+  reg.counter("jobs_total", {{"site", "a"}}, "Jobs processed.").inc(7);
+  reg.gauge("cache_bytes", {}, "Resident bytes.").set(1024.0);
+
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("# HELP jobs_total Jobs processed."), std::string::npos);
+  EXPECT_NE(text.find("# TYPE jobs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("jobs_total{site=\"a\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cache_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("cache_bytes 1024"), std::string::npos);
+}
+
+TEST(Registry, HistogramRendersCumulativeBuckets) {
+  Registry reg;
+  Histogram& h = reg.histogram("latency_seconds", {1.0, 10.0}, {}, "Latency.");
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("# TYPE latency_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 3"), std::string::npos);
+}
+
+TEST(Registry, SnapshotMatchesHandles) {
+  Registry reg;
+  reg.counter("a_total", {{"k", "v"}}).inc(5);
+  reg.gauge("b").set(2.5);
+  reg.histogram("h", {1.0}).observe(0.5);
+
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.at("a_total{k=\"v\"}"), 5.0);
+  EXPECT_DOUBLE_EQ(snap.at("b"), 2.5);
+  EXPECT_DOUBLE_EQ(snap.at("h_count"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.at("h_sum"), 0.5);
+  EXPECT_DOUBLE_EQ(snap.at("h_bucket{le=\"1\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.at("h_bucket{le=\"+Inf\"}"), 1.0);
+}
+
+TEST(Registry, RenderParseRoundTripIsExact) {
+  // The property the tier-1 gate relies on: whatever render_text emits,
+  // parse_text reads back to the same {series -> value} map as
+  // snapshot().
+  Registry reg;
+  reg.counter("requests_total", {{"kind", "hit"}}, "Help text with spaces.").inc(12);
+  reg.counter("requests_total", {{"kind", "merge"}}).inc(3);
+  reg.gauge("backoff_seconds_total").set(1.5);
+  Histogram& h =
+      reg.histogram("prep_seconds", default_seconds_buckets(), {}, "Prep.");
+  h.observe(0.01);
+  h.observe(123.0);
+
+  std::istringstream in(reg.render_text());
+  auto parsed = parse_text(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value(), reg.snapshot());
+}
+
+TEST(ParseText, RejectsMalformedLines) {
+  std::istringstream in("valid_total 1\nthis is not a metric line\n");
+  const auto parsed = parse_text(in);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("not a metric line"), std::string::npos);
+}
+
+TEST(ParseText, RejectsNonNumericValue) {
+  std::istringstream in("some_total banana\n");
+  EXPECT_FALSE(parse_text(in).ok());
+}
+
+TEST(ParseText, AcceptsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# HELP x_total Something.\n# TYPE x_total counter\n\nx_total 4\n");
+  const auto parsed = parse_text(in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().at("x_total"), 4.0);
+}
+
+}  // namespace
+}  // namespace landlord::obs

@@ -1,0 +1,111 @@
+// Unit tests for the bounded event-trace ring and its JSONL sink.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace landlord::obs {
+namespace {
+
+TraceEvent request_event(std::uint64_t image) {
+  TraceEvent event;
+  event.kind = EventKind::kRequest;
+  event.image = image;
+  event.bytes = image * 100;
+  event.detail = "hit";
+  return event;
+}
+
+TEST(EventTrace, StampsMonotoneSequenceNumbers) {
+  EventTrace trace(8);
+  for (std::uint64_t i = 0; i < 5; ++i) trace.record(request_event(i));
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_EQ(events[i].image, i);
+  }
+  EXPECT_EQ(trace.recorded(), 5u);
+}
+
+TEST(EventTrace, RingKeepsMostRecentCapacityEvents) {
+  EventTrace trace(4);
+  for (std::uint64_t i = 0; i < 10; ++i) trace.record(request_event(i));
+  EXPECT_EQ(trace.recorded(), 10u);
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained first: seqs 6, 7, 8, 9.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+  }
+}
+
+TEST(EventTrace, ZeroCapacityClampsToOne) {
+  EventTrace trace(0);
+  EXPECT_EQ(trace.capacity(), 1u);
+  trace.record(request_event(1));
+  trace.record(request_event(2));
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].image, 2u);
+}
+
+TEST(EventTrace, WriteJsonlEmitsOneObjectPerLine) {
+  EventTrace trace(8);
+  TraceEvent a = request_event(3);
+  a.degraded = true;
+  a.seconds = 1.5;
+  trace.record(a);
+  TraceEvent b;
+  b.kind = EventKind::kEviction;
+  b.image = 7;
+  b.detail = "budget";
+  trace.record(b);
+
+  std::ostringstream out;
+  trace.write_jsonl(out);
+  const std::string text = out.str();
+
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(text.find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(text.find("\"event\":\"request\""), std::string::npos);
+  EXPECT_NE(text.find("\"detail\":\"hit\""), std::string::npos);
+  EXPECT_NE(text.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"event\":\"eviction\""), std::string::npos);
+  EXPECT_NE(text.find("\"detail\":\"budget\""), std::string::npos);
+}
+
+TEST(EventTrace, JsonlOmitsZeroFields) {
+  EventTrace trace(2);
+  TraceEvent minimal;
+  minimal.kind = EventKind::kCheckpoint;
+  trace.record(minimal);
+
+  std::ostringstream out;
+  trace.write_jsonl(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("\"bytes\""), std::string::npos);
+  EXPECT_EQ(text.find("\"degraded\""), std::string::npos);
+  EXPECT_EQ(text.find("\"failed\""), std::string::npos);
+  EXPECT_EQ(text.find("\"detail\""), std::string::npos);
+  EXPECT_NE(text.find("\"event\":\"checkpoint\""), std::string::npos);
+}
+
+TEST(EventKindNames, AreStableStrings) {
+  EXPECT_STREQ(to_string(EventKind::kFallbackExact), "fallback-exact");
+  EXPECT_STREQ(to_string(EventKind::kFallbackUnsplit), "fallback-unsplit");
+  EXPECT_STREQ(to_string(EventKind::kInvariantViolation), "invariant-violation");
+}
+
+}  // namespace
+}  // namespace landlord::obs

@@ -206,5 +206,41 @@ TEST(ConflictChecker, CompatibilityIsSymmetric) {
   EXPECT_EQ(ConflictChecker::compatible(a, c), ConflictChecker::compatible(c, a));
 }
 
+// ---- merge_constraints ----
+
+TEST(MergeConstraints, AppendsOnlyAbsentConstraints) {
+  std::vector<VersionConstraint> into = {vc("python==3.8"), vc("gcc>=9")};
+  const std::vector<VersionConstraint> add = {vc("python==3.8"), vc("boost<2")};
+  merge_constraints(into, add);
+  ASSERT_EQ(into.size(), 3u);
+  EXPECT_EQ(into[0], vc("python==3.8"));
+  EXPECT_EQ(into[1], vc("gcc>=9"));
+  EXPECT_EQ(into[2], vc("boost<2"));
+}
+
+TEST(MergeConstraints, IsIdempotent) {
+  std::vector<VersionConstraint> into = {vc("python==3.8")};
+  const std::vector<VersionConstraint> add = {vc("python==3.8"), vc("gcc>=9")};
+  merge_constraints(into, add);
+  const auto once = into;
+  for (int i = 0; i < 10; ++i) merge_constraints(into, add);
+  EXPECT_EQ(into, once);
+}
+
+TEST(MergeConstraints, DistinguishesOpAndVersion) {
+  // Same package, different op or version: genuinely different
+  // constraints, all kept.
+  std::vector<VersionConstraint> into = {vc("python>=3.8")};
+  const std::vector<VersionConstraint> add = {vc("python<=3.8"), vc("python>=3.9")};
+  merge_constraints(into, add);
+  EXPECT_EQ(into.size(), 3u);
+}
+
+TEST(MergeConstraints, EmptyAddIsNoop) {
+  std::vector<VersionConstraint> into = {vc("python==3.8")};
+  merge_constraints(into, {});
+  ASSERT_EQ(into.size(), 1u);
+}
+
 }  // namespace
 }  // namespace landlord::spec
