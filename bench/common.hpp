@@ -11,6 +11,9 @@
 //   LANDLORD_SEED        master seed                   (default 42)
 //   LANDLORD_CSV_DIR     directory for CSV output      (default: none)
 //   LANDLORD_METRICS_OUT Prometheus exposition file    (default: none)
+//   LANDLORD_DECISION_INDEX  sublinear decision path on/off (default 1;
+//                        0 forces the naive scans — results are
+//                        bit-identical, only the wall clock moves)
 //
 // Benches that attach an obs::Observability also take `--metrics-out
 // FILE` on the command line (overrides the environment), so a run can
@@ -46,6 +49,7 @@ struct BenchEnv {
   std::uint32_t unique_jobs = 500;
   std::uint32_t repetitions = 5;
   std::uint64_t seed = 42;
+  bool decision_index = true;
   std::optional<std::string> csv_dir;
   std::optional<std::string> metrics_out;
 
@@ -55,6 +59,7 @@ struct BenchEnv {
     env.unique_jobs = static_cast<std::uint32_t>(env_u64("LANDLORD_JOBS", 500));
     env.repetitions = static_cast<std::uint32_t>(env_u64("LANDLORD_REPEATS", 5));
     env.seed = env_u64("LANDLORD_SEED", 42);
+    env.decision_index = env_u64("LANDLORD_DECISION_INDEX", 1) != 0;
     if (const char* dir = std::getenv("LANDLORD_CSV_DIR")) env.csv_dir = dir;
     if (const char* out = std::getenv("LANDLORD_METRICS_OUT")) env.metrics_out = out;
     return env;
@@ -101,6 +106,7 @@ inline sim::SweepConfig paper_sweep_config(const BenchEnv& env) {
   config.alphas = sim::SweepConfig::default_alphas();
   config.replicates = env.replicates;
   config.base.cache.capacity = 1400ULL * 1000 * 1000 * 1000;  // 1.4 TB (decimal)
+  config.base.cache.decision_index = env.decision_index;
   config.base.workload.unique_jobs = env.unique_jobs;
   config.base.workload.repetitions = env.repetitions;
   config.base.seed = env.seed;

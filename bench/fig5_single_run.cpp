@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   config.cache.alpha = 0.75;
   config.cache.capacity = 1400ULL * 1000 * 1000 * 1000;
   config.cache.record_time_series = true;
+  config.cache.decision_index = env.decision_index;
   config.workload.unique_jobs = env.unique_jobs;
   config.workload.repetitions = env.repetitions;
   config.seed = env.seed;

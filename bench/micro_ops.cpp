@@ -6,6 +6,9 @@
 // against I/O costs of seconds.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "landlord/cache.hpp"
 #include "pkg/synthetic.hpp"
 #include "sim/workload.hpp"
@@ -177,6 +180,108 @@ void BM_CacheRequestMinHashPolicy(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CacheRequestMinHashPolicy)->Arg(200)->Arg(500);
+
+// ---- Sublinear decision path (CacheConfig::decision_index) ----
+//
+// The pairs below time the indexed probe against the naive O(images)
+// scan it replaces, on identical warm caches of 100 / 1k / 10k images.
+// scripts/bench_decision.sh runs them and records the speedups in
+// BENCH_decision.json; the tier-1 perf gate fails if the indexed path is
+// ever slower at >= 1k images.
+
+/// A cache of `images` distinct adopted closures (no merging, no
+/// eviction pressure), plus a rotation of specs that exactly match some
+/// image — every probe is a superset hit, like the steady-state HTC
+/// workload. peek_* probes bypass the memo and the LRU stamps, so the
+/// postings/scan paths are timed head-to-head on frozen state.
+core::Cache warm_cache(std::int64_t images, bool decision_index,
+                       std::vector<spec::Specification>* probes = nullptr) {
+  core::CacheConfig config;
+  config.alpha = 0.0;
+  config.capacity = repo().total_bytes() * 1000;
+  config.decision_index = decision_index;
+  core::Cache cache(repo(), config);
+
+  util::Rng rng(10);
+  for (std::int64_t i = 0; i < images; ++i) {
+    auto contents = random_closure(rng, 12);
+    if (probes != nullptr && (i % std::max<std::int64_t>(1, images / 64)) == 0) {
+      probes->push_back(spec::Specification(contents));
+    }
+    (void)cache.adopt(std::move(contents), {}, /*hits=*/0, /*merge_count=*/0,
+                      /*version=*/0);
+  }
+  return cache;
+}
+
+void BM_FindSuperset_Index(benchmark::State& state) {
+  std::vector<spec::Specification> probes;
+  auto cache = warm_cache(state.range(0), /*decision_index=*/true, &probes);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.peek_superset(probes[next]));
+    next = (next + 1) % probes.size();
+  }
+}
+BENCHMARK(BM_FindSuperset_Index)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_FindSuperset_Scan(benchmark::State& state) {
+  std::vector<spec::Specification> probes;
+  auto cache = warm_cache(state.range(0), /*decision_index=*/false, &probes);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.peek_superset(probes[next]));
+    next = (next + 1) % probes.size();
+  }
+}
+BENCHMARK(BM_FindSuperset_Scan)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EvictVictim_Index(benchmark::State& state) {
+  auto cache = warm_cache(state.range(0), /*decision_index=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.peek_victim());
+  }
+}
+BENCHMARK(BM_EvictVictim_Index)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EvictVictim_Scan(benchmark::State& state) {
+  auto cache = warm_cache(state.range(0), /*decision_index=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.peek_victim());
+  }
+}
+BENCHMARK(BM_EvictVictim_Scan)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// Full request() on a back-to-back repeated spec: after the first
+/// iteration stores the decision, every request is a memo hit — the
+/// steady-state cost of the HTC "same job resubmitted" fast path.
+void BM_MemoHit(benchmark::State& state) {
+  std::vector<spec::Specification> probes;
+  auto cache = warm_cache(state.range(0), /*decision_index=*/true, &probes);
+  const auto& spec = probes.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.request(spec));
+  }
+}
+BENCHMARK(BM_MemoHit)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// Word-level early-exit of the subset check the scans lean on: the
+/// probe's single extra bit sits at package `range`, so the word loop
+/// aborts after range/64 words — position 0 exits on the first word,
+/// the last position degenerates to the full-universe walk.
+void BM_SubsetWordEarlyExit(benchmark::State& state) {
+  const auto universe = static_cast<std::uint32_t>(repo().size());
+  spec::PackageSet small(universe);
+  spec::PackageSet big(universe);
+  for (std::uint32_t i = 0; i < universe; ++i) big.insert(pkg::package_id(i));
+  const auto mismatch = static_cast<std::uint32_t>(state.range(0));
+  big.erase(pkg::package_id(mismatch));
+  small.insert(pkg::package_id(mismatch));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.is_subset_of(big));
+  }
+}
+BENCHMARK(BM_SubsetWordEarlyExit)->Arg(0)->Arg(4800)->Arg(9600);
 
 }  // namespace
 

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Decision-path benchmark gate: times the sublinear decision path
+# (CacheConfig::decision_index — inverted postings, ordered eviction
+# index, spec memo) against the naive O(images) scans it replaces and
+# records the result in BENCH_decision.json at the repo root.
+#
+#   $ scripts/bench_decision.sh [build-dir]
+#
+# Two measurements:
+#   1. micro_ops BM_FindSuperset_{Index,Scan}, BM_EvictVictim_{Index,Scan},
+#      BM_MemoHit and BM_SubsetWordEarlyExit at 100 / 1k / 10k images
+#      (google-benchmark JSON);
+#   2. fig5_single_run wall clock with LANDLORD_DECISION_INDEX=1 vs =0
+#      (same seed: placements are bit-identical, only the clock moves).
+#
+# Exit status is non-zero if the indexed path is slower than the scan at
+# any size >= 1000 images — the perf regression gate tier1.sh stage 5
+# runs on every change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+MICRO="$BUILD/bench/micro_ops"
+FIG5="$BUILD/bench/fig5_single_run"
+for bin in "$MICRO" "$FIG5"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_decision: missing $bin (build the bench targets first)" >&2
+    exit 1
+  fi
+done
+
+MICRO_JSON="$BUILD/bench_decision_micro.json"
+"$MICRO" \
+  --benchmark_filter='BM_(FindSuperset|EvictVictim|MemoHit|SubsetWordEarlyExit)' \
+  --benchmark_format=json >"$MICRO_JSON"
+
+# fig5 end-to-end wall clock, index on vs off (seconds; small jobs count
+# keeps the gate quick — the micros carry the scaling story).
+FIG5_JOBS="${LANDLORD_JOBS:-300}"
+fig5_seconds() {
+  local knob="$1"
+  local start end
+  start=$(date +%s.%N)
+  LANDLORD_DECISION_INDEX="$knob" LANDLORD_JOBS="$FIG5_JOBS" \
+    "$FIG5" >/dev/null
+  end=$(date +%s.%N)
+  echo "$start $end" | awk '{printf "%.3f", $2 - $1}'
+}
+FIG5_ON=$(fig5_seconds 1)
+FIG5_OFF=$(fig5_seconds 0)
+
+MICRO_JSON="$MICRO_JSON" FIG5_ON="$FIG5_ON" FIG5_OFF="$FIG5_OFF" \
+FIG5_JOBS="$FIG5_JOBS" python3 - <<'EOF'
+import json, os, sys
+
+with open(os.environ["MICRO_JSON"]) as f:
+    micro = json.load(f)
+
+times = {}  # (name, images) -> ns
+for bench in micro["benchmarks"]:
+    name, _, arg = bench["name"].partition("/")
+    times[(name, int(arg) if arg else 0)] = bench["real_time"]
+
+sizes = [100, 1000, 10000]
+pairs = [("find_superset", "BM_FindSuperset"), ("evict_victim", "BM_EvictVictim")]
+out = {
+    "bench": "decision_index",
+    "gate": "indexed must not be slower than scan at >= 1000 images",
+    "fig5": {
+        "jobs": int(os.environ["FIG5_JOBS"]),
+        "indexed_seconds": float(os.environ["FIG5_ON"]),
+        "scan_seconds": float(os.environ["FIG5_OFF"]),
+    },
+    "memo_hit_ns": {str(n): times[("BM_MemoHit", n)] for n in sizes},
+    "subset_word_early_exit_ns": {
+        str(arg): t for (name, arg), t in times.items()
+        if name == "BM_SubsetWordEarlyExit"
+    },
+}
+
+failures = []
+for key, prefix in pairs:
+    section = {}
+    for n in sizes:
+        indexed = times[(f"{prefix}_Index", n)]
+        scan = times[(f"{prefix}_Scan", n)]
+        section[str(n)] = {
+            "indexed_ns": indexed,
+            "scan_ns": scan,
+            "speedup": round(scan / indexed, 2) if indexed > 0 else None,
+        }
+        if n >= 1000 and indexed > scan:
+            failures.append(
+                f"{prefix} at {n} images: indexed {indexed:.0f} ns > "
+                f"scan {scan:.0f} ns")
+    out[key] = section
+
+with open("BENCH_decision.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+for key, _ in pairs:
+    for n in sizes:
+        row = out[key][str(n)]
+        print(f"{key:>14} @{n:>6}: indexed {row['indexed_ns']:>10.1f} ns  "
+              f"scan {row['scan_ns']:>12.1f} ns  speedup {row['speedup']}x")
+print(f"          fig5 @{out['fig5']['jobs']} jobs: "
+      f"indexed {out['fig5']['indexed_seconds']}s  "
+      f"scan {out['fig5']['scan_seconds']}s")
+
+if failures:
+    print("bench_decision: PERF REGRESSION", file=sys.stderr)
+    for failure in failures:
+        print("  " + failure, file=sys.stderr)
+    sys.exit(1)
+print("bench_decision: gate passed (BENCH_decision.json written)")
+EOF

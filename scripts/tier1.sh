@@ -2,9 +2,11 @@
 # Tier-1 verification: the full test suite, the concurrency suite again
 # under ThreadSanitizer (catches data races the plain run cannot), the
 # fault/chaos suite again under ASan+UBSan (catches the memory bugs
-# torn snapshots and degradation paths are most likely to hide), and the
+# torn snapshots and degradation paths are most likely to hide), the
 # metrics gate: a short instrumented sim whose Prometheus snapshot must
-# parse and reconcile exactly with the decision-layer counters.
+# parse and reconcile exactly with the decision-layer counters, and the
+# decision-index gate: the index-vs-scan equivalence oracle under ASan
+# plus the bench_decision.sh perf regression check.
 #
 #   $ scripts/tier1.sh [jobs]
 #
@@ -43,5 +45,18 @@ echo "== stage 4: metrics snapshot parse + counter/ladder reconciliation =="
 test -s build/metrics_snapshot.prom
 grep -q '^landlord_cache_requests_total{kind="hit"} ' build/metrics_snapshot.prom
 ctest --test-dir build -L obs --output-on-failure -j "$JOBS"
+
+echo "== stage 5: decision-index equivalence under ASan + perf gate =="
+# The perf-labelled suite replays identical workloads with the sublinear
+# decision path (CacheConfig::decision_index) on and off and requires
+# bit-identical placements, counters, images, and snapshots — run under
+# ASan+UBSan so postings/eviction-index bookkeeping bugs surface as
+# memory errors, not just divergences. Then the benchmark gate times the
+# indexed path against the scans and fails if it is slower at >= 1k
+# images (writes BENCH_decision.json).
+cmake --build build-asan --target perf_tests -j "$JOBS"
+ctest --test-dir build-asan -L perf --output-on-failure -j "$JOBS"
+cmake --build build --target micro_ops fig5_single_run -j "$JOBS"
+scripts/bench_decision.sh build
 
 echo "tier-1: all stages passed"

@@ -15,6 +15,10 @@ Cache::Cache(const pkg::Repository& repo, CacheConfig config)
       lsh_(config.lsh_bands) {
   assert(config_.alpha >= 0.0 && config_.alpha <= 1.0);
   if (config_.record_time_series) ledger_refs_.resize(repo_->size(), 0);
+  if (config_.decision_index) {
+    dindex_.emplace(repo_->size(), config_.eviction);
+    memo_ = std::make_unique<SpecMemo>();
+  }
 }
 
 void Cache::set_observability(obs::Observability* observability) {
@@ -52,7 +56,52 @@ void Cache::set_observability(obs::Observability* observability) {
   hooks_.request_bytes =
       &reg.histogram("landlord_cache_request_bytes", obs::default_bytes_buckets(), {},
                      "Bytes requested per container specification.");
+  if (config_.decision_index) {
+    hooks_.postings_probe = &reg.histogram(
+        "landlord_index_postings_probe_length",
+        {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}, {},
+        "Postings entries scanned per indexed superset lookup.");
+    constexpr const char* kMemoHelp =
+        "Spec-memo lookups by result (hits skip the superset probe).";
+    hooks_.memo_hit =
+        &reg.counter("landlord_index_memo_total", {{"result", "hit"}}, kMemoHelp);
+    hooks_.memo_miss =
+        &reg.counter("landlord_index_memo_total", {{"result", "miss"}}, kMemoHelp);
+    hooks_.eviction_index_updates =
+        &reg.counter("landlord_index_eviction_updates_total", {},
+                     "Ordered eviction-index mutations (insert/erase/touch).");
+  }
   hooks_.trace = &observability->trace;
+}
+
+void Cache::dindex_insert(const Image& image) {
+  if (!dindex_) return;
+  dindex_->insert(image);
+  memo_->bump();
+  if (hooks_.eviction_index_updates != nullptr) hooks_.eviction_index_updates->inc();
+}
+
+void Cache::dindex_erase(const util::DynamicBitset& old_bits,
+                         const EvictionKey& old_key) {
+  if (!dindex_) return;
+  dindex_->erase(old_bits, old_key);
+  memo_->bump();
+  if (hooks_.eviction_index_updates != nullptr) hooks_.eviction_index_updates->inc();
+}
+
+void Cache::dindex_update(const Image& image,
+                          const util::DynamicBitset& old_bits,
+                          const EvictionKey& old_key) {
+  if (!dindex_) return;
+  dindex_->update(image, old_bits, old_key);
+  memo_->bump();
+  if (hooks_.eviction_index_updates != nullptr) hooks_.eviction_index_updates->inc();
+}
+
+void Cache::dindex_touch(const EvictionKey& old_key, const Image& image) {
+  if (!dindex_) return;
+  dindex_->touch(old_key, eviction_key(image));
+  if (hooks_.eviction_index_updates != nullptr) hooks_.eviction_index_updates->inc();
 }
 
 void Cache::ledger_add(const util::DynamicBitset& bits) {
@@ -122,7 +171,8 @@ void Cache::index_erase(const Image& image) {
   signatures_.erase(it);
 }
 
-std::optional<ImageId> Cache::find_superset(const spec::Specification& spec) {
+std::optional<ImageId> Cache::find_superset_scan(
+    const spec::Specification& spec) const {
   // "for i ∈ I do: if s ⊆ i then return i" — any superset serves; we take
   // the smallest so jobs ship the least unrequested data. Byte ties break
   // on the lower id so the choice is independent of map iteration order
@@ -138,6 +188,49 @@ std::optional<ImageId> Cache::find_superset(const spec::Specification& spec) {
   }
   if (best == nullptr) return std::nullopt;
   return best->id;
+}
+
+std::optional<ImageId> Cache::find_superset(const spec::Specification& spec) {
+  if (!dindex_) return find_superset_scan(spec);
+  // Memo first: back-to-back identical specs (the common HTC case) skip
+  // even the postings probe. An entry only answers while the epoch it
+  // was stored at is still current, so it is exactly the scan's answer.
+  const std::uint64_t epoch = memo_->epoch();
+  if (auto memo = memo_->lookup(spec.packages())) {
+    if (hooks_.memo_hit != nullptr) hooks_.memo_hit->inc();
+    return memo->image;
+  }
+  if (hooks_.memo_miss != nullptr) hooks_.memo_miss->inc();
+  std::optional<ImageId> best;
+  if (spec.packages().empty()) {
+    best = find_superset_scan(spec);  // everything matches; no rarest package
+  } else {
+    std::size_t probe = 0;
+    best = dindex_->find_superset(spec.packages(), images_, &probe);
+    if (hooks_.postings_probe != nullptr) {
+      hooks_.postings_probe->observe(static_cast<double>(probe));
+    }
+  }
+  if (best) memo_->store(spec.packages(), *best, 0, epoch);
+  return best;
+}
+
+std::optional<ImageId> Cache::peek_superset(const spec::Specification& spec) {
+  if (dindex_ && !spec.packages().empty()) {
+    return dindex_->find_superset(spec.packages(), images_);
+  }
+  return find_superset_scan(spec);
+}
+
+std::optional<ImageId> Cache::peek_victim() {
+  if (dindex_) {
+    const auto key = dindex_->victim(clock_);
+    if (!key) return std::nullopt;
+    return ImageId{key->id};
+  }
+  const auto it = find_victim_scan();
+  if (it == images_.end()) return std::nullopt;
+  return it->second.id;
 }
 
 std::optional<ImageId> Cache::find_merge_candidate(const spec::Specification& spec) {
@@ -219,8 +312,10 @@ Cache::Outcome Cache::request(const spec::Specification& spec) {
 
   if (auto hit = find_superset(spec)) {
     Image& image = images_.at(to_value(*hit));
+    const EvictionKey pre_touch_key = eviction_key(image);
     image.last_used = clock_;
     ++image.hits;
+    dindex_touch(pre_touch_key, image);
     ++counters_.hits;
     ImageId served = image.id;
     util::Bytes served_bytes = image.bytes;
@@ -246,6 +341,14 @@ Cache::Outcome Cache::request(const spec::Specification& spec) {
                split,             split_from, split_from_bytes};
   } else if (auto candidate = find_merge_candidate(spec)) {
     Image& image = images_.at(to_value(*candidate));
+    // Snapshot pre-merge state so the decision index can word-diff the
+    // contents and replace the eviction key after the rewrite.
+    std::optional<util::DynamicBitset> pre_merge_bits;
+    EvictionKey pre_merge_key{};
+    if (dindex_) {
+      pre_merge_bits = image.contents.bits();
+      pre_merge_key = eviction_key(image);
+    }
     index_erase(image);
     total_bytes_ -= image.bytes;
     ledger_remove(image.contents.bits());
@@ -272,6 +375,7 @@ Cache::Outcome Cache::request(const spec::Specification& spec) {
     counters_.written_bytes += image.bytes;
     ++counters_.merges;
     index_insert(image);
+    if (dindex_) dindex_update(image, *pre_merge_bits, pre_merge_key);
     outcome = {RequestKind::kMerge, image.id, image.bytes};
   } else {
     Image image;
@@ -288,6 +392,7 @@ Cache::Outcome Cache::request(const spec::Specification& spec) {
     const ImageId id = image.id;
     const util::Bytes bytes = image.bytes;
     index_insert(image);
+    dindex_insert(image);
     images_.emplace(to_value(id), std::move(image));
     outcome = {RequestKind::kInsert, id, bytes};
   }
@@ -351,6 +456,7 @@ ImageId Cache::adopt(spec::PackageSet contents,
   ledger_add(image.contents.bits());
   const ImageId id = image.id;
   index_insert(image);
+  dindex_insert(image);
   images_.emplace(to_value(id), std::move(image));
   evict_over_budget();
   return id;
@@ -358,6 +464,14 @@ ImageId Cache::adopt(spec::PackageSet contents,
 
 ImageId Cache::split_image(ImageId id, const spec::Specification& spec) {
   Image& bloated = images_.at(to_value(id));
+  // Pre-split state for the decision index (the hit arm already stamped
+  // last_used/hits, so this key matches what the index holds right now).
+  std::optional<util::DynamicBitset> pre_split_bits;
+  EvictionKey pre_split_key{};
+  if (dindex_) {
+    pre_split_bits = bloated.contents.bits();
+    pre_split_key = eviction_key(bloated);
+  }
   index_erase(bloated);
   total_bytes_ -= bloated.bytes;
   ledger_remove(bloated.contents.bits());
@@ -390,6 +504,7 @@ ImageId Cache::split_image(ImageId id, const spec::Specification& spec) {
   total_bytes_ += part_a.bytes;
   ledger_add(part_a.contents.bits());
   index_insert(part_a);
+  dindex_insert(part_a);
   images_.emplace(to_value(part_a_id), std::move(part_a));
 
   if (!remainder.empty()) {
@@ -404,7 +519,13 @@ ImageId Cache::split_image(ImageId id, const spec::Specification& spec) {
     ledger_add(bloated.contents.bits());
     counters_.written_bytes += bloated.bytes;
     index_insert(bloated);
+    if (dindex_) dindex_update(bloated, *pre_split_bits, pre_split_key);
   } else {
+    // The whole lineage was subsumed by part A: the bloated image dies.
+    // Its postings entries and eviction key must die with it, or a
+    // later probe can resurrect the erased id (the stale-postings
+    // regression in tests/landlord/decision_index_test.cpp).
+    if (dindex_) dindex_erase(*pre_split_bits, pre_split_key);
     images_.erase(to_value(id));
     ++counters_.deletes;
     if (hooks_.evictions_split != nullptr) hooks_.evictions_split->inc();
@@ -412,29 +533,42 @@ ImageId Cache::split_image(ImageId id, const spec::Specification& spec) {
   return part_a_id;
 }
 
+std::unordered_map<std::uint64_t, Image>::iterator Cache::find_victim_scan() {
+  // Pick a victim per the configured policy. The image serving the
+  // current request carries the freshest LRU stamp and (for hit-based
+  // policies) a just-incremented hit count, so under kLru it is never
+  // chosen while any other image exists.
+  auto victim = images_.end();
+  for (auto it = images_.begin(); it != images_.end(); ++it) {
+    if (it->second.last_used == clock_) continue;  // never evict the
+                                                   // image just served
+    if (victim == images_.end() ||
+        evict_before(config_.eviction, eviction_key(it->second),
+                     eviction_key(victim->second))) {
+      victim = it;
+    }
+  }
+  return victim;
+}
+
 void Cache::evict_over_budget() {
   while (total_bytes_ > config_.capacity && images_.size() > 1) {
-    // Pick a victim per the configured policy. The image serving the
-    // current request carries the freshest LRU stamp and (for hit-based
-    // policies) a just-incremented hit count, so under kLru it is never
-    // chosen while any other image exists.
     auto victim = images_.end();
-    auto key_of = [](const Image& image) {
-      return EvictionKey{image.last_used, image.hits, image.bytes,
-                         to_value(image.id)};
-    };
-    for (auto it = images_.begin(); it != images_.end(); ++it) {
-      if (it->second.last_used == clock_) continue;  // never evict the
-                                                     // image just served
-      if (victim == images_.end() ||
-          evict_before(config_.eviction, key_of(it->second), key_of(victim->second))) {
-        victim = it;
+    if (dindex_) {
+      // The ordered index's minimum is the scan's choice, O(log n).
+      if (const auto key = dindex_->victim(clock_)) {
+        victim = images_.find(key->id);
+        assert(victim != images_.end() && "eviction index out of sync");
       }
+    } else {
+      victim = find_victim_scan();
     }
     if (victim == images_.end()) break;  // only the just-served image left
     total_bytes_ -= victim->second.bytes;
     ledger_remove(victim->second.contents.bits());
     index_erase(victim->second);
+    if (dindex_) dindex_erase(victim->second.contents.bits(),
+                              eviction_key(victim->second));
     if (hooks_.evictions_budget != nullptr) hooks_.evictions_budget->inc();
     trace_eviction(victim->second, "budget");
     images_.erase(victim);
@@ -449,6 +583,8 @@ void Cache::evict_idle() {
       total_bytes_ -= it->second.bytes;
       ledger_remove(it->second.contents.bits());
       index_erase(it->second);
+      if (dindex_) dindex_erase(it->second.contents.bits(),
+                                eviction_key(it->second));
       if (hooks_.evictions_idle != nullptr) hooks_.evictions_idle->inc();
       trace_eviction(it->second, "idle");
       it = images_.erase(it);

@@ -16,11 +16,13 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "landlord/eviction.hpp"
 #include "landlord/image.hpp"
+#include "landlord/index.hpp"
 #include "landlord/policy.hpp"
 #include "landlord/stats.hpp"
 #include "obs/obs.hpp"
@@ -57,6 +59,15 @@ struct CacheConfig {
   /// regular use, the bloated image will eventually be evicted" (§V).
   /// 0 disables idle eviction (paper behaviour: space pressure only).
   std::uint64_t max_idle_requests = 0;
+
+  /// Sublinear decision path (extension): inverted package→image
+  /// postings for superset hits, an ordered eviction index, and a
+  /// spec-fingerprint memo (src/landlord/index.hpp). Decisions are
+  /// bit-identical with the knob on or off — tests/landlord/
+  /// decision_index_test.cpp replays identical traces through both and
+  /// compares every outcome, counter, and final image. Off keeps the
+  /// O(images) scans as the equivalence oracle.
+  bool decision_index = true;
 
   /// Concurrency (extension): number of shards the image namespace is
   /// partitioned across by core::ShardedCache. 1 (the default) keeps
@@ -123,11 +134,44 @@ class Cache {
     for (const auto& [id, image] : images_) fn(image);
   }
 
+  // ---- Read-only decision probes (benchmarks and oracles) ----
+  /// The superset image the next request for `spec` would hit, without
+  /// touching LRU stamps, counters, or the memo. With decision_index on
+  /// this is the postings probe (which may lazily compact); off, the
+  /// full scan — so the two paths can be timed and compared directly.
+  [[nodiscard]] std::optional<ImageId> peek_superset(
+      const spec::Specification& spec);
+  /// The victim the next over-budget eviction would pick, or nullopt
+  /// when only the just-served image remains.
+  [[nodiscard]] std::optional<ImageId> peek_victim();
+
+  /// Postings/eviction-index telemetry (zeros when decision_index off).
+  [[nodiscard]] DecisionIndexStats index_stats() const {
+    return dindex_ ? dindex_->stats() : DecisionIndexStats{};
+  }
+  /// Spec-memo telemetry (zeros when decision_index off).
+  [[nodiscard]] SpecMemoStats memo_stats() const {
+    return memo_ ? memo_->stats() : SpecMemoStats{};
+  }
+  /// Reconciles the decision index against a from-scratch rebuild;
+  /// nullopt when consistent or the index is disabled.
+  [[nodiscard]] std::optional<std::string> check_decision_index() const {
+    if (!dindex_) return std::nullopt;
+    return dindex_->reconcile(images_);
+  }
+
  private:
   [[nodiscard]] ImageId next_id() noexcept { return ImageId{id_counter_++}; }
 
-  /// Returns the id of a cached superset image, refreshing its LRU stamp.
+  /// Returns the id of the superset image the request would hit —
+  /// memo, postings probe, or (knob off / empty spec) the full scan.
   [[nodiscard]] std::optional<ImageId> find_superset(const spec::Specification& spec);
+  /// The naive O(images) superset scan — the oracle the index must match.
+  [[nodiscard]] std::optional<ImageId> find_superset_scan(
+      const spec::Specification& spec) const;
+  /// The naive O(images) victim scan (skips the just-served stamp).
+  [[nodiscard]] std::unordered_map<std::uint64_t, Image>::iterator
+  find_victim_scan();
 
   /// Returns the best merge candidate per the configured policy, or
   /// nullopt when no compatible image lies within distance α.
@@ -142,6 +186,16 @@ class Cache {
   void record_sample(RequestKind kind, const Outcome& outcome);
   void index_insert(const Image& image);
   void index_erase(const Image& image);
+
+  // Decision-index maintenance (no-ops when the knob is off). Structural
+  // changes (insert/erase/update) bump the memo epoch; recency touches
+  // do not — they cannot change any superset answer.
+  void dindex_insert(const Image& image);
+  void dindex_erase(const util::DynamicBitset& old_bits,
+                    const EvictionKey& old_key);
+  void dindex_update(const Image& image, const util::DynamicBitset& old_bits,
+                     const EvictionKey& old_key);
+  void dindex_touch(const EvictionKey& old_key, const Image& image);
 
   /// Incremental view of the cache-wide union: per-package reference
   /// counts plus the running deduplicated byte total. Maintained on
@@ -163,6 +217,13 @@ class Cache {
   std::vector<std::uint32_t> ledger_refs_;  ///< per-package image refcount
   util::Bytes ledger_unique_ = 0;
 
+  /// Sublinear decision path (engaged iff config_.decision_index).
+  /// DecisionIndex holds no pointer into images_ and SpecMemo sits
+  /// behind a unique_ptr (it owns a mutex), so the Cache stays movable —
+  /// Landlord::restore move-assigns a freshly restored Cache.
+  std::optional<DecisionIndex> dindex_;
+  std::unique_ptr<SpecMemo> memo_;
+
   /// Metric handles resolved at set_observability; null ⇒ no-op.
   struct Hooks {
     obs::Counter* requests_hit = nullptr;
@@ -175,6 +236,11 @@ class Cache {
     obs::Counter* conflict_rejections = nullptr;
     obs::Histogram* candidate_scan = nullptr;
     obs::Histogram* request_bytes = nullptr;
+    // Decision-index families (registered only when the knob is on).
+    obs::Histogram* postings_probe = nullptr;
+    obs::Counter* memo_hit = nullptr;
+    obs::Counter* memo_miss = nullptr;
+    obs::Counter* eviction_index_updates = nullptr;
     obs::EventTrace* trace = nullptr;
   };
   Hooks hooks_;

@@ -137,6 +137,14 @@ class Landlord {
   [[nodiscard]] std::optional<Image> find(ImageId id) const {
     return sharded_ ? sharded_->find(id) : cache_.find(id);
   }
+  /// Reconciles the active decision layer's index (postings refcounts,
+  /// postings contents, eviction order) against a from-scratch rebuild.
+  /// nullopt when consistent or CacheConfig::decision_index is off; the
+  /// chaos suites call this after every crash/restore cycle.
+  [[nodiscard]] std::optional<std::string> check_decision_index() const {
+    return sharded_ ? sharded_->check_decision_index()
+                    : cache_.check_decision_index();
+  }
 
   /// Total modelled seconds spent preparing images so far (builds plus
   /// backoff waits).

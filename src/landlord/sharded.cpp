@@ -16,7 +16,12 @@ ShardedCache::ShardedCache(const pkg::Repository& repo, CacheConfig config)
   assert(config_.alpha >= 0.0 && config_.alpha <= 1.0);
   assert(config_.lsh_bands > 0 && config_.minhash_k % config_.lsh_bands == 0 &&
          "band count must divide the MinHash signature length");
-  for (Shard& shard : shards_) shard.lsh = spec::LshIndex(config_.lsh_bands);
+  for (Shard& shard : shards_) {
+    shard.lsh = spec::LshIndex(config_.lsh_bands);
+    if (config_.decision_index) {
+      shard.dindex.emplace(repo.size(), config_.eviction);
+    }
+  }
 }
 
 std::unique_lock<std::mutex> ShardedCache::lock_shard(const Shard& shard) const {
@@ -70,6 +75,21 @@ void ShardedCache::set_observability(obs::Observability* observability) {
   hooks_.cross_shard_moves =
       &reg.counter("landlord_shard_cross_moves_total", {},
                    "Images re-homed to another shard after a merge or split.");
+  if (config_.decision_index) {
+    hooks_.postings_probe = &reg.histogram(
+        "landlord_index_postings_probe_length",
+        {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}, {},
+        "Postings entries scanned per indexed superset lookup.");
+    constexpr const char* kMemoHelp =
+        "Spec-memo lookups by result (hits skip the superset probe).";
+    hooks_.memo_hit =
+        &reg.counter("landlord_index_memo_total", {{"result", "hit"}}, kMemoHelp);
+    hooks_.memo_miss =
+        &reg.counter("landlord_index_memo_total", {{"result", "miss"}}, kMemoHelp);
+    hooks_.eviction_index_updates =
+        &reg.counter("landlord_index_eviction_updates_total", {},
+                     "Ordered eviction-index mutations (insert/erase/touch).");
+  }
   hooks_.shard_images.clear();
   hooks_.shard_bytes.clear();
   hooks_.shard_contentions.clear();
@@ -122,6 +142,37 @@ void ShardedCache::index_erase(Shard& shard, const Image& image) {
   shard.signatures.erase(it);
 }
 
+void ShardedCache::dindex_insert(Shard& shard, const Image& image) {
+  if (!shard.dindex) return;
+  shard.dindex->insert(image);
+  memo_.bump();
+  if (hooks_.eviction_index_updates != nullptr) hooks_.eviction_index_updates->inc();
+}
+
+void ShardedCache::dindex_erase(Shard& shard, const util::DynamicBitset& old_bits,
+                                const EvictionKey& old_key) {
+  if (!shard.dindex) return;
+  shard.dindex->erase(old_bits, old_key);
+  memo_.bump();
+  if (hooks_.eviction_index_updates != nullptr) hooks_.eviction_index_updates->inc();
+}
+
+void ShardedCache::dindex_update(Shard& shard, const Image& image,
+                                 const util::DynamicBitset& old_bits,
+                                 const EvictionKey& old_key) {
+  if (!shard.dindex) return;
+  shard.dindex->update(image, old_bits, old_key);
+  memo_.bump();
+  if (hooks_.eviction_index_updates != nullptr) hooks_.eviction_index_updates->inc();
+}
+
+void ShardedCache::dindex_touch(Shard& shard, const EvictionKey& old_key,
+                                const Image& image) {
+  if (!shard.dindex) return;
+  shard.dindex->touch(old_key, eviction_key(image));
+  if (hooks_.eviction_index_updates != nullptr) hooks_.eviction_index_updates->inc();
+}
+
 Cache::Outcome ShardedCache::request(const spec::Specification& spec) {
   assert(spec.packages().universe() == repo_->size() &&
          "spec universe must match the cache's repository");
@@ -145,28 +196,72 @@ Cache::Outcome ShardedCache::request(const spec::Specification& spec) {
 
 Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
                                    std::uint64_t now, util::Bytes requested) {
+  // ---- Phase 0: spec memo. A current-epoch entry is exactly what the
+  // cross-shard scan below would decide, so apply it directly. A stale
+  // apply (racing writer — single-threaded replays never see one) falls
+  // through to the full decision loop.
+  const std::uint64_t memo_epoch = config_.decision_index ? memo_.epoch() : 0;
+  if (config_.decision_index) {
+    if (const auto memo = memo_.lookup(spec.packages())) {
+      bool stale = false;
+      const auto outcome =
+          apply_hit(memo->shard, to_value(memo->image), spec, now, requested, stale);
+      if (!stale) {
+        if (hooks_.memo_hit != nullptr) hooks_.memo_hit->inc();
+        return outcome;
+      }
+      counters_.optimistic_retries.fetch_add(1, std::memory_order_relaxed);
+      if (hooks_.optimistic_retries != nullptr) hooks_.optimistic_retries->inc();
+    } else if (hooks_.memo_miss != nullptr) {
+      hooks_.memo_miss->inc();
+    }
+  }
+
   for (;;) {
     // ---- Phase 1: cross-shard superset scan (smallest bytes, then
     // lowest id — the sequential Cache's deterministic hit choice),
-    // holding one shard lock at a time.
+    // holding one shard lock at a time. With the decision index on,
+    // each shard answers with its own postings-probe minimum; the min
+    // of per-shard minima is the same global choice the scan makes.
     bool hit_found = false;
     util::Bytes hit_bytes = 0;
     std::uint64_t hit_id = 0;
     std::size_t hit_shard = 0;
+    const auto consider_hit = [&](util::Bytes bytes, std::uint64_t id,
+                                  std::size_t s) {
+      if (!hit_found || bytes < hit_bytes ||
+          (bytes == hit_bytes && id < hit_id)) {
+        hit_found = true;
+        hit_bytes = bytes;
+        hit_id = id;
+        hit_shard = s;
+      }
+    };
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       auto lock = lock_shard(shards_[s]);
-      for (const auto& [id, image] : shards_[s].images) {
-        if (!spec.packages().is_subset_of(image.contents)) continue;
-        if (!hit_found || image.bytes < hit_bytes ||
-            (image.bytes == hit_bytes && id < hit_id)) {
-          hit_found = true;
-          hit_bytes = image.bytes;
-          hit_id = id;
-          hit_shard = s;
+      Shard& shard = shards_[s];
+      if (shard.dindex && !spec.packages().empty()) {
+        std::size_t probe = 0;
+        if (const auto best = shard.dindex->find_superset(spec.packages(),
+                                                          shard.images, &probe)) {
+          consider_hit(shard.images.at(to_value(*best)).bytes, to_value(*best), s);
+        }
+        if (hooks_.postings_probe != nullptr) {
+          hooks_.postings_probe->observe(static_cast<double>(probe));
+        }
+      } else {
+        for (const auto& [id, image] : shard.images) {
+          if (!spec.packages().is_subset_of(image.contents)) continue;
+          consider_hit(image.bytes, id, s);
         }
       }
     }
     if (hit_found) {
+      // Record the decision before applying it: a split during apply
+      // bumps the epoch and correctly invalidates this entry.
+      if (config_.decision_index) {
+        memo_.store(spec.packages(), ImageId{hit_id}, hit_shard, memo_epoch);
+      }
       bool stale = false;
       const auto outcome = apply_hit(hit_shard, hit_id, spec, now, requested, stale);
       if (!stale) return outcome;
@@ -240,6 +335,12 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
       }
 
       // Apply the merge (mirrors the sequential Cache's merge arm).
+      std::optional<util::DynamicBitset> pre_merge_bits;
+      EvictionKey pre_merge_key{};
+      if (shard.dindex) {
+        pre_merge_bits = image.contents.bits();
+        pre_merge_key = eviction_key(image);
+      }
       index_erase(shard, image);
       total_bytes_.fetch_sub(image.bytes);
       image.contents.merge(spec.packages());
@@ -265,7 +366,12 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
       const std::size_t new_home = home_of(image.contents);
       if (new_home == candidate.shard) {
         index_insert(shard, image);
+        if (shard.dindex) dindex_update(shard, image, *pre_merge_bits, pre_merge_key);
       } else {
+        // The source shard's postings only ever saw the pre-merge
+        // contents; retire exactly those before the image moves
+        // (rehome_locked registers it with the target's index).
+        if (shard.dindex) dindex_erase(shard, *pre_merge_bits, pre_merge_key);
         rehome_locked(lock, candidate.shard, new_home, candidate.id);
         counters_.cross_shard_moves.fetch_add(1, std::memory_order_relaxed);
         if (hooks_.cross_shard_moves != nullptr) hooks_.cross_shard_moves->inc();
@@ -301,6 +407,7 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
       auto lock = lock_shard(shard);
       ++shard.homed_inserts;
       index_insert(shard, image);
+      dindex_insert(shard, image);
       shard.images.emplace(to_value(image.id), std::move(image));
     }
     image_count_.fetch_add(1);
@@ -320,8 +427,10 @@ Cache::Outcome ShardedCache::apply_hit(std::size_t shard_index, std::uint64_t id
     return {};
   }
   Image& image = it->second;
+  const EvictionKey pre_touch_key = eviction_key(image);
   image.last_used = now;
   ++image.hits;
+  dindex_touch(shard, pre_touch_key, image);
   counters_.hits.fetch_add(1, std::memory_order_relaxed);
   if (hooks_.requests_hit != nullptr) hooks_.requests_hit->inc();
   if (config_.enable_split && image.merge_count > 0 && image.bytes > 0 &&
@@ -337,6 +446,14 @@ Cache::Outcome ShardedCache::split_locked(std::unique_lock<std::mutex>& source_l
                                           const spec::Specification& spec,
                                           std::uint64_t now) {
   Shard& shard = shards_[shard_index];
+  // Pre-split state for the decision index (apply_hit already stamped
+  // the bloated image, so this key matches what the index holds).
+  std::optional<util::DynamicBitset> pre_split_bits;
+  EvictionKey pre_split_key{};
+  if (shard.dindex) {
+    pre_split_bits = bloated.contents.bits();
+    pre_split_key = eviction_key(bloated);
+  }
   index_erase(shard, bloated);
   const util::Bytes pre_split_bytes = bloated.bytes;
   total_bytes_.fetch_sub(bloated.bytes);
@@ -380,7 +497,11 @@ Cache::Outcome ShardedCache::split_locked(std::unique_lock<std::mutex>& source_l
     total_bytes_.fetch_add(bloated.bytes);
     counters_.written_bytes.fetch_add(bloated.bytes, std::memory_order_relaxed);
     index_insert(shard, bloated);
+    if (shard.dindex) dindex_update(shard, bloated, *pre_split_bits, pre_split_key);
   } else {
+    // The erased id's postings entries and eviction key must die with
+    // it, or a later probe can resurrect it.
+    if (shard.dindex) dindex_erase(shard, *pre_split_bits, pre_split_key);
     shard.images.erase(to_value(bloated.id));  // `bloated` dangles past here
     image_count_.fetch_sub(1);
     counters_.deletes.fetch_add(1, std::memory_order_relaxed);
@@ -399,9 +520,11 @@ Cache::Outcome ShardedCache::split_locked(std::unique_lock<std::mutex>& source_l
     Shard& target = shards_[home];
     auto target_lock = lock_shard(target);
     index_insert(target, part_a);
+    dindex_insert(target, part_a);
     target.images.emplace(to_value(part_a.id), std::move(part_a));
   } else {
     index_insert(shard, part_a);
+    dindex_insert(shard, part_a);
     shard.images.emplace(to_value(part_a.id), std::move(part_a));
   }
   image_count_.fetch_add(1);
@@ -421,7 +544,8 @@ void ShardedCache::rehome_locked(std::unique_lock<std::mutex>& source_lock,
     // Increasing-index order: safe to acquire while holding the source.
     auto target_lock = lock_shard(target);
     index_insert(target, node.mapped());
-    target.images.insert(std::move(node));
+    const auto placed = target.images.insert(std::move(node));
+    dindex_insert(target, placed.position->second);
   } else {
     // Never lock a lower index while holding a higher one: extract
     // privately, release, then lock the target. The image is briefly
@@ -429,7 +553,8 @@ void ShardedCache::rehome_locked(std::unique_lock<std::mutex>& source_lock,
     source_lock.unlock();
     auto target_lock = lock_shard(target);
     index_insert(target, node.mapped());
-    target.images.insert(std::move(node));
+    const auto placed = target.images.insert(std::move(node));
+    dindex_insert(target, placed.position->second);
   }
 }
 
@@ -440,16 +565,26 @@ void ShardedCache::enforce_budget(std::uint64_t now) {
     bool found = false;
     EvictionKey best{};
     std::size_t best_shard = 0;
+    const auto consider_victim = [&](const EvictionKey& key, std::size_t s) {
+      if (!found || evict_before(config_.eviction, key, best)) {
+        found = true;
+        best = key;
+        best_shard = s;
+      }
+    };
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       auto lock = lock_shard(shards_[s]);
-      for (const auto& [id, image] : shards_[s].images) {
-        if (image.last_used == now) continue;  // never evict the image
-                                               // just served
-        const EvictionKey key{image.last_used, image.hits, image.bytes, id};
-        if (!found || evict_before(config_.eviction, key, best)) {
-          found = true;
-          best = key;
-          best_shard = s;
+      if (shards_[s].dindex) {
+        // Each shard's ordered index yields its local minimum in
+        // O(log n); the min of minima is the scan's global victim.
+        if (const auto key = shards_[s].dindex->victim(now)) {
+          consider_victim(*key, s);
+        }
+      } else {
+        for (const auto& [id, image] : shards_[s].images) {
+          if (image.last_used == now) continue;  // never evict the image
+                                                 // just served
+          consider_victim(EvictionKey{image.last_used, image.hits, image.bytes, id}, s);
         }
       }
     }
@@ -467,6 +602,7 @@ void ShardedCache::enforce_budget(std::uint64_t now) {
     }
     total_bytes_.fetch_sub(it->second.bytes);
     index_erase(shard, it->second);
+    dindex_erase(shard, it->second.contents.bits(), eviction_key(it->second));
     if (hooks_.evictions_budget != nullptr) hooks_.evictions_budget->inc();
     if (hooks_.trace != nullptr) {
       obs::TraceEvent event;
@@ -492,6 +628,7 @@ void ShardedCache::evict_idle(std::uint64_t now) {
       if (image.last_used < now && now - image.last_used > config_.max_idle_requests) {
         total_bytes_.fetch_sub(image.bytes);
         index_erase(shard, image);
+        dindex_erase(shard, image.contents.bits(), eviction_key(image));
         if (hooks_.evictions_idle != nullptr) hooks_.evictions_idle->inc();
         it = shard.images.erase(it);
         image_count_.fetch_sub(1);
@@ -527,11 +664,37 @@ ImageId ShardedCache::adopt(spec::PackageSet contents,
     auto lock = lock_shard(shard);
     ++shard.homed_inserts;
     index_insert(shard, image);
+    dindex_insert(shard, image);
     shard.images.emplace(to_value(id), std::move(image));
   }
   image_count_.fetch_add(1);
   enforce_budget(now);
   return id;
+}
+
+DecisionIndexStats ShardedCache::index_stats() const {
+  DecisionIndexStats out;
+  for (const Shard& shard : shards_) {
+    auto lock = lock_shard(shard);
+    if (!shard.dindex) continue;
+    const DecisionIndexStats& s = shard.dindex->stats();
+    out.postings_probes += s.postings_probes;
+    out.postings_probe_entries += s.postings_probe_entries;
+    out.postings_compactions += s.postings_compactions;
+    out.eviction_updates += s.eviction_updates;
+  }
+  return out;
+}
+
+std::optional<std::string> ShardedCache::check_decision_index() const {
+  if (!config_.decision_index) return std::nullopt;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto lock = lock_shard(shards_[s]);
+    if (auto err = shards_[s].dindex->reconcile(shards_[s].images)) {
+      return "shard " + std::to_string(s) + ": " + *err;
+    }
+  }
+  return std::nullopt;
 }
 
 util::Bytes ShardedCache::unique_bytes() const {

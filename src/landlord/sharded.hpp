@@ -104,6 +104,15 @@ class ShardedCache {
   /// Per-shard occupancy and lock-contention counters.
   [[nodiscard]] std::vector<ShardStats> shard_stats() const;
 
+  /// Summed postings/eviction-index telemetry across shards (zeros when
+  /// decision_index is off). Takes each shard lock in turn.
+  [[nodiscard]] DecisionIndexStats index_stats() const;
+  /// Spec-memo telemetry (zeros when decision_index is off).
+  [[nodiscard]] SpecMemoStats memo_stats() const { return memo_.stats(); }
+  /// Reconciles every shard's decision index against a from-scratch
+  /// rebuild; nullopt when consistent or the index is disabled.
+  [[nodiscard]] std::optional<std::string> check_decision_index() const;
+
   /// Attaches (or detaches, with nullptr) an observability bundle; see
   /// Cache::set_observability for the contract. Counters are bumped
   /// inline next to their AtomicCounters twins (so the two reconcile
@@ -134,6 +143,9 @@ class ShardedCache {
     // MinHash/LSH state (kMinHashLsh policy only), guarded by `mutex`.
     spec::LshIndex lsh;
     std::unordered_map<std::uint64_t, spec::MinHashSignature> signatures;
+    /// Sublinear decision path for this shard's images (engaged iff
+    /// config.decision_index), guarded by `mutex`.
+    std::optional<DecisionIndex> dindex;
     std::uint64_t homed_inserts = 0;  // guarded by `mutex`
     // Lock telemetry; relaxed atomics so readers need not take `mutex`.
     mutable std::atomic<std::uint64_t> lock_acquisitions{0};
@@ -161,6 +173,18 @@ class ShardedCache {
   void index_insert(Shard& shard, const Image& image);
   void index_erase(Shard& shard, const Image& image);
 
+  // Decision-index maintenance (no-ops when the knob is off); caller
+  // holds the shard's lock. Structural changes bump the memo epoch;
+  // recency touches do not.
+  void dindex_insert(Shard& shard, const Image& image);
+  void dindex_erase(Shard& shard, const util::DynamicBitset& old_bits,
+                    const EvictionKey& old_key);
+  void dindex_update(Shard& shard, const Image& image,
+                     const util::DynamicBitset& old_bits,
+                     const EvictionKey& old_key);
+  void dindex_touch(Shard& shard, const EvictionKey& old_key,
+                    const Image& image);
+
   void enforce_budget(std::uint64_t now);
   void evict_idle(std::uint64_t now);
 
@@ -168,6 +192,9 @@ class ShardedCache {
   CacheConfig config_;
   std::vector<Shard> shards_;
   spec::MinHasher hasher_;
+  /// Cache-wide spec memo: a decision names a shard, so one epoch
+  /// guards them all. Consulted only when config_.decision_index.
+  SpecMemo memo_;
 
   // Shared ledgers.
   std::atomic<util::Bytes> total_bytes_{0};
@@ -204,6 +231,11 @@ class ShardedCache {
     obs::Counter* lock_contentions = nullptr;
     obs::Counter* optimistic_retries = nullptr;
     obs::Counter* cross_shard_moves = nullptr;
+    // Decision-index families (registered only when the knob is on).
+    obs::Histogram* postings_probe = nullptr;
+    obs::Counter* memo_hit = nullptr;
+    obs::Counter* memo_miss = nullptr;
+    obs::Counter* eviction_index_updates = nullptr;
     std::vector<obs::Gauge*> shard_images;       ///< indexed by shard
     std::vector<obs::Gauge*> shard_bytes;        ///< indexed by shard
     std::vector<obs::Gauge*> shard_contentions;  ///< indexed by shard

@@ -146,6 +146,15 @@ CrashReplayResult run_crash_replay(const pkg::Repository& repo,
         (void)landlord.restore(cold, nullptr);
         result.records_lost += report.records_lost;
       }
+      // Every restore rebuilds the sublinear decision index from the
+      // adopted images; reconcile it against a from-scratch rebuild so a
+      // crash can never leave stale postings or a skewed eviction order.
+      if (auto divergence = landlord.check_decision_index()) {
+        ++result.index_divergences;
+        if (result.first_index_divergence.empty()) {
+          result.first_index_divergence = std::move(*divergence);
+        }
+      }
     }
   }
 

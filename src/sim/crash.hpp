@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "fault/fault.hpp"
 #include "landlord/landlord.hpp"
@@ -57,6 +58,13 @@ struct CrashReplayResult {
   std::uint64_t images_recovered = 0;   ///< re-admitted across all restores
   std::uint64_t records_lost = 0;       ///< snapshot records lost to tears
   double total_prep_seconds = 0.0;
+
+  /// Restores after which the decision index failed to reconcile against
+  /// a from-scratch rebuild (core::Landlord::check_decision_index).
+  /// Always 0: the restore path rebuilds postings/eviction order from
+  /// the adopted images, and the chaos suites assert on it.
+  std::uint64_t index_divergences = 0;
+  std::string first_index_divergence;   ///< what diverged, empty if none
 
   std::uint64_t final_image_count = 0;
   util::Bytes final_total_bytes = 0;

@@ -88,6 +88,8 @@ TEST(CrashReplay, IntactCheckpointsRestoreLosslessly) {
   EXPECT_EQ(result.records_lost, 0u);
   EXPECT_EQ(result.degraded.recovered_images, result.images_recovered);
   EXPECT_LE(result.final_unique_bytes, result.final_total_bytes);
+  // Every restore rebuilt a decision index that reconciles exactly.
+  EXPECT_EQ(result.index_divergences, 0u) << result.first_index_divergence;
   // All requests were still served across every incarnation.
   EXPECT_EQ(result.counters.requests,
             static_cast<std::uint64_t>(config.workload.unique_jobs) *
@@ -106,6 +108,8 @@ TEST(CrashReplay, TornCheckpointsRecoverPrefixOnly) {
   EXPECT_EQ(result.torn_checkpoints, result.checkpoints);
   EXPECT_GT(result.records_lost, 0u);
   EXPECT_EQ(result.degraded.lost_records, result.records_lost);
+  // Even prefix-recovered restores must rebuild an exact index.
+  EXPECT_EQ(result.index_divergences, 0u) << result.first_index_divergence;
   // Prefix recovery still salvages something across the run.
   EXPECT_LE(result.final_unique_bytes, result.final_total_bytes);
   EXPECT_EQ(result.counters.requests,

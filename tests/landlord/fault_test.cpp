@@ -218,6 +218,10 @@ void expect_invariants(const core::Landlord& landlord) {
   EXPECT_EQ(summed, landlord.total_bytes());
   EXPECT_EQ(count, landlord.image_count());
   EXPECT_LE(landlord.unique_bytes(), landlord.total_bytes());
+  // The sublinear decision index (postings refcounts, postings contents,
+  // eviction order) must reconcile against a from-scratch rebuild after
+  // every chaos mutation — nullopt means consistent (or knob off).
+  EXPECT_EQ(landlord.check_decision_index(), std::nullopt);
 }
 
 /// Placement-field invariants (core::placement_violation) checked after

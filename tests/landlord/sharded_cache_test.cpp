@@ -10,10 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <tuple>
 #include <vector>
 
 #include "landlord/cache.hpp"
+#include "landlord/persist.hpp"
 #include "landlord/sharded.hpp"
 #include "pkg/synthetic.hpp"
 #include "sim/workload.hpp"
@@ -95,26 +97,58 @@ void expect_equal_images(const Cache& seq, const ShardedCache& shd) {
   EXPECT_DOUBLE_EQ(seq.cache_efficiency(), shd.cache_efficiency());
 }
 
-/// Replays the same stream through both caches and compares everything.
+/// Replays the same stream through four caches — sequential and sharded,
+/// each with the sublinear decision index on and off — and compares every
+/// per-request outcome, the counters, the final image sets, and the
+/// persisted snapshots. The scan path is the oracle the indexed path must
+/// reproduce bit for bit (CacheConfig::decision_index).
 void run_oracle(CacheConfig config, std::uint32_t shards, std::uint64_t seed) {
   const auto& repo = shared_repo();
   const auto replay = make_replay(seed);
 
-  Cache sequential(repo, config);
+  config.decision_index = false;
+  Cache seq_scan(repo, config);
+  config.decision_index = true;
+  Cache seq_indexed(repo, config);
   config.shards = shards;
-  ShardedCache sharded(repo, config);
+  config.decision_index = false;
+  ShardedCache shd_scan(repo, config);
+  config.decision_index = true;
+  ShardedCache shd_indexed(repo, config);
 
   for (std::uint32_t index : replay.stream) {
-    const auto expected = sequential.request(replay.specs[index]);
-    const auto actual = sharded.request(replay.specs[index]);
-    ASSERT_EQ(to_value(expected.image), to_value(actual.image))
-        << "decision diverged at stream position";
-    ASSERT_EQ(static_cast<int>(expected.kind), static_cast<int>(actual.kind));
-    ASSERT_EQ(expected.image_bytes, actual.image_bytes);
-    ASSERT_EQ(expected.split, actual.split);
+    const auto expected = seq_scan.request(replay.specs[index]);
+    const Cache::Outcome outcomes[] = {seq_indexed.request(replay.specs[index]),
+                                       shd_scan.request(replay.specs[index]),
+                                       shd_indexed.request(replay.specs[index])};
+    for (const auto& actual : outcomes) {
+      ASSERT_EQ(to_value(expected.image), to_value(actual.image))
+          << "decision diverged at stream position";
+      ASSERT_EQ(static_cast<int>(expected.kind), static_cast<int>(actual.kind));
+      ASSERT_EQ(expected.image_bytes, actual.image_bytes);
+      ASSERT_EQ(expected.split, actual.split);
+    }
   }
-  expect_equal_counters(sequential.counters(), sharded.counters());
-  expect_equal_images(sequential, sharded);
+  expect_equal_counters(seq_scan.counters(), shd_scan.counters());
+  expect_equal_counters(seq_scan.counters(), shd_indexed.counters());
+  expect_equal_counters(seq_indexed.counters(), shd_indexed.counters());
+  expect_equal_images(seq_scan, shd_scan);
+  expect_equal_images(seq_indexed, shd_indexed);
+  expect_equal_images(seq_scan, shd_indexed);
+
+  // The index structures themselves must still reconcile with a
+  // from-scratch rebuild after the whole replay.
+  EXPECT_EQ(seq_indexed.check_decision_index(), std::nullopt);
+  EXPECT_EQ(shd_indexed.check_decision_index(), std::nullopt);
+
+  // Persisted snapshots must be byte-identical with the knob on or off.
+  const auto snapshot_of = [&repo](const auto& cache) {
+    std::ostringstream out;
+    save_cache(out, cache, repo, SnapshotFormat::kV2);
+    return out.str();
+  };
+  EXPECT_EQ(snapshot_of(seq_scan), snapshot_of(seq_indexed));
+  EXPECT_EQ(snapshot_of(shd_scan), snapshot_of(shd_indexed));
 }
 
 class ShardedEquivalenceTest
