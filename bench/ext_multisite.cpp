@@ -6,16 +6,25 @@
 // content-blind routing (round-robin / random) rebuilds the same images
 // at several sites, while content-affinity routing keeps each job family
 // at one site — higher hit rates and less cross-site duplication.
+// A second section injects seeded site outages (docs/fault_model.md) and
+// prices health-gated failover: the circuit breakers shed traffic to the
+// next site by hash, which must rebuild the home site's images — the
+// duplication cost the affinity policy normally avoids.
 #include "bench/common.hpp"
 
+#include "fault/fault.hpp"
 #include "sim/multisite.hpp"
 #include "sim/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace landlord;
-  const auto env = bench::BenchEnv::from_environment();
+  const auto env = bench::BenchEnv::from_args(argc, argv);
   const auto& repo = bench::shared_repository(env.seed);
   bench::print_header("Extension: multi-site routing", env);
+
+  // One bundle for the whole run: the snapshot left behind covers every
+  // row (counters are monotone; per-row deltas live in the tables).
+  obs::Observability obs(1 << 14);
 
   sim::WorkloadConfig workload;
   workload.unique_jobs = env.unique_jobs;
@@ -51,5 +60,33 @@ int main() {
     }
   }
   bench::emit(table, env, "ext_multisite");
+
+  // Outage sweep under affinity routing: the breaker trips after
+  // consecutive failures, traffic fails over to the next healthy site by
+  // hash, and the fallback pays the duplicated image builds.
+  util::Table outage({"outage rate", "failovers", "failed", "outages",
+                      "breaker transitions", "failover written(TB)",
+                      "written(TB)"});
+  for (const double rate : {0.0, 0.01, 0.05, 0.10, 0.25}) {
+    sim::MultiSiteConfig config;
+    config.sites = sites;
+    config.routing = sim::Routing::kAffinity;
+    config.cache.alpha = 0.8;
+    config.cache.capacity = 1400ULL * 1000 * 1000 * 1000 / sites;
+    config.faults.fail(fault::FaultOp::kSiteOutage, rate);
+    config.faults.seed = env.seed ^ 0x5173ULL;
+    if (env.metrics_out) config.obs = &obs;
+    const auto result =
+        sim::run_multisite(repo, config, specs, stream, env.seed);
+    outage.add_row(
+        {util::fmt(rate, 2), util::fmt(result.failover_placements),
+         util::fmt(result.failed_requests), util::fmt(result.outage_failures),
+         util::fmt(result.breaker_transitions),
+         util::fmt(static_cast<double>(result.failover_written_bytes) / 1e12,
+                   3),
+         util::fmt(static_cast<double>(result.total_written_bytes) / 1e12, 2)});
+  }
+  bench::emit(outage, env, "ext_multisite_outage");
+  bench::emit_metrics(obs, env);
   return 0;
 }

@@ -1,4 +1,5 @@
-// Extension — worker-node transfer cost vs. alpha.
+// Extension — worker-node transfer cost vs. alpha, and dispatch-plane
+// robustness under worker churn.
 //
 // The paper's container efficiency is motivated by transfer: "it is
 // likely that a given job does not need all of the repository
@@ -7,16 +8,24 @@
 // head-node cache and measures the bytes actually shipped per job across
 // alpha: low alpha ships tight images but misses reuse; high alpha ships
 // fat, frequently rewritten images that keep going stale on workers.
+// A second section injects seeded worker crashes and transfer cuts
+// (docs/fault_model.md) and prices the churn: re-dispatches, cold
+// rejoins, and the wire bytes saved by byte-granular transfer resume.
 #include "bench/common.hpp"
 
+#include "fault/fault.hpp"
 #include "sim/workers.hpp"
 #include "sim/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace landlord;
-  const auto env = bench::BenchEnv::from_environment();
+  const auto env = bench::BenchEnv::from_args(argc, argv);
   const auto& repo = bench::shared_repository(env.seed);
   bench::print_header("Extension: worker transfer cost vs. alpha", env);
+
+  // One bundle for the whole run: the snapshot left behind covers every
+  // row (counters are monotone; per-row deltas live in the tables).
+  obs::Observability obs(1 << 14);
 
   // One workload shared by every alpha (common random numbers).
   sim::WorkloadConfig workload;
@@ -48,5 +57,33 @@ int main() {
                    util::fmt(result.head_counters.merges)});
   }
   bench::emit(table, env, "ext_worker_transfer");
+
+  // Churn sweep: crash and transfer-cut rates climb together; resume
+  // keeps the wire cost flat where re-shipping would inflate it.
+  util::Table churn({"fault rate", "crashes", "redispatches", "cold rejoins",
+                     "direct", "retries", "resumed(GB)", "reshipped(GB)",
+                     "transferred(TB)"});
+  core::CacheConfig cache_config;
+  cache_config.alpha = 0.8;
+  cache_config.capacity = 1400ULL * 1000 * 1000 * 1000;
+  for (const double rate : {0.0, 0.01, 0.05, 0.10, 0.20}) {
+    sim::DispatchFaultConfig faults;
+    faults.plan.fail(fault::FaultOp::kWorkerCrash, rate / 4)
+        .fail(fault::FaultOp::kWorkerTransfer, rate);
+    faults.plan.seed = env.seed ^ 0xc4a5ULL;
+    const auto result = sim::run_with_workers(
+        repo, cache_config, pool_config, specs, stream, env.seed, faults,
+        env.metrics_out ? &obs : nullptr);
+    const auto& d = result.dispatch;
+    churn.add_row(
+        {util::fmt(rate, 2), util::fmt(d.worker_crashes),
+         util::fmt(d.redispatches), util::fmt(d.cold_rejoins),
+         util::fmt(d.direct_transfers), util::fmt(d.transfer_retries),
+         util::fmt(static_cast<double>(d.resumed_bytes) / 1e9, 2),
+         util::fmt(static_cast<double>(d.reshipped_bytes) / 1e9, 2),
+         util::fmt(static_cast<double>(result.transferred_bytes) / 1e12, 2)});
+  }
+  bench::emit(churn, env, "ext_worker_transfer_churn");
+  bench::emit_metrics(obs, env);
   return 0;
 }

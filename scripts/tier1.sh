@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full test suite, the concurrency suite again
 # under ThreadSanitizer (catches data races the plain run cannot), the
-# fault/chaos suite again under ASan+UBSan (catches the memory bugs
-# torn snapshots and degradation paths are most likely to hide), the
+# fault/chaos and dispatch-plane suites again under both TSan and
+# ASan+UBSan (catches the races and memory bugs torn snapshots, worker
+# churn, and degradation paths are most likely to hide), the
 # metrics gate: a short instrumented sim whose Prometheus snapshot must
 # parse and reconcile exactly with the decision-layer counters, and the
 # decision-index gate: the index-vs-scan equivalence oracle under ASan
@@ -26,11 +27,19 @@ cmake -B build-tsan -S . -DLANDLORD_SANITIZE=thread \
 cmake --build build-tsan --target concurrency_tests -j "$JOBS"
 ctest --test-dir build-tsan -L concurrency --output-on-failure -j "$JOBS"
 
-echo "== stage 3: ASan+UBSan build + fault-labelled tests =="
+echo "== stage 2b: TSan build + fault/dispatch chaos suites =="
+# The dispatch plane locks WorkerPool::dispatch and the parallel driver
+# hammers it from several threads; replaying the chaos suites under
+# ThreadSanitizer catches races between churn, transfer retries, and
+# the head-node decision layer that the plain run cannot.
+cmake --build build-tsan --target fault_tests dispatch_tests -j "$JOBS"
+ctest --test-dir build-tsan -L 'fault|dispatch' --output-on-failure -j "$JOBS"
+
+echo "== stage 3: ASan+UBSan build + fault/dispatch-labelled tests =="
 cmake -B build-asan -S . -DLANDLORD_SANITIZE=address,undefined \
   -DLANDLORD_BUILD_BENCH=OFF -DLANDLORD_BUILD_EXAMPLES=OFF
-cmake --build build-asan --target fault_tests -j "$JOBS"
-ctest --test-dir build-asan -L fault --output-on-failure -j "$JOBS"
+cmake --build build-asan --target fault_tests dispatch_tests -j "$JOBS"
+ctest --test-dir build-asan -L 'fault|dispatch' --output-on-failure -j "$JOBS"
 
 echo "== stage 4: metrics snapshot parse + counter/ladder reconciliation =="
 # Runs an instrumented sim + crash replay, writes the exposition, then

@@ -34,8 +34,14 @@ enum class FaultOp : std::uint8_t {
   kMergeRewrite,         ///< full rewrite of a merged/split image
   kSnapshotWrite,        ///< persisting the cache snapshot (torn write)
   kSnapshotRead,         ///< loading the cache snapshot at restart
+  // Dispatch-plane classes. Appended (never reordered) so the per-class
+  // Bernoulli streams of the original four stay bit-identical under old
+  // plans — split(op + 1) keys the stream by enum position.
+  kWorkerCrash,     ///< the scheduled worker dies under this dispatch
+  kWorkerTransfer,  ///< head-node -> worker-scratch transfer interrupted
+  kSiteOutage,      ///< a site rejects this placement attempt
 };
-inline constexpr std::size_t kFaultOpCount = 4;
+inline constexpr std::size_t kFaultOpCount = 7;
 
 [[nodiscard]] constexpr const char* to_string(FaultOp op) noexcept {
   switch (op) {
@@ -43,6 +49,9 @@ inline constexpr std::size_t kFaultOpCount = 4;
     case FaultOp::kMergeRewrite: return "merge-rewrite";
     case FaultOp::kSnapshotWrite: return "snapshot-write";
     case FaultOp::kSnapshotRead: return "snapshot-read";
+    case FaultOp::kWorkerCrash: return "worker-crash";
+    case FaultOp::kWorkerTransfer: return "worker-transfer";
+    case FaultOp::kSiteOutage: return "site-outage";
   }
   return "?";
 }

@@ -7,6 +7,7 @@
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 #include <vector>
 
 #include "util/checksum.hpp"
@@ -170,6 +171,15 @@ void parse_v1(std::istream& in, const pkg::Repository& repo, Parsed& parsed,
   }
 }
 
+/// Identity of a record for duplicate detection: the contents bitset.
+/// A valid snapshot can never hold two images with the same contents
+/// (insert/merge always reuses the superset), so a repeat is corruption.
+std::uint64_t contents_fingerprint(const spec::PackageSet& contents) {
+  const auto& words = contents.bits().words();
+  return util::fnv1a64(std::string_view(
+      reinterpret_cast<const char*>(words.data()), words.size() * 8));
+}
+
 /// v2 body: lenient — stops at the first bad record, keeps the checked
 /// prefix, and counts how many image records the tail declared.
 void parse_v2(std::istream& in, const pkg::Repository& repo, Parsed& parsed,
@@ -181,6 +191,7 @@ void parse_v2(std::istream& in, const pkg::Repository& repo, Parsed& parsed,
   bool saw_end = false;
   std::size_t images_seen = 0;
   std::uint64_t chain = util::kFnv1aOffset;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> seen_contents;
 
   auto fail = [&](std::string what) {
     parsed.report.corrupted = true;
@@ -236,6 +247,21 @@ void parse_v2(std::istream& in, const pkg::Repository& repo, Parsed& parsed,
              " checksum mismatch (corrupted image record)");
         break;
       }
+      // The record is internally consistent — now reject it if an
+      // accepted record already has these exact contents (a replayed or
+      // doubled write; adopting both would violate the cache invariant).
+      const std::uint64_t finger = contents_fingerprint(pending.contents);
+      bool duplicate = false;
+      for (std::size_t prior : seen_contents[finger]) {
+        if (parsed.records[prior].contents == pending.contents) {
+          fail("duplicate image record (ordinal " + std::to_string(ordinal) +
+               " repeats ordinal " + std::to_string(prior) + ")");
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) break;
+      seen_contents[finger].push_back(parsed.records.size());
       chain = util::fnv1a64(pending_blob, chain);
       parsed.records.push_back(std::move(pending));
       pending = Record{};
@@ -257,7 +283,23 @@ void parse_v2(std::istream& in, const pkg::Repository& repo, Parsed& parsed,
     }
   }
 
-  if (!saw_end && !parsed.report.corrupted) {
+  if (saw_end) {
+    // A clean trailer covers every declared record, so nothing was lost
+    // — but bytes after it mean a writer appended past the snapshot (or
+    // two snapshots were concatenated). The restored prefix is intact;
+    // flag the file so the operator knows it is not what save_cache
+    // wrote. Blank lines are tolerated (trailing-newline artifacts).
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (split_words(line).empty()) continue;
+      fail("trailing data after 'end' trailer");
+      break;
+    }
+    parsed.report.records_lost = 0;
+    return;
+  }
+  if (!parsed.report.corrupted) {
     parsed.report.truncated = true;
     parsed.report.error = has_pending
                               ? "snapshot truncated inside image record " +

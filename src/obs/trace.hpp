@@ -31,6 +31,11 @@ enum class EventKind : std::uint8_t {
   kCheckpoint,       ///< cache snapshot written (or torn)
   kRestore,          ///< cache snapshot restored after a crash
   kInvariantViolation,  ///< a placement failed the obs invariant check
+  kWorkerCrash,         ///< a worker lost its scratch copies and went down
+  kTransferFault,       ///< a worker transfer was cut mid-stream
+  kSiteOutage,          ///< a site rejected a placement attempt
+  kFailover,            ///< a request was served by a non-home site
+  kBreakerTransition,   ///< a site breaker changed state
 };
 
 [[nodiscard]] constexpr const char* to_string(EventKind kind) noexcept {
@@ -47,6 +52,11 @@ enum class EventKind : std::uint8_t {
     case EventKind::kCheckpoint: return "checkpoint";
     case EventKind::kRestore: return "restore";
     case EventKind::kInvariantViolation: return "invariant-violation";
+    case EventKind::kWorkerCrash: return "worker-crash";
+    case EventKind::kTransferFault: return "transfer-fault";
+    case EventKind::kSiteOutage: return "site-outage";
+    case EventKind::kFailover: return "failover";
+    case EventKind::kBreakerTransition: return "breaker-transition";
   }
   return "?";
 }

@@ -12,12 +12,28 @@
 //  * kAffinity   — content-stable routing (a spec always goes to the
 //    same site), so each site sees a coherent sub-workload and images
 //    are built once system-wide.
+//
+// Sites can fail. A fault::FaultPlan with FaultOp::kSiteOutage drives
+// per-attempt outage verdicts, and a per-site circuit breaker gates
+// routing: closed → open after SiteBreakerConfig::failure_threshold
+// consecutive failures → half-open probe once open_cooldown requests
+// have passed → closed again on a successful probe. While a site's
+// breaker is open the router degrades to the next healthy site in hash
+// order (home+1, home+2, ...), so kAffinity keeps content-stable
+// fallbacks during an outage and returns home after recovery. The
+// duplication this buys — images rebuilt at the fallback site — is
+// reported in MultiSiteResult::failover_written_bytes. When no site
+// accepts a request it drains as an error (failed_requests), never a
+// hang. An empty plan keeps every breaker closed and the routing
+// bit-identical to the fault-free model.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "landlord/cache.hpp"
+#include "obs/obs.hpp"
 #include "spec/specification.hpp"
 #include "util/rng.hpp"
 
@@ -34,10 +50,51 @@ enum class Routing : std::uint8_t { kRoundRobin, kRandom, kAffinity };
   return "?";
 }
 
+/// Circuit-breaker state for one site's health gate.
+enum class BreakerState : std::uint8_t {
+  kClosed,    ///< healthy: requests flow
+  kOpen,      ///< tripped: the site is skipped until the cooldown passes
+  kHalfOpen,  ///< probing: one request is let through to test recovery
+};
+
+[[nodiscard]] constexpr const char* to_string(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+struct SiteBreakerConfig {
+  /// Consecutive failures that trip a closed breaker open.
+  std::uint32_t failure_threshold = 3;
+  /// Requests (global stream positions) an open breaker waits before
+  /// letting a half-open probe through.
+  std::uint64_t open_cooldown = 16;
+};
+
+/// Per-site health telemetry accumulated over one run.
+struct SiteHealth {
+  BreakerState state = BreakerState::kClosed;  ///< state at end of run
+  std::uint64_t outage_failures = 0;  ///< injected failures observed here
+  std::uint64_t opens = 0;            ///< transitions into kOpen
+  std::uint64_t half_opens = 0;       ///< kOpen -> kHalfOpen transitions
+  std::uint64_t probes = 0;           ///< requests routed as half-open probes
+  std::uint64_t closes = 0;           ///< kHalfOpen -> kClosed recoveries
+};
+
 struct MultiSiteConfig {
   std::uint32_t sites = 4;
   Routing routing = Routing::kAffinity;
   core::CacheConfig cache;  ///< per-site cache configuration
+  /// Site-outage schedule (FaultOp::kSiteOutage stream; empty = no
+  /// outages, bit-identical to the fault-free model).
+  fault::FaultPlan faults;
+  SiteBreakerConfig breaker;
+  /// Optional observability bundle (landlord_dispatch_* site/breaker
+  /// families + failover/outage trace events). Non-owning.
+  obs::Observability* obs = nullptr;
 };
 
 struct MultiSiteResult {
@@ -49,6 +106,16 @@ struct MultiSiteResult {
   std::uint64_t total_inserts = 0;
   util::Bytes total_written_bytes = 0;
 
+  std::vector<SiteHealth> site_health;     ///< breaker telemetry per site
+  std::uint64_t failover_placements = 0;   ///< served by a non-home site
+  std::uint64_t failed_requests = 0;       ///< no reachable site; drained as error
+  std::uint64_t outage_failures = 0;       ///< Σ injected attempt failures
+  std::uint64_t breaker_transitions = 0;   ///< Σ opens + half_opens + closes
+  /// Duplication cost of failover: bytes written at a fallback site while
+  /// serving requests whose home site was unavailable (images rebuilt
+  /// where they already exist at home).
+  util::Bytes failover_written_bytes = 0;
+
   /// Cross-site duplication: unique-across-sites / total-cached.
   [[nodiscard]] double global_cache_efficiency() const noexcept {
     return total_cached_bytes > 0
@@ -58,7 +125,9 @@ struct MultiSiteResult {
   }
 };
 
-/// Routes `stream` over `sites` caches. Deterministic in (config, seed).
+/// Routes `stream` over `sites` caches. Deterministic in (config, seed):
+/// the same fault plan replays the same outages, failovers, and breaker
+/// transitions bit-for-bit.
 [[nodiscard]] MultiSiteResult run_multisite(
     const pkg::Repository& repo, const MultiSiteConfig& config,
     const std::vector<spec::Specification>& specs,

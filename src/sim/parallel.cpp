@@ -22,6 +22,19 @@ ParallelResult run_parallel(const pkg::Repository& repo,
   core::ShardedCache cache(repo, config.cache);
   if (config.obs != nullptr) cache.set_observability(config.obs);
 
+  // Optional dispatch plane: one mutex-guarded pool shared by every
+  // replay thread, churned by the fault plan.
+  fault::FaultInjector injector(config.faults);
+  WorkerPool pool(config.workers, util::Rng(config.seed));
+  if (config.dispatch) {
+    pool.set_fault_injector(&injector);
+    pool.set_backoff_policy(config.backoff);
+    if (config.obs != nullptr) {
+      injector.set_observability(config.obs);
+      pool.set_observability(config.obs);
+    }
+  }
+
   // Workers park on the barrier so the storm starts (and is timed) as one
   // burst rather than staggered by thread-creation latency.
   std::barrier start_line(static_cast<std::ptrdiff_t>(threads) + 1);
@@ -31,7 +44,11 @@ ParallelResult run_parallel(const pkg::Repository& repo,
     workers.emplace_back([&, t] {
       start_line.arrive_and_wait();
       for (std::size_t i = t; i < stream.size(); i += threads) {
-        cache.request(specs[stream[i]]);
+        const auto outcome = cache.request(specs[stream[i]]);
+        if (config.dispatch) {
+          const auto image = cache.find(outcome.image);
+          if (image.has_value()) (void)pool.dispatch(*image);
+        }
       }
     });
   }
@@ -54,6 +71,14 @@ ParallelResult run_parallel(const pkg::Repository& repo,
           ? static_cast<double>(stream.size()) / result.wall_seconds
           : 0.0;
   result.shards = cache.shard_stats();
+  if (config.dispatch) {
+    result.transferred_bytes = pool.transferred_bytes();
+    result.dispatches = pool.dispatches();
+    result.transfers = pool.transfers();
+    result.local_hits = pool.local_hits();
+    result.stale_refetches = pool.stale_refetches();
+    result.dispatch = pool.dispatch_counters();
+  }
   if (config.obs != nullptr) cache.publish_metrics();
   return result;
 }

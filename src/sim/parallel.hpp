@@ -16,6 +16,7 @@
 
 #include "landlord/sharded.hpp"
 #include "pkg/repository.hpp"
+#include "sim/workers.hpp"
 #include "sim/workload.hpp"
 
 namespace landlord::sim {
@@ -28,6 +29,16 @@ struct ParallelConfig {
   /// Optional observability bundle attached to the run's ShardedCache
   /// (non-owning); per-shard gauges are published before returning.
   obs::Observability* obs = nullptr;
+  /// Ship every placed image to a shared WorkerPool (dispatch() is
+  /// mutex-guarded, so the replay threads hammer one pool the way one
+  /// cluster's jobs hammer one transfer plane).
+  bool dispatch = false;
+  WorkerPoolConfig workers;
+  /// Worker-churn / transfer-cut schedule for the pool (empty = fault
+  /// free). Verdicts are per-occurrence, so a threads==1 run replays a
+  /// plan bit-for-bit; multi-threaded runs stay invariant-preserving.
+  fault::FaultPlan faults;
+  fault::BackoffPolicy backoff;
 };
 
 /// Everything the concurrency figures need from one run.
@@ -41,6 +52,16 @@ struct ParallelResult {
   double wall_seconds = 0.0;          ///< barrier release -> last join
   double requests_per_second = 0.0;
   std::vector<core::ShardStats> shards;  ///< per-shard occupancy/contention
+  /// Dispatch-plane tallies (zero unless ParallelConfig::dispatch).
+  /// `dispatches` can trail `counters.requests`: a concurrently evicted
+  /// image makes the post-decision find() miss, and that job is not
+  /// shipped (the sequential Landlord path counts these toctou_retries).
+  util::Bytes transferred_bytes = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t stale_refetches = 0;
+  DispatchCounters dispatch;
 };
 
 /// Generates the workload from (seed) — identical to run_simulation's for

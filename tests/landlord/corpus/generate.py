@@ -63,6 +63,24 @@ def v2_snapshot() -> str:
     return "".join(out)
 
 
+def v2_duplicate_snapshot() -> str:
+    """Record 0 written twice (a replayed/doubled writer): the second copy
+    arrives at ordinal 3 with a valid checksum, so only the duplicate
+    check itself can reject it."""
+    records = RECORDS + [RECORDS[0]]
+    out = [
+        "landlord-cache v2\n",
+        f"# {len(records)} images, {TOTAL_BYTES + 3000} bytes\n",
+    ]
+    chain = FNV_OFFSET
+    for ordinal, blob in enumerate(records):
+        out.append(blob)
+        out.append(f"check {ordinal} {fnv1a64(blob):x}\n")
+        chain = fnv1a64(blob, chain)
+    out.append(f"end {len(records)} {chain:x}\n")
+    return "".join(out)
+
+
 def main() -> None:
     v1 = v1_snapshot()
     v2 = v2_snapshot()
@@ -95,6 +113,14 @@ def main() -> None:
         # trailer replaced by garbage after all three good records
         "v2_garbage_tail.snapshot": v2[: v2.index("end ")] + "!!! garbage tail\n",
         "v2_missing_end.snapshot": v2[: v2.index("end ")],
+        # a checksummed duplicate of record 0 appended as ordinal 3: the
+        # 3-record prefix restores, the duplicate is rejected as lost
+        "v2_duplicate_record.snapshot": v2_duplicate_snapshot(),
+        # a stale partial record after the valid end trailer (two
+        # checkpoints concatenated / writer appended past the snapshot):
+        # everything declared restores, but the file is flagged corrupted
+        "v2_trailing_bytes.snapshot": v2
+        + "image 0 0 0 alpha/1.0 epsilon/0.9\ncheck 0 deadbeef\n",
         "empty.snapshot": "",
     }
     here = os.path.dirname(os.path.abspath(__file__))
