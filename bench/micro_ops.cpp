@@ -195,11 +195,16 @@ BENCHMARK(BM_CacheRequestMinHashPolicy)->Arg(200)->Arg(500);
 /// workload. peek_* probes bypass the memo and the LRU stamps, so the
 /// postings/scan paths are timed head-to-head on frozen state.
 core::Cache warm_cache(std::int64_t images, bool decision_index,
-                       std::vector<spec::Specification>* probes = nullptr) {
+                       std::vector<spec::Specification>* probes = nullptr,
+                       bool adaptive = false) {
   core::CacheConfig config;
   config.alpha = 0.0;
   config.capacity = repo().total_bytes() * 1000;
   config.decision_index = decision_index;
+  // Head-to-head timings pin the cutover off so _Index really probes the
+  // postings at every size; _Adaptive keeps the default cutover to time
+  // what a stock config actually does.
+  if (!adaptive) config.scan_cutover = 0;
   core::Cache cache(repo(), config);
 
   util::Rng rng(10);
@@ -223,7 +228,7 @@ void BM_FindSuperset_Index(benchmark::State& state) {
     next = (next + 1) % probes.size();
   }
 }
-BENCHMARK(BM_FindSuperset_Index)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_FindSuperset_Index)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_FindSuperset_Scan(benchmark::State& state) {
   std::vector<spec::Specification> probes;
@@ -234,7 +239,24 @@ void BM_FindSuperset_Scan(benchmark::State& state) {
     next = (next + 1) % probes.size();
   }
 }
-BENCHMARK(BM_FindSuperset_Scan)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_FindSuperset_Scan)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// What a stock CacheConfig does: scan below scan_cutover, postings
+/// probe above. The small-N regression gate in scripts/bench_decision.sh
+/// holds this path to the scan's time at 10/100 images and to the
+/// index's time at 1k/10k — the adaptive cutover must never lose to
+/// whichever pure path is better at that size.
+void BM_FindSuperset_Adaptive(benchmark::State& state) {
+  std::vector<spec::Specification> probes;
+  auto cache = warm_cache(state.range(0), /*decision_index=*/true, &probes,
+                          /*adaptive=*/true);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.peek_superset(probes[next]));
+    next = (next + 1) % probes.size();
+  }
+}
+BENCHMARK(BM_FindSuperset_Adaptive)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_EvictVictim_Index(benchmark::State& state) {
   auto cache = warm_cache(state.range(0), /*decision_index=*/true);
@@ -242,7 +264,7 @@ void BM_EvictVictim_Index(benchmark::State& state) {
     benchmark::DoNotOptimize(cache.peek_victim());
   }
 }
-BENCHMARK(BM_EvictVictim_Index)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_EvictVictim_Index)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_EvictVictim_Scan(benchmark::State& state) {
   auto cache = warm_cache(state.range(0), /*decision_index=*/false);
@@ -250,7 +272,7 @@ void BM_EvictVictim_Scan(benchmark::State& state) {
     benchmark::DoNotOptimize(cache.peek_victim());
   }
 }
-BENCHMARK(BM_EvictVictim_Scan)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_EvictVictim_Scan)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
 
 /// Full request() on a back-to-back repeated spec: after the first
 /// iteration stores the decision, every request is a memo hit — the

@@ -1,0 +1,142 @@
+// Command-line client for the head-node service plane.
+//
+//   serve_client --port P ping
+//   serve_client --port P stats
+//   serve_client --port P submit 3,17,240 [--client-id C]
+//
+// `submit` sends one specification whose package-id list is given
+// comma-separated (ids into the server's repository universe, strictly
+// increasing; the server does not re-close dependencies) and prints the
+// placement decision. Pair with serve_head_node.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+std::optional<std::vector<std::uint32_t>> parse_ids(const std::string& list) {
+  std::vector<std::uint32_t> ids;
+  std::size_t start = 0;
+  while (start < list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string token =
+        list.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (token.empty()) return std::nullopt;
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(token.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return std::nullopt;
+    ids.push_back(static_cast<std::uint32_t>(value));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return ids;
+}
+
+const char* kind_name(landlord::core::RequestKind kind) {
+  switch (kind) {
+    case landlord::core::RequestKind::kHit: return "hit";
+    case landlord::core::RequestKind::kMerge: return "merge";
+    case landlord::core::RequestKind::kInsert: return "insert";
+  }
+  return "?";
+}
+
+int usage() {
+  std::cerr << "usage: serve_client --port P ping\n"
+               "       serve_client --port P stats\n"
+               "       serve_client --port P submit ID[,ID...]"
+               " [--client-id C]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  std::uint64_t client_id = 1;
+  std::string command;
+  std::string id_list;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--client-id" && i + 1 < argc) {
+      client_id = std::strtoull(argv[++i], nullptr, 10);
+    } else if (command.empty()) {
+      command = arg;
+    } else if (command == "submit" && id_list.empty()) {
+      id_list = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (port == 0 || command.empty()) return usage();
+
+  landlord::serve::Client client;
+  const auto connected = client.connect(port);
+  if (!connected.ok()) {
+    std::cerr << "connect failed: " << connected.error().message << '\n';
+    return 1;
+  }
+
+  if (command == "ping") {
+    const auto pong = client.ping();
+    if (!pong.ok()) {
+      std::cerr << "ping failed: " << pong.error().message << '\n';
+      return 1;
+    }
+    std::cout << "pong\n";
+    return 0;
+  }
+
+  if (command == "stats") {
+    const auto stats = client.stats();
+    if (!stats.ok()) {
+      std::cerr << "stats failed: " << stats.error().message << '\n';
+      return 1;
+    }
+    const auto& s = stats.value();
+    std::cout << "requests=" << s.requests << " hits=" << s.hits
+              << " merges=" << s.merges << " inserts=" << s.inserts
+              << " deletes=" << s.deletes << " splits=" << s.splits << '\n'
+              << "images=" << s.image_count << " total-bytes=" << s.total_bytes
+              << " unique-bytes=" << s.unique_bytes << '\n'
+              << "requested-bytes=" << s.requested_bytes
+              << " written-bytes=" << s.written_bytes
+              << " prep-seconds=" << s.prep_seconds << '\n';
+    return 0;
+  }
+
+  if (command == "submit") {
+    const auto ids = parse_ids(id_list);
+    if (!ids || ids->empty()) return usage();
+    landlord::serve::SubmitRequest request;
+    request.client_id = client_id;
+    request.packages = *ids;
+    const auto reply = client.submit(request);
+    if (!reply.ok()) {
+      std::cerr << "submit failed: " << reply.error().message << '\n';
+      return 1;
+    }
+    const auto& placement = reply.value();
+    std::cout << "placement kind=" << kind_name(placement.kind)
+              << " image=" << placement.image
+              << " image-bytes=" << placement.image_bytes
+              << " requested-bytes=" << placement.requested_bytes
+              << " prep-seconds=" << placement.prep_seconds
+              << (placement.degraded ? " degraded" : "")
+              << (placement.failed ? " FAILED" : "") << '\n';
+    if (!placement.error.empty()) {
+      std::cout << "error: " << placement.error << '\n';
+    }
+    return 0;
+  }
+
+  return usage();
+}

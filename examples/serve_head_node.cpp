@@ -1,0 +1,280 @@
+// Networked head node: stands up the TCP service plane (serve::Server)
+// around a core::Landlord over a synthetic repository, and optionally
+// drives it with the built-in load generator.
+//
+//   serve_head_node [--port P] [--workers N] [--shards N] [--max-queue N]
+//                   [--packages N] [--seed S] [--alpha A]
+//                   [--capacity-fraction F] [--duration SECONDS]
+//                   [--metrics-out FILE]
+//   serve_head_node --bench [--mode closed|open] [--connections N]
+//                   [--batch N] [--requests N] [--rate R]
+//                   [--bench-duration SECONDS] [--clients N] [--zipf S]
+//
+// Server mode binds 127.0.0.1 (port 0 picks an ephemeral one, printed as
+// "listening on PORT"), serves until --duration elapses (default 30s),
+// then drains gracefully and prints the service-plane counters. Talk to
+// it with serve_client.
+//
+// --bench starts the same server in-process, runs the load generator
+// against it over loopback, and prints one JSON report to stdout —
+// scripts/bench_serve.sh parses this and gates on QPS (BENCH_serve.json).
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "landlord/landlord.hpp"
+#include "obs/obs.hpp"
+#include "pkg/synthetic.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using landlord::serve::LoadGenConfig;
+using landlord::serve::LoadGenReport;
+using landlord::serve::LoadMode;
+using landlord::serve::ServeCounters;
+using landlord::serve::ServerConfig;
+
+struct Options {
+  // Server shape.
+  std::uint16_t port = 0;
+  std::uint32_t workers = 8;
+  std::uint32_t shards = 8;
+  std::size_t max_queue = 1024;
+  std::uint32_t packages = 1500;
+  std::uint64_t seed = 42;
+  double alpha = 0.8;
+  double capacity_fraction = 0.5;
+  double duration = 30.0;
+  std::optional<std::string> metrics_out;
+  // Bench mode.
+  bool bench = false;
+  LoadMode mode = LoadMode::kClosed;
+  std::uint32_t connections = 8;
+  std::uint32_t batch = 64;
+  std::uint64_t requests = 400000;
+  double rate = 100000.0;
+  double bench_duration = 0.0;
+  std::uint64_t clients = 2'000'000;
+  double zipf = 1.1;
+};
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const auto number = [&](auto& slot) {
+      const char* value = next();
+      if (value == nullptr) return false;
+      slot = static_cast<std::remove_reference_t<decltype(slot)>>(
+          std::strtod(value, nullptr));
+      return true;
+    };
+    if (arg == "--port") {
+      if (!number(options.port)) return std::nullopt;
+    } else if (arg == "--workers") {
+      if (!number(options.workers)) return std::nullopt;
+    } else if (arg == "--shards") {
+      if (!number(options.shards)) return std::nullopt;
+    } else if (arg == "--max-queue") {
+      if (!number(options.max_queue)) return std::nullopt;
+    } else if (arg == "--packages") {
+      if (!number(options.packages)) return std::nullopt;
+    } else if (arg == "--seed") {
+      if (!number(options.seed)) return std::nullopt;
+    } else if (arg == "--alpha") {
+      if (!number(options.alpha)) return std::nullopt;
+    } else if (arg == "--capacity-fraction") {
+      if (!number(options.capacity_fraction)) return std::nullopt;
+    } else if (arg == "--duration") {
+      if (!number(options.duration)) return std::nullopt;
+    } else if (arg == "--metrics-out") {
+      const char* value = next();
+      if (value == nullptr) return std::nullopt;
+      options.metrics_out = value;
+    } else if (arg == "--bench") {
+      options.bench = true;
+    } else if (arg == "--mode") {
+      const char* value = next();
+      if (value == nullptr) return std::nullopt;
+      const std::string mode = value;
+      if (mode == "closed") {
+        options.mode = LoadMode::kClosed;
+      } else if (mode == "open") {
+        options.mode = LoadMode::kOpen;
+      } else {
+        return std::nullopt;
+      }
+    } else if (arg == "--connections") {
+      if (!number(options.connections)) return std::nullopt;
+    } else if (arg == "--batch") {
+      if (!number(options.batch)) return std::nullopt;
+    } else if (arg == "--requests") {
+      if (!number(options.requests)) return std::nullopt;
+    } else if (arg == "--rate") {
+      if (!number(options.rate)) return std::nullopt;
+    } else if (arg == "--bench-duration") {
+      if (!number(options.bench_duration)) return std::nullopt;
+    } else if (arg == "--clients") {
+      if (!number(options.clients)) return std::nullopt;
+    } else if (arg == "--zipf") {
+      if (!number(options.zipf)) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+void print_counters(const ServeCounters& counters) {
+  std::cout << "connections accepted=" << counters.connections_accepted
+            << " closed=" << counters.connections_closed << '\n'
+            << "frames in=" << counters.frames_in
+            << " out=" << counters.frames_out
+            << " admitted=" << counters.frames_admitted
+            << " processed=" << counters.frames_processed << '\n'
+            << "requests served=" << counters.requests_served
+            << " (hit=" << counters.placements_hit
+            << " merge=" << counters.placements_merge
+            << " insert=" << counters.placements_insert << ")\n"
+            << "rejected queue-full=" << counters.rejected_queue_full
+            << " draining=" << counters.rejected_draining
+            << " decode-errors=" << counters.decode_errors
+            << " queue-peak=" << counters.queue_depth_peak << '\n';
+}
+
+void print_json_report(const Options& options, const LoadGenReport& report,
+                       const ServeCounters& counters) {
+  std::cout << "{\n"
+            << "  \"mode\": \""
+            << (options.mode == LoadMode::kClosed ? "closed" : "open")
+            << "\",\n"
+            << "  \"workers\": " << options.workers << ",\n"
+            << "  \"shards\": " << options.shards << ",\n"
+            << "  \"connections\": " << options.connections << ",\n"
+            << "  \"batch\": " << options.batch << ",\n"
+            << "  \"client_universe\": " << options.clients << ",\n"
+            << "  \"zipf_s\": " << options.zipf << ",\n"
+            << "  \"requests_sent\": " << report.requests_sent << ",\n"
+            << "  \"requests_ok\": " << report.requests_ok << ",\n"
+            << "  \"requests_rejected\": " << report.requests_rejected << ",\n"
+            << "  \"frames_sent\": " << report.frames_sent << ",\n"
+            << "  \"distinct_clients\": " << report.distinct_clients << ",\n"
+            << "  \"placements_hit\": " << report.placements_hit << ",\n"
+            << "  \"placements_merge\": " << report.placements_merge << ",\n"
+            << "  \"placements_insert\": " << report.placements_insert << ",\n"
+            << "  \"duration_seconds\": " << report.duration_seconds << ",\n"
+            << "  \"qps\": " << report.qps << ",\n"
+            << "  \"latency_p50_seconds\": " << report.latency_p50 << ",\n"
+            << "  \"latency_p99_seconds\": " << report.latency_p99 << ",\n"
+            << "  \"latency_p999_seconds\": " << report.latency_p999 << ",\n"
+            << "  \"latency_mean_seconds\": " << report.latency_mean << ",\n"
+            << "  \"server_queue_depth_peak\": " << counters.queue_depth_peak
+            << ",\n"
+            << "  \"server_rejected_queue_full\": "
+            << counters.rejected_queue_full << "\n"
+            << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse_args(argc, argv);
+  if (!options) {
+    std::cerr << "usage: serve_head_node [--port P] [--workers N] [--shards N]"
+                 " [--max-queue N]\n"
+                 "                       [--packages N] [--seed S] [--alpha A]"
+                 " [--capacity-fraction F]\n"
+                 "                       [--duration S] [--metrics-out FILE]\n"
+                 "                       [--bench [--mode closed|open]"
+                 " [--connections N] [--batch N]\n"
+                 "                        [--requests N] [--rate R]"
+                 " [--bench-duration S] [--clients N] [--zipf S]]\n";
+    return 2;
+  }
+
+  landlord::pkg::SyntheticRepoParams params;
+  params.total_packages = options->packages;
+  auto repo_result = landlord::pkg::generate_repository(params, options->seed);
+  if (!repo_result.ok()) {
+    std::cerr << "repository generation failed: "
+              << repo_result.error().message << '\n';
+    return 1;
+  }
+  const landlord::pkg::Repository repo = std::move(repo_result).value();
+
+  landlord::core::CacheConfig cache_config;
+  cache_config.alpha = options->alpha;
+  cache_config.capacity = static_cast<landlord::util::Bytes>(
+      static_cast<double>(repo.total_bytes()) * options->capacity_fraction);
+  cache_config.shards = options->shards;
+
+  landlord::core::Landlord landlord(repo, cache_config);
+  landlord::obs::Observability obs;
+  landlord.set_observability(&obs);
+
+  ServerConfig server_config;
+  server_config.port = options->port;
+  server_config.workers = options->workers;
+  server_config.max_queue = options->max_queue;
+  landlord::serve::Server server(landlord, server_config);
+  server.set_observability(&obs);
+  const auto started = server.start();
+  if (!started.ok()) {
+    std::cerr << "server start failed: " << started.error().message << '\n';
+    return 1;
+  }
+
+  int exit_code = 0;
+  if (options->bench) {
+    LoadGenConfig load;
+    load.port = server.port();
+    load.seed = options->seed;
+    load.mode = options->mode;
+    load.connections = options->connections;
+    load.batch = options->batch;
+    load.total_requests = options->requests;
+    load.rate_per_second = options->rate;
+    load.duration_seconds = options->bench_duration;
+    load.clients = options->clients;
+    load.zipf_s = options->zipf;
+    const auto report = landlord::serve::run_load(repo, load);
+    if (!report.ok()) {
+      std::cerr << "load generator failed: " << report.error().message << '\n';
+      exit_code = 1;
+    } else {
+      print_json_report(*options, report.value(), server.counters());
+    }
+  } else {
+    std::cout << "listening on " << server.port() << " (workers="
+              << options->workers << " shards=" << options->shards
+              << " max-queue=" << options->max_queue << ")" << std::endl;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(options->duration));
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    std::cout << "draining...\n";
+  }
+
+  server.drain();
+  server.stop();
+  if (!options->bench) print_counters(server.counters());
+
+  if (options->metrics_out) {
+    std::ofstream out(*options->metrics_out);
+    obs.registry.render_text(out);
+  }
+  return exit_code;
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Service-plane benchmark gate: drives the networked head node
+# (examples/serve_head_node --bench: serve::Server + the online load
+# generator over loopback TCP) and records the result in BENCH_serve.json
+# at the repo root.
+#
+#   $ scripts/bench_serve.sh [build-dir]
+#
+# Three runs:
+#   1. closed  — 8 closed-loop connections, batch 64, warm cache with
+#      capacity headroom so traffic is hit-dominated: this measures the
+#      service plane itself (framing, admission, threading, decision
+#      lookups), not the image builder. THE GATE: sustained QPS here must
+#      be >= LANDLORD_SERVE_MIN_QPS (default 50000).
+#   2. open    — the same shape driven open-loop at a fixed offered rate,
+#      for paced-arrival latency quantiles (p50/p99/p999).
+#   3. churn   — capacity-constrained cache (0.5x repository bytes), so
+#      merges/evictions/builds dominate: the end-to-end figure, recorded
+#      for context and not gated (the decision+builder path owns it).
+#
+# Exit status is non-zero if the closed-loop run misses the QPS floor or
+# any run loses/rejects requests unexpectedly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+HEAD_NODE="$BUILD/examples/serve_head_node"
+if [[ ! -x "$HEAD_NODE" ]]; then
+  echo "bench_serve: missing $HEAD_NODE (build the example targets first)" >&2
+  exit 1
+fi
+
+MIN_QPS="${LANDLORD_SERVE_MIN_QPS:-50000}"
+CLOSED_JSON="$BUILD/bench_serve_closed.json"
+OPEN_JSON="$BUILD/bench_serve_open.json"
+CHURN_JSON="$BUILD/bench_serve_churn.json"
+
+# Hit-dominated service-plane run (the gated one).
+"$HEAD_NODE" --bench --mode closed \
+  --workers 8 --shards 8 --connections 8 --batch 64 \
+  --requests 400000 --capacity-fraction 100 >"$CLOSED_JSON"
+
+# Paced open-loop run at a fixed offered rate below the closed-loop
+# ceiling, for queueing-free latency quantiles.
+"$HEAD_NODE" --bench --mode open \
+  --workers 8 --shards 8 --connections 8 --batch 64 \
+  --rate 60000 --bench-duration 3 --capacity-fraction 100 >"$OPEN_JSON"
+
+# Capacity-constrained churn run: merges/evictions/builds dominate.
+"$HEAD_NODE" --bench --mode closed \
+  --workers 8 --shards 8 --connections 4 --batch 32 \
+  --requests 5000 --capacity-fraction 0.5 >"$CHURN_JSON"
+
+CLOSED_JSON="$CLOSED_JSON" OPEN_JSON="$OPEN_JSON" CHURN_JSON="$CHURN_JSON" \
+MIN_QPS="$MIN_QPS" python3 - <<'EOF'
+import json, os, sys
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+closed = load(os.environ["CLOSED_JSON"])
+open_loop = load(os.environ["OPEN_JSON"])
+churn = load(os.environ["CHURN_JSON"])
+min_qps = float(os.environ["MIN_QPS"])
+
+out = {
+    "bench": "serve",
+    "gate": (f"closed-loop hit-dominated QPS >= {min_qps:.0f}; "
+             "no lost or unexpectedly rejected requests"),
+    "closed": closed,
+    "open": open_loop,
+    "churn": churn,
+}
+with open("BENCH_serve.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+failures = []
+if closed["qps"] < min_qps:
+    failures.append(
+        f"closed-loop qps {closed['qps']:.0f} < floor {min_qps:.0f}")
+for name, run in [("closed", closed), ("churn", churn)]:
+    if run["requests_ok"] != run["requests_sent"]:
+        failures.append(
+            f"{name}: {run['requests_sent'] - run['requests_ok']} of "
+            f"{run['requests_sent']} requests not answered ok")
+answered = open_loop["requests_ok"] + open_loop["requests_rejected"]
+if answered != open_loop["requests_sent"]:
+    failures.append(
+        f"open: {open_loop['requests_sent'] - answered} requests neither "
+        "placed nor explicitly rejected")
+
+for name, run in [("closed", closed), ("open", open_loop), ("churn", churn)]:
+    print(f"{name:>7}: qps {run['qps']:>10.0f}  ok {run['requests_ok']:>7}  "
+          f"rejected {run['requests_rejected']:>5}  "
+          f"p50 {run['latency_p50_seconds']*1e3:8.2f} ms  "
+          f"p99 {run['latency_p99_seconds']*1e3:8.2f} ms  "
+          f"p999 {run['latency_p999_seconds']*1e3:8.2f} ms  "
+          f"clients {run['distinct_clients']}")
+
+if failures:
+    print("bench_serve: PERF REGRESSION", file=sys.stderr)
+    for failure in failures:
+        print("  " + failure, file=sys.stderr)
+    sys.exit(1)
+print("bench_serve: gate passed (BENCH_serve.json written)")
+EOF

@@ -27,19 +27,24 @@ cmake -B build-tsan -S . -DLANDLORD_SANITIZE=thread \
 cmake --build build-tsan --target concurrency_tests -j "$JOBS"
 ctest --test-dir build-tsan -L concurrency --output-on-failure -j "$JOBS"
 
-echo "== stage 2b: TSan build + fault/dispatch chaos suites =="
+echo "== stage 2b: TSan build + fault/dispatch/serve chaos suites =="
 # The dispatch plane locks WorkerPool::dispatch and the parallel driver
 # hammers it from several threads; replaying the chaos suites under
 # ThreadSanitizer catches races between churn, transfer retries, and
-# the head-node decision layer that the plain run cannot.
-cmake --build build-tsan --target fault_tests dispatch_tests -j "$JOBS"
-ctest --test-dir build-tsan -L 'fault|dispatch' --output-on-failure -j "$JOBS"
+# the head-node decision layer that the plain run cannot. The serve
+# suite adds the TCP service plane: concurrent clients, mid-storm
+# graceful drain, and bounded-queue admission under saturation.
+cmake --build build-tsan --target fault_tests dispatch_tests serve_tests -j "$JOBS"
+ctest --test-dir build-tsan -L 'fault|dispatch|serve' --output-on-failure -j "$JOBS"
 
-echo "== stage 3: ASan+UBSan build + fault/dispatch-labelled tests =="
+echo "== stage 3: ASan+UBSan build + fault/dispatch/serve-labelled tests =="
+# Under ASan+UBSan the serve suite doubles as the codec fuzz gate: the
+# malformed-frame corpus and byte-mutation tests must draw typed decode
+# errors with no over-read.
 cmake -B build-asan -S . -DLANDLORD_SANITIZE=address,undefined \
   -DLANDLORD_BUILD_BENCH=OFF -DLANDLORD_BUILD_EXAMPLES=OFF
-cmake --build build-asan --target fault_tests dispatch_tests -j "$JOBS"
-ctest --test-dir build-asan -L 'fault|dispatch' --output-on-failure -j "$JOBS"
+cmake --build build-asan --target fault_tests dispatch_tests serve_tests -j "$JOBS"
+ctest --test-dir build-asan -L 'fault|dispatch|serve' --output-on-failure -j "$JOBS"
 
 echo "== stage 4: metrics snapshot parse + counter/ladder reconciliation =="
 # Runs an instrumented sim + crash replay, writes the exposition, then

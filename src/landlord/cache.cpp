@@ -202,8 +202,10 @@ std::optional<ImageId> Cache::find_superset(const spec::Specification& spec) {
   }
   if (hooks_.memo_miss != nullptr) hooks_.memo_miss->inc();
   std::optional<ImageId> best;
-  if (spec.packages().empty()) {
-    best = find_superset_scan(spec);  // everything matches; no rarest package
+  if (spec.packages().empty() || images_.size() < config_.scan_cutover) {
+    // Empty specs have no rarest package; and below the cutover the
+    // linear scan beats the postings probe (same answer either way).
+    best = find_superset_scan(spec);
   } else {
     std::size_t probe = 0;
     best = dindex_->find_superset(spec.packages(), images_, &probe);
@@ -216,7 +218,8 @@ std::optional<ImageId> Cache::find_superset(const spec::Specification& spec) {
 }
 
 std::optional<ImageId> Cache::peek_superset(const spec::Specification& spec) {
-  if (dindex_ && !spec.packages().empty()) {
+  if (dindex_ && !spec.packages().empty() &&
+      images_.size() >= config_.scan_cutover) {
     return dindex_->find_superset(spec.packages(), images_);
   }
   return find_superset_scan(spec);

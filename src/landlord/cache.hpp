@@ -69,6 +69,15 @@ struct CacheConfig {
   /// O(images) scans as the equivalence oracle.
   bool decision_index = true;
 
+  /// Small-N hot path (extension): with decision_index on, superset
+  /// lookups fall back to the linear scan while the cache (or shard)
+  /// holds fewer than this many images — BENCH_decision.json shows the
+  /// postings probe losing to the scan below a few hundred images. Both
+  /// paths return the same image by construction (the ordered eviction
+  /// index wins at every size and is unaffected), so the cutover never
+  /// changes decisions. 0 always probes the index.
+  std::size_t scan_cutover = 256;
+
   /// Concurrency (extension): number of shards the image namespace is
   /// partitioned across by core::ShardedCache. 1 (the default) keeps
   /// today's single-map behaviour; core::Landlord routes through a

@@ -240,7 +240,8 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       auto lock = lock_shard(shards_[s]);
       Shard& shard = shards_[s];
-      if (shard.dindex && !spec.packages().empty()) {
+      if (shard.dindex && !spec.packages().empty() &&
+          shard.images.size() >= config_.scan_cutover) {
         std::size_t probe = 0;
         if (const auto best = shard.dindex->find_superset(spec.packages(),
                                                           shard.images, &probe)) {

@@ -36,6 +36,9 @@ enum class EventKind : std::uint8_t {
   kSiteOutage,          ///< a site rejected a placement attempt
   kFailover,            ///< a request was served by a non-home site
   kBreakerTransition,   ///< a site breaker changed state
+  kServeConnection,     ///< service plane accepted or closed a connection
+  kServeOverload,       ///< admission control rejected a submit frame
+  kServeDrain,          ///< service plane began or completed graceful drain
 };
 
 [[nodiscard]] constexpr const char* to_string(EventKind kind) noexcept {
@@ -57,6 +60,9 @@ enum class EventKind : std::uint8_t {
     case EventKind::kSiteOutage: return "site-outage";
     case EventKind::kFailover: return "failover";
     case EventKind::kBreakerTransition: return "breaker-transition";
+    case EventKind::kServeConnection: return "serve-connection";
+    case EventKind::kServeOverload: return "serve-overload";
+    case EventKind::kServeDrain: return "serve-drain";
   }
   return "?";
 }

@@ -1,0 +1,179 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace landlord::serve {
+
+namespace {
+
+bool read_exact(int fd, char* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Result<bool> Client::connect(std::uint16_t port) {
+  if (fd_ >= 0) return util::Error{"client already connected"};
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return util::Error{std::string{"socket: "} + std::strerror(errno)};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::string why = std::string{"connect: "} + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return util::Error{why};
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool Client::send_frame(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  return write_all(fd_, bytes.data(), bytes.size());
+}
+
+Decoded<Frame> Client::recv_frame() {
+  Decoded<Frame> out;
+  char header_bytes[kHeaderSize];
+  if (fd_ < 0 || !read_exact(fd_, header_bytes, kHeaderSize)) {
+    out.status = DecodeStatus::kShortHeader;
+    return out;
+  }
+  Decoded<FrameHeader> header =
+      decode_header(std::string_view(header_bytes, kHeaderSize));
+  if (!header.ok()) {
+    out.status = header.status;
+    return out;
+  }
+  payload_buffer_.assign(header_bytes, kHeaderSize);
+  payload_buffer_.resize(kHeaderSize + header.value.payload_size);
+  if (header.value.payload_size > 0 &&
+      !read_exact(fd_, payload_buffer_.data() + kHeaderSize,
+                  header.value.payload_size)) {
+    out.status = DecodeStatus::kTruncated;
+    return out;
+  }
+  return decode_frame(payload_buffer_, 0);
+}
+
+namespace {
+
+/// Strict request/response: the reply must be `expected`; rejection,
+/// errors and drain goodbyes become Error messages.
+util::Result<Frame> expect_reply(Client& client, FrameType expected,
+                                 std::uint64_t request_id) {
+  Decoded<Frame> frame = client.recv_frame();
+  if (!frame.ok()) {
+    return util::Error{std::string{"reply failed to decode: "} +
+                       to_string(frame.status)};
+  }
+  const Frame& value = frame.value;
+  if (value.header.type == FrameType::kRejected) {
+    return util::Error{std::string{"rejected: "} +
+                       to_string(value.reject_reason)};
+  }
+  if (value.header.type == FrameType::kError) {
+    return util::Error{std::string{"server error: "} +
+                       to_string(value.error_status)};
+  }
+  if (value.header.type == FrameType::kDrained) {
+    return util::Error{"server drained"};
+  }
+  if (value.header.type != expected) {
+    return util::Error{std::string{"unexpected reply type: "} +
+                       to_string(value.header.type)};
+  }
+  if (value.header.request_id != request_id) {
+    return util::Error{"reply correlation id mismatch"};
+  }
+  return std::move(frame.value);
+}
+
+}  // namespace
+
+util::Result<PlacementReply> Client::submit(const SubmitRequest& request) {
+  const std::uint64_t id = next_request_id();
+  if (!send_frame(encode_submit(id, request))) {
+    return util::Error{"send failed"};
+  }
+  util::Result<Frame> reply = expect_reply(*this, FrameType::kPlacement, id);
+  if (!reply.ok()) return reply.error();
+  return std::move(reply.value().placements.front());
+}
+
+util::Result<std::vector<PlacementReply>> Client::submit_batch(
+    std::span<const SubmitRequest> requests) {
+  const std::uint64_t id = next_request_id();
+  if (!send_frame(encode_batch_submit(id, requests))) {
+    return util::Error{"send failed"};
+  }
+  util::Result<Frame> reply =
+      expect_reply(*this, FrameType::kBatchPlacement, id);
+  if (!reply.ok()) return reply.error();
+  return std::move(reply.value().placements);
+}
+
+util::Result<bool> Client::ping() {
+  const std::uint64_t id = next_request_id();
+  if (!send_frame(encode_ping(id))) return util::Error{"send failed"};
+  util::Result<Frame> reply = expect_reply(*this, FrameType::kPong, id);
+  if (!reply.ok()) return reply.error();
+  return true;
+}
+
+util::Result<StatsReply> Client::stats() {
+  const std::uint64_t id = next_request_id();
+  if (!send_frame(encode_stats_request(id))) return util::Error{"send failed"};
+  util::Result<Frame> reply = expect_reply(*this, FrameType::kStatsReply, id);
+  if (!reply.ok()) return reply.error();
+  return reply.value().stats;
+}
+
+}  // namespace landlord::serve

@@ -1,0 +1,84 @@
+// Blocking TCP client for the head-node service plane.
+//
+// One Client owns one connection. The simple calls (submit, submit_batch,
+// ping, stats) are strict request/response; the raw send_frame /
+// recv_frame pair lets the load generator pipeline many requests before
+// reading replies (matching them by FrameHeader::request_id). A Client is
+// NOT thread-safe — the load generator gives each client thread its own.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+#include "util/result.hpp"
+
+namespace landlord::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to 127.0.0.1:port.
+  [[nodiscard]] util::Result<bool> connect(std::uint16_t port);
+  void close();
+  /// Shuts both directions down without releasing the fd — unblocks a
+  /// thread parked in recv_frame() (the open-loop receiver).
+  void shutdown() noexcept;
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// One spec in, one frame back. kPlacement yields the reply;
+  /// kRejected / kError / kDrained surface as an Error naming the
+  /// reason — strict callers treat any of them as failure. Use
+  /// send_frame/recv_frame to handle rejection explicitly.
+  [[nodiscard]] util::Result<PlacementReply> submit(
+      const SubmitRequest& request);
+
+  /// N specs in one frame, N placements back (server order = input
+  /// order).
+  [[nodiscard]] util::Result<std::vector<PlacementReply>> submit_batch(
+      std::span<const SubmitRequest> requests);
+
+  /// Liveness probe; resolves when the matching pong arrives.
+  [[nodiscard]] util::Result<bool> ping();
+
+  /// Decision-layer counter snapshot from the server.
+  [[nodiscard]] util::Result<StatsReply> stats();
+
+  // ---- Pipelined building blocks ----
+
+  /// Writes one pre-encoded frame; does not wait for a reply.
+  [[nodiscard]] bool send_frame(std::string_view bytes);
+
+  /// Reads exactly one frame (header + payload) and decodes it. The
+  /// client skips the package range check (universe 0) — the server
+  /// already validated ids on the way in.
+  [[nodiscard]] Decoded<Frame> recv_frame();
+
+  /// Fresh correlation id for send_frame users.
+  [[nodiscard]] std::uint64_t next_request_id() noexcept {
+    return next_request_id_++;
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::string payload_buffer_;
+};
+
+}  // namespace landlord::serve

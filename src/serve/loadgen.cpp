@@ -1,0 +1,336 @@
+#include "serve/loadgen.hpp"
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <unordered_map>
+
+#include "hep/profiles.hpp"
+#include "serve/client.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace landlord::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Concurrent distinct-id bitmap over the client universe (one bit per
+/// logical client; 2M clients = 250 KB).
+class ClientBitmap {
+ public:
+  explicit ClientBitmap(std::uint64_t universe)
+      : words_((universe + 63) / 64),
+        bits_(std::make_unique<std::atomic<std::uint64_t>[]>(words_)) {}
+
+  void set(std::uint64_t id) noexcept {
+    bits_[id / 64].fetch_or(1ULL << (id % 64), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < words_; ++i) {
+      total += static_cast<std::uint64_t>(
+          std::popcount(bits_[i].load(std::memory_order_relaxed)));
+    }
+    return total;
+  }
+
+ private:
+  std::size_t words_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> bits_;
+};
+
+/// Per-thread tallies merged into the report after the run.
+struct ThreadTally {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t failed = 0;
+  std::vector<double> latencies;  ///< per-frame RTT seconds
+  bool error = false;
+};
+
+void tally_placements(ThreadTally& tally,
+                      const std::vector<PlacementReply>& placements) {
+  for (const PlacementReply& p : placements) {
+    switch (p.kind) {
+      case core::RequestKind::kHit: ++tally.hits; break;
+      case core::RequestKind::kMerge: ++tally.merges; break;
+      case core::RequestKind::kInsert: ++tally.inserts; break;
+    }
+    if (p.degraded) ++tally.degraded;
+    if (p.failed) ++tally.failed;
+  }
+  tally.ok += placements.size();
+}
+
+}  // namespace
+
+std::vector<SubmitRequest> make_catalog(const pkg::Repository& repo,
+                                        const LoadGenConfig& config) {
+  sim::WorkloadConfig workload;
+  workload.unique_jobs = config.catalog_specs;
+  workload.max_initial_selection = config.max_initial_selection;
+  sim::WorkloadGenerator generator(repo, workload,
+                                   util::Rng(config.seed).split(1));
+  std::vector<SubmitRequest> catalog;
+  catalog.reserve(config.catalog_specs + 8);
+  for (spec::Specification& spec : generator.unique_specifications()) {
+    catalog.push_back(to_request(spec, 0));
+  }
+  if (config.include_hep_apps) {
+    for (const hep::HepApp& app : hep::benchmark_apps()) {
+      catalog.push_back(
+          to_request(hep::app_specification(repo, app, config.seed), 0));
+    }
+  }
+  return catalog;
+}
+
+std::vector<TraceEntry> make_trace(const LoadGenConfig& config,
+                                   std::size_t catalog_size,
+                                   std::uint32_t connection_index,
+                                   std::uint64_t count) {
+  // Popularity rank r is Zipf-sampled, then mapped through a seeded
+  // permutation so the popular specs are spread across the catalog
+  // instead of being the first few generated.
+  util::Rng root(config.seed);
+  std::vector<std::uint32_t> ranks(catalog_size);
+  std::iota(ranks.begin(), ranks.end(), 0u);
+  util::Rng perm_rng = root.split(2);
+  perm_rng.shuffle(std::span<std::uint32_t>(ranks));
+
+  util::Rng rng = root.split(100 + connection_index);
+  std::vector<TraceEntry> trace;
+  trace.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceEntry entry;
+    entry.spec = ranks[rng.zipf(catalog_size, config.zipf_s)];
+    entry.client_id = rng.uniform(config.clients);
+    trace.push_back(entry);
+  }
+  return trace;
+}
+
+util::Result<LoadGenReport> run_load(const pkg::Repository& repo,
+                                     const LoadGenConfig& config) {
+  if (config.connections == 0 || config.batch == 0) {
+    return util::Error{"connections and batch must be positive"};
+  }
+  const std::vector<SubmitRequest> catalog = make_catalog(repo, config);
+  if (catalog.empty()) return util::Error{"empty spec catalog"};
+
+  const std::uint32_t threads = config.connections;
+  ClientBitmap clients_seen(config.clients);
+  std::vector<ThreadTally> tallies(threads);
+  std::vector<std::thread> drivers;
+  drivers.reserve(threads);
+
+  // Per-connection spec quota.
+  std::vector<std::uint64_t> quotas(threads, 0);
+  if (config.mode == LoadMode::kClosed) {
+    for (std::uint32_t i = 0; i < threads; ++i) {
+      quotas[i] = config.total_requests / threads +
+                  (i < config.total_requests % threads ? 1 : 0);
+    }
+  } else {
+    // Open loop: precompute a trace long enough for the whole window and
+    // wrap if pacing overshoots the estimate.
+    const double per_connection_rate =
+        config.rate_per_second / static_cast<double>(threads);
+    for (std::uint32_t i = 0; i < threads; ++i) {
+      quotas[i] = static_cast<std::uint64_t>(
+                      per_connection_rate * config.duration_seconds * 1.25) +
+                  config.batch;
+    }
+  }
+
+  const auto run_start = Clock::now();
+  const double deadline = config.duration_seconds;
+
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    drivers.emplace_back([&, t] {
+      ThreadTally& tally = tallies[t];
+      Client client;
+      if (!client.connect(config.port).ok()) {
+        tally.error = true;
+        return;
+      }
+      std::vector<TraceEntry> trace =
+          make_trace(config, catalog.size(), t, quotas[t]);
+      std::vector<SubmitRequest> batch;
+      batch.reserve(config.batch);
+
+      if (config.mode == LoadMode::kClosed) {
+        std::size_t cursor = 0;
+        while (cursor < trace.size()) {
+          if (deadline > 0 && seconds_since(run_start) >= deadline) break;
+          batch.clear();
+          const std::size_t end =
+              std::min(trace.size(), cursor + config.batch);
+          for (; cursor < end; ++cursor) {
+            const TraceEntry& entry = trace[cursor];
+            SubmitRequest request = catalog[entry.spec];
+            request.client_id = entry.client_id;
+            clients_seen.set(entry.client_id);
+            batch.push_back(std::move(request));
+          }
+          const std::uint64_t id = client.next_request_id();
+          const auto sent_at = Clock::now();
+          if (!client.send_frame(encode_batch_submit(id, batch))) {
+            tally.error = true;
+            break;
+          }
+          tally.frames += 1;
+          tally.sent += batch.size();
+          Decoded<Frame> reply = client.recv_frame();
+          if (!reply.ok()) {
+            tally.error = true;
+            break;
+          }
+          tally.latencies.push_back(seconds_since(sent_at));
+          if (reply.value.header.type == FrameType::kBatchPlacement) {
+            tally_placements(tally, reply.value.placements);
+          } else if (reply.value.header.type == FrameType::kRejected) {
+            tally.rejected += batch.size();
+          } else {
+            tally.error = true;
+            break;
+          }
+        }
+      } else {
+        // Open loop: pace frames at the offered rate on this thread; a
+        // receiver matches replies by correlation id so in-flight depth
+        // floats with server queueing instead of being clamped at one.
+        std::mutex inflight_mutex;
+        std::unordered_map<std::uint64_t, Clock::time_point> inflight;
+        std::atomic<bool> sender_done{false};
+        std::atomic<std::uint64_t> outstanding{0};
+
+        std::thread receiver([&] {
+          while (true) {
+            if (sender_done.load(std::memory_order_acquire) &&
+                outstanding.load(std::memory_order_acquire) == 0) {
+              break;
+            }
+            Decoded<Frame> reply = client.recv_frame();
+            if (!reply.ok()) break;  // socket closed after drain
+            const std::uint64_t id = reply.value.header.request_id;
+            Clock::time_point sent_at;
+            {
+              std::scoped_lock lock(inflight_mutex);
+              auto it = inflight.find(id);
+              if (it == inflight.end()) continue;  // pong/stats/drained
+              sent_at = it->second;
+              inflight.erase(it);
+            }
+            if (reply.value.header.type == FrameType::kBatchPlacement) {
+              tally_placements(tally, reply.value.placements);
+            } else if (reply.value.header.type == FrameType::kRejected) {
+              tally.rejected += config.batch;
+            }
+            tally.latencies.push_back(
+                std::chrono::duration<double>(Clock::now() - sent_at)
+                    .count());
+            outstanding.fetch_sub(1, std::memory_order_acq_rel);
+          }
+        });
+
+        const double frame_period =
+            static_cast<double>(config.batch) * threads /
+            config.rate_per_second;
+        std::size_t cursor = 0;
+        auto next_send = Clock::now();
+        while (seconds_since(run_start) < deadline) {
+          batch.clear();
+          for (std::uint32_t i = 0; i < config.batch; ++i) {
+            const TraceEntry& entry = trace[cursor++ % trace.size()];
+            SubmitRequest request = catalog[entry.spec];
+            request.client_id = entry.client_id;
+            clients_seen.set(entry.client_id);
+            batch.push_back(std::move(request));
+          }
+          const std::uint64_t id = client.next_request_id();
+          {
+            std::scoped_lock lock(inflight_mutex);
+            inflight.emplace(id, Clock::now());
+          }
+          outstanding.fetch_add(1, std::memory_order_acq_rel);
+          if (!client.send_frame(encode_batch_submit(id, batch))) {
+            outstanding.fetch_sub(1, std::memory_order_acq_rel);
+            tally.error = true;
+            break;
+          }
+          tally.frames += 1;
+          tally.sent += batch.size();
+          next_send += std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(frame_period));
+          std::this_thread::sleep_until(next_send);
+        }
+        sender_done.store(true, std::memory_order_release);
+        // The server answers every in-flight frame (placed or rejected);
+        // wait briefly for the receiver to drain, then cut the socket so
+        // it can never block forever on a reply that will not come.
+        const auto drain_deadline = Clock::now() + std::chrono::seconds(10);
+        while (outstanding.load(std::memory_order_acquire) > 0 &&
+               Clock::now() < drain_deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        client.shutdown();
+        receiver.join();
+      }
+      client.close();
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  const double elapsed = seconds_since(run_start);
+
+  LoadGenReport report;
+  util::Summary latency;
+  bool connected = false;
+  for (const ThreadTally& tally : tallies) {
+    if (!(tally.error && tally.sent == 0)) connected = true;
+    report.requests_sent += tally.sent;
+    report.requests_ok += tally.ok;
+    report.requests_rejected += tally.rejected;
+    report.frames_sent += tally.frames;
+    report.placements_hit += tally.hits;
+    report.placements_merge += tally.merges;
+    report.placements_insert += tally.inserts;
+    report.placements_degraded += tally.degraded;
+    report.placements_failed += tally.failed;
+    for (double l : tally.latencies) latency.add(l);
+  }
+  if (!connected) return util::Error{"no connection could be established"};
+  report.distinct_clients = clients_seen.count();
+  report.duration_seconds = elapsed;
+  report.qps = elapsed > 0
+                   ? static_cast<double>(report.requests_ok) / elapsed
+                   : 0.0;
+  if (!latency.empty()) {
+    report.latency_p50 = latency.quantile(0.50);
+    report.latency_p99 = latency.quantile(0.99);
+    report.latency_p999 = latency.quantile(0.999);
+    report.latency_mean = latency.mean();
+  }
+  return report;
+}
+
+}  // namespace landlord::serve

@@ -1,0 +1,108 @@
+// Online load generator for the head-node service plane.
+//
+// Synthesizes the paper's target regime — "heavy traffic from millions
+// of users" — against a live serve::Server: a catalog of unique
+// container specifications (sim::WorkloadGenerator dependency-closure
+// specs plus the seven Fig. 2 HEP applications) is sampled with
+// heavy-tailed Zipf popularity, each request stamped with a client id
+// drawn from a universe of millions of distinct logical submitters.
+//
+// Two driving modes:
+//   * closed loop — `connections` threads each keep exactly one batch
+//     frame in flight (send, wait, repeat) until `total_requests` specs
+//     are answered; throughput is offered-load-free and latency is pure
+//     service RTT.
+//   * open loop — each thread paces frames at a fixed offered rate
+//     regardless of completions (a receiver thread matches replies by
+//     correlation id), so queueing delay and admission-control rejections
+//     become visible when the offered rate exceeds capacity.
+//
+// Every random draw derives from LoadGenConfig::seed via util::Rng
+// splits, so two runs with the same config offer the same request
+// sequence per connection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pkg/repository.hpp"
+#include "serve/protocol.hpp"
+#include "util/result.hpp"
+
+namespace landlord::serve {
+
+enum class LoadMode : std::uint8_t { kClosed, kOpen };
+
+struct LoadGenConfig {
+  /// Server port on 127.0.0.1.
+  std::uint16_t port = 0;
+  std::uint64_t seed = 1;
+  LoadMode mode = LoadMode::kClosed;
+  /// Concurrent connections (one driving thread each).
+  std::uint32_t connections = 4;
+  /// Specifications per batch frame.
+  std::uint32_t batch = 32;
+  /// Closed loop: stop once this many specs have been answered.
+  std::uint64_t total_requests = 100000;
+  /// Open loop: run for this long; also an optional closed-loop deadline
+  /// (0 = no deadline).
+  double duration_seconds = 0.0;
+  /// Open loop: offered specs/second across all connections.
+  double rate_per_second = 50000.0;
+  /// Logical client universe; each request's client id is uniform over
+  /// it ("millions of users").
+  std::uint64_t clients = 2'000'000;
+  /// Zipf popularity exponent over the spec catalog (s=0 → uniform;
+  /// ~1 matches observed container-registry popularity skew).
+  double zipf_s = 1.1;
+  /// Unique sim-generated specs in the catalog (HEP apps are appended).
+  std::uint32_t catalog_specs = 500;
+  std::uint32_t max_initial_selection = 100;
+  bool include_hep_apps = true;
+};
+
+struct LoadGenReport {
+  std::uint64_t requests_sent = 0;      ///< specs offered
+  std::uint64_t requests_ok = 0;        ///< specs answered with a placement
+  std::uint64_t requests_rejected = 0;  ///< specs in rejected frames
+  std::uint64_t frames_sent = 0;
+  std::uint64_t distinct_clients = 0;  ///< distinct client ids observed
+  std::uint64_t placements_hit = 0;
+  std::uint64_t placements_merge = 0;
+  std::uint64_t placements_insert = 0;
+  std::uint64_t placements_degraded = 0;
+  std::uint64_t placements_failed = 0;
+  double duration_seconds = 0.0;
+  double qps = 0.0;  ///< requests_ok / duration
+  /// Per-frame round-trip latency quantiles, seconds.
+  double latency_p50 = 0.0;
+  double latency_p99 = 0.0;
+  double latency_p999 = 0.0;
+  double latency_mean = 0.0;
+};
+
+/// The deterministic spec catalog the generator samples from: `config`'s
+/// sim workload specs (flattened to wire form, client ids filled per
+/// request later) plus the HEP application specs. Exposed so the
+/// loopback equivalence test can replay the exact same trace in-process.
+[[nodiscard]] std::vector<SubmitRequest> make_catalog(
+    const pkg::Repository& repo, const LoadGenConfig& config);
+
+/// Deterministic request trace for one connection: indices into the
+/// catalog (Zipf-sampled through a seeded rank permutation) paired with
+/// client ids. `count` specs for connection `connection_index`.
+struct TraceEntry {
+  std::uint32_t spec = 0;
+  std::uint64_t client_id = 0;
+};
+[[nodiscard]] std::vector<TraceEntry> make_trace(const LoadGenConfig& config,
+                                                 std::size_t catalog_size,
+                                                 std::uint32_t connection_index,
+                                                 std::uint64_t count);
+
+/// Drives the configured load against 127.0.0.1:config.port. Blocks
+/// until the run completes; fails if no connection can be established.
+[[nodiscard]] util::Result<LoadGenReport> run_load(
+    const pkg::Repository& repo, const LoadGenConfig& config);
+
+}  // namespace landlord::serve

@@ -1,0 +1,478 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+namespace landlord::serve {
+namespace {
+
+// ---- Little-endian primitive writers ----
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.append(s);
+}
+
+// ---- Bounds-checked primitive readers ----
+//
+// A Cursor walks the payload; every read checks the remaining length and
+// latches kTruncated instead of advancing past the end, so decode code
+// can read a whole record and test failure once.
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+
+  std::uint8_t u8() {
+    const auto b = take(1);
+    if (failed_) return 0;
+    return static_cast<std::uint8_t>(b[0]);
+  }
+
+  std::uint16_t u16() {
+    const auto b = take(2);
+    if (failed_) return 0;
+    return static_cast<std::uint16_t>(static_cast<std::uint8_t>(b[0]) |
+                                      (static_cast<std::uint8_t>(b[1]) << 8));
+  }
+
+  std::uint32_t u32() {
+    const auto b = take(4);
+    if (failed_) return 0;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<std::uint8_t>(b[static_cast<std::size_t>(i)]);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const auto b = take(8);
+    if (failed_) return 0;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<std::uint8_t>(b[static_cast<std::size_t>(i)]);
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string_view raw(std::size_t n) { return take(n); }
+
+ private:
+  std::string_view take(std::size_t n) {
+    if (failed_ || remaining() < n) {
+      failed_ = true;
+      return {};
+    }
+    const auto out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+void put_header(std::string& out, FrameType type, std::uint64_t request_id,
+                std::uint32_t payload_size) {
+  put_u16(out, kMagic);
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u32(out, payload_size);
+  put_u64(out, request_id);
+}
+
+std::string frame_of(FrameType type, std::uint64_t request_id,
+                     std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  put_header(out, type, request_id, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+void put_submit(std::string& out, const SubmitRequest& request) {
+  put_u64(out, request.client_id);
+  put_u32(out, static_cast<std::uint32_t>(request.packages.size()));
+  for (const std::uint32_t id : request.packages) put_u32(out, id);
+  put_u16(out, static_cast<std::uint16_t>(request.constraints.size()));
+  for (const auto& constraint : request.constraints) {
+    put_u8(out, static_cast<std::uint8_t>(constraint.op));
+    put_string(out, constraint.package);
+    put_string(out, constraint.version);
+  }
+}
+
+void put_placement(std::string& out, const PlacementReply& reply) {
+  put_u64(out, reply.client_id);
+  put_u8(out, static_cast<std::uint8_t>(reply.kind));
+  put_u8(out, static_cast<std::uint8_t>((reply.degraded ? 1u : 0u) |
+                                        (reply.failed ? 2u : 0u)));
+  put_u32(out, reply.build_retries);
+  put_u64(out, reply.image);
+  put_u64(out, reply.image_bytes);
+  put_u64(out, reply.requested_bytes);
+  put_f64(out, reply.prep_seconds);
+  put_string(out, reply.error);
+}
+
+DecodeStatus read_submit(Cursor& cursor, std::size_t universe,
+                         SubmitRequest& out) {
+  out.client_id = cursor.u64();
+  const std::uint32_t package_count = cursor.u32();
+  if (cursor.failed()) return DecodeStatus::kTruncated;
+  if (universe != 0 && package_count > universe) {
+    return DecodeStatus::kPackageOutOfRange;
+  }
+  out.packages.clear();
+  out.packages.reserve(package_count);
+  std::uint32_t previous = 0;
+  for (std::uint32_t i = 0; i < package_count; ++i) {
+    const std::uint32_t id = cursor.u32();
+    if (cursor.failed()) return DecodeStatus::kTruncated;
+    if (universe != 0 && id >= universe) return DecodeStatus::kPackageOutOfRange;
+    if (i > 0 && id <= previous) return DecodeStatus::kUnsortedPackages;
+    previous = id;
+    out.packages.push_back(id);
+  }
+  const std::uint16_t constraint_count = cursor.u16();
+  if (cursor.failed()) return DecodeStatus::kTruncated;
+  out.constraints.clear();
+  out.constraints.reserve(constraint_count);
+  for (std::uint16_t i = 0; i < constraint_count; ++i) {
+    const std::uint8_t op = cursor.u8();
+    if (cursor.failed()) return DecodeStatus::kTruncated;
+    if (op > static_cast<std::uint8_t>(spec::ConstraintOp::kGe)) {
+      return DecodeStatus::kBadConstraintOp;
+    }
+    spec::VersionConstraint constraint;
+    constraint.op = static_cast<spec::ConstraintOp>(op);
+    for (std::string* field : {&constraint.package, &constraint.version}) {
+      const std::uint16_t length = cursor.u16();
+      if (cursor.failed()) return DecodeStatus::kTruncated;
+      if (length > kMaxStringBytes) return DecodeStatus::kStringTooLong;
+      const auto bytes = cursor.raw(length);
+      if (cursor.failed()) return DecodeStatus::kTruncated;
+      field->assign(bytes);
+    }
+    out.constraints.push_back(std::move(constraint));
+  }
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus read_placement(Cursor& cursor, PlacementReply& out) {
+  out.client_id = cursor.u64();
+  const std::uint8_t kind = cursor.u8();
+  const std::uint8_t flags = cursor.u8();
+  out.build_retries = cursor.u32();
+  out.image = cursor.u64();
+  out.image_bytes = cursor.u64();
+  out.requested_bytes = cursor.u64();
+  out.prep_seconds = cursor.f64();
+  const std::uint16_t error_length = cursor.u16();
+  if (cursor.failed()) return DecodeStatus::kTruncated;
+  if (kind > static_cast<std::uint8_t>(core::RequestKind::kInsert)) {
+    return DecodeStatus::kBadKind;
+  }
+  if (error_length > kMaxStringBytes) return DecodeStatus::kStringTooLong;
+  const auto bytes = cursor.raw(error_length);
+  if (cursor.failed()) return DecodeStatus::kTruncated;
+  out.kind = static_cast<core::RequestKind>(kind);
+  out.degraded = (flags & 1u) != 0;
+  out.failed = (flags & 2u) != 0;
+  out.error.assign(bytes);
+  return DecodeStatus::kOk;
+}
+
+}  // namespace
+
+std::string encode_submit(std::uint64_t request_id, const SubmitRequest& request) {
+  std::string payload;
+  put_submit(payload, request);
+  return frame_of(FrameType::kSubmit, request_id, payload);
+}
+
+std::string encode_batch_submit(std::uint64_t request_id,
+                                std::span<const SubmitRequest> requests) {
+  std::string payload;
+  put_u32(payload, static_cast<std::uint32_t>(requests.size()));
+  for (const auto& request : requests) put_submit(payload, request);
+  return frame_of(FrameType::kBatchSubmit, request_id, payload);
+}
+
+std::string encode_placement(std::uint64_t request_id, const PlacementReply& reply) {
+  std::string payload;
+  put_placement(payload, reply);
+  return frame_of(FrameType::kPlacement, request_id, payload);
+}
+
+std::string encode_batch_placement(std::uint64_t request_id,
+                                   std::span<const PlacementReply> replies) {
+  std::string payload;
+  put_u32(payload, static_cast<std::uint32_t>(replies.size()));
+  for (const auto& reply : replies) put_placement(payload, reply);
+  return frame_of(FrameType::kBatchPlacement, request_id, payload);
+}
+
+std::string encode_ping(std::uint64_t request_id) {
+  return frame_of(FrameType::kPing, request_id, {});
+}
+
+std::string encode_pong(std::uint64_t request_id) {
+  return frame_of(FrameType::kPong, request_id, {});
+}
+
+std::string encode_stats_request(std::uint64_t request_id) {
+  return frame_of(FrameType::kStats, request_id, {});
+}
+
+std::string encode_stats_reply(std::uint64_t request_id, const StatsReply& stats) {
+  std::string payload;
+  put_u64(payload, stats.requests);
+  put_u64(payload, stats.hits);
+  put_u64(payload, stats.merges);
+  put_u64(payload, stats.inserts);
+  put_u64(payload, stats.deletes);
+  put_u64(payload, stats.splits);
+  put_u64(payload, stats.conflict_rejections);
+  put_u64(payload, stats.requested_bytes);
+  put_u64(payload, stats.written_bytes);
+  put_u64(payload, stats.image_count);
+  put_u64(payload, stats.total_bytes);
+  put_u64(payload, stats.unique_bytes);
+  put_f64(payload, stats.container_efficiency_sum);
+  put_f64(payload, stats.prep_seconds);
+  return frame_of(FrameType::kStatsReply, request_id, payload);
+}
+
+std::string encode_rejected(std::uint64_t request_id, RejectReason reason) {
+  std::string payload;
+  put_u8(payload, static_cast<std::uint8_t>(reason));
+  return frame_of(FrameType::kRejected, request_id, payload);
+}
+
+std::string encode_drained(std::uint64_t request_id) {
+  return frame_of(FrameType::kDrained, request_id, {});
+}
+
+std::string encode_error(std::uint64_t request_id, DecodeStatus status) {
+  std::string payload;
+  put_u8(payload, static_cast<std::uint8_t>(status));
+  return frame_of(FrameType::kError, request_id, payload);
+}
+
+Decoded<FrameHeader> decode_header(std::string_view bytes) {
+  Decoded<FrameHeader> out;
+  if (bytes.size() < kHeaderSize) {
+    out.status = DecodeStatus::kShortHeader;
+    return out;
+  }
+  Cursor cursor(bytes.substr(0, kHeaderSize));
+  out.value.magic = cursor.u16();
+  out.value.version = cursor.u8();
+  const std::uint8_t type = cursor.u8();
+  out.value.payload_size = cursor.u32();
+  out.value.request_id = cursor.u64();
+  if (out.value.magic != kMagic) {
+    out.status = DecodeStatus::kBadMagic;
+  } else if (out.value.version != kProtocolVersion) {
+    out.status = DecodeStatus::kBadVersion;
+  } else if (type < static_cast<std::uint8_t>(FrameType::kSubmit) ||
+             type > static_cast<std::uint8_t>(FrameType::kError)) {
+    out.status = DecodeStatus::kBadType;
+  } else if (out.value.payload_size > kMaxPayloadBytes) {
+    out.status = DecodeStatus::kOversized;
+  } else {
+    out.value.type = static_cast<FrameType>(type);
+  }
+  return out;
+}
+
+Decoded<Frame> decode_frame(std::string_view bytes, std::size_t universe) {
+  Decoded<Frame> out;
+  const auto header = decode_header(bytes);
+  if (!header.ok()) {
+    out.status = header.status;
+    return out;
+  }
+  out.value.header = header.value;
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (payload.size() < header.value.payload_size) {
+    out.status = DecodeStatus::kTruncated;
+    return out;
+  }
+  if (payload.size() > header.value.payload_size) {
+    out.status = DecodeStatus::kTrailingBytes;
+    return out;
+  }
+  Cursor cursor(payload);
+  const auto fail = [&](DecodeStatus status) {
+    out.status = status;
+    return out;
+  };
+  switch (header.value.type) {
+    case FrameType::kSubmit: {
+      SubmitRequest request;
+      const auto status = read_submit(cursor, universe, request);
+      if (status != DecodeStatus::kOk) return fail(status);
+      out.value.submits.push_back(std::move(request));
+      break;
+    }
+    case FrameType::kBatchSubmit: {
+      const std::uint32_t count = cursor.u32();
+      if (cursor.failed()) return fail(DecodeStatus::kTruncated);
+      if (count > kMaxBatch) return fail(DecodeStatus::kBatchTooLarge);
+      out.value.submits.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        SubmitRequest request;
+        const auto status = read_submit(cursor, universe, request);
+        if (status != DecodeStatus::kOk) return fail(status);
+        out.value.submits.push_back(std::move(request));
+      }
+      break;
+    }
+    case FrameType::kPlacement: {
+      PlacementReply reply;
+      const auto status = read_placement(cursor, reply);
+      if (status != DecodeStatus::kOk) return fail(status);
+      out.value.placements.push_back(std::move(reply));
+      break;
+    }
+    case FrameType::kBatchPlacement: {
+      const std::uint32_t count = cursor.u32();
+      if (cursor.failed()) return fail(DecodeStatus::kTruncated);
+      if (count > kMaxBatch) return fail(DecodeStatus::kBatchTooLarge);
+      out.value.placements.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        PlacementReply reply;
+        const auto status = read_placement(cursor, reply);
+        if (status != DecodeStatus::kOk) return fail(status);
+        out.value.placements.push_back(std::move(reply));
+      }
+      break;
+    }
+    case FrameType::kStatsReply: {
+      StatsReply& stats = out.value.stats;
+      stats.requests = cursor.u64();
+      stats.hits = cursor.u64();
+      stats.merges = cursor.u64();
+      stats.inserts = cursor.u64();
+      stats.deletes = cursor.u64();
+      stats.splits = cursor.u64();
+      stats.conflict_rejections = cursor.u64();
+      stats.requested_bytes = cursor.u64();
+      stats.written_bytes = cursor.u64();
+      stats.image_count = cursor.u64();
+      stats.total_bytes = cursor.u64();
+      stats.unique_bytes = cursor.u64();
+      stats.container_efficiency_sum = cursor.f64();
+      stats.prep_seconds = cursor.f64();
+      if (cursor.failed()) return fail(DecodeStatus::kTruncated);
+      break;
+    }
+    case FrameType::kRejected: {
+      const std::uint8_t reason = cursor.u8();
+      if (cursor.failed()) return fail(DecodeStatus::kTruncated);
+      if (reason < static_cast<std::uint8_t>(RejectReason::kQueueFull) ||
+          reason > static_cast<std::uint8_t>(RejectReason::kDraining)) {
+        return fail(DecodeStatus::kBadReason);
+      }
+      out.value.reject_reason = static_cast<RejectReason>(reason);
+      break;
+    }
+    case FrameType::kError: {
+      const std::uint8_t status = cursor.u8();
+      if (cursor.failed()) return fail(DecodeStatus::kTruncated);
+      if (status > static_cast<std::uint8_t>(DecodeStatus::kUnexpectedType)) {
+        return fail(DecodeStatus::kBadReason);
+      }
+      out.value.error_status = static_cast<DecodeStatus>(status);
+      break;
+    }
+    case FrameType::kPing:
+    case FrameType::kPong:
+    case FrameType::kStats:
+    case FrameType::kDrained:
+      break;  // empty payloads; trailing bytes already rejected above
+  }
+  if (cursor.remaining() != 0) return fail(DecodeStatus::kTrailingBytes);
+  return out;
+}
+
+SubmitRequest to_request(const spec::Specification& spec, std::uint64_t client_id) {
+  SubmitRequest request;
+  request.client_id = client_id;
+  request.packages.reserve(spec.size());
+  spec.packages().bits().for_each_set([&request](std::size_t i) {
+    request.packages.push_back(static_cast<std::uint32_t>(i));
+  });
+  request.constraints = spec.constraints();
+  return request;
+}
+
+spec::Specification to_specification(const SubmitRequest& request,
+                                     std::size_t universe) {
+  spec::PackageSet packages(universe);
+  for (const std::uint32_t id : request.packages) {
+    packages.insert(pkg::PackageId{id});
+  }
+  spec::Specification spec(std::move(packages), "wire");
+  for (const auto& constraint : request.constraints) {
+    spec.add_constraint(constraint);
+  }
+  return spec;
+}
+
+PlacementReply to_reply(const core::JobPlacement& placement,
+                        std::uint64_t client_id) {
+  PlacementReply reply;
+  reply.client_id = client_id;
+  reply.kind = placement.kind;
+  reply.degraded = placement.degraded;
+  reply.failed = placement.failed;
+  reply.build_retries = placement.build_retries;
+  reply.image = core::to_value(placement.image);
+  reply.image_bytes = placement.image_bytes;
+  reply.requested_bytes = placement.requested_bytes;
+  reply.prep_seconds = placement.prep_seconds;
+  reply.error = placement.error;
+  return reply;
+}
+
+}  // namespace landlord::serve

@@ -1,0 +1,548 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace landlord::serve {
+
+namespace {
+
+/// Reads exactly `n` bytes; false on EOF/error/shutdown.
+bool read_exact(int fd, char* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;  // peer closed, shutdown(), or hard error
+  }
+  return true;
+}
+
+/// Writes the whole buffer; false on error (peer gone, shutdown()).
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(core::Landlord& landlord, ServerConfig config)
+    : landlord_(&landlord), config_(std::move(config)) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.max_queue == 0) config_.max_queue = 1;
+  // A sequential decision layer (shards <= 1) is not safe under
+  // concurrent submit(); serialise it so any worker count is correct.
+  serialize_submits_ = landlord_->sharded() == nullptr;
+}
+
+Server::~Server() { stop(); }
+
+util::Result<bool> Server::start() {
+  if (started_.exchange(true)) return util::Error{"server already started"};
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Error{std::string{"socket: "} + std::strerror(errno)};
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::string why = std::string{"bind: "} + std::strerror(errno);
+    ::close(fd);
+    return util::Error{why};
+  }
+  if (::listen(fd, config_.backlog) < 0) {
+    std::string why = std::string{"listen: "} + std::strerror(errno);
+    ::close(fd);
+    return util::Error{why};
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    std::string why = std::string{"getsockname: "} + std::strerror(errno);
+    ::close(fd);
+    return util::Error{why};
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+
+  pool_ = std::make_unique<util::ThreadPool>(config_.workers);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::accept_loop() {
+  while (!draining_.load(std::memory_order_acquire) &&
+         !stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_.load(std::memory_order_acquire), nullptr,
+                      nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by drain()/stop()
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      // Drain won the race with accept(2): this connection arrived after
+      // drain began and must not be served.
+      ::close(fd);
+      break;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    bump(tallies_.connections_accepted, hooks_.connections_accepted);
+    if (hooks_.trace != nullptr) {
+      hooks_.trace->record(
+          {.kind = obs::EventKind::kServeConnection, .detail = "accepted"});
+    }
+    {
+      std::scoped_lock lock(connections_mutex_);
+      reap_closed_connections();
+      connections_.push_back(std::move(connection));
+    }
+    raw->reader = std::thread([this, raw] { reader_loop(raw); });
+  }
+}
+
+void Server::reap_closed_connections() {
+  // Caller holds connections_mutex_. Joins readers that have exited on
+  // their own (client hung up) so long-lived servers don't accumulate
+  // dead threads.
+  std::erase_if(connections_, [](const std::unique_ptr<Connection>& c) {
+    if (!c->done.load(std::memory_order_acquire)) return false;
+    // The reader is gone, but a worker may still hold this Connection*
+    // for an admitted frame; freeing it now would be use-after-free.
+    if (c->inflight.load(std::memory_order_acquire) != 0) return false;
+    if (c->reader.joinable()) c->reader.join();
+    return true;
+  });
+}
+
+void Server::reader_loop(Connection* connection) {
+  const std::size_t universe = landlord_->repository().size();
+  std::string buffer;
+  char header_bytes[kHeaderSize];
+  bool alive = true;
+  while (alive && read_exact(connection->fd, header_bytes, kHeaderSize)) {
+    bump(tallies_.bytes_in, hooks_.bytes_in, kHeaderSize);
+    Decoded<FrameHeader> header =
+        decode_header(std::string_view(header_bytes, kHeaderSize));
+    if (!header.ok()) {
+      // Framing is unrecoverable (bad magic/version/length): report the
+      // typed error and hang up rather than resynchronise on garbage.
+      bump(tallies_.decode_errors, hooks_.decode_errors);
+      write_frame(connection, encode_error(0, header.status));
+      break;
+    }
+    buffer.resize(header.value.payload_size);
+    if (header.value.payload_size > 0 &&
+        !read_exact(connection->fd, buffer.data(), buffer.size())) {
+      break;
+    }
+    bump(tallies_.bytes_in, hooks_.bytes_in, buffer.size());
+    bump(tallies_.frames_in, hooks_.frames_in);
+
+    std::string frame_bytes(header_bytes, kHeaderSize);
+    frame_bytes.append(buffer);
+    Decoded<Frame> frame = decode_frame(frame_bytes, universe);
+    if (!frame.ok()) {
+      // Frame boundaries are intact (the header told us the length), so
+      // a malformed payload only poisons this frame, not the stream.
+      bump(tallies_.decode_errors, hooks_.decode_errors);
+      write_frame(connection,
+                  encode_error(header.value.request_id, frame.status));
+      continue;
+    }
+    alive = handle_frame(connection, std::move(frame.value));
+  }
+  ::shutdown(connection->fd, SHUT_RDWR);
+  bump(tallies_.connections_closed, hooks_.connections_closed);
+  if (hooks_.trace != nullptr) {
+    hooks_.trace->record(
+        {.kind = obs::EventKind::kServeConnection, .detail = "closed"});
+  }
+  connection->done.store(true, std::memory_order_release);
+}
+
+bool Server::handle_frame(Connection* connection, Frame frame) {
+  const std::uint64_t request_id = frame.header.request_id;
+  switch (frame.header.type) {
+    case FrameType::kPing:
+      bump(tallies_.pings, hooks_.pings);
+      write_frame(connection, encode_pong(request_id));
+      return true;
+    case FrameType::kStats:
+      bump(tallies_.stats_requests, hooks_.stats_requests);
+      write_frame(connection, encode_stats_reply(request_id, stats_snapshot()));
+      return true;
+    case FrameType::kSubmit:
+    case FrameType::kBatchSubmit: {
+      // Admission control: reserve a queue slot first, then check the
+      // drain flag, so drain() can never observe outstanding_ == 0 while
+      // a reader is between "admitted" and "handed to the pool".
+      std::size_t depth = outstanding_.fetch_add(1) + 1;
+      const std::size_t specs = frame.submits.size();
+      if (draining_.load(std::memory_order_acquire)) {
+        release_slot();
+        bump(tallies_.rejected_draining, hooks_.rejected_draining);
+        bump(tallies_.rejected_requests, hooks_.rejected_requests, specs);
+        if (hooks_.trace != nullptr) {
+          hooks_.trace->record({.kind = obs::EventKind::kServeOverload,
+                                .aux = specs,
+                                .detail = "draining"});
+        }
+        write_frame(connection,
+                    encode_rejected(request_id, RejectReason::kDraining));
+        return true;
+      }
+      if (depth > config_.max_queue) {
+        release_slot();
+        bump(tallies_.rejected_queue_full, hooks_.rejected_queue_full);
+        bump(tallies_.rejected_requests, hooks_.rejected_requests, specs);
+        if (hooks_.trace != nullptr) {
+          hooks_.trace->record({.kind = obs::EventKind::kServeOverload,
+                                .aux = specs,
+                                .detail = "queue-full"});
+        }
+        write_frame(connection,
+                    encode_rejected(request_id, RejectReason::kQueueFull));
+        return true;
+      }
+      // Admitted. Track the high-water mark, then hand off.
+      std::uint64_t peak = tallies_.queue_depth_peak.load(std::memory_order_relaxed);
+      while (depth > peak &&
+             !tallies_.queue_depth_peak.compare_exchange_weak(
+                 peak, depth, std::memory_order_relaxed)) {
+      }
+      if (hooks_.queue_depth != nullptr) {
+        hooks_.queue_depth->set(static_cast<double>(depth));
+      }
+      if (hooks_.queue_depth_peak != nullptr) {
+        hooks_.queue_depth_peak->set(static_cast<double>(
+            tallies_.queue_depth_peak.load(std::memory_order_relaxed)));
+      }
+      bump(tallies_.frames_admitted, hooks_.frames_admitted);
+      if (frame.header.type == FrameType::kBatchSubmit) {
+        bump(tallies_.batches, hooks_.batches);
+      }
+      if (hooks_.batch_size != nullptr) {
+        hooks_.batch_size->observe(static_cast<double>(specs));
+      }
+      connection->inflight.fetch_add(1, std::memory_order_acq_rel);
+      auto task = [this, connection, moved = std::move(frame)]() mutable {
+        process_submit(connection, moved);
+        // The slot is released only after the reply hit the socket, so
+        // drain() returning means every admitted frame was answered.
+        release_slot();
+        if (hooks_.queue_depth != nullptr) {
+          hooks_.queue_depth->set(
+              static_cast<double>(outstanding_.load(std::memory_order_acquire)));
+        }
+        // Last touch of `connection` in this task: after this, a reaped
+        // reader's connection may be freed.
+        connection->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      };
+      // The future is intentionally dropped: completion is tracked by
+      // outstanding_, and the task cannot throw.
+      (void)pool_->submit(std::move(task));
+      return true;
+    }
+    default:
+      // Well-formed frame of a type only servers send (placement, pong,
+      // stats-reply, ...): a confused peer. Tell it and hang up.
+      bump(tallies_.decode_errors, hooks_.decode_errors);
+      write_frame(connection,
+                  encode_error(request_id, DecodeStatus::kUnexpectedType));
+      return false;
+  }
+}
+
+void Server::process_submit(Connection* connection, const Frame& frame) {
+  if (process_hook_) process_hook_();
+  const std::size_t universe = landlord_->repository().size();
+  const auto started = std::chrono::steady_clock::now();
+
+  std::vector<PlacementReply> replies;
+  replies.reserve(frame.submits.size());
+  for (const SubmitRequest& request : frame.submits) {
+    spec::Specification spec = to_specification(request, universe);
+    core::JobPlacement placement;
+    if (serialize_submits_) {
+      std::scoped_lock lock(sequential_submit_mutex_);
+      placement = landlord_->submit(spec);
+    } else {
+      placement = landlord_->submit(spec);
+    }
+    switch (placement.kind) {
+      case core::RequestKind::kHit:
+        bump(tallies_.placements_hit, hooks_.placements_hit);
+        break;
+      case core::RequestKind::kMerge:
+        bump(tallies_.placements_merge, hooks_.placements_merge);
+        break;
+      case core::RequestKind::kInsert:
+        bump(tallies_.placements_insert, hooks_.placements_insert);
+        break;
+    }
+    if (placement.degraded) {
+      bump(tallies_.placements_degraded, hooks_.placements_degraded);
+    }
+    if (placement.failed) {
+      bump(tallies_.placements_failed, hooks_.placements_failed);
+    }
+    replies.push_back(to_reply(placement, request.client_id));
+  }
+  bump(tallies_.requests_served, hooks_.requests_served, replies.size());
+
+  const std::uint64_t request_id = frame.header.request_id;
+  if (frame.header.type == FrameType::kSubmit) {
+    write_frame(connection, encode_placement(request_id, replies.front()));
+  } else {
+    write_frame(connection, encode_batch_placement(request_id, replies));
+  }
+  bump(tallies_.frames_processed, hooks_.frames_processed);
+  if (hooks_.process_seconds != nullptr) {
+    hooks_.process_seconds->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count());
+  }
+}
+
+void Server::write_frame(Connection* connection, const std::string& bytes) {
+  std::scoped_lock lock(connection->write_mutex);
+  if (write_all(connection->fd, bytes.data(), bytes.size())) {
+    bump(tallies_.frames_out, hooks_.frames_out);
+    bump(tallies_.bytes_out, hooks_.bytes_out, bytes.size());
+  }
+}
+
+StatsReply Server::stats_snapshot() const {
+  // The sequential Cache's counters are plain fields; hold the submit
+  // mutex so the snapshot never races a worker mid-update. The sharded
+  // layer aggregates atomics and needs no lock.
+  std::unique_lock<std::mutex> lock;
+  if (serialize_submits_) {
+    lock = std::unique_lock<std::mutex>(sequential_submit_mutex_);
+  }
+  const core::CacheCounters counters = landlord_->counters();
+  StatsReply stats;
+  stats.requests = counters.requests;
+  stats.hits = counters.hits;
+  stats.merges = counters.merges;
+  stats.inserts = counters.inserts;
+  stats.deletes = counters.deletes;
+  stats.splits = counters.splits;
+  stats.conflict_rejections = counters.conflict_rejections;
+  stats.requested_bytes = counters.requested_bytes;
+  stats.written_bytes = counters.written_bytes;
+  stats.image_count = landlord_->image_count();
+  stats.total_bytes = landlord_->total_bytes();
+  stats.unique_bytes = landlord_->unique_bytes();
+  stats.container_efficiency_sum = counters.container_efficiency_sum;
+  stats.prep_seconds = landlord_->total_prep_seconds();
+  return stats;
+}
+
+void Server::close_listener() {
+  // shutdown() wakes a blocked accept(2). The descriptor is closed only
+  // after the acceptor joins (drain()), so its number cannot be recycled
+  // under a concurrent accept().
+  const int fd = listen_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Server::drain() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (draining_.exchange(true)) {
+    // A second drainer still waits for quiescence before returning.
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] { return outstanding_.load() == 0; });
+    return;
+  }
+  if (hooks_.trace != nullptr) {
+    hooks_.trace->record(
+        {.kind = obs::EventKind::kServeDrain, .detail = "begin"});
+  }
+  close_listener();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+      fd >= 0) {
+    ::close(fd);  // releases the port
+  }
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] { return outstanding_.load() == 0; });
+  }
+  // Every admitted frame has been answered; say goodbye on each open
+  // connection (readers that already exited fail the write harmlessly).
+  {
+    std::scoped_lock lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      if (!connection->done.load(std::memory_order_acquire)) {
+        write_frame(connection.get(), encode_drained(0));
+      }
+    }
+  }
+  if (hooks_.trace != nullptr) {
+    hooks_.trace->record(
+        {.kind = obs::EventKind::kServeDrain,
+         .aux = tallies_.frames_processed.load(std::memory_order_relaxed),
+         .detail = "complete"});
+  }
+}
+
+void Server::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stopping_.exchange(true)) return;
+  drain();
+  // Unblock every reader, join them, then retire the pool. Readers are
+  // the only producers of pool tasks, so after the joins the pool can
+  // only hold already-admitted work, which drain() proved is done.
+  {
+    std::scoped_lock lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      ::shutdown(connection->fd, SHUT_RDWR);
+    }
+    for (const auto& connection : connections_) {
+      if (connection->reader.joinable()) connection->reader.join();
+    }
+  }
+  pool_.reset();
+  {
+    std::scoped_lock lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      ::close(connection->fd);
+    }
+    connections_.clear();
+  }
+}
+
+ServeCounters Server::counters() const {
+  ServeCounters out;
+  out.connections_accepted = tallies_.connections_accepted.load();
+  out.connections_closed = tallies_.connections_closed.load();
+  out.frames_in = tallies_.frames_in.load();
+  out.frames_out = tallies_.frames_out.load();
+  out.bytes_in = tallies_.bytes_in.load();
+  out.bytes_out = tallies_.bytes_out.load();
+  out.frames_admitted = tallies_.frames_admitted.load();
+  out.frames_processed = tallies_.frames_processed.load();
+  out.requests_served = tallies_.requests_served.load();
+  out.batches = tallies_.batches.load();
+  out.rejected_queue_full = tallies_.rejected_queue_full.load();
+  out.rejected_draining = tallies_.rejected_draining.load();
+  out.rejected_requests = tallies_.rejected_requests.load();
+  out.decode_errors = tallies_.decode_errors.load();
+  out.pings = tallies_.pings.load();
+  out.stats_requests = tallies_.stats_requests.load();
+  out.placements_hit = tallies_.placements_hit.load();
+  out.placements_merge = tallies_.placements_merge.load();
+  out.placements_insert = tallies_.placements_insert.load();
+  out.placements_degraded = tallies_.placements_degraded.load();
+  out.placements_failed = tallies_.placements_failed.load();
+  out.queue_depth_peak = tallies_.queue_depth_peak.load();
+  return out;
+}
+
+void Server::set_observability(obs::Observability* observability) {
+  if (observability == nullptr) {
+    hooks_ = Hooks{};
+    return;
+  }
+  obs::Registry& r = observability->registry;
+  hooks_.connections_accepted =
+      &r.counter("serve_connections_total", {{"state", "accepted"}},
+                 "Service-plane connections by lifecycle state");
+  hooks_.connections_closed =
+      &r.counter("serve_connections_total", {{"state", "closed"}},
+                 "Service-plane connections by lifecycle state");
+  hooks_.frames_in = &r.counter("serve_frames_total", {{"direction", "in"}},
+                                "Protocol frames by direction");
+  hooks_.frames_out = &r.counter("serve_frames_total", {{"direction", "out"}},
+                                 "Protocol frames by direction");
+  hooks_.bytes_in = &r.counter("serve_bytes_total", {{"direction", "in"}},
+                               "Wire bytes by direction");
+  hooks_.bytes_out = &r.counter("serve_bytes_total", {{"direction", "out"}},
+                                "Wire bytes by direction");
+  hooks_.frames_admitted =
+      &r.counter("serve_frames_admitted_total", {},
+                 "Submit frames past admission control");
+  hooks_.frames_processed =
+      &r.counter("serve_frames_processed_total", {},
+                 "Admitted submit frames fully answered");
+  hooks_.requests_served = &r.counter("serve_requests_served_total", {},
+                                      "Individual specifications placed");
+  hooks_.batches =
+      &r.counter("serve_batches_total", {}, "Batch submit frames admitted");
+  hooks_.rejected_queue_full =
+      &r.counter("serve_rejected_total", {{"reason", "queue-full"}},
+                 "Submit frames rejected by admission control");
+  hooks_.rejected_draining =
+      &r.counter("serve_rejected_total", {{"reason", "draining"}},
+                 "Submit frames rejected by admission control");
+  hooks_.rejected_requests =
+      &r.counter("serve_rejected_requests_total", {},
+                 "Specifications inside rejected submit frames");
+  hooks_.decode_errors =
+      &r.counter("serve_decode_errors_total", {},
+                 "Frames that failed to decode or had unexpected types");
+  hooks_.pings = &r.counter("serve_pings_total", {}, "Ping frames answered");
+  hooks_.stats_requests =
+      &r.counter("serve_stats_requests_total", {}, "Stats frames answered");
+  hooks_.placements_hit =
+      &r.counter("serve_placements_total", {{"kind", "hit"}},
+                 "Placements served over the wire by decision kind");
+  hooks_.placements_merge =
+      &r.counter("serve_placements_total", {{"kind", "merge"}},
+                 "Placements served over the wire by decision kind");
+  hooks_.placements_insert =
+      &r.counter("serve_placements_total", {{"kind", "insert"}},
+                 "Placements served over the wire by decision kind");
+  hooks_.placements_degraded =
+      &r.counter("serve_placements_degraded_total", {},
+                 "Placements served via a degradation-ladder fallback");
+  hooks_.placements_failed =
+      &r.counter("serve_placements_failed_total", {},
+                 "Placements whose degradation ladder was exhausted");
+  hooks_.queue_depth = &r.gauge("serve_queue_depth", {},
+                                "Admitted submit frames awaiting workers");
+  hooks_.queue_depth_peak =
+      &r.gauge("serve_queue_depth_peak", {},
+               "High-water mark of the bounded admission queue");
+  hooks_.batch_size = &r.histogram(
+      "serve_batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, {},
+      "Specifications per admitted submit frame");
+  hooks_.process_seconds =
+      &r.histogram("serve_process_seconds", obs::default_seconds_buckets(), {},
+                   "Wall seconds from worker pickup to reply written");
+  hooks_.trace = &observability->trace;
+}
+
+}  // namespace landlord::serve

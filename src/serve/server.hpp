@@ -1,0 +1,273 @@
+// Networked head-node service plane: a multi-threaded TCP server around
+// core::Landlord (docs/serve.md).
+//
+// Threading model:
+//   * one acceptor thread blocks in accept() and registers connections;
+//   * one reader thread per connection parses length-prefixed frames
+//     (serve/protocol.hpp) and answers pings/stats inline;
+//   * submit frames pass bounded-queue admission control and are handed
+//     to a util::ThreadPool of decision workers, which call
+//     core::Landlord::submit per spec and write the placement back
+//     (writes to one connection serialise on its write mutex).
+//
+// Admission control: at most ServerConfig::max_queue submit frames may
+// be outstanding (admitted, not yet answered). Frame max_queue+1 gets an
+// immediate kRejected{queue-full} response from the reader thread — the
+// server sheds load explicitly instead of letting the queue grow without
+// bound. A batch frame occupies one slot however many specs it carries,
+// so the slot count bounds queued *frames*; kMaxBatch bounds the specs
+// per frame.
+//
+// Graceful drain: drain() stops accepting connections, turns subsequent
+// submits into kRejected{draining}, waits for every admitted frame to be
+// answered, then says kDrained on each open connection. No in-flight
+// request is dropped; no connection is accepted after drain begins.
+//
+// With a sequential decision layer (CacheConfig::shards <= 1) submits
+// are serialised behind an internal mutex, so a single-worker server
+// processes a pipelined connection's requests in exact arrival order —
+// the loopback equivalence suite replays a trace through the server and
+// an in-process Landlord and requires bit-identical placements.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "landlord/landlord.hpp"
+#include "obs/obs.hpp"
+#include "serve/protocol.hpp"
+#include "util/result.hpp"
+#include "util/thread_pool.hpp"
+
+namespace landlord::serve {
+
+struct ServerConfig {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back with Server::port()).
+  std::uint16_t port = 0;
+  /// Decision worker threads (util::ThreadPool size). With 1 worker and
+  /// one connection, processing order equals arrival order.
+  std::uint32_t workers = 4;
+  /// Bounded admission queue: maximum submit frames outstanding before
+  /// the server answers kRejected{queue-full}.
+  std::size_t max_queue = 1024;
+  /// listen(2) backlog.
+  int backlog = 128;
+};
+
+/// Monotone service-plane counters. Every field has a serve_* metric
+/// family bumped in lockstep (same helper, same increment), so an obs
+/// registry snapshot must reconcile exactly with this struct — the
+/// serve obs suite asserts it after every load-generator run.
+struct ServeCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t frames_admitted = 0;   ///< submit frames past admission
+  std::uint64_t frames_processed = 0;  ///< admitted frames fully answered
+  std::uint64_t requests_served = 0;   ///< individual specs placed
+  std::uint64_t batches = 0;           ///< kBatchSubmit frames admitted
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_draining = 0;
+  std::uint64_t rejected_requests = 0;  ///< specs inside rejected frames
+  std::uint64_t decode_errors = 0;
+  std::uint64_t pings = 0;
+  std::uint64_t stats_requests = 0;
+  std::uint64_t placements_hit = 0;
+  std::uint64_t placements_merge = 0;
+  std::uint64_t placements_insert = 0;
+  std::uint64_t placements_degraded = 0;
+  std::uint64_t placements_failed = 0;
+  std::uint64_t queue_depth_peak = 0;  ///< high-water admitted-frame depth
+};
+
+class Server {
+ public:
+  /// The landlord must outlive the server. Its decision layer must be
+  /// sharded (CacheConfig::shards > 1) for true multi-worker decision
+  /// concurrency; with a sequential layer the server still accepts
+  /// `workers` threads but serialises submit() behind a mutex.
+  Server(core::Landlord& landlord, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:port, spawns the acceptor and the worker pool.
+  /// Fails (with errno text) if the socket cannot be bound.
+  [[nodiscard]] util::Result<bool> start();
+
+  /// The bound port (meaningful after start(); resolves port = 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Graceful drain: stop accepting, reject new submits with
+  /// kRejected{draining}, wait until every admitted frame is answered,
+  /// then send kDrained on each open connection. Idempotent.
+  void drain();
+
+  /// drain(), then close every connection and join all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of the service-plane counters.
+  [[nodiscard]] ServeCounters counters() const;
+
+  /// Current admitted-but-unanswered submit frames.
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return outstanding_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const core::Landlord& landlord() const noexcept {
+    return *landlord_;
+  }
+
+  /// Attaches serve_* metric families and the event trace. Call before
+  /// start(); handles resolve once. Pass nullptr to detach.
+  void set_observability(obs::Observability* observability);
+
+  /// Test-only: runs at the start of every admitted frame's processing,
+  /// before any submit. The overload suite parks workers here to
+  /// saturate the bounded queue deterministically.
+  void set_process_test_hook(std::function<void()> hook) {
+    process_hook_ = std::move(hook);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::atomic<bool> done{false};  ///< reader exited
+    /// Admitted frames not yet answered. Workers hold a raw Connection*
+    /// while processing, so a connection whose client hung up mid-flight
+    /// must not be reaped until this drops to zero.
+    std::atomic<std::size_t> inflight{0};
+    std::thread reader;
+  };
+
+  void accept_loop();
+  void reader_loop(Connection* connection);
+  /// Handles one well-formed frame from `connection`; returns false when
+  /// the connection should close (protocol violation).
+  bool handle_frame(Connection* connection, Frame frame);
+  void process_submit(Connection* connection, const Frame& frame);
+  void write_frame(Connection* connection, const std::string& bytes);
+  [[nodiscard]] StatsReply stats_snapshot() const;
+  void reap_closed_connections();
+  void close_listener();
+
+  core::Landlord* landlord_;
+  ServerConfig config_;
+  std::uint16_t port_ = 0;
+  /// Atomic because drain() shuts the listener down while the acceptor
+  /// thread is blocked in accept(2) on it.
+  std::atomic<int> listen_fd_{-1};
+  std::thread acceptor_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  /// Serialises Landlord::submit when the decision layer is sequential
+  /// (shards <= 1); unused (never locked) when it is sharded. mutable so
+  /// the const stats snapshot can exclude in-flight submits.
+  mutable std::mutex sequential_submit_mutex_;
+  bool serialize_submits_ = false;
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> outstanding_{0};  ///< admitted, not yet answered
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  std::function<void()> process_hook_;
+
+  /// Counter twins: the atomic is the source of truth; the metric handle
+  /// (null when no registry is attached) is bumped in the same call.
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_closed{0};
+    std::atomic<std::uint64_t> frames_in{0};
+    std::atomic<std::uint64_t> frames_out{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> frames_admitted{0};
+    std::atomic<std::uint64_t> frames_processed{0};
+    std::atomic<std::uint64_t> requests_served{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> rejected_queue_full{0};
+    std::atomic<std::uint64_t> rejected_draining{0};
+    std::atomic<std::uint64_t> rejected_requests{0};
+    std::atomic<std::uint64_t> decode_errors{0};
+    std::atomic<std::uint64_t> pings{0};
+    std::atomic<std::uint64_t> stats_requests{0};
+    std::atomic<std::uint64_t> placements_hit{0};
+    std::atomic<std::uint64_t> placements_merge{0};
+    std::atomic<std::uint64_t> placements_insert{0};
+    std::atomic<std::uint64_t> placements_degraded{0};
+    std::atomic<std::uint64_t> placements_failed{0};
+    std::atomic<std::uint64_t> queue_depth_peak{0};
+  };
+  AtomicCounters tallies_;
+
+  /// Metric handles resolved at set_observability; null ⇒ no-op.
+  struct Hooks {
+    obs::Counter* connections_accepted = nullptr;
+    obs::Counter* connections_closed = nullptr;
+    obs::Counter* frames_in = nullptr;
+    obs::Counter* frames_out = nullptr;
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+    obs::Counter* frames_admitted = nullptr;
+    obs::Counter* frames_processed = nullptr;
+    obs::Counter* requests_served = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* rejected_queue_full = nullptr;
+    obs::Counter* rejected_draining = nullptr;
+    obs::Counter* rejected_requests = nullptr;
+    obs::Counter* decode_errors = nullptr;
+    obs::Counter* pings = nullptr;
+    obs::Counter* stats_requests = nullptr;
+    obs::Counter* placements_hit = nullptr;
+    obs::Counter* placements_merge = nullptr;
+    obs::Counter* placements_insert = nullptr;
+    obs::Counter* placements_degraded = nullptr;
+    obs::Counter* placements_failed = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* queue_depth_peak = nullptr;
+    obs::Histogram* batch_size = nullptr;
+    obs::Histogram* process_seconds = nullptr;
+    obs::EventTrace* trace = nullptr;
+  };
+  Hooks hooks_;
+
+  void bump(std::atomic<std::uint64_t>& tally, obs::Counter* metric,
+            std::uint64_t n = 1) {
+    tally.fetch_add(n, std::memory_order_relaxed);
+    if (metric != nullptr) metric->inc(n);
+  }
+
+  /// Releases an admission slot and wakes drain(). The empty critical
+  /// section pairs with the drainer's predicate check so the notify can
+  /// never be lost between check and wait.
+  void release_slot() {
+    outstanding_.fetch_sub(1);
+    { std::scoped_lock lock(drain_mutex_); }
+    drain_cv_.notify_all();
+  }
+};
+
+}  // namespace landlord::serve

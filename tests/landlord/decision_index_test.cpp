@@ -101,6 +101,10 @@ void run_index_oracle(CacheConfig config, std::uint64_t seed,
   config.decision_index = false;
   Cache scan(repo, config);
   config.decision_index = true;
+  // Force the postings probe even at small N — this oracle exists to
+  // prove the *index* path matches the scan; the adaptive cutover is
+  // covered by AdaptiveCutoverMatchesScanAtSmallN.
+  config.scan_cutover = 0;
   Cache indexed(repo, config);
 
   for (std::uint32_t index : replay.stream) {
@@ -355,6 +359,42 @@ TEST(DecisionIndexOracle, RestoredCacheReconcilesAndMatchesScan) {
   }
   expect_equal_states(scan.value(), indexed.value());
   EXPECT_EQ(indexed.value().check_decision_index(), std::nullopt);
+}
+
+// The default config is adaptive: below CacheConfig::scan_cutover the
+// superset lookup takes the linear scan (which BENCH_decision.json shows
+// beats the postings probe at small N) while the index is still
+// maintained for eviction and reconciliation. Decisions must match the
+// scan oracle exactly, and with the cache staying under the cutover the
+// postings index must never have been probed.
+TEST(DecisionIndexOracle, AdaptiveCutoverMatchesScanAtSmallN) {
+  const auto& repo = shared_repo();
+  const auto replay = make_replay(23);
+
+  CacheConfig config;
+  config.alpha = 0.7;
+  config.capacity = repo.total_bytes() / 4;
+  config.decision_index = false;
+  Cache scan(repo, config);
+  config.decision_index = true;
+  ASSERT_GT(config.scan_cutover, 0u) << "default config must be adaptive";
+  Cache indexed(repo, config);
+
+  bool stayed_small = true;
+  for (std::uint32_t index : replay.stream) {
+    const auto expected = scan.request(replay.specs[index]);
+    const auto actual = indexed.request(replay.specs[index]);
+    ASSERT_EQ(to_value(expected.image), to_value(actual.image));
+    ASSERT_EQ(static_cast<int>(expected.kind), static_cast<int>(actual.kind));
+    ASSERT_EQ(expected.image_bytes, actual.image_bytes);
+    stayed_small = stayed_small && indexed.image_count() < config.scan_cutover;
+  }
+  expect_equal_states(scan, indexed);
+  EXPECT_EQ(indexed.check_decision_index(), std::nullopt);
+  if (stayed_small) {
+    EXPECT_EQ(indexed.index_stats().postings_probes, 0u)
+        << "a small cache must serve superset lookups from the scan";
+  }
 }
 
 // Sharded sanity for the cache-wide memo: repeated identical specs

@@ -1,0 +1,335 @@
+// Concurrency suite for the service plane, written to run under TSan
+// (tier1.sh stage 2b): many clients submitting in parallel, graceful
+// drain in the middle of the storm, and bounded-queue admission control
+// under a deliberately saturated queue.
+//
+// Drain contract under test (docs/serve.md): once drain() begins, no
+// new connection is accepted and new submits are rejected with
+// `draining`, but every already-admitted frame is still answered —
+// nothing in flight is dropped. drain() returning proves the queue hit
+// zero; the counters must agree (admitted == processed).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "landlord/landlord.hpp"
+#include "pkg/synthetic.hpp"
+#include "serve/client.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace landlord::serve {
+namespace {
+
+const pkg::Repository& repo() {
+  static const pkg::Repository r = [] {
+    pkg::SyntheticRepoParams params;
+    params.total_packages = 400;
+    auto result = pkg::generate_repository(params, 97);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }();
+  return r;
+}
+
+core::CacheConfig sharded_config() {
+  core::CacheConfig config;
+  config.alpha = 0.8;
+  config.capacity = repo().total_bytes() / 2;
+  config.shards = 4;  // real decision-layer concurrency for the storm
+  return config;
+}
+
+std::vector<SubmitRequest> storm_requests(std::uint32_t connection,
+                                          std::uint64_t count) {
+  LoadGenConfig config;
+  config.seed = 21;
+  config.connections = 16;
+  config.catalog_specs = 40;
+  config.max_initial_selection = 30;
+  static const std::vector<SubmitRequest> catalog =
+      make_catalog(repo(), config);
+  std::vector<SubmitRequest> requests;
+  for (const TraceEntry& entry :
+       make_trace(config, catalog.size(), connection, count)) {
+    requests.push_back(catalog[entry.spec]);
+    requests.back().client_id = entry.client_id;
+  }
+  return requests;
+}
+
+// Parks every admitted frame's worker until release() — saturates the
+// bounded queue deterministically.
+class Gate {
+ public:
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void release() {
+    {
+      std::scoped_lock lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ServeConcurrency, ParallelClientsAllServed) {
+  constexpr std::uint32_t kClients = 8;
+  constexpr std::uint64_t kPerClient = 150;
+
+  core::Landlord landlord(repo(), sharded_config());
+  ServerConfig config;
+  config.workers = 4;
+  Server server(landlord, config);
+  ASSERT_TRUE(server.start().ok());
+
+  std::atomic<std::uint64_t> served{0};
+  std::vector<std::thread> threads;
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      ASSERT_TRUE(client.connect(server.port()).ok());
+      for (const SubmitRequest& request : storm_requests(c, kPerClient)) {
+        const auto reply = client.submit(request);
+        ASSERT_TRUE(reply.ok()) << reply.error().message;
+        EXPECT_EQ(reply.value().client_id, request.client_id);
+        served.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  server.drain();
+  const ServeCounters counters = server.counters();
+  EXPECT_EQ(served.load(), kClients * kPerClient);
+  EXPECT_EQ(counters.requests_served, kClients * kPerClient);
+  EXPECT_EQ(counters.frames_admitted, counters.frames_processed);
+  EXPECT_EQ(counters.connections_accepted, kClients);
+  EXPECT_EQ(counters.rejected_queue_full, 0u);
+  EXPECT_EQ(counters.rejected_draining, 0u);
+  // Decision layer saw exactly the served requests.
+  EXPECT_EQ(landlord.counters().requests, kClients * kPerClient);
+  server.stop();
+}
+
+TEST(ServeConcurrency, MidStormDrainDropsNothing) {
+  constexpr std::uint32_t kClients = 6;
+
+  core::Landlord landlord(repo(), sharded_config());
+  ServerConfig config;
+  config.workers = 4;
+  Server server(landlord, config);
+  ASSERT_TRUE(server.start().ok());
+
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> turned_away{0};
+  std::vector<std::thread> threads;
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      ASSERT_TRUE(client.connect(server.port()).ok());
+      // Submit until the drain turns us away (rejected / drained / socket
+      // gone all surface as a failed Result).
+      for (const SubmitRequest& request : storm_requests(c, 100000)) {
+        const auto reply = client.submit(request);
+        if (!reply.ok()) {
+          turned_away.fetch_add(1);
+          break;
+        }
+        ok.fetch_add(1);
+      }
+    });
+  }
+
+  // Let the storm get going, then drain in the middle of it.
+  while (ok.load() < 200) std::this_thread::yield();
+  server.drain();
+  EXPECT_TRUE(server.draining());
+  for (auto& thread : threads) thread.join();
+
+  // drain() returned with clients still hammering: every admitted frame
+  // must still have been answered, and nothing may be left in flight.
+  EXPECT_EQ(server.queue_depth(), 0u);
+  const ServeCounters counters = server.counters();
+  EXPECT_EQ(counters.frames_admitted, counters.frames_processed);
+  EXPECT_EQ(counters.requests_served, ok.load());
+  EXPECT_EQ(turned_away.load(), kClients);
+  // The decision layer processed exactly the acknowledged requests —
+  // no submit was half-applied.
+  EXPECT_EQ(landlord.counters().requests, ok.load());
+
+  // No accepts after drain: the listener is gone.
+  Client late;
+  EXPECT_FALSE(late.connect(server.port()).ok());
+  server.stop();
+}
+
+TEST(ServeConcurrency, DrainWaitsForInFlightFrames) {
+  core::Landlord landlord(repo(), sharded_config());
+  ServerConfig config;
+  config.workers = 2;
+  config.max_queue = 8;
+  Server server(landlord, config);
+  Gate gate;
+  server.set_process_test_hook([&gate] { gate.wait(); });
+  ASSERT_TRUE(server.start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect(server.port()).ok());
+  const auto requests = storm_requests(0, 2);
+  const std::uint64_t id_a = client.next_request_id();
+  const std::uint64_t id_b = client.next_request_id();
+  ASSERT_TRUE(client.send_frame(encode_submit(id_a, requests[0])));
+  ASSERT_TRUE(client.send_frame(encode_submit(id_b, requests[1])));
+  while (server.queue_depth() < 2) std::this_thread::yield();
+
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] {
+    server.drain();
+    drained.store(true);
+  });
+  // The drain must block while both admitted frames are parked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(drained.load());
+
+  gate.release();
+  drainer.join();
+  EXPECT_TRUE(drained.load());
+
+  // The client reads both placements (order free — two workers), then
+  // the drain goodbye.
+  std::vector<std::uint64_t> reply_ids;
+  for (int i = 0; i < 2; ++i) {
+    const auto frame = client.recv_frame();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_EQ(frame.value.header.type, FrameType::kPlacement);
+    reply_ids.push_back(frame.value.header.request_id);
+  }
+  EXPECT_TRUE((reply_ids[0] == id_a && reply_ids[1] == id_b) ||
+              (reply_ids[0] == id_b && reply_ids[1] == id_a));
+  const auto goodbye = client.recv_frame();
+  ASSERT_TRUE(goodbye.ok());
+  EXPECT_EQ(goodbye.value.header.type, FrameType::kDrained);
+
+  const ServeCounters counters = server.counters();
+  EXPECT_EQ(counters.frames_admitted, 2u);
+  EXPECT_EQ(counters.frames_processed, 2u);
+  server.stop();
+}
+
+TEST(ServeConcurrency, SubmitsAfterDrainAreRejectedAsDraining) {
+  core::Landlord landlord(repo(), sharded_config());
+  Server server(landlord, ServerConfig{});
+  ASSERT_TRUE(server.start().ok());
+  Client client;
+  ASSERT_TRUE(client.connect(server.port()).ok());
+  const auto requests = storm_requests(0, 1);
+  ASSERT_TRUE(client.submit(requests[0]).ok());
+
+  server.drain();
+  // First pending read is the drain goodbye pushed by drain() itself.
+  const auto goodbye = client.recv_frame();
+  ASSERT_TRUE(goodbye.ok());
+  EXPECT_EQ(goodbye.value.header.type, FrameType::kDrained);
+
+  // The connection stays up; a new submit gets an explicit rejection.
+  const std::uint64_t id = client.next_request_id();
+  ASSERT_TRUE(client.send_frame(encode_submit(id, requests[0])));
+  const auto reply = client.recv_frame();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply.value.header.type, FrameType::kRejected);
+  EXPECT_EQ(reply.value.reject_reason, RejectReason::kDraining);
+  EXPECT_EQ(reply.value.header.request_id, id);
+  EXPECT_EQ(server.counters().rejected_draining, 1u);
+  server.stop();
+}
+
+TEST(ServeConcurrency, SaturatedQueueRejectsExplicitly) {
+  core::Landlord landlord(repo(), sharded_config());
+  ServerConfig config;
+  config.workers = 1;
+  config.max_queue = 2;
+  Server server(landlord, config);
+  Gate gate;
+  server.set_process_test_hook([&gate] { gate.wait(); });
+  ASSERT_TRUE(server.start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect(server.port()).ok());
+  const auto requests = storm_requests(0, 3);
+
+  // Two frames fill the bounded queue (the worker is parked on the
+  // first); the third must bounce immediately with queue-full.
+  const std::uint64_t id_a = client.next_request_id();
+  const std::uint64_t id_b = client.next_request_id();
+  ASSERT_TRUE(client.send_frame(encode_submit(id_a, requests[0])));
+  ASSERT_TRUE(client.send_frame(encode_submit(id_b, requests[1])));
+  while (server.queue_depth() < 2) std::this_thread::yield();
+
+  const std::uint64_t id_c = client.next_request_id();
+  ASSERT_TRUE(client.send_frame(encode_submit(id_c, requests[2])));
+  const auto bounced = client.recv_frame();
+  ASSERT_TRUE(bounced.ok());
+  ASSERT_EQ(bounced.value.header.type, FrameType::kRejected);
+  EXPECT_EQ(bounced.value.reject_reason, RejectReason::kQueueFull);
+  EXPECT_EQ(bounced.value.header.request_id, id_c);
+
+  // Release the workers: both admitted frames complete normally.
+  gate.release();
+  for (int i = 0; i < 2; ++i) {
+    const auto frame = client.recv_frame();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame.value.header.type, FrameType::kPlacement);
+  }
+
+  const ServeCounters counters = server.counters();
+  EXPECT_EQ(counters.rejected_queue_full, 1u);
+  EXPECT_EQ(counters.frames_admitted, 2u);
+  EXPECT_EQ(counters.queue_depth_peak, 2u);
+  server.stop();
+}
+
+// A malformed payload draws a typed error and the connection survives; a
+// broken header costs the connection but never the server.
+TEST(ServeConcurrency, DecodeErrorsAreContained)  {
+  core::Landlord landlord(repo(), sharded_config());
+  Server server(landlord, ServerConfig{});
+  ASSERT_TRUE(server.start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect(server.port()).ok());
+  // Well-formed header, corrupt submit payload (truncated package list).
+  std::string bad = encode_submit(9, storm_requests(0, 1)[0]);
+  bad.resize(kHeaderSize + 6);
+  bad[4] = 6;  // patch payload_size (offset 4, little-endian) to match
+  bad[5] = 0;
+  bad[6] = 0;
+  bad[7] = 0;
+  ASSERT_TRUE(client.send_frame(bad));
+  const auto reply = client.recv_frame();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply.value.header.type, FrameType::kError);
+  EXPECT_EQ(reply.value.error_status, DecodeStatus::kTruncated);
+
+  // The same connection still serves valid traffic afterwards.
+  ASSERT_TRUE(client.ping().ok());
+  EXPECT_EQ(server.counters().decode_errors, 1u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace landlord::serve

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Regenerates the wire-protocol frame corpus.
+
+The corpus is checked in so the codec test (codec_corpus_test.cpp)
+exercises byte-exact, reviewable inputs; this script documents how each
+file was derived and recreates it deterministically. The frame grammar
+lives in src/serve/protocol.cpp / docs/serve.md: a 16-byte little-endian
+header (u16 magic "PL" 0x4C50, u8 version, u8 type, u32 payload size,
+u64 request id) followed by a typed payload.
+
+Each file is named `<expected-status>__<description>.bin`, where
+expected-status is the serve::to_string(DecodeStatus) spelling the
+decoder must return for that input (decoded against a 64-package
+universe). `ok__*` files must decode cleanly.
+
+Usage: python3 generate.py   (from this directory)
+"""
+
+import os
+import struct
+
+MAGIC = 0x4C50
+VERSION = 1
+
+SUBMIT = 1
+PLACEMENT = 2
+BATCH_SUBMIT = 3
+BATCH_PLACEMENT = 4
+PING = 5
+PONG = 6
+STATS = 7
+STATS_REPLY = 8
+REJECTED = 9
+DRAINED = 10
+ERROR = 11
+
+
+def header(ftype, payload_size, request_id=7, magic=MAGIC, version=VERSION):
+    return struct.pack("<HBBIQ", magic, version, ftype, payload_size,
+                       request_id)
+
+
+def frame(ftype, payload=b"", **kwargs):
+    return header(ftype, len(payload), **kwargs) + payload
+
+
+def string(s):
+    return struct.pack("<H", len(s)) + s.encode()
+
+
+def submit_payload(client_id, packages, constraints=()):
+    out = struct.pack("<QI", client_id, len(packages))
+    for p in packages:
+        out += struct.pack("<I", p)
+    out += struct.pack("<H", len(constraints))
+    for op, name, version in constraints:
+        out += struct.pack("<B", op) + string(name) + string(version)
+    return out
+
+
+def placement_payload(client_id=3, kind=0, flags=0, retries=0, image=42,
+                      image_bytes=1 << 30, requested=1 << 29,
+                      prep=1.5, error=""):
+    return (struct.pack("<QBBI", client_id, kind, flags, retries) +
+            struct.pack("<QQQd", image, image_bytes, requested, prep) +
+            string(error))
+
+
+FILES = {}
+
+# ---- Well-formed frames (decode must return ok) ----
+FILES["ok__ping.bin"] = frame(PING)
+FILES["ok__pong.bin"] = frame(PONG)
+FILES["ok__stats_request.bin"] = frame(STATS)
+FILES["ok__drained.bin"] = frame(DRAINED)
+FILES["ok__submit.bin"] = frame(
+    SUBMIT, submit_payload(11, [1, 5, 9], [(0, "python", "3.8")]))
+FILES["ok__submit_empty_spec.bin"] = frame(SUBMIT, submit_payload(0, []))
+FILES["ok__batch_submit.bin"] = frame(
+    BATCH_SUBMIT,
+    struct.pack("<I", 2) + submit_payload(1, [2, 3]) + submit_payload(2, [63]))
+FILES["ok__batch_submit_zero.bin"] = frame(BATCH_SUBMIT, struct.pack("<I", 0))
+FILES["ok__placement.bin"] = frame(PLACEMENT, placement_payload())
+FILES["ok__placement_failed.bin"] = frame(
+    PLACEMENT, placement_payload(kind=2, flags=3, error="ladder exhausted"))
+FILES["ok__batch_placement.bin"] = frame(
+    BATCH_PLACEMENT,
+    struct.pack("<I", 2) + placement_payload() + placement_payload(kind=1))
+FILES["ok__stats_reply.bin"] = frame(
+    STATS_REPLY, struct.pack("<12Q2d", *range(12), 0.25, 99.5))
+FILES["ok__rejected_queue_full.bin"] = frame(REJECTED, struct.pack("<B", 1))
+FILES["ok__rejected_draining.bin"] = frame(REJECTED, struct.pack("<B", 2))
+FILES["ok__error.bin"] = frame(ERROR, struct.pack("<B", 4))
+
+# ---- Header-level rejections ----
+FILES["short-header__empty.bin"] = b""
+FILES["short-header__8bytes.bin"] = header(PING, 0)[:8]
+FILES["short-header__15bytes.bin"] = header(PING, 0)[:15]
+FILES["bad-magic__zeros.bin"] = frame(PING, magic=0)
+FILES["bad-magic__swapped.bin"] = frame(PING, magic=0x504C)
+FILES["bad-version__v0.bin"] = frame(PING, version=0)
+FILES["bad-version__v2.bin"] = frame(PING, version=2)
+FILES["bad-type__0.bin"] = frame(0)
+FILES["bad-type__99.bin"] = frame(99)
+# Payload length beyond kMaxPayloadBytes (8 MiB): the header alone must
+# be refused before any allocation. No payload bytes follow.
+FILES["oversized__9mib.bin"] = header(PING, 9 << 20)
+
+# ---- Payload-length violations ----
+# Header says 64 payload bytes; only 10 arrive.
+FILES["truncated__payload_missing.bin"] = header(SUBMIT, 64) + b"\x00" * 10
+# Submit claims 50 packages (within the 64-package universe, so the
+# range check passes); payload holds 2.
+FILES["truncated__submit_packages_cut.bin"] = frame(
+    SUBMIT, struct.pack("<QI", 1, 50) + struct.pack("<II", 1, 2))
+# Constraint string length runs past the payload end.
+FILES["truncated__constraint_string_cut.bin"] = frame(
+    SUBMIT,
+    struct.pack("<QI", 1, 0) + struct.pack("<H", 1) + struct.pack("<B", 0) +
+    struct.pack("<H", 200) + b"abc")
+# Stats reply with only 10 of 12 u64s (and no doubles).
+FILES["truncated__stats_cut.bin"] = frame(
+    STATS_REPLY, struct.pack("<10Q", *range(10)))
+# Rejected frame with an empty payload (reason byte missing).
+FILES["truncated__rejected_empty.bin"] = frame(REJECTED)
+# Placement cut mid-double.
+FILES["truncated__placement_cut.bin"] = frame(
+    PLACEMENT, placement_payload()[:40])
+# Ping must have an empty payload.
+FILES["trailing-bytes__ping_payload.bin"] = frame(PING, b"\xde\xad\xbe\xef")
+# Valid submit with 4 unconsumed bytes after the constraint table.
+FILES["trailing-bytes__submit_extra.bin"] = frame(
+    SUBMIT, submit_payload(1, [4]) + b"\x00" * 4)
+# Rejected payload longer than its single reason byte.
+FILES["trailing-bytes__rejected_extra.bin"] = frame(
+    REJECTED, struct.pack("<B", 1) + b"\x00")
+
+# ---- Semantic violations ----
+FILES["batch-too-large__5000.bin"] = frame(
+    BATCH_SUBMIT, struct.pack("<I", 5000))
+# Package id 1048576 against the 64-package test universe.
+FILES["package-out-of-range__id_huge.bin"] = frame(
+    SUBMIT, submit_payload(1, [3, 1 << 20]))
+# Package count alone exceeding the universe is rejected before reading
+# ids (a hostile count cannot force a huge reserve).
+FILES["package-out-of-range__count_huge.bin"] = frame(
+    SUBMIT, struct.pack("<QI", 1, 1 << 24))
+FILES["unsorted-packages__descending.bin"] = frame(
+    SUBMIT, submit_payload(1, [9, 5]))
+FILES["unsorted-packages__duplicate.bin"] = frame(
+    SUBMIT, submit_payload(1, [5, 5]))
+FILES["string-too-long__constraint_name.bin"] = frame(
+    SUBMIT,
+    struct.pack("<QI", 1, 0) + struct.pack("<H", 1) + struct.pack("<B", 0) +
+    struct.pack("<H", 5000) + b"x" * 5000 + string("1.0"))
+FILES["bad-constraint-op__6.bin"] = frame(
+    SUBMIT, submit_payload(1, [1], [(6, "python", "3.8")]))
+FILES["bad-kind__9.bin"] = frame(PLACEMENT, placement_payload(kind=9))
+FILES["bad-reason__rejected_0.bin"] = frame(REJECTED, struct.pack("<B", 0))
+FILES["bad-reason__rejected_99.bin"] = frame(REJECTED, struct.pack("<B", 99))
+FILES["bad-reason__error_status_99.bin"] = frame(
+    ERROR, struct.pack("<B", 99))
+
+
+def main():
+    out_dir = os.path.dirname(os.path.abspath(__file__))
+    for name, data in sorted(FILES.items()):
+        with open(os.path.join(out_dir, name), "wb") as f:
+            f.write(data)
+    print(f"wrote {len(FILES)} corpus files to {out_dir}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,185 @@
+// Load-generator unit tests: catalog/trace determinism, Zipf popularity
+// skew, the millions-of-clients id universe, and small end-to-end closed-
+// and open-loop runs against a live server.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hep/profiles.hpp"
+#include "landlord/landlord.hpp"
+#include "pkg/synthetic.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+
+namespace landlord::serve {
+namespace {
+
+const pkg::Repository& repo() {
+  static const pkg::Repository r = [] {
+    pkg::SyntheticRepoParams params;
+    params.total_packages = 400;
+    auto result = pkg::generate_repository(params, 97);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }();
+  return r;
+}
+
+LoadGenConfig base_config() {
+  LoadGenConfig config;
+  config.seed = 11;
+  config.catalog_specs = 50;
+  config.max_initial_selection = 30;
+  config.clients = 1'000'000;
+  return config;
+}
+
+TEST(ServeLoadGen, CatalogIsDeterministicAndIncludesHepApps) {
+  const auto config = base_config();
+  const auto a = make_catalog(repo(), config);
+  const auto b = make_catalog(repo(), config);
+  EXPECT_EQ(a.size(), config.catalog_specs + hep::benchmark_apps().size());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].packages, b[i].packages) << i;
+    EXPECT_FALSE(a[i].packages.empty()) << i;
+  }
+
+  auto without_hep = config;
+  without_hep.include_hep_apps = false;
+  EXPECT_EQ(make_catalog(repo(), without_hep).size(), config.catalog_specs);
+}
+
+TEST(ServeLoadGen, TraceIsDeterministicPerConnectionAndDivergesAcross) {
+  const auto config = base_config();
+  const std::size_t catalog = 57;
+  const auto a = make_trace(config, catalog, 0, 2000);
+  const auto b = make_trace(config, catalog, 0, 2000);
+  const auto other = make_trace(config, catalog, 1, 2000);
+  ASSERT_EQ(a.size(), 2000u);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spec, b[i].spec);
+    EXPECT_EQ(a[i].client_id, b[i].client_id);
+    EXPECT_LT(a[i].spec, catalog);
+    EXPECT_LT(a[i].client_id, config.clients);
+    differs |= (a[i].spec != other[i].spec);
+  }
+  EXPECT_TRUE(differs) << "connections must not replay identical traces";
+}
+
+TEST(ServeLoadGen, ZipfSamplingIsHeavyTailed) {
+  auto config = base_config();
+  config.zipf_s = 1.1;
+  const std::size_t catalog = 57;
+  std::map<std::uint32_t, std::uint64_t> frequency;
+  const auto trace = make_trace(config, catalog, 0, 20000);
+  for (const TraceEntry& entry : trace) ++frequency[entry.spec];
+
+  std::vector<std::uint64_t> counts;
+  for (const auto& [spec, count] : frequency) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  const double uniform_share =
+      static_cast<double>(trace.size()) / static_cast<double>(catalog);
+  // Zipf s=1.1 over 57 ranks gives the top spec ~22% of all draws —
+  // far above the uniform 1.75%. 5x is a loose, noise-proof floor.
+  EXPECT_GT(static_cast<double>(counts.front()), 5.0 * uniform_share);
+  // ...while the tail still gets sampled.
+  EXPECT_GT(frequency.size(), catalog / 2);
+}
+
+TEST(ServeLoadGen, ClientIdsSpanTheConfiguredUniverse) {
+  const auto config = base_config();
+  const auto trace = make_trace(config, 57, 0, 20000);
+  std::vector<std::uint64_t> ids;
+  for (const TraceEntry& entry : trace) ids.push_back(entry.client_id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  // 20k uniform draws from a 1M universe collide rarely: expect nearly
+  // all distinct, spread across the range.
+  EXPECT_GT(ids.size(), 19000u);
+  EXPECT_GT(ids.back(), config.clients / 2);
+}
+
+TEST(ServeLoadGen, ClosedLoopRunReportsAccurately) {
+  core::CacheConfig cache_config;
+  cache_config.alpha = 0.8;
+  cache_config.capacity = repo().total_bytes() / 2;
+  cache_config.shards = 4;
+  core::Landlord landlord(repo(), cache_config);
+  ServerConfig server_config;
+  server_config.workers = 4;
+  Server server(landlord, server_config);
+  ASSERT_TRUE(server.start().ok());
+
+  auto load = base_config();
+  load.port = server.port();
+  load.mode = LoadMode::kClosed;
+  load.connections = 2;
+  load.batch = 8;
+  load.total_requests = 512;
+  const auto report = run_load(repo(), load);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+
+  EXPECT_EQ(report.value().requests_sent, load.total_requests);
+  EXPECT_EQ(report.value().requests_ok, load.total_requests);
+  EXPECT_EQ(report.value().requests_rejected, 0u);
+  EXPECT_EQ(report.value().placements_hit + report.value().placements_merge +
+                report.value().placements_insert,
+            report.value().requests_ok);
+  EXPECT_GT(report.value().distinct_clients, 100u);
+  EXPECT_GT(report.value().qps, 0.0);
+  EXPECT_GT(report.value().duration_seconds, 0.0);
+  EXPECT_LE(report.value().latency_p50, report.value().latency_p99);
+  EXPECT_LE(report.value().latency_p99, report.value().latency_p999);
+  EXPECT_GT(report.value().latency_p50, 0.0);
+
+  // The server agrees it served exactly that load.
+  EXPECT_EQ(server.counters().requests_served, load.total_requests);
+  server.stop();
+}
+
+TEST(ServeLoadGen, OpenLoopRunCompletesAndAccounts) {
+  core::CacheConfig cache_config;
+  cache_config.alpha = 0.8;
+  cache_config.capacity = repo().total_bytes() / 2;
+  cache_config.shards = 4;
+  core::Landlord landlord(repo(), cache_config);
+  ServerConfig server_config;
+  server_config.workers = 4;
+  Server server(landlord, server_config);
+  ASSERT_TRUE(server.start().ok());
+
+  auto load = base_config();
+  load.port = server.port();
+  load.mode = LoadMode::kOpen;
+  load.connections = 2;
+  load.batch = 4;
+  load.rate_per_second = 5000;
+  load.duration_seconds = 0.3;
+  const auto report = run_load(repo(), load);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+
+  EXPECT_GT(report.value().requests_sent, 0u);
+  EXPECT_GT(report.value().requests_ok, 0u);
+  EXPECT_LE(report.value().requests_ok + report.value().requests_rejected,
+            report.value().requests_sent);
+  EXPECT_GT(report.value().frames_sent, 0u);
+  server.stop();
+}
+
+TEST(ServeLoadGen, FailsCleanlyWithNoServer) {
+  auto load = base_config();
+  load.port = 1;  // nothing listens there
+  load.total_requests = 16;
+  load.connections = 1;
+  const auto report = run_load(repo(), load);
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace landlord::serve

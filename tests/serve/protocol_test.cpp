@@ -1,0 +1,221 @@
+// Round-trip and invariant tests for the serve wire protocol: every
+// frame type encodes and decodes back to itself, the header carries its
+// fields verbatim, doubles survive as exact bit patterns, and the
+// spec/placement bridges are lossless.
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hpp"
+#include "spec/package_set.hpp"
+#include "spec/specification.hpp"
+
+namespace landlord::serve {
+namespace {
+
+constexpr std::size_t kUniverse = 128;
+
+SubmitRequest sample_submit(std::uint64_t client_id) {
+  SubmitRequest request;
+  request.client_id = client_id;
+  request.packages = {0, 7, 19, 127};
+  spec::VersionConstraint constraint;
+  constraint.package = "python";
+  constraint.op = spec::ConstraintOp::kGe;
+  constraint.version = "3.8";
+  request.constraints.push_back(constraint);
+  return request;
+}
+
+PlacementReply sample_placement(std::uint64_t client_id) {
+  PlacementReply reply;
+  reply.client_id = client_id;
+  reply.kind = core::RequestKind::kMerge;
+  reply.degraded = true;
+  reply.failed = false;
+  reply.build_retries = 2;
+  reply.image = 41;
+  reply.image_bytes = 3'500'000'000ull;
+  reply.requested_bytes = 2'100'000'000ull;
+  reply.prep_seconds = 87.125;
+  reply.error = "";
+  return reply;
+}
+
+TEST(ServeProtocol, HeaderFieldsSurviveVerbatim) {
+  const std::string bytes = encode_submit(0xDEADBEEFCAFEF00Dull,
+                                          sample_submit(9));
+  const auto header = decode_header(bytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value.magic, kMagic);
+  EXPECT_EQ(header.value.version, kProtocolVersion);
+  EXPECT_EQ(header.value.type, FrameType::kSubmit);
+  EXPECT_EQ(header.value.request_id, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(header.value.payload_size, bytes.size() - kHeaderSize);
+}
+
+TEST(ServeProtocol, SubmitRoundTrips) {
+  const SubmitRequest request = sample_submit(1234);
+  const auto decoded = decode_frame(encode_submit(7, request), kUniverse);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value.header.type, FrameType::kSubmit);
+  ASSERT_EQ(decoded.value.submits.size(), 1u);
+  const auto& back = decoded.value.submits[0];
+  EXPECT_EQ(back.client_id, request.client_id);
+  EXPECT_EQ(back.packages, request.packages);
+  EXPECT_EQ(back.constraints, request.constraints);
+}
+
+TEST(ServeProtocol, BatchSubmitRoundTrips) {
+  std::vector<SubmitRequest> requests;
+  for (std::uint64_t i = 0; i < 5; ++i) requests.push_back(sample_submit(i));
+  requests[2].packages = {};  // empty spec inside a batch is legal
+  const auto decoded =
+      decode_frame(encode_batch_submit(99, requests), kUniverse);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value.header.type, FrameType::kBatchSubmit);
+  ASSERT_EQ(decoded.value.submits.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(decoded.value.submits[i].client_id, requests[i].client_id);
+    EXPECT_EQ(decoded.value.submits[i].packages, requests[i].packages);
+  }
+}
+
+TEST(ServeProtocol, PlacementRoundTripsExactly) {
+  const PlacementReply reply = sample_placement(55);
+  const auto decoded = decode_frame(encode_placement(3, reply), kUniverse);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value.placements.size(), 1u);
+  EXPECT_EQ(decoded.value.placements[0], reply);
+}
+
+TEST(ServeProtocol, BatchPlacementRoundTrips) {
+  std::vector<PlacementReply> replies;
+  for (std::uint64_t i = 0; i < 4; ++i) replies.push_back(sample_placement(i));
+  replies[1].kind = core::RequestKind::kInsert;
+  replies[3].failed = true;
+  replies[3].error = "build ladder exhausted";
+  const auto decoded =
+      decode_frame(encode_batch_placement(8, replies), kUniverse);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value.placements.size(), replies.size());
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    EXPECT_EQ(decoded.value.placements[i], replies[i]);
+  }
+}
+
+// Doubles cross the wire as IEEE-754 bit patterns — the loopback
+// equivalence suite compares placements bit-for-bit, so nothing may be
+// lost to formatting. Exercise values decimal round-trips mangle.
+TEST(ServeProtocol, DoublesTravelAsExactBitPatterns) {
+  for (const double value :
+       {0.0, -0.0, 1.0 / 3.0, 6.02e23, std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+        std::nextafter(1.0, 2.0)}) {
+    PlacementReply reply = sample_placement(1);
+    reply.prep_seconds = value;
+    const auto decoded = decode_frame(encode_placement(1, reply), kUniverse);
+    ASSERT_TRUE(decoded.ok());
+    std::uint64_t sent = 0;
+    std::uint64_t got = 0;
+    std::memcpy(&sent, &value, sizeof(sent));
+    std::memcpy(&got, &decoded.value.placements[0].prep_seconds, sizeof(got));
+    EXPECT_EQ(got, sent) << value;
+  }
+}
+
+TEST(ServeProtocol, EmptyPayloadFramesRoundTrip) {
+  for (const auto& [bytes, type] :
+       {std::pair{encode_ping(1), FrameType::kPing},
+        std::pair{encode_pong(2), FrameType::kPong},
+        std::pair{encode_stats_request(3), FrameType::kStats},
+        std::pair{encode_drained(4), FrameType::kDrained}}) {
+    const auto decoded = decode_frame(bytes, kUniverse);
+    ASSERT_TRUE(decoded.ok()) << to_string(type);
+    EXPECT_EQ(decoded.value.header.type, type);
+    EXPECT_EQ(bytes.size(), kHeaderSize) << to_string(type);
+  }
+}
+
+TEST(ServeProtocol, StatsReplyRoundTrips) {
+  StatsReply stats;
+  stats.requests = 1'000'000;
+  stats.hits = 900'000;
+  stats.merges = 50'000;
+  stats.inserts = 50'000;
+  stats.deletes = 12'345;
+  stats.splits = 17;
+  stats.conflict_rejections = 3;
+  stats.requested_bytes = 1ull << 50;
+  stats.written_bytes = 1ull << 44;
+  stats.image_count = 4096;
+  stats.total_bytes = 1ull << 45;
+  stats.unique_bytes = 1ull << 43;
+  stats.container_efficiency_sum = 812345.0625;
+  stats.prep_seconds = 1e9 + 0.5;
+  const auto decoded = decode_frame(encode_stats_reply(11, stats), kUniverse);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value.stats, stats);
+}
+
+TEST(ServeProtocol, RejectedAndErrorRoundTrip) {
+  for (const auto reason : {RejectReason::kQueueFull, RejectReason::kDraining}) {
+    const auto decoded = decode_frame(encode_rejected(5, reason), kUniverse);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value.reject_reason, reason);
+  }
+  for (const auto status : {DecodeStatus::kOk, DecodeStatus::kTruncated,
+                            DecodeStatus::kUnexpectedType}) {
+    const auto decoded = decode_frame(encode_error(6, status), kUniverse);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value.error_status, status);
+  }
+}
+
+TEST(ServeProtocol, UniverseZeroSkipsRangeCheckOnly) {
+  SubmitRequest request;
+  request.client_id = 1;
+  request.packages = {5, 1'000'000};  // far outside any real universe
+  EXPECT_TRUE(decode_frame(encode_submit(1, request), 0).ok());
+  EXPECT_EQ(decode_frame(encode_submit(1, request), kUniverse).status,
+            DecodeStatus::kPackageOutOfRange);
+  // Ordering is enforced regardless of universe.
+  request.packages = {9, 5};
+  EXPECT_EQ(decode_frame(encode_submit(1, request), 0).status,
+            DecodeStatus::kUnsortedPackages);
+}
+
+// to_request → encode → decode → to_specification is the full client →
+// server path; the reconstructed specification must carry the same
+// package set and constraints.
+TEST(ServeProtocol, SpecificationBridgeIsLossless) {
+  spec::PackageSet packages(kUniverse);
+  for (const std::uint32_t id : {3u, 8u, 21u, 64u, 127u}) {
+    packages.insert(pkg::PackageId{id});
+  }
+  spec::Specification spec(std::move(packages), "bridge-test");
+  spec::VersionConstraint constraint;
+  constraint.package = "root";
+  constraint.op = spec::ConstraintOp::kEq;
+  constraint.version = "6.22";
+  spec.add_constraint(constraint);
+
+  const SubmitRequest request = to_request(spec, 777);
+  EXPECT_EQ(request.client_id, 777u);
+  const auto decoded = decode_frame(encode_submit(1, request), kUniverse);
+  ASSERT_TRUE(decoded.ok());
+  const spec::Specification back =
+      to_specification(decoded.value.submits[0], kUniverse);
+  EXPECT_EQ(back.size(), spec.size());
+  EXPECT_TRUE(back.packages().bits() == spec.packages().bits());
+  EXPECT_EQ(back.constraints(), spec.constraints());
+}
+
+}  // namespace
+}  // namespace landlord::serve
