@@ -1,0 +1,197 @@
+// Extension — delta-vs-full ablation for the shrinkwrap CAS.
+//
+// The paper charges every merge with a full image rewrite ("the
+// resulting image must be written out in its entirety", §VI) and its
+// Fig. 4c I/O-overhead panel is the cost of that choice. This bench
+// quantifies the alternative the delta-chained image store models:
+//
+//   1. Decision-layer ablation (the fig4c/fig6 companion): the alpha
+//      sweep re-run with CacheConfig::delta_chain_cap > 0. Placements
+//      are bit-identical (tests/sim/delta_oracle_test.cpp); the
+//      counterfactual full_rewrite_bytes ledger vs. written_bytes is
+//      exactly the merge I/O a delta store saves.
+//   2. Store-level scale: 100 / 1k / 10k images with version churn
+//      through a shared file pool — chunk dedup ratio, bytes per image
+//      update under delta vs. full accounting, and the cost/payoff of a
+//      full repack GC pass.
+//
+// Machine-readable `CASMETRIC key=value ...` lines feed
+// scripts/bench_cas.sh, which applies the regression gate and writes
+// BENCH_cas.json. Every field is seeded and byte-stable across runs
+// except repack_seconds, which is measured wall clock (like the serve
+// bench's QPS) and is deliberately not gated on.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "shrinkwrap/imagestore.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace landlord;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One simulated image: files drawn from a shared pool, so images
+/// overlap heavily (the HTC regime), each at a per-image version.
+std::vector<shrinkwrap::ChunkRef> image_tree(
+    util::Rng& rng, const std::vector<std::uint32_t>& versions,
+    const std::vector<std::uint32_t>& members,
+    const shrinkwrap::ChunkerParams& params) {
+  std::vector<shrinkwrap::ChunkRef> tree;
+  for (const std::uint32_t file : members) {
+    // Content identity = (pool file, its current version), mixed.
+    std::uint64_t state = 0x66696c65ULL ^ (static_cast<std::uint64_t>(file) << 20) ^
+                          versions[file];
+    const shrinkwrap::ChunkHash content = util::splitmix64(state);
+    const util::Bytes size =
+        64 * util::kKiB + util::splitmix64(state) % (4 * util::kMiB);
+    const auto chunks = shrinkwrap::model_chunks(content, size, params);
+    tree.insert(tree.end(), chunks.begin(), chunks.end());
+  }
+  (void)rng;
+  return tree;
+}
+
+struct StorePoint {
+  std::size_t images = 0;
+  double dedup_ratio = 0.0;        ///< logical / unique bytes after churn
+  double update_delta_mb = 0.0;    ///< mean bytes charged per delta update
+  double update_full_mb = 0.0;     ///< mean bytes a full rewrite would charge
+  double repack_seconds = 0.0;     ///< one explicit GC pass over every image
+  double repack_reclaimed_gb = 0.0;
+  double repack_written_gb = 0.0;
+};
+
+StorePoint run_store_scale(std::size_t images, std::uint64_t seed) {
+  shrinkwrap::ImageStoreConfig config;
+  config.chain_cap = 8;
+  shrinkwrap::ImageStore store(config);
+  util::Rng rng(seed);
+
+  // Shared pool: ~20 files per image from a pool sized so every file
+  // appears in several images (cross-image dedup, CVMFS-style).
+  const std::size_t pool = std::max<std::size_t>(64, images * 4);
+  std::vector<std::uint32_t> versions(pool, 0);
+  std::vector<std::vector<std::uint32_t>> membership(images);
+  for (auto& members : membership) {
+    const std::size_t count = 12 + rng.uniform(16);
+    for (std::size_t f = 0; f < count; ++f) {
+      members.push_back(static_cast<std::uint32_t>(rng.uniform(pool)));
+    }
+  }
+
+  StorePoint point;
+  point.images = images;
+  for (std::size_t key = 0; key < images; ++key) {
+    auto receipt =
+        store.put(key, image_tree(rng, versions, membership[key], config.chunker));
+    if (!receipt.ok()) std::abort();
+  }
+
+  // Version churn: three update rounds; each round ~10% of the pool
+  // bumps a version, then every touched image is rebuilt.
+  util::Bytes delta_charged = 0;
+  util::Bytes full_charged = 0;
+  std::uint64_t updates = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t f = 0; f < pool; ++f) {
+      if (rng.chance(0.1)) ++versions[f];
+    }
+    for (std::size_t key = 0; key < images; ++key) {
+      const auto tree =
+          image_tree(rng, versions, membership[key], config.chunker);
+      util::Bytes tree_bytes = 0;
+      for (const auto& chunk : tree) tree_bytes += chunk.size;
+      auto receipt = store.put(key, tree);
+      if (!receipt.ok()) std::abort();
+      delta_charged += receipt.value().bytes_written;
+      full_charged += tree_bytes;  // what the paper's accounting charges
+      ++updates;
+    }
+  }
+  point.dedup_ratio = static_cast<double>(store.logical_bytes()) /
+                      static_cast<double>(store.unique_bytes());
+  point.update_delta_mb =
+      static_cast<double>(delta_charged) / static_cast<double>(updates) / 1.0e6;
+  point.update_full_mb =
+      static_cast<double>(full_charged) / static_cast<double>(updates) / 1.0e6;
+
+  // Explicit GC pass: flatten every chain, reclaim superseded chunks.
+  const auto start = std::chrono::steady_clock::now();
+  util::Bytes reclaimed = 0;
+  util::Bytes repack_written = 0;
+  for (std::size_t key = 0; key < images; ++key) {
+    auto receipt = store.repack(key);
+    if (!receipt.ok()) std::abort();
+    reclaimed += receipt.value().reclaimed_bytes;
+    repack_written += receipt.value().bytes_written;
+  }
+  point.repack_seconds = seconds_since(start);
+  point.repack_reclaimed_gb = static_cast<double>(reclaimed) / 1.0e9;
+  point.repack_written_gb = static_cast<double>(repack_written) / 1.0e9;
+  if (store.reconcile().has_value()) std::abort();  // ledgers must be exact
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const auto env = bench::BenchEnv::from_environment();
+  const auto& repo = bench::shared_repository(env.seed);
+  bench::print_header("Ext: delta merges in the shrinkwrap CAS", env);
+
+  // --- Part 1: decision-layer alpha ablation (fig4c companion) ---
+  auto config = bench::paper_sweep_config(env);
+  config.alphas = {0.6, 0.8, 1.0};
+  config.base.cache.delta_chain_cap = 4;
+  util::ThreadPool pool;
+  const auto points = sim::run_sweep(repo, config, &pool);
+
+  util::Table sweep({"alpha", "merges", "delta", "repacks", "written(TB)",
+                     "full-rewrite(TB)", "savings"});
+  for (const auto& p : points) {
+    const double savings =
+        p.full_rewrite_tb > 0 ? 1.0 - p.written_tb / p.full_rewrite_tb : 0.0;
+    sweep.add_row({util::fmt(p.alpha, 2), util::fmt(p.merges, 0),
+                   util::fmt(p.delta_merges, 0), util::fmt(p.repacks, 0),
+                   util::fmt(p.written_tb, 2), util::fmt(p.full_rewrite_tb, 2),
+                   util::fmt(100.0 * savings, 1) + "%"});
+    std::cout << "CASMETRIC sweep alpha=" << p.alpha
+              << " merges=" << p.merges << " delta_merges=" << p.delta_merges
+              << " repacks=" << p.repacks << " written_tb=" << p.written_tb
+              << " full_rewrite_tb=" << p.full_rewrite_tb << "\n";
+  }
+  std::cout << "--- decision-layer merge I/O, delta (chain cap 4) vs full ---\n";
+  bench::emit(sweep, env, "ext_cas_sweep");
+
+  // --- Part 2: store-level scale ---
+  util::Table scale({"images", "dedup", "update delta(MB)", "update full(MB)",
+                     "repack(s)", "reclaimed(GB)"});
+  for (const std::size_t images : {std::size_t{100}, std::size_t{1000},
+                                   std::size_t{10000}}) {
+    const auto p = run_store_scale(images, env.seed ^ images);
+    scale.add_row({util::fmt(static_cast<double>(p.images), 0),
+                   util::fmt(p.dedup_ratio, 2) + "x",
+                   util::fmt(p.update_delta_mb, 1),
+                   util::fmt(p.update_full_mb, 1),
+                   util::fmt(p.repack_seconds, 3),
+                   util::fmt(p.repack_reclaimed_gb, 2)});
+    std::cout << "CASMETRIC store images=" << p.images
+              << " dedup_ratio=" << p.dedup_ratio
+              << " update_delta_mb=" << p.update_delta_mb
+              << " update_full_mb=" << p.update_full_mb
+              << " repack_seconds=" << p.repack_seconds
+              << " repack_reclaimed_gb=" << p.repack_reclaimed_gb
+              << " repack_written_gb=" << p.repack_written_gb << "\n";
+  }
+  std::cout << "--- image-store scale: churned images, then one GC pass ---\n";
+  bench::emit(scale, env, "ext_cas_store");
+  return 0;
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# CAS delta-merge benchmark gate: runs the ext_cas ablation (delta-chain
+# accounting vs the paper's full-rewrite accounting) and records the
+# result in BENCH_cas.json at the repo root.
+#
+#   $ scripts/bench_cas.sh [build-dir]
+#
+# Two measurements (see bench/ext_cas.cpp):
+#   1. the decision-layer alpha sweep with delta_chain_cap=4 — placements
+#      are bit-identical to the full-rewrite run (the delta oracle suite,
+#      ctest -L cas), so written_tb vs the always-on full_rewrite_tb
+#      counterfactual isolates the merge I/O the delta store saves;
+#   2. the image-store scale points at 100 / 1k / 10k images with version
+#      churn — chunk dedup ratio, per-update delta vs full bytes, and
+#      one explicit repack GC pass.
+#
+# Exit status is non-zero if
+#   * any sweep point writes no fewer bytes than the full-rewrite
+#     counterfactual, or performs no delta merges, or
+#   * any store size charges delta updates >= full updates, dedups below
+#     1.5x, or reclaims nothing on repack.
+# tier1.sh stage 6 runs this on every change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+EXT="$BUILD/bench/ext_cas"
+if [[ ! -x "$EXT" ]]; then
+  echo "bench_cas: missing $EXT (build the ext_cas target first)" >&2
+  exit 1
+fi
+
+# A few replicates keep the gate quick; the savings are O(10x), far
+# above replicate noise (override with LANDLORD_REPLICATES for paper runs).
+METRICS="$BUILD/bench_cas_metrics.txt"
+LANDLORD_REPLICATES="${LANDLORD_REPLICATES:-5}" "$EXT" | tee "$METRICS.all"
+grep '^CASMETRIC ' "$METRICS.all" >"$METRICS"
+
+METRICS="$METRICS" python3 - <<'EOF'
+import json, os, sys
+
+sweep, store = [], []
+with open(os.environ["METRICS"]) as f:
+    for line in f:
+        parts = line.split()
+        kind = parts[1]
+        row = {}
+        for pair in parts[2:]:
+            key, _, value = pair.partition("=")
+            row[key] = float(value)
+        (sweep if kind == "sweep" else store).append(row)
+
+if not sweep or not store:
+    print("bench_cas: no CASMETRIC lines parsed", file=sys.stderr)
+    sys.exit(1)
+
+failures = []
+out = {
+    "bench": "cas_delta",
+    "gate": ("delta accounting must write fewer bytes than the full-rewrite "
+             "counterfactual at every alpha, and delta updates must beat "
+             "full updates at every store size"),
+    "sweep_chain_cap": 4,
+    "sweep": {},
+    "store": {},
+}
+
+for row in sweep:
+    alpha = f"{row['alpha']:.2f}"
+    savings = (1.0 - row["written_tb"] / row["full_rewrite_tb"]
+               if row["full_rewrite_tb"] > 0 else 0.0)
+    out["sweep"][alpha] = {
+        "merges": int(row["merges"]),
+        "delta_merges": int(row["delta_merges"]),
+        "repacks": int(row["repacks"]),
+        "written_tb": round(row["written_tb"], 3),
+        "full_rewrite_tb": round(row["full_rewrite_tb"], 3),
+        "merge_io_savings": round(savings, 3),
+    }
+    if row["delta_merges"] <= 0:
+        failures.append(f"alpha {alpha}: no delta merges happened")
+    if row["written_tb"] >= row["full_rewrite_tb"]:
+        failures.append(
+            f"alpha {alpha}: delta wrote {row['written_tb']:.2f} TB, "
+            f"not less than the {row['full_rewrite_tb']:.2f} TB full-rewrite "
+            "counterfactual")
+
+for row in store:
+    images = str(int(row["images"]))
+    out["store"][images] = {
+        "dedup_ratio": round(row["dedup_ratio"], 2),
+        "update_delta_mb": round(row["update_delta_mb"], 2),
+        "update_full_mb": round(row["update_full_mb"], 2),
+        "repack_seconds": round(row["repack_seconds"], 4),
+        "repack_reclaimed_gb": round(row["repack_reclaimed_gb"], 2),
+        "repack_written_gb": round(row["repack_written_gb"], 2),
+    }
+    if row["update_delta_mb"] >= row["update_full_mb"]:
+        failures.append(
+            f"{images} images: delta update {row['update_delta_mb']:.1f} MB "
+            f">= full update {row['update_full_mb']:.1f} MB")
+    if row["dedup_ratio"] < 1.5:
+        failures.append(
+            f"{images} images: dedup ratio {row['dedup_ratio']:.2f}x below "
+            "1.5x (chunk sharing broke)")
+    if row["repack_reclaimed_gb"] <= 0:
+        failures.append(f"{images} images: repack reclaimed nothing")
+
+with open("BENCH_cas.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+if failures:
+    print("bench_cas: REGRESSION", file=sys.stderr)
+    for failure in failures:
+        print("  " + failure, file=sys.stderr)
+    sys.exit(1)
+print("bench_cas: gate passed (BENCH_cas.json written)")
+EOF

@@ -7,7 +7,8 @@
 # metrics gate: a short instrumented sim whose Prometheus snapshot must
 # parse and reconcile exactly with the decision-layer counters, and the
 # decision-index gate: the index-vs-scan equivalence oracle under ASan
-# plus the bench_decision.sh perf regression check.
+# plus the bench_decision.sh perf regression check, and the CAS gate:
+# bench_cas.sh's delta-vs-full merge-I/O regression check.
 #
 #   $ scripts/tier1.sh [jobs]
 #
@@ -27,24 +28,29 @@ cmake -B build-tsan -S . -DLANDLORD_SANITIZE=thread \
 cmake --build build-tsan --target concurrency_tests -j "$JOBS"
 ctest --test-dir build-tsan -L concurrency --output-on-failure -j "$JOBS"
 
-echo "== stage 2b: TSan build + fault/dispatch/serve chaos suites =="
+echo "== stage 2b: TSan build + fault/dispatch/serve/cas chaos suites =="
 # The dispatch plane locks WorkerPool::dispatch and the parallel driver
 # hammers it from several threads; replaying the chaos suites under
 # ThreadSanitizer catches races between churn, transfer retries, and
 # the head-node decision layer that the plain run cannot. The serve
 # suite adds the TCP service plane: concurrent clients, mid-storm
-# graceful drain, and bounded-queue admission under saturation.
-cmake --build build-tsan --target fault_tests dispatch_tests serve_tests -j "$JOBS"
-ctest --test-dir build-tsan -L 'fault|dispatch|serve' --output-on-failure -j "$JOBS"
+# graceful drain, and bounded-queue admission under saturation. The cas
+# suite adds the delta image store, whose eviction listener fires from
+# the sharded cache's locked regions.
+cmake --build build-tsan --target fault_tests dispatch_tests serve_tests \
+  cas_tests -j "$JOBS"
+ctest --test-dir build-tsan -L 'fault|dispatch|serve|cas' --output-on-failure -j "$JOBS"
 
-echo "== stage 3: ASan+UBSan build + fault/dispatch/serve-labelled tests =="
+echo "== stage 3: ASan+UBSan build + fault/dispatch/serve/cas-labelled tests =="
 # Under ASan+UBSan the serve suite doubles as the codec fuzz gate: the
 # malformed-frame corpus and byte-mutation tests must draw typed decode
-# errors with no over-read.
+# errors with no over-read. The cas suite does the same for the chunk
+# manifest codec (truncation/mutation sweeps, random garbage).
 cmake -B build-asan -S . -DLANDLORD_SANITIZE=address,undefined \
   -DLANDLORD_BUILD_BENCH=OFF -DLANDLORD_BUILD_EXAMPLES=OFF
-cmake --build build-asan --target fault_tests dispatch_tests serve_tests -j "$JOBS"
-ctest --test-dir build-asan -L 'fault|dispatch|serve' --output-on-failure -j "$JOBS"
+cmake --build build-asan --target fault_tests dispatch_tests serve_tests \
+  cas_tests -j "$JOBS"
+ctest --test-dir build-asan -L 'fault|dispatch|serve|cas' --output-on-failure -j "$JOBS"
 
 echo "== stage 4: metrics snapshot parse + counter/ladder reconciliation =="
 # Runs an instrumented sim + crash replay, writes the exposition, then
@@ -72,5 +78,14 @@ cmake --build build-asan --target perf_tests -j "$JOBS"
 ctest --test-dir build-asan -L perf --output-on-failure -j "$JOBS"
 cmake --build build --target micro_ops fig5_single_run -j "$JOBS"
 scripts/bench_decision.sh build
+
+echo "== stage 6: CAS delta-merge gate =="
+# The cas-labelled suite already ran under both sanitizers (stages 2b/3);
+# here the bench gate proves the headline number still holds: with
+# placements pinned bit-identical by the delta oracle, delta accounting
+# must write strictly fewer bytes than the full-rewrite counterfactual
+# at every alpha and every store size (writes BENCH_cas.json).
+cmake --build build --target ext_cas -j "$JOBS"
+scripts/bench_cas.sh build
 
 echo "tier-1: all stages passed"

@@ -56,6 +56,25 @@ void Cache::set_observability(obs::Observability* observability) {
   hooks_.request_bytes =
       &reg.histogram("landlord_cache_request_bytes", obs::default_bytes_buckets(), {},
                      "Bytes requested per container specification.");
+  if (config_.delta_chain_cap > 0) {
+    hooks_.cas_delta_merges =
+        &reg.counter("landlord_cas_delta_merges_total", {},
+                     "Merges charged as delta writes (new chunks + manifest).");
+    hooks_.cas_repacks =
+        &reg.counter("landlord_cas_repacks_total", {},
+                     "Merges that hit the delta-chain cap and rewrote in full.");
+    constexpr const char* kCasBytesHelp =
+        "Bytes written to image storage, by write kind.";
+    hooks_.cas_delta_bytes =
+        &reg.counter("landlord_cas_written_bytes_total", {{"kind", "delta"}},
+                     kCasBytesHelp);
+    hooks_.cas_repack_bytes =
+        &reg.counter("landlord_cas_written_bytes_total", {{"kind", "repack"}},
+                     kCasBytesHelp);
+    hooks_.cas_full_rewrite_bytes = &reg.counter(
+        "landlord_cas_full_rewrite_bytes_total", {},
+        "Counterfactual write charge under the paper's full-rewrite model.");
+  }
   if (config_.decision_index) {
     hooks_.postings_probe = &reg.histogram(
         "landlord_index_postings_probe_length",
@@ -352,6 +371,7 @@ Cache::Outcome Cache::request(const spec::Specification& spec) {
       pre_merge_bits = image.contents.bits();
       pre_merge_key = eviction_key(image);
     }
+    const util::Bytes pre_merge_bytes = image.bytes;
     index_erase(image);
     total_bytes_ -= image.bytes;
     ledger_remove(image.contents.bits());
@@ -374,8 +394,45 @@ Cache::Outcome Cache::request(const spec::Specification& spec) {
     image.lineage.push_back(spec.packages());
     total_bytes_ += image.bytes;
     // "Each time a merge occurs, the resulting image must be written out
-    // in its entirety" (§VI, Overhead of LANDLORD).
-    counters_.written_bytes += image.bytes;
+    // in its entirety" (§VI, Overhead of LANDLORD) — the counterfactual
+    // is always tracked; with a delta chain the actual charge is only
+    // the bytes the merge added plus a manifest, until the chain caps
+    // out and the next merge repacks. The branch never touches anything
+    // a decision reads, so delta mode replays bit-identically.
+    counters_.full_rewrite_bytes += image.bytes;
+    if (hooks_.cas_full_rewrite_bytes != nullptr) {
+      hooks_.cas_full_rewrite_bytes->inc(image.bytes);
+    }
+    if (config_.delta_chain_cap == 0) {
+      counters_.written_bytes += image.bytes;
+    } else if (image.chain_depth >= config_.delta_chain_cap) {
+      counters_.written_bytes += image.bytes;
+      counters_.repack_written_bytes += image.bytes;
+      ++counters_.repacks;
+      if (hooks_.cas_repacks != nullptr) hooks_.cas_repacks->inc();
+      if (hooks_.cas_repack_bytes != nullptr) {
+        hooks_.cas_repack_bytes->inc(image.bytes);
+      }
+      if (hooks_.trace != nullptr) {
+        obs::TraceEvent repack_event;
+        repack_event.kind = obs::EventKind::kRepack;
+        repack_event.image = to_value(image.id);
+        repack_event.bytes = image.bytes;
+        repack_event.aux = image.chain_depth;
+        hooks_.trace->record(repack_event);
+      }
+      image.chain_depth = 0;
+    } else {
+      // Merging unions contents, so the image can only have grown.
+      const util::Bytes charge =
+          (image.bytes - pre_merge_bytes) + config_.delta_manifest_bytes;
+      counters_.written_bytes += charge;
+      counters_.delta_written_bytes += charge;
+      ++counters_.delta_merges;
+      ++image.chain_depth;
+      if (hooks_.cas_delta_merges != nullptr) hooks_.cas_delta_merges->inc();
+      if (hooks_.cas_delta_bytes != nullptr) hooks_.cas_delta_bytes->inc(charge);
+    }
     ++counters_.merges;
     index_insert(image);
     if (dindex_) dindex_update(image, *pre_merge_bits, pre_merge_key);
@@ -391,6 +448,10 @@ Cache::Outcome Cache::request(const spec::Specification& spec) {
     total_bytes_ += image.bytes;
     ledger_add(image.contents.bits());
     counters_.written_bytes += image.bytes;
+    counters_.full_rewrite_bytes += image.bytes;
+    if (hooks_.cas_full_rewrite_bytes != nullptr) {
+      hooks_.cas_full_rewrite_bytes->inc(image.bytes);
+    }
     ++counters_.inserts;
     const ImageId id = image.id;
     const util::Bytes bytes = image.bytes;
@@ -500,7 +561,13 @@ ImageId Cache::split_image(ImageId id, const spec::Specification& spec) {
     remainder_lineage.push_back(std::move(entry));
   }
 
+  // Both split parts are fresh full writes in either accounting mode
+  // (a delta against the bloated chain would pin its dead constituents).
   counters_.written_bytes += part_a.bytes;
+  counters_.full_rewrite_bytes += part_a.bytes;
+  if (hooks_.cas_full_rewrite_bytes != nullptr) {
+    hooks_.cas_full_rewrite_bytes->inc(part_a.bytes);
+  }
   ++counters_.splits;
   if (hooks_.splits != nullptr) hooks_.splits->inc();
   const ImageId part_a_id = part_a.id;
@@ -518,20 +585,31 @@ ImageId Cache::split_image(ImageId id, const spec::Specification& spec) {
     bloated.lineage = std::move(remainder_lineage);
     bloated.merge_count = static_cast<std::uint32_t>(bloated.lineage.size()) - 1;
     ++bloated.version;
+    bloated.chain_depth = 0;  // rewritten in full; the old chain is gone
     total_bytes_ += bloated.bytes;
     ledger_add(bloated.contents.bits());
     counters_.written_bytes += bloated.bytes;
+    counters_.full_rewrite_bytes += bloated.bytes;
+    if (hooks_.cas_full_rewrite_bytes != nullptr) {
+      hooks_.cas_full_rewrite_bytes->inc(bloated.bytes);
+    }
     index_insert(bloated);
     if (dindex_) dindex_update(bloated, *pre_split_bits, pre_split_key);
+    // The remainder was rewritten in full, so the delta chain built for
+    // the pre-split image no longer describes what is on disk: invalidate
+    // it (the next build of this id starts a fresh base).
+    if (eviction_listener_) eviction_listener_(id, 0);
   } else {
     // The whole lineage was subsumed by part A: the bloated image dies.
     // Its postings entries and eviction key must die with it, or a
     // later probe can resurrect the erased id (the stale-postings
     // regression in tests/landlord/decision_index_test.cpp).
     if (dindex_) dindex_erase(*pre_split_bits, pre_split_key);
+    const util::Bytes dying_bytes = bloated.bytes;
     images_.erase(to_value(id));
     ++counters_.deletes;
     if (hooks_.evictions_split != nullptr) hooks_.evictions_split->inc();
+    if (eviction_listener_) eviction_listener_(id, dying_bytes);
   }
   return part_a_id;
 }
@@ -574,8 +652,11 @@ void Cache::evict_over_budget() {
                               eviction_key(victim->second));
     if (hooks_.evictions_budget != nullptr) hooks_.evictions_budget->inc();
     trace_eviction(victim->second, "budget");
+    const ImageId victim_id = victim->second.id;
+    const util::Bytes victim_bytes = victim->second.bytes;
     images_.erase(victim);
     ++counters_.deletes;
+    if (eviction_listener_) eviction_listener_(victim_id, victim_bytes);
   }
 }
 
@@ -590,8 +671,11 @@ void Cache::evict_idle() {
                                 eviction_key(it->second));
       if (hooks_.evictions_idle != nullptr) hooks_.evictions_idle->inc();
       trace_eviction(it->second, "idle");
+      const ImageId victim_id = it->second.id;
+      const util::Bytes victim_bytes = it->second.bytes;
       it = images_.erase(it);
       ++counters_.deletes;
+      if (eviction_listener_) eviction_listener_(victim_id, victim_bytes);
     } else {
       ++it;
     }

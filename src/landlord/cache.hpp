@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <optional>
@@ -78,6 +79,22 @@ struct CacheConfig {
   /// changes decisions. 0 always probes the index.
   std::size_t scan_cutover = 256;
 
+  /// Delta merges (extension): when > 0, a merge that rewrites an image
+  /// is charged only the *delta* — the bytes the merge added plus a
+  /// manifest — instead of the paper's full rewrite ("the resulting
+  /// image must be written out in its entirety", §VI), until the image
+  /// has stacked this many delta generations; the next merge then
+  /// repacks (full write, chain reset). Accounting only: decisions,
+  /// placements, and every non-write counter are bit-identical with the
+  /// knob on or off, and counters().full_rewrite_bytes always carries
+  /// the paper's counterfactual charge (tests/landlord/
+  /// delta_accounting_test.cpp and tests/sim/delta_oracle_test.cpp hold
+  /// both paths to that). 0 keeps full-rewrite accounting.
+  std::uint32_t delta_chain_cap = 0;
+  /// Write charge for one delta manifest (header + entries, fsync'd
+  /// alongside the new chunks).
+  util::Bytes delta_manifest_bytes = 64 * util::kKiB;
+
   /// Concurrency (extension): number of shards the image namespace is
   /// partitioned across by core::ShardedCache. 1 (the default) keeps
   /// today's single-map behaviour; core::Landlord routes through a
@@ -129,6 +146,18 @@ class Cache {
   [[nodiscard]] const TimeSeries& time_series() const noexcept { return series_; }
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::optional<Image> find(ImageId id) const;
+
+  /// Registers a callback fired whenever an image's on-disk chain dies:
+  /// the image leaves the cache (budget, idle, or split-empty eviction —
+  /// not merges, which keep the image's id), or a split rewrote the
+  /// remainder in full (the id stays; bytes reported as 0). The
+  /// image-store owner uses it to drop the image's chunk chain. Fired
+  /// after counters are updated; the callback must not re-enter the
+  /// cache. nullptr detaches.
+  using EvictionListener = std::function<void(ImageId, util::Bytes)>;
+  void set_eviction_listener(EvictionListener listener) {
+    eviction_listener_ = std::move(listener);
+  }
 
   /// Attaches (or detaches, with nullptr) an observability bundle.
   /// Metric handles are resolved once here; the request hot path then
@@ -223,6 +252,7 @@ class Cache {
   std::uint64_t id_counter_ = 0;
   CacheCounters counters_;
   TimeSeries series_;
+  EvictionListener eviction_listener_;
   std::vector<std::uint32_t> ledger_refs_;  ///< per-package image refcount
   util::Bytes ledger_unique_ = 0;
 
@@ -245,6 +275,12 @@ class Cache {
     obs::Counter* conflict_rejections = nullptr;
     obs::Histogram* candidate_scan = nullptr;
     obs::Histogram* request_bytes = nullptr;
+    // Delta-merge CAS families (registered only when delta_chain_cap > 0).
+    obs::Counter* cas_delta_merges = nullptr;
+    obs::Counter* cas_repacks = nullptr;
+    obs::Counter* cas_delta_bytes = nullptr;
+    obs::Counter* cas_repack_bytes = nullptr;
+    obs::Counter* cas_full_rewrite_bytes = nullptr;
     // Decision-index families (registered only when the knob is on).
     obs::Histogram* postings_probe = nullptr;
     obs::Counter* memo_hit = nullptr;

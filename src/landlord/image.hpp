@@ -39,6 +39,10 @@ struct Image {
   /// Bumped whenever the contents change (merge / split remainder), so
   /// downstream caches (worker nodes holding copies) can detect staleness.
   std::uint32_t version = 0;
+  /// Delta generations stacked on this image's on-disk chain since its
+  /// last full write (0 under the paper's full-rewrite accounting; reset
+  /// by repacks and by splits, which rewrite both parts in full).
+  std::uint32_t chain_depth = 0;
   /// Union of the version constraints of every spec merged into this
   /// image; future merge candidates must be compatible with these.
   std::vector<spec::VersionConstraint> constraints;

@@ -4,11 +4,25 @@
 
 namespace landlord::core {
 
+void Landlord::wire_eviction_listener() {
+  if (!builder_.delta_enabled()) return;
+  // The listener fires under the cache's internal lock; ImageStore's own
+  // mutex is a leaf, so the drop cannot deadlock or re-enter the cache.
+  auto on_evict = [this](ImageId id, util::Bytes) {
+    builder_.image_store().drop(to_value(id));
+  };
+  if (sharded_) {
+    sharded_->set_eviction_listener(on_evict);
+  } else {
+    cache_.set_eviction_listener(on_evict);
+  }
+}
+
 std::optional<shrinkwrap::BuiltImage> Landlord::build_with_retry(
     const spec::Specification& spec, fault::FaultOp op, double& backoff_seconds,
-    std::uint32_t& retries) {
+    std::uint32_t& retries, std::uint64_t image_key) {
   for (std::uint32_t attempt = 0;; ++attempt) {
-    auto built = builder_.try_build(spec, injector_, op);
+    auto built = builder_.try_build(spec, injector_, op, image_key);
     if (built.ok()) return std::move(built).value();
     degraded_.build_failures.fetch_add(1, std::memory_order_relaxed);
     if (attempt >= backoff_.max_retries) return std::nullopt;
@@ -165,7 +179,11 @@ JobPlacement Landlord::submit_impl(const spec::Specification& spec) {
   const fault::FaultOp op = outcome.kind == RequestKind::kInsert
                                 ? fault::FaultOp::kBuilderDownload
                                 : fault::FaultOp::kMergeRewrite;
-  auto built = build_with_retry(materialised, op, backoff_seconds, retries);
+  // Rung-1 builds materialise a cached image: key the delta store by its
+  // decision-layer id so merges stack deltas on its chain. Fallback
+  // rungs build one-off images and stay unkeyed (full-write accounting).
+  auto built = build_with_retry(materialised, op, backoff_seconds, retries,
+                                to_value(outcome.image));
 
   if (!built.has_value() && outcome.kind == RequestKind::kMerge) {
     // Rung 2: the merged image cannot be rewritten. Build an exact,
@@ -249,6 +267,8 @@ JobPlacement Landlord::submit_impl(const spec::Specification& spec) {
   if (!placement.degraded && hooks_.rung_build != nullptr) {
     hooks_.rung_build->inc();
   }
+  placement.content_digest = built->content_digest;
+  placement.bytes_written = built->written_bytes;
   placement.prep_seconds = built->prep_seconds + backoff_seconds;
   placement.build_retries = retries;
   prep_seconds_.fetch_add(placement.prep_seconds, std::memory_order_relaxed);
@@ -317,6 +337,13 @@ util::Result<std::size_t> Landlord::restore(std::istream& in,
   }
   degraded_.recovered_images.fetch_add(adopted, std::memory_order_relaxed);
   degraded_.lost_records.fetch_add(out.records_lost, std::memory_order_relaxed);
+  // The fresh decision layer numbers images from zero again, so stale
+  // delta chains keyed by pre-crash ids would collide with (and corrupt
+  // the accounting of) newly admitted images. Restored images are full
+  // on-disk files; their chains restart at a base write. The listener
+  // must also be re-wired — it was bound to the replaced cache.
+  builder_.image_store().clear();
+  wire_eviction_listener();
   // The decision layer was just replaced wholesale; without this the
   // observability attachment would silently vanish across a restart.
   if (obs_ != nullptr) {

@@ -51,6 +51,14 @@ struct JobPlacement {
   bool degraded = false;  ///< served via a fallback rung (docs/fault_model.md)
   bool failed = false;    ///< degradation ladder exhausted: no image prepared
   std::string error;      ///< why, when failed (empty otherwise)
+  /// Content digest of the image materialised for this placement (0 when
+  /// nothing was built — plain hits, rung-3 fallbacks, failures). The
+  /// delta-equivalence oracle compares these across accounting modes.
+  std::uint64_t content_digest = 0;
+  /// Bytes the build wrote to image storage (full image, or the delta
+  /// receipt when the builder's delta store is enabled). 0 when nothing
+  /// was built.
+  util::Bytes bytes_written = 0;
 };
 
 class Landlord {
@@ -60,15 +68,23 @@ class Landlord {
   /// `shards > 1` requests route through a core::ShardedCache and
   /// submit() may be called from multiple threads concurrently (the
   /// builder is serialised behind its own mutex; decisions are not).
+  /// `delta` enables chunk-level delta storage for built images: rung-1
+  /// builds are recorded in the builder's ImageStore keyed by their
+  /// decision-layer image id, and evictions drop the corresponding
+  /// chains. Decisions are unaffected (tests/sim/delta_oracle_test.cpp).
   Landlord(const pkg::Repository& repo, CacheConfig cache_config,
            shrinkwrap::FileTreeParams tree_params = {},
-           shrinkwrap::BuildTimeModel time_model = {})
+           shrinkwrap::BuildTimeModel time_model = {},
+           shrinkwrap::BuildNoiseModel noise = {},
+           shrinkwrap::DeltaBuildConfig delta = {})
       : repo_(&repo),
         cache_(repo, cache_config),
         sharded_(cache_config.shards > 1
                      ? std::make_unique<ShardedCache>(repo, cache_config)
                      : nullptr),
-        builder_(repo, tree_params, time_model) {}
+        builder_(repo, tree_params, time_model, noise, delta) {
+    wire_eviction_listener();
+  }
 
   /// Prepares a suitable container image for the job's specification and
   /// reports the placement. Image (re)builds are charged through the
@@ -173,7 +189,13 @@ class Landlord {
   /// into `backoff_seconds` and retry counts into `retries`.
   [[nodiscard]] std::optional<shrinkwrap::BuiltImage> build_with_retry(
       const spec::Specification& spec, fault::FaultOp op,
-      double& backoff_seconds, std::uint32_t& retries);
+      double& backoff_seconds, std::uint32_t& retries,
+      std::uint64_t image_key = shrinkwrap::kNoImageKey);
+
+  /// Connects the active decision layer's eviction stream to the
+  /// builder's delta store so evicted images release their chunk chains.
+  /// No-op (no listener installed) when delta storage is disabled.
+  void wire_eviction_listener();
 
   const pkg::Repository* repo_;
   Cache cache_;

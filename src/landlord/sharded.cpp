@@ -75,6 +75,25 @@ void ShardedCache::set_observability(obs::Observability* observability) {
   hooks_.cross_shard_moves =
       &reg.counter("landlord_shard_cross_moves_total", {},
                    "Images re-homed to another shard after a merge or split.");
+  if (config_.delta_chain_cap > 0) {
+    hooks_.cas_delta_merges =
+        &reg.counter("landlord_cas_delta_merges_total", {},
+                     "Merges charged as delta writes (new chunks + manifest).");
+    hooks_.cas_repacks =
+        &reg.counter("landlord_cas_repacks_total", {},
+                     "Merges that hit the delta-chain cap and rewrote in full.");
+    constexpr const char* kCasBytesHelp =
+        "Bytes written to image storage, by write kind.";
+    hooks_.cas_delta_bytes =
+        &reg.counter("landlord_cas_written_bytes_total", {{"kind", "delta"}},
+                     kCasBytesHelp);
+    hooks_.cas_repack_bytes =
+        &reg.counter("landlord_cas_written_bytes_total", {{"kind", "repack"}},
+                     kCasBytesHelp);
+    hooks_.cas_full_rewrite_bytes = &reg.counter(
+        "landlord_cas_full_rewrite_bytes_total", {},
+        "Counterfactual write charge under the paper's full-rewrite model.");
+  }
   if (config_.decision_index) {
     hooks_.postings_probe = &reg.histogram(
         "landlord_index_postings_probe_length",
@@ -343,6 +362,7 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
         pre_merge_key = eviction_key(image);
       }
       index_erase(shard, image);
+      const util::Bytes pre_merge_bytes = image.bytes;
       total_bytes_.fetch_sub(image.bytes);
       image.contents.merge(spec.packages());
       image.bytes = repo_->bytes_of(image.contents.bits());
@@ -358,7 +378,44 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
       }
       image.lineage.push_back(spec.packages());
       total_bytes_.fetch_add(image.bytes);
-      counters_.written_bytes.fetch_add(image.bytes, std::memory_order_relaxed);
+      // Delta accounting, mirroring the sequential merge arm exactly:
+      // full-rewrite counterfactual always, actual charge per the chain.
+      counters_.full_rewrite_bytes.fetch_add(image.bytes,
+                                             std::memory_order_relaxed);
+      if (hooks_.cas_full_rewrite_bytes != nullptr) {
+        hooks_.cas_full_rewrite_bytes->inc(image.bytes);
+      }
+      if (config_.delta_chain_cap == 0) {
+        counters_.written_bytes.fetch_add(image.bytes, std::memory_order_relaxed);
+      } else if (image.chain_depth >= config_.delta_chain_cap) {
+        counters_.written_bytes.fetch_add(image.bytes, std::memory_order_relaxed);
+        counters_.repack_written_bytes.fetch_add(image.bytes,
+                                                 std::memory_order_relaxed);
+        counters_.repacks.fetch_add(1, std::memory_order_relaxed);
+        if (hooks_.cas_repacks != nullptr) hooks_.cas_repacks->inc();
+        if (hooks_.cas_repack_bytes != nullptr) {
+          hooks_.cas_repack_bytes->inc(image.bytes);
+        }
+        if (hooks_.trace != nullptr) {
+          obs::TraceEvent repack_event;
+          repack_event.kind = obs::EventKind::kRepack;
+          repack_event.image = to_value(image.id);
+          repack_event.bytes = image.bytes;
+          repack_event.aux = image.chain_depth;
+          hooks_.trace->record(repack_event);
+        }
+        image.chain_depth = 0;
+      } else {
+        const util::Bytes charge =
+            (image.bytes - pre_merge_bytes) + config_.delta_manifest_bytes;
+        counters_.written_bytes.fetch_add(charge, std::memory_order_relaxed);
+        counters_.delta_written_bytes.fetch_add(charge,
+                                                std::memory_order_relaxed);
+        counters_.delta_merges.fetch_add(1, std::memory_order_relaxed);
+        ++image.chain_depth;
+        if (hooks_.cas_delta_merges != nullptr) hooks_.cas_delta_merges->inc();
+        if (hooks_.cas_delta_bytes != nullptr) hooks_.cas_delta_bytes->inc(charge);
+      }
       counters_.merges.fetch_add(1, std::memory_order_relaxed);
       if (hooks_.requests_merge != nullptr) hooks_.requests_merge->inc();
       merge_outcome = {RequestKind::kMerge, image.id, image.bytes, false};
@@ -392,6 +449,10 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
     image.lineage.push_back(spec.packages());
     total_bytes_.fetch_add(image.bytes);
     counters_.written_bytes.fetch_add(image.bytes, std::memory_order_relaxed);
+    counters_.full_rewrite_bytes.fetch_add(image.bytes, std::memory_order_relaxed);
+    if (hooks_.cas_full_rewrite_bytes != nullptr) {
+      hooks_.cas_full_rewrite_bytes->inc(image.bytes);
+    }
     counters_.inserts.fetch_add(1, std::memory_order_relaxed);
     if (hooks_.requests_insert != nullptr) hooks_.requests_insert->inc();
     const Cache::Outcome outcome{RequestKind::kInsert, image.id, image.bytes, false};
@@ -478,7 +539,12 @@ Cache::Outcome ShardedCache::split_locked(std::unique_lock<std::mutex>& source_l
     remainder_lineage.push_back(std::move(entry));
   }
 
+  // Both split parts are fresh full writes in either accounting mode.
   counters_.written_bytes.fetch_add(part_a.bytes, std::memory_order_relaxed);
+  counters_.full_rewrite_bytes.fetch_add(part_a.bytes, std::memory_order_relaxed);
+  if (hooks_.cas_full_rewrite_bytes != nullptr) {
+    hooks_.cas_full_rewrite_bytes->inc(part_a.bytes);
+  }
   counters_.splits.fetch_add(1, std::memory_order_relaxed);
   if (hooks_.splits != nullptr) hooks_.splits->inc();
   total_bytes_.fetch_add(part_a.bytes);
@@ -495,18 +561,30 @@ Cache::Outcome ShardedCache::split_locked(std::unique_lock<std::mutex>& source_l
     bloated.lineage = std::move(remainder_lineage);
     bloated.merge_count = static_cast<std::uint32_t>(bloated.lineage.size()) - 1;
     ++bloated.version;
+    bloated.chain_depth = 0;  // rewritten in full; the old chain is gone
     total_bytes_.fetch_add(bloated.bytes);
     counters_.written_bytes.fetch_add(bloated.bytes, std::memory_order_relaxed);
+    counters_.full_rewrite_bytes.fetch_add(bloated.bytes,
+                                           std::memory_order_relaxed);
+    if (hooks_.cas_full_rewrite_bytes != nullptr) {
+      hooks_.cas_full_rewrite_bytes->inc(bloated.bytes);
+    }
     index_insert(shard, bloated);
     if (shard.dindex) dindex_update(shard, bloated, *pre_split_bits, pre_split_key);
+    // The remainder was rewritten in full: the delta chain built for the
+    // pre-split image no longer describes what is on disk. Invalidate it
+    // (the next build of this id starts a fresh base).
+    if (eviction_listener_) eviction_listener_(bloated.id, 0);
   } else {
     // The erased id's postings entries and eviction key must die with
     // it, or a later probe can resurrect it.
     if (shard.dindex) dindex_erase(shard, *pre_split_bits, pre_split_key);
+    const ImageId dying_id = bloated.id;
     shard.images.erase(to_value(bloated.id));  // `bloated` dangles past here
     image_count_.fetch_sub(1);
     counters_.deletes.fetch_add(1, std::memory_order_relaxed);
     if (hooks_.evictions_split != nullptr) hooks_.evictions_split->inc();
+    if (eviction_listener_) eviction_listener_(dying_id, pre_split_bytes);
   }
 
   // Place part A on its home shard. Lock order is increasing index:
@@ -613,9 +691,11 @@ void ShardedCache::enforce_budget(std::uint64_t now) {
       event.detail = "budget";
       hooks_.trace->record(event);
     }
+    const util::Bytes victim_bytes = it->second.bytes;
     shard.images.erase(it);
     image_count_.fetch_sub(1);
     counters_.deletes.fetch_add(1, std::memory_order_relaxed);
+    if (eviction_listener_) eviction_listener_(ImageId{best.id}, victim_bytes);
   }
 }
 
@@ -631,9 +711,12 @@ void ShardedCache::evict_idle(std::uint64_t now) {
         index_erase(shard, image);
         dindex_erase(shard, image.contents.bits(), eviction_key(image));
         if (hooks_.evictions_idle != nullptr) hooks_.evictions_idle->inc();
+        const ImageId victim_id = image.id;
+        const util::Bytes victim_bytes = image.bytes;
         it = shard.images.erase(it);
         image_count_.fetch_sub(1);
         counters_.deletes.fetch_add(1, std::memory_order_relaxed);
+        if (eviction_listener_) eviction_listener_(victim_id, victim_bytes);
       } else {
         ++it;
       }
@@ -731,6 +814,11 @@ CacheCounters ShardedCache::counters() const {
   out.conflict_rejections = counters_.conflict_rejections.load();
   out.requested_bytes = counters_.requested_bytes.load();
   out.written_bytes = counters_.written_bytes.load();
+  out.delta_merges = counters_.delta_merges.load();
+  out.repacks = counters_.repacks.load();
+  out.delta_written_bytes = counters_.delta_written_bytes.load();
+  out.repack_written_bytes = counters_.repack_written_bytes.load();
+  out.full_rewrite_bytes = counters_.full_rewrite_bytes.load();
   out.container_efficiency_sum = counters_.container_efficiency_sum.load();
   out.optimistic_retries = counters_.optimistic_retries.load();
   out.cross_shard_moves = counters_.cross_shard_moves.load();

@@ -113,6 +113,15 @@ class ShardedCache {
   /// rebuild; nullopt when consistent or the index is disabled.
   [[nodiscard]] std::optional<std::string> check_decision_index() const;
 
+  /// Registers a callback fired whenever an image leaves the cache (see
+  /// Cache::set_eviction_listener). Fired while the victim's shard lock
+  /// is held; the callback must not re-enter the cache. Set before
+  /// concurrent use (the slot itself is unsynchronised). nullptr
+  /// detaches.
+  void set_eviction_listener(Cache::EvictionListener listener) {
+    eviction_listener_ = std::move(listener);
+  }
+
   /// Attaches (or detaches, with nullptr) an observability bundle; see
   /// Cache::set_observability for the contract. Counters are bumped
   /// inline next to their AtomicCounters twins (so the two reconcile
@@ -212,11 +221,17 @@ class ShardedCache {
     std::atomic<std::uint64_t> conflict_rejections{0};
     std::atomic<util::Bytes> requested_bytes{0};
     std::atomic<util::Bytes> written_bytes{0};
+    std::atomic<std::uint64_t> delta_merges{0};
+    std::atomic<std::uint64_t> repacks{0};
+    std::atomic<util::Bytes> delta_written_bytes{0};
+    std::atomic<util::Bytes> repack_written_bytes{0};
+    std::atomic<util::Bytes> full_rewrite_bytes{0};
     std::atomic<double> container_efficiency_sum{0.0};
     std::atomic<std::uint64_t> optimistic_retries{0};
     std::atomic<std::uint64_t> cross_shard_moves{0};
   };
   AtomicCounters counters_;
+  Cache::EvictionListener eviction_listener_;
 
   /// Metric handles resolved at set_observability; null ⇒ no-op.
   struct Hooks {
@@ -231,6 +246,12 @@ class ShardedCache {
     obs::Counter* lock_contentions = nullptr;
     obs::Counter* optimistic_retries = nullptr;
     obs::Counter* cross_shard_moves = nullptr;
+    // Delta-merge CAS families (registered only when delta_chain_cap > 0).
+    obs::Counter* cas_delta_merges = nullptr;
+    obs::Counter* cas_repacks = nullptr;
+    obs::Counter* cas_delta_bytes = nullptr;
+    obs::Counter* cas_repack_bytes = nullptr;
+    obs::Counter* cas_full_rewrite_bytes = nullptr;
     // Decision-index families (registered only when the knob is on).
     obs::Histogram* postings_probe = nullptr;
     obs::Counter* memo_hit = nullptr;

@@ -27,6 +27,19 @@ struct CacheCounters {
   util::Bytes requested_bytes = 0;  ///< Σ size of what each job asked for
   util::Bytes written_bytes = 0;    ///< Σ bytes written creating/merging images
 
+  // ---- Delta-merge accounting (all 0 when delta_chain_cap == 0, the
+  // paper's full-rewrite model). Delta mode never changes decisions —
+  // only how merge writes are charged — so every counter above stays
+  // bit-identical with delta on or off except written_bytes, whose
+  // full-rewrite counterfactual is preserved below. ----
+  std::uint64_t delta_merges = 0;  ///< merges charged as delta writes
+  std::uint64_t repacks = 0;       ///< chain flattenings (cap reached)
+  util::Bytes delta_written_bytes = 0;   ///< Σ bytes charged to delta merges
+  util::Bytes repack_written_bytes = 0;  ///< Σ bytes charged to repacks
+  /// What written_bytes would have been under full-rewrite accounting;
+  /// equals written_bytes exactly when delta merges are off.
+  util::Bytes full_rewrite_bytes = 0;
+
   // ---- Concurrency observability (ShardedCache only; always 0 for the
   // sequential Cache and for any sharded run with a single thread). ----
   std::uint64_t shard_lock_contentions = 0;  ///< shard-lock waits (try_lock missed)

@@ -39,6 +39,7 @@ enum class EventKind : std::uint8_t {
   kServeConnection,     ///< service plane accepted or closed a connection
   kServeOverload,       ///< admission control rejected a submit frame
   kServeDrain,          ///< service plane began or completed graceful drain
+  kRepack,              ///< a merge hit the delta-chain cap and rewrote in full
 };
 
 [[nodiscard]] constexpr const char* to_string(EventKind kind) noexcept {
@@ -63,6 +64,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::kServeConnection: return "serve-connection";
     case EventKind::kServeOverload: return "serve-overload";
     case EventKind::kServeDrain: return "serve-drain";
+    case EventKind::kRepack: return "repack";
   }
   return "?";
 }

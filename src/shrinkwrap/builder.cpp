@@ -1,5 +1,8 @@
 #include "shrinkwrap/builder.hpp"
 
+#include <cassert>
+#include <vector>
+
 namespace landlord::shrinkwrap {
 
 namespace {
@@ -14,60 +17,98 @@ constexpr std::uint64_t digest_mix(std::uint64_t a, std::uint64_t b) noexcept {
 
 ImageBuilder::ImageBuilder(const pkg::Repository& repo,
                            FileTreeParams tree_params, BuildTimeModel time_model,
-                           BuildNoiseModel noise)
+                           BuildNoiseModel noise, DeltaBuildConfig delta)
     : repo_(&repo),
       trees_(repo, tree_params),
       time_model_(time_model),
-      noise_(noise) {}
+      noise_(noise),
+      delta_(delta),
+      store_(delta.store) {}
 
 double ImageBuilder::model_seconds(util::Bytes bytes, util::Bytes fetched,
                                    std::uint64_t files) const noexcept {
+  return model_seconds(bytes, fetched, files, bytes);
+}
+
+double ImageBuilder::model_seconds(util::Bytes bytes, util::Bytes fetched,
+                                   std::uint64_t files,
+                                   util::Bytes written) const noexcept {
+  (void)bytes;
   return time_model_.fixed_overhead_s +
          static_cast<double>(fetched) / time_model_.download_bytes_per_s +
-         static_cast<double>(bytes) / time_model_.compress_bytes_per_s +
+         static_cast<double>(written) / time_model_.compress_bytes_per_s +
          static_cast<double>(files) * time_model_.per_file_s;
 }
 
 util::Result<BuiltImage> ImageBuilder::try_build(const spec::Specification& spec,
                                                  fault::FaultInjector* faults,
-                                                 fault::FaultOp op) {
+                                                 fault::FaultOp op,
+                                                 std::uint64_t image_key) {
   if (faults != nullptr && faults->should_fail(op)) {
     return util::Error{std::string("injected ") + fault::to_string(op) +
                        " failure (occurrence " +
                        std::to_string(faults->occurrences(op) - 1) + ")"};
   }
-  return build(spec);
+  return build(spec, image_key);
 }
 
-BuiltImage ImageBuilder::build(const spec::Specification& spec) {
+BuiltImage ImageBuilder::build(const spec::Specification& spec,
+                               std::uint64_t image_key) {
   ++build_counter_;
   BuiltImage out;
+  const bool track = delta_.enabled && image_key != kNoImageKey;
+  std::vector<ChunkRef> tree;
   // Order-independent content digest: XOR of per-file mixed hashes, so
   // two images with identical file contents digest identically.
   std::uint64_t digest = 0;
+  const auto record_file = [&](ChunkHash content, util::Bytes size,
+                               bool local) {
+    out.bytes += size;
+    ++out.files;
+    // Locally generated files (build noise) are never downloaded.
+    if (!local && !cache_.contains(content)) out.fetched_bytes += size;
+    // Same content always re-registers with the same size (sizes are
+    // derived from the content hash), so this cannot fail.
+    auto added = cache_.add_chunk(content, size);
+    assert(added.ok());
+    (void)added;
+    digest ^= digest_mix(content, size);
+    if (track) {
+      const auto spans = model_chunks(content, size, delta_.store.chunker);
+      tree.insert(tree.end(), spans.begin(), spans.end());
+    }
+  };
   spec.packages().for_each([&](pkg::PackageId id) {
     for (const auto& file : trees_.files(id)) {
-      out.bytes += file.size;
-      ++out.files;
-      if (!cache_.contains(file.content)) {
-        out.fetched_bytes += file.size;
-      }
-      cache_.add_chunk(file.content, file.size);
-      digest ^= digest_mix(file.content, file.size);
+      record_file(file.content, file.size, /*local=*/false);
     }
   });
   // Build noise: timestamps, logs, byproducts unique to this invocation.
   for (std::uint32_t n = 0; n < noise_.noise_files; ++n) {
     const ChunkHash noise_chunk =
         digest_mix(0x6e6f697365ULL + build_counter_, n);
-    out.bytes += noise_.noise_file_bytes;
-    ++out.files;
-    out.fetched_bytes += 0;  // generated locally, not downloaded
-    cache_.add_chunk(noise_chunk, noise_.noise_file_bytes);
-    digest ^= digest_mix(noise_chunk, noise_.noise_file_bytes);
+    record_file(noise_chunk, noise_.noise_file_bytes, /*local=*/true);
   }
   out.content_digest = digest;
-  out.prep_seconds = model_seconds(out.bytes, out.fetched_bytes, out.files);
+
+  out.written_bytes = out.bytes;  // the paper's full-rewrite charge
+  bool delta_write = false;
+  if (track) {
+    auto receipt = store_.put(image_key, tree);
+    // A put error (chunk-identity collision) falls back to full-rewrite
+    // accounting rather than failing the build: the image itself is
+    // fine, only its delta bookkeeping is not.
+    if (receipt.ok()) {
+      out.written_bytes = receipt.value().bytes_written;
+      out.chain_depth = receipt.value().chain_depth;
+      out.delta_write = receipt.value().delta;
+      out.repacked = receipt.value().repacked;
+      delta_write = receipt.value().delta;
+    }
+  }
+  out.prep_seconds =
+      model_seconds(out.bytes, out.fetched_bytes, out.files, out.written_bytes) +
+      (delta_write ? time_model_.delta_overhead_s : 0.0);
   return out;
 }
 

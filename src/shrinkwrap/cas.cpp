@@ -1,18 +1,22 @@
 #include "shrinkwrap/cas.hpp"
 
-#include <cassert>
+#include <string>
 
 namespace landlord::shrinkwrap {
 
-void Cas::add_chunk(ChunkHash hash, util::Bytes size) {
+util::Result<bool> Cas::add_chunk(ChunkHash hash, util::Bytes size) {
   auto [it, inserted] = chunks_.try_emplace(hash, Entry{size, 0});
   if (inserted) {
     unique_bytes_ += size;
-  } else {
-    assert(it->second.size == size && "chunk hash re-registered with new size");
+  } else if (it->second.size != size) {
+    return util::Error{"chunk " + std::to_string(hash) +
+                       " re-registered with size " + std::to_string(size) +
+                       " but the store holds " +
+                       std::to_string(it->second.size)};
   }
   ++it->second.refs;
   logical_bytes_ += it->second.size;
+  return inserted;
 }
 
 void Cas::drop_chunk(ChunkHash hash) {

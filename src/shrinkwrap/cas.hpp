@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "util/bytes.hpp"
+#include "util/result.hpp"
 
 namespace landlord::shrinkwrap {
 
@@ -20,10 +22,13 @@ using ChunkHash = std::uint64_t;
 
 class Cas {
  public:
-  /// Registers a reference to a chunk; inserts it on first reference.
-  /// Re-registering with a different size is a content-model bug and
-  /// asserts in debug builds (hash collisions are out of model).
-  void add_chunk(ChunkHash hash, util::Bytes size);
+  /// Registers a reference to a chunk; inserts it on first reference and
+  /// returns true exactly then. Re-registering a hash with a different
+  /// size is a typed error — a content-model bug or a manifest corrupted
+  /// on disk (hash collisions are out of model) — and leaves the store
+  /// untouched, so callers can surface it instead of silently corrupting
+  /// the byte ledgers (this used to be a debug-only assert).
+  [[nodiscard]] util::Result<bool> add_chunk(ChunkHash hash, util::Bytes size);
 
   /// Drops one reference; the chunk is freed when the count reaches zero.
   /// Dropping an unknown chunk is a no-op (idempotent cleanup).
@@ -31,6 +36,19 @@ class Cas {
 
   [[nodiscard]] bool contains(ChunkHash hash) const noexcept {
     return chunks_.contains(hash);
+  }
+
+  /// Live reference count for a chunk; 0 when absent.
+  [[nodiscard]] std::uint32_t refs(ChunkHash hash) const noexcept {
+    const auto it = chunks_.find(hash);
+    return it == chunks_.end() ? 0 : it->second.refs;
+  }
+
+  /// Registered size of a chunk, when present.
+  [[nodiscard]] std::optional<util::Bytes> size_of(ChunkHash hash) const {
+    const auto it = chunks_.find(hash);
+    if (it == chunks_.end()) return std::nullopt;
+    return it->second.size;
   }
 
   /// Number of distinct chunks currently referenced.
@@ -41,6 +59,13 @@ class Cas {
 
   /// Total logical bytes across all references (pre-dedup footprint).
   [[nodiscard]] util::Bytes logical_bytes() const noexcept { return logical_bytes_; }
+
+  /// Visits every chunk as fn(hash, size, refs) in unspecified order —
+  /// what the from-scratch ledger reconciliation recomputes from.
+  template <typename Fn>
+  void for_each_chunk(Fn&& fn) const {
+    for (const auto& [hash, entry] : chunks_) fn(hash, entry.size, entry.refs);
+  }
 
  private:
   struct Entry {

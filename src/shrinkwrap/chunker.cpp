@@ -1,0 +1,137 @@
+#include "shrinkwrap/chunker.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/checksum.hpp"
+#include "util/rng.hpp"
+
+namespace landlord::shrinkwrap {
+
+namespace {
+
+/// Number of mask bits giving an expected run of ~`span` bytes between
+/// cut hits (P(cut) = 2^-bits per byte).
+[[nodiscard]] int mask_bits_for(util::Bytes span) noexcept {
+  int bits = 1;
+  while ((1ULL << bits) < span && bits < 48) ++bits;
+  return bits;
+}
+
+/// A mask of `bits` set bits spread across the gear hash's upper half,
+/// where bytes from the whole window have mixed in (the low bits only
+/// see the most recent byte).
+[[nodiscard]] std::uint64_t spread_mask(int bits, std::uint64_t seed) noexcept {
+  std::uint64_t mask = 0;
+  std::uint64_t state = seed ^ 0x6d61736bULL;  // "mask"
+  int placed = 0;
+  while (placed < bits) {
+    const int bit = 16 + static_cast<int>(util::splitmix64(state) % 48);
+    const std::uint64_t flag = 1ULL << bit;
+    if ((mask & flag) == 0) {
+      mask |= flag;
+      ++placed;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+Chunker::Chunker(ChunkerParams params) : params_(params) {
+  assert(params_.valid() && "chunker params must satisfy min <= target <= max");
+  std::uint64_t state = params_.seed;
+  for (auto& entry : gear_) entry = util::splitmix64(state);
+  // FastCDC normalisation: harder mask before the normal (target) point
+  // so small chunks are rare, easier mask after it so oversized chunks
+  // are rare. +2/-2 bits shifts the cut probability by 4x each way.
+  const int bits = mask_bits_for(params_.target_size);
+  mask_strict_ = spread_mask(std::min(bits + 2, 48), params_.seed);
+  mask_relaxed_ = spread_mask(std::max(bits - 2, 1), params_.seed + 1);
+}
+
+std::size_t Chunker::cut_point(const std::uint8_t* data,
+                               std::size_t size) const noexcept {
+  if (size <= params_.min_size) return size;
+  const std::size_t normal = std::min<std::size_t>(size, params_.target_size);
+  const std::size_t cap = std::min<std::size_t>(size, params_.max_size);
+  std::uint64_t hash = 0;
+  // The gear hash warms up over the skipped minimum-size prefix's tail
+  // so the first eligible position already sees a full window.
+  std::size_t i = params_.min_size >= 64 ? params_.min_size - 64 : 0;
+  for (; i < params_.min_size; ++i) hash = (hash << 1) + gear_[data[i]];
+  for (; i < normal; ++i) {
+    hash = (hash << 1) + gear_[data[i]];
+    if ((hash & mask_strict_) == 0) return i + 1;
+  }
+  for (; i < cap; ++i) {
+    hash = (hash << 1) + gear_[data[i]];
+    if ((hash & mask_relaxed_) == 0) return i + 1;
+  }
+  return cap;
+}
+
+std::vector<ChunkSpan> Chunker::chunk(const std::uint8_t* data,
+                                      std::size_t size) const {
+  std::vector<ChunkSpan> out;
+  std::size_t offset = 0;
+  while (offset < size) {
+    const std::size_t len = cut_point(data + offset, size - offset);
+    ChunkSpan span;
+    span.offset = offset;
+    span.size = len;
+    span.hash = util::fnv1a64(
+        std::string_view(reinterpret_cast<const char*>(data + offset), len),
+        util::kFnv1aOffset ^ params_.seed);
+    out.push_back(span);
+    offset += len;
+  }
+  return out;
+}
+
+ChunkHash chunk_id(ChunkHash file_content, std::uint64_t ordinal,
+                   std::uint64_t seed) noexcept {
+  // Weyl-step the ordinal rather than XOR-folding it: XOR lets files
+  // whose content hashes differ only in low bits collide at shifted
+  // ordinals ((c ^ 2, ord) vs (c, ord + 1)), which matters when callers
+  // feed small synthetic content ids.
+  std::uint64_t state = file_content + 0x9e3779b97f4a7c15ULL * (ordinal + 1);
+  state ^= seed * 0xff51afd7ed558ccdULL;
+  const std::uint64_t a = util::splitmix64(state);
+  return a ^ util::splitmix64(state);
+}
+
+std::vector<ChunkRef> model_chunks(ChunkHash file_content,
+                                   util::Bytes file_size,
+                                   const ChunkerParams& params) {
+  assert(params.valid());
+  std::vector<ChunkRef> out;
+  if (file_size == 0) return out;
+  // Cut-point stream seeded by the file's content identity alone, so a
+  // file shared across package versions expands to identical chunks and
+  // dedups in the chunk CAS exactly like its whole-file hash used to.
+  std::uint64_t state = file_content ^ (params.seed * 0xff51afd7ed558ccdULL);
+  util::Bytes offset = 0;
+  std::uint64_t ordinal = 0;
+  const double spread =
+      static_cast<double>(params.target_size - params.min_size + 1);
+  while (offset < file_size) {
+    const util::Bytes remaining = file_size - offset;
+    util::Bytes len = remaining;
+    if (remaining > params.min_size) {
+      // Exponential gap past the minimum — the renewal process a
+      // mask-hit chunker induces — clamped to the FastCDC max.
+      const double u =
+          static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+      const auto gap = static_cast<util::Bytes>(-std::log1p(-u) * spread);
+      len = std::min({params.min_size + gap, params.max_size, remaining});
+    }
+    out.push_back(ChunkRef{chunk_id(file_content, ordinal, params.seed), len});
+    offset += len;
+    ++ordinal;
+  }
+  return out;
+}
+
+}  // namespace landlord::shrinkwrap

@@ -1,0 +1,104 @@
+// Content-defined chunking for the shrinkwrap CAS.
+//
+// CVMFS (and Charliecloud's Git-backed build cache) deduplicate at block
+// granularity, not file granularity: a rebuilt package whose files shift
+// by a few bytes still shares almost every block with its predecessor.
+// This module provides the two forms the simulator needs:
+//
+//   1. Chunker::chunk() — a real, seeded FastCDC-style chunker over byte
+//      buffers. Boundaries are chosen where a gear rolling hash meets a
+//      mask, so they depend only on local content: inserting or deleting
+//      bytes mid-stream disturbs O(1) chunks before the boundaries
+//      re-synchronise. The property suite (tests/shrinkwrap/
+//      chunker_test.cpp) drives this implementation directly.
+//
+//   2. model_chunks() — the analytic twin used on the simulator hot
+//      path. Modelled files carry only (content hash, size); expanding
+//      them byte-for-byte per build would be absurd, so we sample cut
+//      points from the same (min, target, max) size distribution,
+//      seeded by the file's content hash. Identical content hash ⇒
+//      identical chunk list, so cross-version file sharing dedups at
+//      chunk granularity exactly as it would with real bytes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "shrinkwrap/cas.hpp"
+#include "util/bytes.hpp"
+
+namespace landlord::shrinkwrap {
+
+struct ChunkerParams {
+  util::Bytes min_size = 256 * util::kKiB;
+  util::Bytes target_size = util::kMiB;  ///< expected chunk size (normal point)
+  util::Bytes max_size = 4 * util::kMiB;
+  /// Seeds the gear table (real chunker) and the cut-point stream
+  /// (modelled chunker). Two parties sharing a seed agree on identity.
+  std::uint64_t seed = 0x63646331ULL;  // "cdc1"
+
+  [[nodiscard]] bool valid() const noexcept {
+    return min_size > 0 && min_size <= target_size && target_size <= max_size;
+  }
+};
+
+/// One chunk of a byte stream.
+struct ChunkSpan {
+  std::size_t offset = 0;
+  util::Bytes size = 0;
+  ChunkHash hash = 0;  ///< FNV-1a over the chunk's bytes, seeded
+};
+
+/// A (hash, size) chunk reference — what manifests and the CAS store.
+struct ChunkRef {
+  ChunkHash hash = 0;
+  util::Bytes size = 0;
+
+  [[nodiscard]] bool operator==(const ChunkRef&) const noexcept = default;
+};
+
+/// Seeded FastCDC-style content-defined chunker. Stateless between
+/// calls; two Chunkers with equal params agree exactly.
+class Chunker {
+ public:
+  explicit Chunker(ChunkerParams params = {});
+
+  /// Splits `data` into content-defined chunks covering it exactly.
+  /// Every chunk is in [min_size, max_size] except a final runt.
+  [[nodiscard]] std::vector<ChunkSpan> chunk(const std::uint8_t* data,
+                                             std::size_t size) const;
+  [[nodiscard]] std::vector<ChunkSpan> chunk(
+      const std::vector<std::uint8_t>& data) const {
+    return chunk(data.data(), data.size());
+  }
+
+  [[nodiscard]] const ChunkerParams& params() const noexcept { return params_; }
+
+ private:
+  /// Finds the next cut point in [min, max] bytes from `data`.
+  [[nodiscard]] std::size_t cut_point(const std::uint8_t* data,
+                                      std::size_t size) const noexcept;
+
+  ChunkerParams params_;
+  std::array<std::uint64_t, 256> gear_{};
+  std::uint64_t mask_strict_ = 0;   ///< before the normal point: cut rarely
+  std::uint64_t mask_relaxed_ = 0;  ///< past the normal point: cut eagerly
+};
+
+/// Stable chunk identity for modelled content: mixes the owning file's
+/// content hash, the chunk ordinal, and the chunker seed.
+[[nodiscard]] ChunkHash chunk_id(ChunkHash file_content, std::uint64_t ordinal,
+                                 std::uint64_t seed) noexcept;
+
+/// Analytically expands a modelled file (content hash + size) into the
+/// chunk list the real chunker would plausibly produce: deterministic in
+/// (content, size, params), sizes sum exactly to `size`, every chunk in
+/// [min_size, max_size] except a final runt. Identical inputs across
+/// builds, versions, and processes yield identical chunk identities.
+[[nodiscard]] std::vector<ChunkRef> model_chunks(ChunkHash file_content,
+                                                 util::Bytes file_size,
+                                                 const ChunkerParams& params);
+
+}  // namespace landlord::shrinkwrap

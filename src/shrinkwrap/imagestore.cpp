@@ -1,0 +1,425 @@
+#include "shrinkwrap/imagestore.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace landlord::shrinkwrap {
+
+namespace {
+
+/// Encoded size of a manifest with `entries` chunk entries.
+[[nodiscard]] util::Bytes manifest_encoded_bytes(std::size_t entries) noexcept {
+  return kManifestHeaderSize + entries * kManifestEntrySize +
+         sizeof(std::uint64_t);
+}
+
+/// Canonical entry order so a manifest's encoding (and so its digest) is
+/// independent of hash-map iteration order.
+void sort_chunks(std::vector<ChunkRef>& chunks) {
+  std::sort(chunks.begin(), chunks.end(),
+            [](const ChunkRef& a, const ChunkRef& b) { return a.hash < b.hash; });
+}
+
+}  // namespace
+
+ImageStore::ImageStore(ImageStoreConfig config) : config_(config) {}
+
+util::Result<WriteReceipt> ImageStore::put(std::uint64_t key,
+                                           const std::vector<ChunkRef>& tree) {
+  std::scoped_lock lock(mutex_);
+
+  // Deduplicate the tree: an image stores each distinct chunk once even
+  // when several files share content.
+  std::unordered_map<ChunkHash, util::Bytes> live;
+  live.reserve(tree.size());
+  util::Bytes live_bytes = 0;
+  for (const ChunkRef& chunk : tree) {
+    auto [it, inserted] = live.try_emplace(chunk.hash, chunk.size);
+    if (inserted) {
+      live_bytes += chunk.size;
+    } else if (it->second != chunk.size) {
+      return util::Error{"chunk " + std::to_string(chunk.hash) +
+                         " appears twice in one tree with sizes " +
+                         std::to_string(it->second) + " and " +
+                         std::to_string(chunk.size)};
+    }
+  }
+
+  auto [entry_it, fresh] = images_.try_emplace(key);
+  Entry& entry = entry_it->second;
+  ++stats_.puts;
+
+  if (fresh) {
+    auto receipt = put_base_locked(key, entry, std::move(live), live_bytes);
+    if (!receipt.ok()) images_.erase(entry_it);
+    return receipt;
+  }
+
+  // A put while a repack is prepared first finishes the repack (the new
+  // base is durable; the old chain is garbage either way).
+  if (entry.pending_base.has_value()) {
+    const WriteReceipt committed = commit_locked(entry);
+    stats_.reclaimed_bytes += committed.reclaimed_bytes;
+  }
+
+  // Chain at the cap: flatten to the *incoming* tree rather than stack
+  // one more delta. Everything in the old chain the new tree no longer
+  // names is reclaimed.
+  if (entry.chain.size() > config_.chain_cap) {
+    util::Bytes retained = 0;
+    for (const auto& [hash, size] : live) {
+      if (entry.chain_set.contains(hash)) retained += size;
+    }
+    const util::Bytes reclaimed = entry.chain_bytes - retained;
+    release_chain_locked(entry);
+    entry.live = std::move(live);
+    entry.live_bytes = live_bytes;
+    auto receipt = put_base_locked(key, entry, entry.live, entry.live_bytes);
+    if (!receipt.ok()) {
+      // The old chain's refs are gone and the base rolled itself back;
+      // forget the image rather than leave a headless chain behind.
+      images_.erase(entry_it);
+      return receipt;
+    }
+    ++stats_.repacks;
+    stats_.reclaimed_bytes += reclaimed;
+    receipt.value().repacked = true;
+    receipt.value().reclaimed_bytes = reclaimed;
+    return receipt;
+  }
+
+  // Delta generation: only chunks the chain has never stored.
+  ChunkManifest delta;
+  delta.kind = ManifestKind::kDelta;
+  delta.image_key = key;
+  delta.generation = static_cast<std::uint32_t>(entry.chain.size());
+  delta.parent_digest = manifest_digest(entry.chain.back());
+  util::Bytes payload = 0;
+  for (const auto& [hash, size] : live) {
+    if (entry.chain_set.contains(hash)) continue;
+    delta.chunks.push_back({hash, size});
+    payload += size;
+  }
+  sort_chunks(delta.chunks);
+
+  std::size_t added = 0;
+  for (const ChunkRef& chunk : delta.chunks) {
+    auto r = cas_.add_chunk(chunk.hash, chunk.size);
+    if (!r.ok()) {
+      // Roll back the refs taken so far; the store stays consistent.
+      for (std::size_t i = 0; i < added; ++i) {
+        cas_.drop_chunk(delta.chunks[i].hash);
+      }
+      return util::Error{std::move(r).error().message};
+    }
+    ++added;
+  }
+  for (const ChunkRef& chunk : delta.chunks) {
+    entry.chain_set.insert(chunk.hash);
+    entry.chain_bytes += chunk.size;
+  }
+
+  WriteReceipt receipt;
+  receipt.manifest_bytes = manifest_encoded_bytes(delta.chunks.size());
+  receipt.payload_bytes = payload;
+  receipt.bytes_written = payload + receipt.manifest_bytes;
+  receipt.new_chunks = static_cast<std::uint32_t>(delta.chunks.size());
+  receipt.delta = true;
+  entry.chain.push_back(std::move(delta));
+  receipt.chain_depth = static_cast<std::uint32_t>(entry.chain.size() - 1);
+  entry.live = std::move(live);
+  entry.live_bytes = live_bytes;
+
+  ++stats_.delta_writes;
+  stats_.bytes_written += receipt.bytes_written;
+  stats_.manifest_bytes_written += receipt.manifest_bytes;
+  return receipt;
+}
+
+util::Result<WriteReceipt> ImageStore::put_base_locked(
+    std::uint64_t key, Entry& entry,
+    std::unordered_map<ChunkHash, util::Bytes> tree, util::Bytes tree_bytes) {
+  ChunkManifest base;
+  base.kind = ManifestKind::kBase;
+  base.image_key = key;
+  base.chunks.reserve(tree.size());
+  for (const auto& [hash, size] : tree) base.chunks.push_back({hash, size});
+  sort_chunks(base.chunks);
+
+  std::size_t added = 0;
+  for (const ChunkRef& chunk : base.chunks) {
+    auto r = cas_.add_chunk(chunk.hash, chunk.size);
+    if (!r.ok()) {
+      for (std::size_t i = 0; i < added; ++i) {
+        cas_.drop_chunk(base.chunks[i].hash);
+      }
+      return util::Error{std::move(r).error().message};
+    }
+    ++added;
+  }
+
+  WriteReceipt receipt;
+  receipt.manifest_bytes = manifest_encoded_bytes(base.chunks.size());
+  receipt.payload_bytes = tree_bytes;
+  receipt.bytes_written = tree_bytes + receipt.manifest_bytes;
+  receipt.new_chunks = static_cast<std::uint32_t>(base.chunks.size());
+
+  entry.chain.clear();
+  entry.chain_set.clear();
+  entry.chain_set.reserve(base.chunks.size());
+  for (const ChunkRef& chunk : base.chunks) entry.chain_set.insert(chunk.hash);
+  entry.chain_bytes = tree_bytes;
+  entry.chain.push_back(std::move(base));
+  entry.live = std::move(tree);
+  entry.live_bytes = tree_bytes;
+
+  ++stats_.base_writes;
+  stats_.bytes_written += receipt.bytes_written;
+  stats_.manifest_bytes_written += receipt.manifest_bytes;
+  return receipt;
+}
+
+void ImageStore::drop(std::uint64_t key) {
+  std::scoped_lock lock(mutex_);
+  auto it = images_.find(key);
+  if (it == images_.end()) return;
+  release_chain_locked(it->second);
+  if (it->second.pending_base.has_value()) {
+    for (const ChunkRef& chunk : it->second.pending_base->chunks) {
+      cas_.drop_chunk(chunk.hash);
+    }
+  }
+  images_.erase(it);
+  ++stats_.drops;
+}
+
+void ImageStore::release_chain_locked(Entry& entry) {
+  for (const ChunkManifest& manifest : entry.chain) {
+    for (const ChunkRef& chunk : manifest.chunks) cas_.drop_chunk(chunk.hash);
+  }
+  entry.chain.clear();
+  entry.chain_set.clear();
+  entry.chain_bytes = 0;
+}
+
+util::Result<WriteReceipt> ImageStore::repack(std::uint64_t key) {
+  std::scoped_lock lock(mutex_);
+  auto it = images_.find(key);
+  if (it == images_.end() || it->second.chain.size() <= 1 ||
+      it->second.pending_base.has_value()) {
+    return WriteReceipt{};
+  }
+  if (!prepare_locked(key, it->second)) return WriteReceipt{};
+  WriteReceipt receipt = commit_locked(it->second);
+  ++stats_.repacks;
+  stats_.bytes_written += receipt.bytes_written;
+  stats_.manifest_bytes_written += receipt.manifest_bytes;
+  stats_.reclaimed_bytes += receipt.reclaimed_bytes;
+  return receipt;
+}
+
+bool ImageStore::repack_prepare(std::uint64_t key) {
+  std::scoped_lock lock(mutex_);
+  auto it = images_.find(key);
+  if (it == images_.end() || it->second.chain.size() <= 1 ||
+      it->second.pending_base.has_value()) {
+    return false;
+  }
+  return prepare_locked(key, it->second);
+}
+
+bool ImageStore::prepare_locked(std::uint64_t key, Entry& entry) {
+  ChunkManifest base;
+  base.kind = ManifestKind::kBase;
+  base.image_key = key;
+  base.chunks.reserve(entry.live.size());
+  for (const auto& [hash, size] : entry.live) base.chunks.push_back({hash, size});
+  sort_chunks(base.chunks);
+  // The new base holds its own references: live chunks are pinned by both
+  // the old chain and the prepared base, so a kill between the phases
+  // never leaves a live chunk unreferenced.
+  for (const ChunkRef& chunk : base.chunks) {
+    auto r = cas_.add_chunk(chunk.hash, chunk.size);
+    assert(r.ok());  // live chunks already registered with these sizes
+    (void)r;
+  }
+  entry.pending_base = std::move(base);
+  return true;
+}
+
+util::Result<WriteReceipt> ImageStore::repack_commit(std::uint64_t key) {
+  std::scoped_lock lock(mutex_);
+  auto it = images_.find(key);
+  if (it == images_.end() || !it->second.pending_base.has_value()) {
+    return WriteReceipt{};
+  }
+  WriteReceipt receipt = commit_locked(it->second);
+  ++stats_.repacks;
+  stats_.bytes_written += receipt.bytes_written;
+  stats_.manifest_bytes_written += receipt.manifest_bytes;
+  stats_.reclaimed_bytes += receipt.reclaimed_bytes;
+  return receipt;
+}
+
+WriteReceipt ImageStore::commit_locked(Entry& entry) {
+  WriteReceipt receipt;
+  receipt.repacked = true;
+  receipt.manifest_bytes = manifest_encoded_bytes(entry.pending_base->chunks.size());
+  receipt.payload_bytes = entry.live_bytes;
+  receipt.bytes_written = entry.live_bytes + receipt.manifest_bytes;
+  receipt.new_chunks =
+      static_cast<std::uint32_t>(entry.pending_base->chunks.size());
+  receipt.reclaimed_bytes = entry.chain_bytes - entry.live_bytes;
+
+  release_chain_locked(entry);
+  entry.chain_set.reserve(entry.pending_base->chunks.size());
+  for (const ChunkRef& chunk : entry.pending_base->chunks) {
+    entry.chain_set.insert(chunk.hash);
+  }
+  entry.chain_bytes = entry.live_bytes;
+  entry.chain.push_back(std::move(*entry.pending_base));
+  entry.pending_base.reset();
+  receipt.chain_depth = 0;
+  return receipt;
+}
+
+std::size_t ImageStore::recover() {
+  std::scoped_lock lock(mutex_);
+  std::size_t finished = 0;
+  for (auto& [key, entry] : images_) {
+    if (!entry.pending_base.has_value()) continue;
+    // The prepared base was durably written before the kill; committing
+    // only retires the old chain, so nothing new is charged.
+    const WriteReceipt receipt = commit_locked(entry);
+    stats_.reclaimed_bytes += receipt.reclaimed_bytes;
+    ++stats_.repacks;
+    ++finished;
+  }
+  return finished;
+}
+
+std::optional<std::string> ImageStore::reconcile() const {
+  std::scoped_lock lock(mutex_);
+  std::unordered_map<ChunkHash, std::pair<util::Bytes, std::uint32_t>> expected;
+  for (const auto& [key, entry] : images_) {
+    const auto add_refs = [&](const ChunkManifest& manifest) {
+      for (const ChunkRef& chunk : manifest.chunks) {
+        auto [it, inserted] =
+            expected.try_emplace(chunk.hash, chunk.size, std::uint32_t{0});
+        ++it->second.second;
+      }
+    };
+    for (const ChunkManifest& manifest : entry.chain) add_refs(manifest);
+    if (entry.pending_base.has_value()) add_refs(*entry.pending_base);
+  }
+
+  if (expected.size() != cas_.chunk_count()) {
+    return "chunk count: manifests imply " + std::to_string(expected.size()) +
+           ", cas holds " + std::to_string(cas_.chunk_count());
+  }
+  std::optional<std::string> divergence;
+  util::Bytes unique = 0;
+  util::Bytes logical = 0;
+  cas_.for_each_chunk([&](ChunkHash hash, util::Bytes size, std::uint32_t refs) {
+    if (divergence) return;
+    const auto it = expected.find(hash);
+    if (it == expected.end()) {
+      divergence = "cas holds chunk " + std::to_string(hash) +
+                   " that no manifest references";
+      return;
+    }
+    if (it->second.first != size) {
+      divergence = "chunk " + std::to_string(hash) + " size: manifests say " +
+                   std::to_string(it->second.first) + ", cas holds " +
+                   std::to_string(size);
+      return;
+    }
+    if (it->second.second != refs) {
+      divergence = "chunk " + std::to_string(hash) + " refs: manifests imply " +
+                   std::to_string(it->second.second) + ", cas holds " +
+                   std::to_string(refs);
+      return;
+    }
+    unique += size;
+    logical += static_cast<util::Bytes>(refs) * size;
+  });
+  if (divergence) return divergence;
+  if (unique != cas_.unique_bytes()) {
+    return "unique bytes: recomputed " + std::to_string(unique) +
+           ", ledger holds " + std::to_string(cas_.unique_bytes());
+  }
+  if (logical != cas_.logical_bytes()) {
+    return "logical bytes: recomputed " + std::to_string(logical) +
+           ", ledger holds " + std::to_string(cas_.logical_bytes());
+  }
+  return std::nullopt;
+}
+
+void ImageStore::clear() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [key, entry] : images_) {
+    release_chain_locked(entry);
+    if (entry.pending_base.has_value()) {
+      for (const ChunkRef& chunk : entry.pending_base->chunks) {
+        cas_.drop_chunk(chunk.hash);
+      }
+    }
+  }
+  images_.clear();
+}
+
+bool ImageStore::contains(std::uint64_t key) const {
+  std::scoped_lock lock(mutex_);
+  return images_.contains(key);
+}
+
+std::size_t ImageStore::image_count() const {
+  std::scoped_lock lock(mutex_);
+  return images_.size();
+}
+
+std::uint32_t ImageStore::chain_depth(std::uint64_t key) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = images_.find(key);
+  if (it == images_.end() || it->second.chain.empty()) return 0;
+  return static_cast<std::uint32_t>(it->second.chain.size() - 1);
+}
+
+std::vector<ChunkManifest> ImageStore::manifests(std::uint64_t key) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = images_.find(key);
+  if (it == images_.end()) return {};
+  return it->second.chain;
+}
+
+util::Bytes ImageStore::dead_bytes() const {
+  std::scoped_lock lock(mutex_);
+  util::Bytes dead = 0;
+  for (const auto& [key, entry] : images_) {
+    dead += entry.chain_bytes - entry.live_bytes;
+  }
+  return dead;
+}
+
+util::Bytes ImageStore::unique_bytes() const {
+  std::scoped_lock lock(mutex_);
+  return cas_.unique_bytes();
+}
+
+util::Bytes ImageStore::logical_bytes() const {
+  std::scoped_lock lock(mutex_);
+  return cas_.logical_bytes();
+}
+
+std::size_t ImageStore::chunk_count() const {
+  std::scoped_lock lock(mutex_);
+  return cas_.chunk_count();
+}
+
+ImageStoreStats ImageStore::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace landlord::shrinkwrap

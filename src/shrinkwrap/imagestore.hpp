@@ -1,0 +1,162 @@
+// Delta-chained image store: the builder-side model of images on disk.
+//
+// The paper charges every merge with a full image rewrite ("the
+// resulting image must be written out in its entirety", §VI) — that cost
+// is the whole reason α must stay small. Charliecloud's Git-backed build
+// cache shows the alternative: store images as content-addressed chunk
+// DAGs and write only what changed. This store models exactly that:
+//
+//   * An image (keyed by its decision-layer id) is a *chain* of
+//     manifests: one base + up to `chain_cap` delta generations, each
+//     holding the chunks new to that generation (manifest.hpp).
+//   * put() with the image's current chunk tree writes a base (unknown
+//     key), a delta (only chunks the chain has never seen, plus the
+//     manifest), or — when the chain is at the cap — a repack.
+//   * Chunks superseded by later generations (per-build noise files,
+//     replaced file versions) stay referenced by their generation until
+//     a *repack* flattens the chain to a fresh base of live chunks and
+//     reclaims them — the GC.
+//   * Repack is two-phase, modelling crash-safe on-disk GC: prepare()
+//     writes the new base alongside the old chain (both referenced);
+//     commit() drops the old chain. recover() finishes any prepared
+//     repack a kill interrupted — at no point is a live chunk
+//     unreferenced (the chaos test in tests/shrinkwrap/
+//     manifest_corpus_test.cpp kills between the phases).
+//
+// All byte ledgers live in a chunk-granular Cas; reconcile() recomputes
+// refcounts and ledgers from the manifests and diffs them against the
+// incremental state — the oracle the ledger test battery leans on.
+//
+// Thread safety: every public method locks the internal mutex (leaf
+// lock; never calls out), so decision-layer eviction callbacks may fire
+// concurrently with builds.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "shrinkwrap/cas.hpp"
+#include "shrinkwrap/chunker.hpp"
+#include "shrinkwrap/manifest.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace landlord::shrinkwrap {
+
+struct ImageStoreConfig {
+  /// Maximum stacked delta generations before put() repacks (0 = every
+  /// put rewrites in full, the paper's accounting).
+  std::uint32_t chain_cap = 8;
+  ChunkerParams chunker;
+};
+
+/// Write accounting for one put()/repack().
+struct WriteReceipt {
+  util::Bytes bytes_written = 0;    ///< payload + manifest charged to the op
+  util::Bytes payload_bytes = 0;    ///< chunk payload written
+  util::Bytes manifest_bytes = 0;   ///< encoded manifest size
+  util::Bytes reclaimed_bytes = 0;  ///< dead chunk payload a repack freed
+  std::uint32_t new_chunks = 0;
+  std::uint32_t chain_depth = 0;    ///< delta generations after the op
+  bool delta = false;               ///< written as a delta generation
+  bool repacked = false;            ///< the op flattened the chain
+};
+
+/// Lifetime counters (monotone).
+struct ImageStoreStats {
+  std::uint64_t puts = 0;
+  std::uint64_t base_writes = 0;
+  std::uint64_t delta_writes = 0;
+  std::uint64_t repacks = 0;
+  std::uint64_t drops = 0;
+  util::Bytes bytes_written = 0;
+  util::Bytes manifest_bytes_written = 0;
+  util::Bytes reclaimed_bytes = 0;
+};
+
+class ImageStore {
+ public:
+  explicit ImageStore(ImageStoreConfig config = {});
+
+  /// Records that image `key` now consists of `tree` (the full chunk
+  /// expansion of its contents; duplicate hashes are stored once).
+  /// Unknown key -> base write; known key -> delta, or repack + base
+  /// when the chain is at the cap. Errors (chunk size conflicts) leave
+  /// the store unchanged.
+  [[nodiscard]] util::Result<WriteReceipt> put(std::uint64_t key,
+                                               const std::vector<ChunkRef>& tree);
+
+  /// Eviction: drops every generation (and any prepared repack base) and
+  /// releases their chunk references. Unknown keys are a no-op.
+  void drop(std::uint64_t key);
+
+  /// Explicit repack GC: prepare + commit in one call. No-op receipt for
+  /// unknown keys or single-generation chains (nothing to flatten).
+  [[nodiscard]] util::Result<WriteReceipt> repack(std::uint64_t key);
+
+  /// Phase 1: writes the flattened base next to the live chain. Both
+  /// hold chunk references until commit. Returns false when there is
+  /// nothing to repack (unknown key, depth 0, or already prepared).
+  [[nodiscard]] bool repack_prepare(std::uint64_t key);
+  /// Phase 2: retires the old chain, reclaiming dead chunks.
+  [[nodiscard]] util::Result<WriteReceipt> repack_commit(std::uint64_t key);
+  /// Crash recovery: commits every prepared repack left behind by a
+  /// kill between the phases; returns how many were finished.
+  std::size_t recover();
+
+  /// Re-derives every refcount and byte ledger from the manifests and
+  /// diffs against the incremental Cas; a description of the first
+  /// divergence, or nullopt when exact.
+  [[nodiscard]] std::optional<std::string> reconcile() const;
+
+  /// Forgets every image and chunk (head-node restart: decision-layer
+  /// ids restart from zero, so stale chains must not collide).
+  void clear();
+
+  // ---- Introspection (each call individually consistent) ----
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+  [[nodiscard]] std::size_t image_count() const;
+  /// Delta generations stacked on `key` (0 for base-only or unknown).
+  [[nodiscard]] std::uint32_t chain_depth(std::uint64_t key) const;
+  /// Copy of the manifest chain, base first (empty for unknown keys).
+  [[nodiscard]] std::vector<ChunkManifest> manifests(std::uint64_t key) const;
+  /// Payload bytes held by superseded (dead-until-repack) chunks.
+  [[nodiscard]] util::Bytes dead_bytes() const;
+  /// Deduplicated payload bytes across all chains.
+  [[nodiscard]] util::Bytes unique_bytes() const;
+  /// Pre-dedup payload bytes across all chains.
+  [[nodiscard]] util::Bytes logical_bytes() const;
+  [[nodiscard]] std::size_t chunk_count() const;
+  [[nodiscard]] ImageStoreStats stats() const;
+  [[nodiscard]] const ImageStoreConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Entry {
+    std::vector<ChunkManifest> chain;          ///< base first
+    std::unordered_set<ChunkHash> chain_set;   ///< every chunk in the chain
+    util::Bytes chain_bytes = 0;               ///< their payload sum
+    std::unordered_map<ChunkHash, util::Bytes> live;  ///< current tree
+    util::Bytes live_bytes = 0;
+    std::optional<ChunkManifest> pending_base;  ///< mid-repack (phase 1 done)
+  };
+
+  [[nodiscard]] util::Result<WriteReceipt> put_base_locked(
+      std::uint64_t key, Entry& entry,
+      std::unordered_map<ChunkHash, util::Bytes> tree, util::Bytes tree_bytes);
+  [[nodiscard]] bool prepare_locked(std::uint64_t key, Entry& entry);
+  [[nodiscard]] WriteReceipt commit_locked(Entry& entry);
+  void release_chain_locked(Entry& entry);
+
+  mutable std::mutex mutex_;
+  ImageStoreConfig config_;
+  std::unordered_map<std::uint64_t, Entry> images_;
+  Cas cas_;
+  ImageStoreStats stats_;
+};
+
+}  // namespace landlord::shrinkwrap

@@ -1,0 +1,138 @@
+#include "shrinkwrap/manifest.hpp"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "util/checksum.hpp"
+
+namespace landlord::shrinkwrap {
+
+namespace {
+
+template <typename T>
+void put(std::string& out, T value) {
+  char raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  out.append(raw, sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T get(std::string_view bytes, std::size_t offset) {
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+[[nodiscard]] std::string encode_without_checksum(const ChunkManifest& m) {
+  std::string out;
+  out.reserve(kManifestHeaderSize + m.chunks.size() * kManifestEntrySize + 8);
+  put<std::uint32_t>(out, kManifestMagic);
+  put<std::uint8_t>(out, kManifestVersion);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(m.kind));
+  put<std::uint16_t>(out, 0);  // reserved
+  put<std::uint64_t>(out, m.image_key);
+  put<std::uint32_t>(out, m.generation);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(m.chunks.size()));
+  put<std::uint64_t>(out, m.parent_digest);
+  for (const ChunkRef& chunk : m.chunks) {
+    put<std::uint64_t>(out, chunk.hash);
+    put<std::uint64_t>(out, chunk.size);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string encode_manifest(const ChunkManifest& manifest) {
+  std::string out = encode_without_checksum(manifest);
+  put<std::uint64_t>(out, util::fnv1a64(out));
+  return out;
+}
+
+std::uint64_t manifest_digest(const ChunkManifest& manifest) {
+  return util::fnv1a64(encode_without_checksum(manifest));
+}
+
+DecodedManifest decode_manifest(std::string_view bytes) {
+  DecodedManifest out;
+  const auto fail = [&](ManifestStatus status) {
+    out.status = status;
+    return out;
+  };
+  if (bytes.size() < kManifestHeaderSize) return fail(ManifestStatus::kShortHeader);
+  if (get<std::uint32_t>(bytes, 0) != kManifestMagic) {
+    return fail(ManifestStatus::kBadMagic);
+  }
+  if (get<std::uint8_t>(bytes, 4) != kManifestVersion) {
+    return fail(ManifestStatus::kBadVersion);
+  }
+  const std::uint8_t kind = get<std::uint8_t>(bytes, 5);
+  if (kind != static_cast<std::uint8_t>(ManifestKind::kBase) &&
+      kind != static_cast<std::uint8_t>(ManifestKind::kDelta)) {
+    return fail(ManifestStatus::kBadKind);
+  }
+  const std::uint32_t count = get<std::uint32_t>(bytes, 20);
+  if (count > kManifestMaxChunks) return fail(ManifestStatus::kCountOverflow);
+  const std::size_t expected = kManifestHeaderSize +
+                               static_cast<std::size_t>(count) * kManifestEntrySize +
+                               sizeof(std::uint64_t);
+  if (bytes.size() < expected) return fail(ManifestStatus::kTruncated);
+  if (bytes.size() > expected) return fail(ManifestStatus::kTrailingBytes);
+  const std::uint64_t declared =
+      get<std::uint64_t>(bytes, expected - sizeof(std::uint64_t));
+  if (util::fnv1a64(bytes.substr(0, expected - sizeof(std::uint64_t))) !=
+      declared) {
+    return fail(ManifestStatus::kChecksumMismatch);
+  }
+
+  ChunkManifest& m = out.manifest;
+  m.kind = static_cast<ManifestKind>(kind);
+  m.image_key = get<std::uint64_t>(bytes, 8);
+  m.generation = get<std::uint32_t>(bytes, 16);
+  m.parent_digest = get<std::uint64_t>(bytes, 24);
+  if (m.kind == ManifestKind::kBase && m.parent_digest != 0) {
+    return fail(ManifestStatus::kBaseWithParent);
+  }
+  if (m.kind == ManifestKind::kDelta && m.parent_digest == 0) {
+    return fail(ManifestStatus::kDeltaWithoutParent);
+  }
+  m.chunks.reserve(count);
+  std::unordered_set<ChunkHash> seen;
+  seen.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t at = kManifestHeaderSize + i * kManifestEntrySize;
+    ChunkRef chunk;
+    chunk.hash = get<std::uint64_t>(bytes, at);
+    chunk.size = get<std::uint64_t>(bytes, at + 8);
+    if (chunk.size == 0) return fail(ManifestStatus::kZeroChunkSize);
+    if (!seen.insert(chunk.hash).second) {
+      return fail(ManifestStatus::kDuplicateChunk);
+    }
+    m.chunks.push_back(chunk);
+  }
+  return out;
+}
+
+ManifestStatus validate_chain(const std::vector<ChunkManifest>& chain) {
+  std::unordered_set<ChunkHash> seen;
+  std::uint64_t parent = 0;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const ChunkManifest& m = chain[i];
+    if (m.generation != i) return ManifestStatus::kBadGeneration;
+    if (i == 0) {
+      if (m.kind != ManifestKind::kBase) return ManifestStatus::kDanglingParent;
+    } else {
+      if (m.kind != ManifestKind::kDelta) return ManifestStatus::kBadGeneration;
+      if (m.parent_digest != parent) return ManifestStatus::kDanglingParent;
+    }
+    for (const ChunkRef& chunk : m.chunks) {
+      if (!seen.insert(chunk.hash).second) {
+        return ManifestStatus::kDuplicateChunk;
+      }
+    }
+    parent = manifest_digest(m);
+  }
+  return ManifestStatus::kOk;
+}
+
+}  // namespace landlord::shrinkwrap

@@ -1,0 +1,124 @@
+// Chunk-manifest wire format: the durable description of one image
+// generation in the delta-chained image store.
+//
+// An image on disk is a chain of manifests: a *base* (generation 0,
+// every chunk of the image as first written) plus zero or more *deltas*,
+// each naming only the chunks new to that generation and the digest of
+// its parent manifest. A repack flattens the chain back to a single
+// base. Manifests are what a crashed head node re-reads to reconstruct
+// its chunk refcounts, so — like the v2 cache snapshot format — decoding
+// is total: every malformed input maps to a typed status, never UB (the
+// corpus in tests/shrinkwrap/corpus/ pins each case, and tier1.sh runs
+// the suite under ASan/UBSan and TSan).
+//
+// Layout (little-endian, 32-byte header):
+//   u32 magic "LCM1"        u8 version (=1)       u8 kind (1 base, 2 delta)
+//   u16 reserved (=0)       u64 image_key         u32 generation
+//   u32 chunk_count         u64 parent_digest (0 for a base)
+//   chunk_count x { u64 chunk_hash, u64 chunk_size }
+//   u64 fnv1a checksum of every preceding byte
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shrinkwrap/chunker.hpp"
+#include "util/bytes.hpp"
+
+namespace landlord::shrinkwrap {
+
+inline constexpr std::uint32_t kManifestMagic = 0x314D434CU;  // "LCM1"
+inline constexpr std::uint8_t kManifestVersion = 1;
+inline constexpr std::size_t kManifestHeaderSize = 32;
+inline constexpr std::size_t kManifestEntrySize = 16;
+/// Hard cap on declared entries: rejects absurd counts before any
+/// allocation is sized from attacker-controlled input.
+inline constexpr std::uint32_t kManifestMaxChunks = 1U << 20;
+
+enum class ManifestKind : std::uint8_t { kBase = 1, kDelta = 2 };
+
+enum class ManifestStatus : std::uint8_t {
+  kOk,
+  kShortHeader,         ///< fewer than 32 bytes
+  kBadMagic,
+  kBadVersion,
+  kBadKind,             ///< kind byte is neither base nor delta
+  kCountOverflow,       ///< declared chunk count exceeds the hard cap
+  kTruncated,           ///< body shorter than the declared entries + checksum
+  kTrailingBytes,       ///< body longer than declared
+  kChecksumMismatch,
+  kBaseWithParent,      ///< generation-0 base names a parent digest
+  kDeltaWithoutParent,  ///< delta with a zero parent digest
+  kZeroChunkSize,
+  kDuplicateChunk,      ///< same chunk hash twice (one manifest or one chain)
+  kDanglingParent,      ///< chain link: parent digest matches no manifest
+  kBadGeneration,       ///< chain link: generations not consecutive from 0
+};
+
+[[nodiscard]] constexpr const char* to_string(ManifestStatus status) noexcept {
+  switch (status) {
+    case ManifestStatus::kOk: return "ok";
+    case ManifestStatus::kShortHeader: return "short-header";
+    case ManifestStatus::kBadMagic: return "bad-magic";
+    case ManifestStatus::kBadVersion: return "bad-version";
+    case ManifestStatus::kBadKind: return "bad-kind";
+    case ManifestStatus::kCountOverflow: return "count-overflow";
+    case ManifestStatus::kTruncated: return "truncated";
+    case ManifestStatus::kTrailingBytes: return "trailing-bytes";
+    case ManifestStatus::kChecksumMismatch: return "checksum-mismatch";
+    case ManifestStatus::kBaseWithParent: return "base-with-parent";
+    case ManifestStatus::kDeltaWithoutParent: return "delta-without-parent";
+    case ManifestStatus::kZeroChunkSize: return "zero-chunk-size";
+    case ManifestStatus::kDuplicateChunk: return "duplicate-chunk";
+    case ManifestStatus::kDanglingParent: return "dangling-parent";
+    case ManifestStatus::kBadGeneration: return "bad-generation";
+  }
+  return "?";
+}
+
+struct ChunkManifest {
+  ManifestKind kind = ManifestKind::kBase;
+  std::uint64_t image_key = 0;
+  std::uint32_t generation = 0;
+  std::uint64_t parent_digest = 0;  ///< digest() of the parent; 0 for a base
+  std::vector<ChunkRef> chunks;
+
+  [[nodiscard]] util::Bytes total_bytes() const noexcept {
+    util::Bytes sum = 0;
+    for (const ChunkRef& chunk : chunks) sum += chunk.size;
+    return sum;
+  }
+};
+
+/// Serialises a manifest (always well-formed output).
+[[nodiscard]] std::string encode_manifest(const ChunkManifest& manifest);
+
+/// Identity of a manifest as referenced by its children: the checksum of
+/// its encoding (checksum field excluded, so digest(decode(encode(m)))
+/// is stable).
+[[nodiscard]] std::uint64_t manifest_digest(const ChunkManifest& manifest);
+
+struct DecodedManifest {
+  ManifestStatus status = ManifestStatus::kOk;
+  ChunkManifest manifest;  ///< valid only when ok()
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == ManifestStatus::kOk;
+  }
+};
+
+/// Total decode: every byte string maps to a status; entries are only
+/// read after the length and checksum checks passed.
+[[nodiscard]] DecodedManifest decode_manifest(std::string_view bytes);
+
+/// Validates a decoded chain, base first: generation 0 must be a base,
+/// generations consecutive, every delta's parent digest must equal the
+/// preceding manifest's digest (else kDanglingParent), and no chunk hash
+/// may repeat across the chain (a chain stores each chunk exactly once;
+/// a repeat means a corrupt delta would double-count refs on recovery).
+[[nodiscard]] ManifestStatus validate_chain(
+    const std::vector<ChunkManifest>& chain);
+
+}  // namespace landlord::shrinkwrap

@@ -24,6 +24,11 @@ void accumulate(core::CacheCounters& into, const core::CacheCounters& from) {
   into.optimistic_retries += from.optimistic_retries;
   into.cross_shard_moves += from.cross_shard_moves;
   into.container_efficiency_sum += from.container_efficiency_sum;
+  into.delta_merges += from.delta_merges;
+  into.repacks += from.repacks;
+  into.delta_written_bytes += from.delta_written_bytes;
+  into.repack_written_bytes += from.repack_written_bytes;
+  into.full_rewrite_bytes += from.full_rewrite_bytes;
 }
 
 /// Serialises a checkpoint to the in-memory "disk", tearing it when the
@@ -59,7 +64,7 @@ CrashReplayResult run_crash_replay(const pkg::Repository& repo,
   const auto specs = generator.unique_specifications();
   const auto stream = generator.request_stream();
 
-  core::Landlord landlord(repo, config.cache);
+  core::Landlord landlord(repo, config.cache, {}, {}, {}, config.delta);
   fault::FaultInjector injector(config.faults);
   landlord.set_fault_injector(&injector);
   landlord.set_backoff_policy(config.backoff);

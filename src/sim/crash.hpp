@@ -36,6 +36,11 @@ struct CrashReplayConfig {
   CrashPlan crash;
   fault::FaultPlan faults;  ///< builder + snapshot I/O fault plan
   fault::BackoffPolicy backoff;
+  /// Delta-merge storage plan for the builder's image store. Never
+  /// changes placements or decision counters — only the byte ledgers
+  /// and prep-time stats (tests/sim/delta_oracle_test.cpp pins this,
+  /// including across the kill+restore cycles below).
+  shrinkwrap::DeltaBuildConfig delta;
   /// Optional observability bundle attached to the Landlord, the fault
   /// injector, and the driver's own checkpoint/crash counters for the
   /// whole service lifetime (non-owning). Never perturbs the replay.

@@ -44,6 +44,15 @@ SweepPoint summarise(double alpha, const std::vector<SimulationResult>& runs) {
       median_of([](const auto& r) { return 100.0 * r.container_efficiency; });
   point.image_count =
       median_of([](const auto& r) { return static_cast<double>(r.final_image_count); });
+  point.delta_merges =
+      median_of([](const auto& r) { return static_cast<double>(r.counters.delta_merges); });
+  point.repacks =
+      median_of([](const auto& r) { return static_cast<double>(r.counters.repacks); });
+  point.delta_written_tb = median_of([](const auto& r) {
+    return util::to_tib(r.counters.delta_written_bytes + r.counters.repack_written_bytes);
+  });
+  point.full_rewrite_tb =
+      median_of([](const auto& r) { return util::to_tib(r.counters.full_rewrite_bytes); });
   return point;
 }
 

@@ -41,6 +41,11 @@ struct SweepPoint {
   double cache_efficiency = 0.0;      ///< percent
   double container_efficiency = 0.0;  ///< percent
   double image_count = 0.0;
+  /// Delta-merge ablation (all 0 unless base.cache.delta_chain_cap > 0).
+  double delta_merges = 0.0;
+  double repacks = 0.0;
+  double delta_written_tb = 0.0;   ///< bytes charged by delta + repack writes
+  double full_rewrite_tb = 0.0;    ///< counterfactual: every merge a full rewrite
 };
 
 /// Runs the sweep. When `pool` is non-null, (alpha, replicate) tasks run

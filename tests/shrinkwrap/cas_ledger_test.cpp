@@ -1,0 +1,257 @@
+// Randomized ledger oracle for the chunk CAS and the delta-chained
+// image store. The incremental refcounts and byte ledgers are compared
+// after every step against a from-scratch recompute (a reference model
+// for Cas; ImageStore::reconcile() — itself a manifest replay — for the
+// store). Also pins the typed size-mismatch error and drop idempotence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "shrinkwrap/cas.hpp"
+#include "shrinkwrap/chunker.hpp"
+#include "shrinkwrap/imagestore.hpp"
+#include "util/rng.hpp"
+
+namespace landlord::shrinkwrap {
+namespace {
+
+// ---- Cas vs a reference refcount model ----
+
+struct RefModel {
+  std::unordered_map<ChunkHash, std::pair<util::Bytes, std::uint32_t>> chunks;
+
+  [[nodiscard]] util::Bytes unique() const {
+    util::Bytes sum = 0;
+    for (const auto& [hash, entry] : chunks) sum += entry.first;
+    return sum;
+  }
+  [[nodiscard]] util::Bytes logical() const {
+    util::Bytes sum = 0;
+    for (const auto& [hash, entry] : chunks) sum += entry.first * entry.second;
+    return sum;
+  }
+};
+
+void expect_matches(const Cas& cas, const RefModel& model) {
+  ASSERT_EQ(cas.chunk_count(), model.chunks.size());
+  ASSERT_EQ(cas.unique_bytes(), model.unique());
+  ASSERT_EQ(cas.logical_bytes(), model.logical());
+  for (const auto& [hash, entry] : model.chunks) {
+    ASSERT_EQ(cas.refs(hash), entry.second);
+    ASSERT_EQ(cas.size_of(hash), entry.first);
+  }
+  // And the reverse direction: the visitor exposes nothing extra.
+  std::size_t visited = 0;
+  cas.for_each_chunk([&](ChunkHash hash, util::Bytes size, std::uint32_t refs) {
+    ++visited;
+    const auto it = model.chunks.find(hash);
+    ASSERT_NE(it, model.chunks.end());
+    EXPECT_EQ(size, it->second.first);
+    EXPECT_EQ(refs, it->second.second);
+  });
+  EXPECT_EQ(visited, model.chunks.size());
+}
+
+TEST(CasLedgerOracle, RandomAddDropSequencesReconcile) {
+  util::Rng rng(0xCA5);
+  Cas cas;
+  RefModel model;
+  // Small hash pool so adds and drops collide constantly.
+  const auto size_for = [](std::uint64_t hash) -> util::Bytes {
+    return 1 + (hash * 2654435761ULL) % (512 * util::kKiB);
+  };
+  for (int step = 0; step < 4000; ++step) {
+    const ChunkHash hash = 1 + rng.uniform(64);
+    if (rng.chance(0.6)) {
+      const util::Bytes size = size_for(hash);
+      auto added = cas.add_chunk(hash, size);
+      ASSERT_TRUE(added.ok());
+      auto& entry = model.chunks[hash];
+      EXPECT_EQ(added.value(), entry.second == 0);  // true exactly on first ref
+      entry.first = size;
+      ++entry.second;
+    } else {
+      cas.drop_chunk(hash);
+      auto it = model.chunks.find(hash);
+      if (it != model.chunks.end() && --it->second.second == 0) {
+        model.chunks.erase(it);
+      }
+    }
+    if (step % 64 == 0) expect_matches(cas, model);
+  }
+  expect_matches(cas, model);
+}
+
+TEST(CasLedgerOracle, SizeMismatchIsTypedErrorAndLeavesStoreUntouched) {
+  Cas cas;
+  ASSERT_TRUE(cas.add_chunk(7, 100).ok());
+  ASSERT_TRUE(cas.add_chunk(7, 100).ok());
+
+  // Regression: this used to be a debug-only assert — release builds
+  // silently corrupted the byte ledgers. Now a typed Result error.
+  auto conflict = cas.add_chunk(7, 200);
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_NE(conflict.error().message.find("size"), std::string::npos);
+
+  EXPECT_EQ(cas.refs(7), 2u);  // the failed add registered nothing
+  EXPECT_EQ(cas.size_of(7), util::Bytes{100});
+  EXPECT_EQ(cas.unique_bytes(), util::Bytes{100});
+  EXPECT_EQ(cas.logical_bytes(), util::Bytes{200});
+}
+
+TEST(CasLedgerOracle, DropIsIdempotentCleanup) {
+  Cas cas;
+  cas.drop_chunk(99);  // never added: no-op
+  EXPECT_EQ(cas.chunk_count(), 0u);
+
+  ASSERT_TRUE(cas.add_chunk(99, 50).ok());
+  cas.drop_chunk(99);
+  EXPECT_FALSE(cas.contains(99));
+  EXPECT_EQ(cas.unique_bytes(), util::Bytes{0});
+  cas.drop_chunk(99);  // second drop of the same chunk: still a no-op
+  EXPECT_EQ(cas.logical_bytes(), util::Bytes{0});
+  EXPECT_EQ(cas.refs(99), 0u);
+}
+
+// ---- ImageStore vs its own manifest-replay reconciliation ----
+
+ImageStoreConfig small_store(std::uint32_t chain_cap) {
+  ImageStoreConfig config;
+  config.chain_cap = chain_cap;
+  config.chunker.min_size = 4 * util::kKiB;
+  config.chunker.target_size = 16 * util::kKiB;
+  config.chunker.max_size = 64 * util::kKiB;
+  return config;
+}
+
+/// An image tree assembled from a pool of shared "files", so distinct
+/// images dedup against each other exactly as built images do.
+std::vector<ChunkRef> random_tree(util::Rng& rng, const ChunkerParams& params) {
+  std::vector<ChunkRef> tree;
+  const std::uint64_t files = rng.uniform(1, 12);
+  for (std::uint64_t f = 0; f < files; ++f) {
+    const ChunkHash content = 1 + rng.uniform(32);  // shared file pool
+    const util::Bytes size = 1 + (content * 7919) % (96 * util::kKiB);
+    const auto chunks = model_chunks(content, size, params);
+    tree.insert(tree.end(), chunks.begin(), chunks.end());
+  }
+  return tree;
+}
+
+TEST(ImageStoreOracle, RandomOpSequencesReconcileAfterEveryStep) {
+  util::Rng rng(0x1ed9e5);
+  ImageStore store(small_store(3));
+  for (int step = 0; step < 600; ++step) {
+    const std::uint64_t key = rng.uniform(8);
+    const double roll = rng.uniform_double();
+    if (roll < 0.55) {
+      auto receipt = store.put(key, random_tree(rng, store.config().chunker));
+      ASSERT_TRUE(receipt.ok());
+      EXPECT_LE(store.chain_depth(key), store.config().chain_cap);
+      EXPECT_GT(receipt.value().bytes_written, util::Bytes{0});
+    } else if (roll < 0.7) {
+      store.drop(key);
+      EXPECT_FALSE(store.contains(key));
+    } else if (roll < 0.85) {
+      auto receipt = store.repack(key);
+      ASSERT_TRUE(receipt.ok());
+      EXPECT_EQ(store.chain_depth(key), 0u);
+    } else {
+      // Kill between the repack phases, then crash-recover.
+      const bool prepared = store.repack_prepare(key);
+      const std::size_t finished = store.recover();
+      EXPECT_EQ(finished, prepared ? 1u : 0u);
+      EXPECT_EQ(store.chain_depth(key), 0u);
+    }
+    const auto divergence = store.reconcile();
+    ASSERT_EQ(divergence, std::nullopt) << "step " << step << ": " << *divergence;
+    EXPECT_LE(store.unique_bytes(), store.logical_bytes());
+    EXPECT_LE(store.dead_bytes(), store.logical_bytes());
+  }
+  // Everything dropped => every ledger returns to zero.
+  for (std::uint64_t key = 0; key < 8; ++key) store.drop(key);
+  EXPECT_EQ(store.image_count(), 0u);
+  EXPECT_EQ(store.chunk_count(), 0u);
+  EXPECT_EQ(store.unique_bytes(), util::Bytes{0});
+  EXPECT_EQ(store.logical_bytes(), util::Bytes{0});
+  EXPECT_EQ(store.dead_bytes(), util::Bytes{0});
+  EXPECT_EQ(store.reconcile(), std::nullopt);
+}
+
+TEST(ImageStoreOracle, DeltaPutChargesOnlyNewChunksPlusManifest) {
+  ImageStore store(small_store(8));
+  util::Rng rng(5);
+  const auto base_tree = random_tree(rng, store.config().chunker);
+  auto first = store.put(1, base_tree);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().delta);
+
+  // Same tree again: nothing new, so only the manifest is charged.
+  auto again = store.put(1, base_tree);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().delta);
+  EXPECT_EQ(again.value().payload_bytes, util::Bytes{0});
+  EXPECT_EQ(again.value().new_chunks, 0u);
+  EXPECT_LT(again.value().bytes_written, first.value().bytes_written);
+  EXPECT_EQ(store.reconcile(), std::nullopt);
+}
+
+TEST(ImageStoreOracle, ChainCapForcesRepackAndReclaimsDeadChunks) {
+  ImageStore store(small_store(2));
+  util::Rng rng(6);
+  std::uint64_t repacks_seen = 0;
+  for (int round = 0; round < 12; ++round) {
+    auto receipt = store.put(1, random_tree(rng, store.config().chunker));
+    ASSERT_TRUE(receipt.ok());
+    if (receipt.value().repacked) ++repacks_seen;
+    ASSERT_EQ(store.reconcile(), std::nullopt);
+  }
+  EXPECT_GT(repacks_seen, 0u);
+  EXPECT_GT(store.stats().reclaimed_bytes, util::Bytes{0});
+  // A freshly repacked + rebased chain holds no superseded payload for
+  // this image beyond what later deltas added since the last repack.
+  EXPECT_EQ(store.chain_depth(1), store.manifests(1).size() - 1);
+}
+
+TEST(ImageStoreOracle, ConflictingTreeIsTypedErrorAndLeavesStoreUnchanged) {
+  ImageStore store(small_store(4));
+  std::vector<ChunkRef> bad = {{.hash = 11, .size = 100},
+                               {.hash = 11, .size = 200}};
+  auto receipt = store.put(1, bad);
+  ASSERT_FALSE(receipt.ok());
+  EXPECT_FALSE(store.contains(1));
+  EXPECT_EQ(store.chunk_count(), 0u);
+  EXPECT_EQ(store.reconcile(), std::nullopt);
+
+  // And a cross-image conflict: chunk 11 exists at size 100, a second
+  // image claims size 200. The put fails; image 2 is never created.
+  ASSERT_TRUE(store.put(1, {{.hash = 11, .size = 100}}).ok());
+  auto conflict = store.put(2, {{.hash = 11, .size = 200}});
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_FALSE(store.contains(2));
+  EXPECT_EQ(store.reconcile(), std::nullopt);
+}
+
+TEST(ImageStoreOracle, StatsAreMonotoneAndClearResets) {
+  ImageStore store(small_store(2));
+  util::Rng rng(7);
+  ImageStoreStats last;
+  for (int round = 0; round < 8; ++round) {
+    ASSERT_TRUE(store.put(rng.uniform(3), random_tree(rng, store.config().chunker)).ok());
+    const auto now = store.stats();
+    EXPECT_GE(now.puts, last.puts);
+    EXPECT_GE(now.bytes_written, last.bytes_written);
+    EXPECT_GE(now.reclaimed_bytes, last.reclaimed_bytes);
+    last = now;
+  }
+  store.clear();
+  EXPECT_EQ(store.image_count(), 0u);
+  EXPECT_EQ(store.chunk_count(), 0u);
+  EXPECT_EQ(store.unique_bytes(), util::Bytes{0});
+  EXPECT_EQ(store.reconcile(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace landlord::shrinkwrap

@@ -5,6 +5,15 @@
 namespace landlord::shrinkwrap {
 namespace {
 
+// add_chunk returns Result<bool> (true = first reference). The helper
+// keeps each test's intent readable: every add here is expected to
+// succeed; the size-mismatch error path is pinned in cas_ledger_test.cpp.
+bool add_ok(Cas& cas, ChunkHash hash, util::Bytes size) {
+  auto added = cas.add_chunk(hash, size);
+  EXPECT_TRUE(added.ok());
+  return added.ok() && added.value();
+}
+
 TEST(Cas, StartsEmpty) {
   Cas cas;
   EXPECT_EQ(cas.chunk_count(), 0u);
@@ -14,44 +23,49 @@ TEST(Cas, StartsEmpty) {
 
 TEST(Cas, FirstReferenceAddsUniqueBytes) {
   Cas cas;
-  cas.add_chunk(0xabc, 100);
+  EXPECT_TRUE(add_ok(cas, 0xabc, 100));
   EXPECT_TRUE(cas.contains(0xabc));
   EXPECT_EQ(cas.chunk_count(), 1u);
+  EXPECT_EQ(cas.refs(0xabc), 1u);
+  EXPECT_EQ(cas.size_of(0xabc), std::optional<util::Bytes>{100});
   EXPECT_EQ(cas.unique_bytes(), util::Bytes{100});
   EXPECT_EQ(cas.logical_bytes(), util::Bytes{100});
 }
 
 TEST(Cas, DuplicateReferenceOnlyGrowsLogical) {
   Cas cas;
-  cas.add_chunk(0xabc, 100);
-  cas.add_chunk(0xabc, 100);
-  cas.add_chunk(0xabc, 100);
+  EXPECT_TRUE(add_ok(cas, 0xabc, 100));
+  EXPECT_FALSE(add_ok(cas, 0xabc, 100));
+  EXPECT_FALSE(add_ok(cas, 0xabc, 100));
   EXPECT_EQ(cas.chunk_count(), 1u);
+  EXPECT_EQ(cas.refs(0xabc), 3u);
   EXPECT_EQ(cas.unique_bytes(), util::Bytes{100});
   EXPECT_EQ(cas.logical_bytes(), util::Bytes{300});
 }
 
 TEST(Cas, DistinctChunksAccumulate) {
   Cas cas;
-  cas.add_chunk(1, 10);
-  cas.add_chunk(2, 20);
+  EXPECT_TRUE(add_ok(cas, 1, 10));
+  EXPECT_TRUE(add_ok(cas, 2, 20));
   EXPECT_EQ(cas.chunk_count(), 2u);
   EXPECT_EQ(cas.unique_bytes(), util::Bytes{30});
 }
 
 TEST(Cas, DropLastReferenceFrees) {
   Cas cas;
-  cas.add_chunk(7, 50);
+  EXPECT_TRUE(add_ok(cas, 7, 50));
   cas.drop_chunk(7);
   EXPECT_FALSE(cas.contains(7));
+  EXPECT_EQ(cas.refs(7), 0u);
+  EXPECT_EQ(cas.size_of(7), std::nullopt);
   EXPECT_EQ(cas.unique_bytes(), util::Bytes{0});
   EXPECT_EQ(cas.logical_bytes(), util::Bytes{0});
 }
 
 TEST(Cas, DropKeepsChunkWhileReferenced) {
   Cas cas;
-  cas.add_chunk(7, 50);
-  cas.add_chunk(7, 50);
+  EXPECT_TRUE(add_ok(cas, 7, 50));
+  EXPECT_FALSE(add_ok(cas, 7, 50));
   cas.drop_chunk(7);
   EXPECT_TRUE(cas.contains(7));
   EXPECT_EQ(cas.unique_bytes(), util::Bytes{50});
@@ -66,9 +80,9 @@ TEST(Cas, DropUnknownChunkIsNoop) {
 
 TEST(Cas, InterleavedLifecycle) {
   Cas cas;
-  cas.add_chunk(1, 10);
-  cas.add_chunk(2, 20);
-  cas.add_chunk(1, 10);
+  EXPECT_TRUE(add_ok(cas, 1, 10));
+  EXPECT_TRUE(add_ok(cas, 2, 20));
+  EXPECT_FALSE(add_ok(cas, 1, 10));
   cas.drop_chunk(2);
   EXPECT_EQ(cas.unique_bytes(), util::Bytes{10});
   EXPECT_EQ(cas.logical_bytes(), util::Bytes{20});
@@ -76,6 +90,24 @@ TEST(Cas, InterleavedLifecycle) {
   cas.drop_chunk(1);
   EXPECT_EQ(cas.chunk_count(), 0u);
   EXPECT_EQ(cas.logical_bytes(), util::Bytes{0});
+}
+
+TEST(Cas, ForEachChunkVisitsLiveState) {
+  Cas cas;
+  EXPECT_TRUE(add_ok(cas, 1, 10));
+  EXPECT_TRUE(add_ok(cas, 2, 20));
+  EXPECT_FALSE(add_ok(cas, 2, 20));
+  std::size_t visited = 0;
+  util::Bytes unique = 0;
+  util::Bytes logical = 0;
+  cas.for_each_chunk([&](ChunkHash, util::Bytes size, std::uint32_t refs) {
+    ++visited;
+    unique += size;
+    logical += static_cast<util::Bytes>(refs) * size;
+  });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_EQ(unique, cas.unique_bytes());
+  EXPECT_EQ(logical, cas.logical_bytes());
 }
 
 }  // namespace

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Regenerates the chunk-manifest corpus (tests/shrinkwrap/corpus/).
+
+Each file is named `<expected-status>__<description>.bin`, where the
+status matches shrinkwrap::to_string(ManifestStatus). The suite in
+tests/shrinkwrap/manifest_corpus_test.cpp decodes every file and pins
+the typed status; the two chain-level statuses (dangling-parent,
+bad-generation) decode cleanly and are pinned via validate_chain()
+against the `ok__base_small` manifest, so keep that file name stable.
+
+The corpus is checked in; rerun this script only when the wire format
+(src/shrinkwrap/manifest.hpp) changes, and commit the result.
+"""
+
+import pathlib
+import struct
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+MAGIC = 0x314D434C  # "LCM1"
+VERSION = 1
+KIND_BASE = 1
+KIND_DELTA = 2
+
+FNV_OFFSET = 14695981039346656037
+FNV_PRIME = 1099511628211
+
+
+def fnv1a64(data: bytes) -> int:
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def body(kind, image_key, generation, parent, chunks, *, magic=MAGIC,
+         version=VERSION, count=None):
+    """Header + entries, checksum not yet appended."""
+    if count is None:
+        count = len(chunks)
+    out = struct.pack("<IBBHQIIQ", magic, version, kind, 0, image_key,
+                      generation, count, parent)
+    for hash_, size in chunks:
+        out += struct.pack("<QQ", hash_, size)
+    return out
+
+
+def manifest(*args, **kwargs):
+    raw = body(*args, **kwargs)
+    return raw + struct.pack("<Q", fnv1a64(raw))
+
+
+def digest(*args, **kwargs):
+    """manifest_digest(): checksum of the encoding sans trailer."""
+    return fnv1a64(body(*args, **kwargs))
+
+
+BASE_CHUNKS = [(0x1111, 4096), (0x2222, 8192), (0x3333, 1024)]
+BASE_ARGS = (KIND_BASE, 42, 0, 0, BASE_CHUNKS)
+BASE_DIGEST = digest(*BASE_ARGS)
+
+CORPUS = {
+    # Well-formed manifests (also the prefix/mutation sweep seeds).
+    "ok__base_small": manifest(*BASE_ARGS),
+    "ok__base_empty": manifest(KIND_BASE, 7, 0, 0, []),
+    "ok__delta_two_chunks":
+        manifest(KIND_DELTA, 42, 1, BASE_DIGEST, [(0x4444, 2048), (0x5555, 512)]),
+    # Header-level rejections.
+    "short-header__empty": b"",
+    "short-header__31_bytes": manifest(*BASE_ARGS)[:31],
+    "bad-magic__zeroed": manifest(*BASE_ARGS, magic=0),
+    "bad-version__v2": body(KIND_BASE, 1, 0, 0, [], version=2) + b"\0" * 8,
+    "bad-kind__kind3": body(3, 1, 0, 0, []) + b"\0" * 8,
+    "count-overflow__4_billion":
+        body(KIND_BASE, 1, 0, 0, [], count=0xFFFFFFFF) + b"\0" * 8,
+    # Length and checksum rejections.
+    "truncated__missing_entry":
+        body(KIND_BASE, 1, 0, 0, [(0xAA, 64)], count=2) + struct.pack("<Q", 0),
+    "trailing-bytes__one_extra": manifest(*BASE_ARGS) + b"\0",
+    "checksum-mismatch__flipped_trailer":
+        manifest(*BASE_ARGS)[:-1] + bytes([manifest(*BASE_ARGS)[-1] ^ 1]),
+    "checksum-mismatch__flipped_body": (lambda raw: raw[:40] +
+        bytes([raw[40] ^ 0x80]) + raw[41:])(manifest(*BASE_ARGS)),
+    # Semantic rejections (checksum valid, content contradictory).
+    "base-with-parent__gen0": manifest(KIND_BASE, 1, 0, 0xBEEF, [(0xAA, 64)]),
+    "delta-without-parent__gen1": manifest(KIND_DELTA, 1, 1, 0, [(0xAA, 64)]),
+    "zero-chunk-size__second_entry":
+        manifest(KIND_BASE, 1, 0, 0, [(0xAA, 64), (0xBB, 0)]),
+    "duplicate-chunk__same_hash_twice":
+        manifest(KIND_BASE, 1, 0, 0, [(0xAA, 64), (0xAA, 64)]),
+    # Chain-level rejections: decode ok, validate_chain() pins the status
+    # against ok__base_small.
+    "dangling-parent__wrong_parent_digest":
+        manifest(KIND_DELTA, 42, 1, 0x1122334455667788, [(0x4444, 2048)]),
+    "bad-generation__gen7_after_gen0":
+        manifest(KIND_DELTA, 42, 7, BASE_DIGEST, [(0x4444, 2048)]),
+}
+
+
+def main():
+    for name, data in sorted(CORPUS.items()):
+        path = HERE / f"{name}.bin"
+        path.write_bytes(data)
+        print(f"{path.name}: {len(data)} bytes")
+
+
+if __name__ == "__main__":
+    main()
