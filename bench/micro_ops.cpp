@@ -305,6 +305,60 @@ void BM_SubsetWordEarlyExit(benchmark::State& state) {
 }
 BENCHMARK(BM_SubsetWordEarlyExit)->Arg(0)->Arg(4800)->Arg(9600);
 
+// ---- SIMD kernel micros: the raw word-loop cost per backend over the
+// full 9,660-package universe (151 words), no early exit — the floor
+// every Jaccard/subset evaluation pays on a miss. Run per backend so
+// BENCH_decision.json records the vector speedup directly.
+void bench_kernel_pair(benchmark::State& state, const util::simd::SetOps& ops,
+                       int which) {
+  util::Rng rng(11);
+  const auto a = random_closure(rng, 500);
+  const auto b = random_closure(rng, 500);
+  const auto* wa = a.bits().words().data();
+  const auto* wb = b.bits().words().data();
+  const std::size_t n = a.bits().word_count();
+  for (auto _ : state) {
+    switch (which) {
+      case 0: benchmark::DoNotOptimize(ops.intersection_count(wa, wb, n)); break;
+      case 1: benchmark::DoNotOptimize(ops.union_count(wa, wb, n)); break;
+      case 2: benchmark::DoNotOptimize(ops.subset_of(wa, wb, n)); break;
+      default: benchmark::DoNotOptimize(ops.popcount(wa, n)); break;
+    }
+  }
+}
+
+void BM_Kernel_Portable(benchmark::State& state) {
+  bench_kernel_pair(state, util::simd::portable_ops(),
+                    static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_Kernel_Portable)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Kernel_Active(benchmark::State& state) {
+  bench_kernel_pair(state, util::simd::active_ops(),
+                    static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_Kernel_Active)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+/// Fused merge-with-count vs the old two-pass (|= then count) shape.
+void BM_FusedOrCount(benchmark::State& state) {
+  util::Rng rng(12);
+  const auto a = random_closure(rng, 500);
+  const auto b = random_closure(rng, 500);
+  const bool fused = state.range(0) == 1;
+  for (auto _ : state) {
+    spec::PackageSet out = a;
+    if (fused) {
+      out.merge(b);  // fused kernel maintains the cardinality in-pass
+      benchmark::DoNotOptimize(out.size());
+    } else {
+      util::DynamicBitset bits = out.bits();
+      bits |= b.bits();
+      benchmark::DoNotOptimize(bits.count());
+    }
+  }
+}
+BENCHMARK(BM_FusedOrCount)->Arg(0)->Arg(1);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -36,8 +36,15 @@ done
 
 MICRO_JSON="$BUILD/bench_decision_micro.json"
 "$MICRO" \
-  --benchmark_filter='BM_(FindSuperset|EvictVictim|MemoHit|SubsetWordEarlyExit)' \
+  --benchmark_filter='BM_(FindSuperset|EvictVictim|MemoHit|SubsetWordEarlyExit|Kernel_|FusedOrCount|JaccardDistance|SubsetCheck)' \
   --benchmark_format=json >"$MICRO_JSON"
+
+# Which set-operation backend the kernels dispatched to on this machine
+# (recorded in the JSON so numbers are comparable across hosts).
+SIMD_BACKEND="avx2"
+if [[ "${LANDLORD_NO_SIMD:-0}" == "1" ]] || ! grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  SIMD_BACKEND="portable"
+fi
 
 # fig5 end-to-end wall clock, index on vs off (seconds; small jobs count
 # keeps the gate quick — the micros carry the scaling story).
@@ -54,8 +61,13 @@ fig5_seconds() {
 FIG5_ON=$(fig5_seconds 1)
 FIG5_OFF=$(fig5_seconds 0)
 
+# Memo-hit latency ceiling (ns): the steady-state "same job
+# resubmitted" fast path must stay flat. Overridable for slow hosts.
+MEMO_HIT_MAX_NS="${LANDLORD_MEMO_HIT_MAX_NS:-1200}"
+
 MICRO_JSON="$MICRO_JSON" FIG5_ON="$FIG5_ON" FIG5_OFF="$FIG5_OFF" \
-FIG5_JOBS="$FIG5_JOBS" python3 - <<'EOF'
+FIG5_JOBS="$FIG5_JOBS" SIMD_BACKEND="$SIMD_BACKEND" \
+MEMO_HIT_MAX_NS="$MEMO_HIT_MAX_NS" python3 - <<'EOF'
 import json, os, sys
 
 with open(os.environ["MICRO_JSON"]) as f:
@@ -86,9 +98,45 @@ out = {
         str(arg): t for (name, arg), t in times.items()
         if name == "BM_SubsetWordEarlyExit"
     },
+    # Raw word-loop cost over the full 9,660-package universe, per
+    # backend (portable is the retained scalar oracle; active is what
+    # DynamicBitset dispatched to on this host).
+    "simd_backend": os.environ["SIMD_BACKEND"],
+    "kernel_ns": {
+        kernel: {
+            "portable": times[("BM_Kernel_Portable", arg)],
+            "active": times[("BM_Kernel_Active", arg)],
+        }
+        for arg, kernel in enumerate(
+            ["intersection_count", "union_count", "subset_of", "popcount"])
+    },
+    "fused_or_count_ns": {
+        "two_pass": times[("BM_FusedOrCount", 0)],
+        "fused": times[("BM_FusedOrCount", 1)],
+    },
+    "jaccard_distance_ns": {
+        str(n): times[("BM_JaccardDistance", n)] for n in (10, 100, 1000)
+    },
+    "subset_check_ns": {
+        str(n): times[("BM_SubsetCheck", n)] for n in (100, 1000)
+    },
 }
 
 failures = []
+
+# Memo-hit latency ceiling: the flat fast path must stay flat. The
+# ceiling is loose (machine variance, 1-core CI hosts) and overridable
+# via LANDLORD_MEMO_HIT_MAX_NS; the point is catching a path that
+# regressed to re-deciding, not a few nanoseconds of drift.
+memo_hit_max = float(os.environ["MEMO_HIT_MAX_NS"])
+out["memo_hit_max_ns"] = memo_hit_max
+for n in memo_sizes:
+    got = times[("BM_MemoHit", n)]
+    if got > memo_hit_max:
+        failures.append(
+            f"BM_MemoHit at {n} images: {got:.0f} ns > ceiling "
+            f"{memo_hit_max:.0f} ns (LANDLORD_MEMO_HIT_MAX_NS to override)")
+
 for key, prefix in pairs:
     section = {}
     for n in sizes:
@@ -132,6 +180,14 @@ for key, _ in pairs:
 print(f"          fig5 @{out['fig5']['jobs']} jobs: "
       f"indexed {out['fig5']['indexed_seconds']}s  "
       f"scan {out['fig5']['scan_seconds']}s")
+print(f"          simd backend: {out['simd_backend']}")
+for kernel, row in out["kernel_ns"].items():
+    speedup = row["portable"] / row["active"] if row["active"] > 0 else 0
+    print(f"{kernel:>20}: portable {row['portable']:>7.1f} ns  "
+          f"active {row['active']:>7.1f} ns  ({speedup:.2f}x)")
+for n in memo_sizes:
+    print(f"   memo_hit @{n:>6}: {times[('BM_MemoHit', n)]:>7.1f} ns  "
+          f"(ceiling {memo_hit_max:.0f} ns)")
 
 if failures:
     print("bench_decision: PERF REGRESSION", file=sys.stderr)

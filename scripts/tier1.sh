@@ -22,6 +22,14 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== stage 1b: SIMD fallback path — simd/perf suites with LANDLORD_NO_SIMD=1 =="
+# Every DynamicBitset kernel dispatches between the AVX2 path and the
+# portable scalar fallback at first use; stage 1 exercised whichever the
+# CPU selected. Re-run the differential suite and the index-vs-scan
+# equivalence oracle with the fallback pinned, so BOTH code paths prove
+# bit-identical placements on every tier-1 run.
+LANDLORD_NO_SIMD=1 ctest --test-dir build -L 'simd|perf' --output-on-failure -j "$JOBS"
+
 echo "== stage 2: ThreadSanitizer build + concurrency-labelled tests =="
 cmake -B build-tsan -S . -DLANDLORD_SANITIZE=thread \
   -DLANDLORD_BUILD_BENCH=OFF -DLANDLORD_BUILD_EXAMPLES=OFF
@@ -74,8 +82,11 @@ echo "== stage 5: decision-index equivalence under ASan + perf gate =="
 # memory errors, not just divergences. Then the benchmark gate times the
 # indexed path against the scans and fails if it is slower at >= 1k
 # images (writes BENCH_decision.json).
-cmake --build build-asan --target perf_tests -j "$JOBS"
-ctest --test-dir build-asan -L perf --output-on-failure -j "$JOBS"
+cmake --build build-asan --target perf_tests simd_tests -j "$JOBS"
+ctest --test-dir build-asan -L 'perf|simd' --output-on-failure -j "$JOBS"
+# The SIMD differential suite again under ASan with the fallback pinned:
+# the portable kernels are the oracle, so they too must be clean.
+LANDLORD_NO_SIMD=1 ctest --test-dir build-asan -L simd --output-on-failure -j "$JOBS"
 cmake --build build --target micro_ops fig5_single_run -j "$JOBS"
 scripts/bench_decision.sh build
 

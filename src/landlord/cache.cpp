@@ -260,7 +260,10 @@ std::optional<ImageId> Cache::find_merge_candidate(const spec::Specification& sp
     double distance;
     ImageId id;
   };
-  std::vector<Candidate> candidates;
+  // Scratch-arena backed: the list dies with this call, so it bump-
+  // allocates from the per-request arena instead of the global heap.
+  std::vector<Candidate, util::ArenaAllocator<Candidate>> candidates{
+      util::ArenaAllocator<Candidate>(arena_)};
 
   // "In the extreme case of α = 1, every pair of images is considered
   // close and merged if possible" (§V) — so α = 1 admits even distance
@@ -322,6 +325,7 @@ std::optional<ImageId> Cache::find_merge_candidate(const spec::Specification& sp
 Cache::Outcome Cache::request(const spec::Specification& spec) {
   assert(spec.packages().universe() == repo_->size() &&
          "spec universe must match the cache's repository");
+  arena_.reset();  // reclaim the previous request's scratch in O(1)
   ++clock_;
   ++counters_.requests;
   const util::Bytes requested = spec.bytes(*repo_);

@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "landlord/eviction.hpp"
+#include "util/arena.hpp"
 #include "landlord/image.hpp"
 #include "landlord/index.hpp"
 #include "landlord/policy.hpp"
@@ -255,6 +256,11 @@ class Cache {
   EvictionListener eviction_listener_;
   std::vector<std::uint32_t> ledger_refs_;  ///< per-package image refcount
   util::Bytes ledger_unique_ = 0;
+
+  /// Per-request scratch (candidate lists and friends); reset at the top
+  /// of request(), so steady-state requests never touch the global
+  /// allocator for short-lived containers.
+  util::ScratchArena arena_;
 
   /// Sublinear decision path (engaged iff config_.decision_index).
   /// DecisionIndex holds no pointer into images_ and SpecMemo sits

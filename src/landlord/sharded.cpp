@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "spec/jaccard.hpp"
+#include "util/arena.hpp"
 
 namespace landlord::core {
 
@@ -215,6 +216,11 @@ Cache::Outcome ShardedCache::request(const spec::Specification& spec) {
 
 Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
                                    std::uint64_t now, util::Bytes requested) {
+  // Per-thread scratch for this request's short-lived containers
+  // (Phase 2 candidate list). thread_local because serve() runs
+  // concurrently; reset here reclaims the previous request's scratch.
+  thread_local util::ScratchArena scratch_arena;
+  scratch_arena.reset();
   // ---- Phase 0: spec memo. A current-epoch entry is exactly what the
   // cross-shard scan below would decide, so apply it directly. A stale
   // apply (racing writer — single-threaded replays never see one) falls
@@ -298,7 +304,8 @@ Cache::Outcome ShardedCache::serve(const spec::Specification& spec,
       std::uint64_t id;
       std::size_t shard;
     };
-    std::vector<MergeCandidate> candidates;
+    std::vector<MergeCandidate, util::ArenaAllocator<MergeCandidate>>
+        candidates{util::ArenaAllocator<MergeCandidate>(scratch_arena)};
     std::optional<spec::MinHashSignature> signature;
     if (config_.policy == MergePolicy::kMinHashLsh) {
       signature = hasher_.sign(spec.packages());

@@ -58,16 +58,15 @@ class PackageSet {
     }
   }
 
-  /// In-place union; operands must share a universe.
+  /// In-place union; operands must share a universe. The fused kernel
+  /// returns the new cardinality, so no second count() pass is needed.
   void merge(const PackageSet& other) noexcept {
-    bits_ |= other.bits_;
-    count_ = bits_.count();
+    count_ = bits_.or_assign_count(other.bits_);
   }
 
   /// In-place difference (this \ other).
   void subtract(const PackageSet& other) noexcept {
-    bits_ -= other.bits_;
-    count_ = bits_.count();
+    count_ = bits_.and_not_assign_count(other.bits_);
   }
 
   [[nodiscard]] bool operator==(const PackageSet& other) const noexcept {

@@ -1,0 +1,19 @@
+#include "util/bitset.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace landlord::util::detail {
+
+// Kept out of line (and out of the header) so the hot-path check inlines
+// to a compare + never-taken branch; the abort machinery stays cold.
+[[noreturn]] void universe_mismatch(const char* op, std::size_t lhs_bits,
+                                    std::size_t rhs_bits) noexcept {
+  std::fprintf(stderr,
+               "landlord: DynamicBitset::%s on mismatched universes "
+               "(%zu bits vs %zu bits); aborting\n",
+               op, lhs_bits, rhs_bits);
+  std::abort();
+}
+
+}  // namespace landlord::util::detail

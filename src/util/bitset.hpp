@@ -4,8 +4,17 @@
 // specifications and cached images are sets over a fixed package universe
 // (9,660 packages in the SFT-like repository), so subset tests, unions,
 // intersections and Jaccard distances all reduce to a few hundred 64-bit
-// word operations. Everything is inline and branch-light so a full cache
-// scan stays in the nanosecond-per-image regime.
+// word operations. The word loops themselves live in util::simd — an
+// AVX2 path and a 4×-unrolled portable fallback, runtime-dispatched once
+// per process (LANDLORD_NO_SIMD=1 forces the fallback) and bit-identical
+// by construction and by differential test (tests/util/simd_test.cpp).
+//
+// Cross-universe binary operations are a hard error in EVERY build mode:
+// the word counts differ, so the old assert-only guard meant a release
+// build (the one the benches and the serve plane actually run) would
+// silently read out of bounds — and SIMD widens any such read to 32
+// bytes. The check is one integer compare per call; the failure path is
+// cold, [[noreturn]], and aborts with both sizes in the message.
 #pragma once
 
 #include <bit>
@@ -14,7 +23,16 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace landlord::util {
+
+namespace detail {
+/// Cold failure path for mismatched-universe bitset operations; prints
+/// both sizes to stderr and aborts (defined in bitset.cpp).
+[[noreturn]] void universe_mismatch(const char* op, std::size_t lhs_bits,
+                                    std::size_t rhs_bits) noexcept;
+}  // namespace detail
 
 class DynamicBitset {
  public:
@@ -47,9 +65,7 @@ class DynamicBitset {
   }
 
   [[nodiscard]] std::size_t count() const noexcept {
-    std::size_t total = 0;
-    for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
-    return total;
+    return simd::active_ops().popcount(words_.data(), words_.size());
   }
 
   [[nodiscard]] bool none() const noexcept {
@@ -60,62 +76,82 @@ class DynamicBitset {
 
   /// In-place union; operands must share a universe size.
   DynamicBitset& operator|=(const DynamicBitset& other) noexcept {
-    assert(bits_ == other.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    check_universe("operator|=", other);
+    (void)simd::active_ops().or_assign_count(words_.data(), other.words_.data(),
+                                             words_.size());
     return *this;
+  }
+
+  /// In-place union, returning the resulting cardinality — one fused
+  /// pass instead of |= followed by count().
+  std::size_t or_assign_count(const DynamicBitset& other) noexcept {
+    check_universe("or_assign_count", other);
+    return simd::active_ops().or_assign_count(words_.data(),
+                                              other.words_.data(),
+                                              words_.size());
   }
 
   /// In-place intersection.
   DynamicBitset& operator&=(const DynamicBitset& other) noexcept {
-    assert(bits_ == other.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    check_universe("operator&=", other);
+    (void)simd::active_ops().and_assign_count(words_.data(),
+                                              other.words_.data(),
+                                              words_.size());
     return *this;
+  }
+
+  /// In-place intersection, returning the resulting cardinality.
+  std::size_t and_assign_count(const DynamicBitset& other) noexcept {
+    check_universe("and_assign_count", other);
+    return simd::active_ops().and_assign_count(words_.data(),
+                                               other.words_.data(),
+                                               words_.size());
   }
 
   /// In-place difference (this \ other).
   DynamicBitset& operator-=(const DynamicBitset& other) noexcept {
-    assert(bits_ == other.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    check_universe("operator-=", other);
+    (void)simd::active_ops().and_not_assign_count(words_.data(),
+                                                  other.words_.data(),
+                                                  words_.size());
     return *this;
+  }
+
+  /// In-place difference, returning the resulting cardinality.
+  std::size_t and_not_assign_count(const DynamicBitset& other) noexcept {
+    check_universe("and_not_assign_count", other);
+    return simd::active_ops().and_not_assign_count(words_.data(),
+                                                   other.words_.data(),
+                                                   words_.size());
   }
 
   [[nodiscard]] bool operator==(const DynamicBitset& other) const noexcept = default;
 
   /// |this ∩ other| without materialising the intersection.
   [[nodiscard]] std::size_t intersection_count(const DynamicBitset& other) const noexcept {
-    assert(bits_ == other.bits_);
-    std::size_t total = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
-    }
-    return total;
+    check_universe("intersection_count", other);
+    return simd::active_ops().intersection_count(
+        words_.data(), other.words_.data(), words_.size());
   }
 
   /// |this ∪ other| without materialising the union.
   [[nodiscard]] std::size_t union_count(const DynamicBitset& other) const noexcept {
-    assert(bits_ == other.bits_);
-    std::size_t total = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      total += static_cast<std::size_t>(std::popcount(words_[i] | other.words_[i]));
-    }
-    return total;
+    check_universe("union_count", other);
+    return simd::active_ops().union_count(words_.data(), other.words_.data(),
+                                          words_.size());
   }
 
-  /// True iff every element of *this is in `other` (early exit per word).
+  /// True iff every element of *this is in `other` (early exit per block).
   [[nodiscard]] bool is_subset_of(const DynamicBitset& other) const noexcept {
-    assert(bits_ == other.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      if (words_[i] & ~other.words_[i]) return false;
-    }
-    return true;
+    check_universe("is_subset_of", other);
+    return simd::active_ops().subset_of(words_.data(), other.words_.data(),
+                                        words_.size());
   }
 
   [[nodiscard]] bool intersects(const DynamicBitset& other) const noexcept {
-    assert(bits_ == other.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      if (words_[i] & other.words_[i]) return true;
-    }
-    return false;
+    check_universe("intersects", other);
+    return simd::active_ops().intersects(words_.data(), other.words_.data(),
+                                         words_.size());
   }
 
   /// Calls fn(index) for every set bit, in increasing index order.
@@ -141,6 +177,12 @@ class DynamicBitset {
   [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept { return words_; }
 
  private:
+  void check_universe(const char* op, const DynamicBitset& other) const noexcept {
+    if (bits_ != other.bits_) [[unlikely]] {
+      detail::universe_mismatch(op, bits_, other.bits_);
+    }
+  }
+
   std::size_t bits_ = 0;
   std::vector<std::uint64_t> words_;
 };

@@ -24,7 +24,7 @@ void Summary::ensure_sorted() const {
 }
 
 double Summary::mean() const {
-  assert(!sample_.empty());
+  if (sample_.empty()) return 0.0;
   return sum() / static_cast<double>(sample_.size());
 }
 
@@ -41,13 +41,13 @@ double Summary::stddev() const {
 }
 
 double Summary::min() const {
-  assert(!sample_.empty());
+  if (sample_.empty()) return 0.0;
   ensure_sorted();
   return sorted_.front();
 }
 
 double Summary::max() const {
-  assert(!sample_.empty());
+  if (sample_.empty()) return 0.0;
   ensure_sorted();
   return sorted_.back();
 }
@@ -55,8 +55,14 @@ double Summary::max() const {
 double Summary::median() const { return quantile(0.5); }
 
 double Summary::quantile(double q) const {
-  assert(!sample_.empty());
-  assert(q >= 0.0 && q <= 1.0);
+  // Total function: q is clamped into [0, 1] and an empty sample yields
+  // 0.0. The previous assert-only contract meant a release build (the
+  // one every bench report and the serve RTT p999 run under) indexed
+  // sorted_[size-1] with size == 0 — a size_t underflow OOB read — and
+  // a q outside [0, 1] produced an out-of-range (for q < 0: UB
+  // negative-double-to-size_t) index.
+  if (sample_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
   ensure_sorted();
   if (sorted_.size() == 1) return sorted_.front();
   const double pos = q * static_cast<double>(sorted_.size() - 1);

@@ -23,15 +23,18 @@ class Summary {
   [[nodiscard]] std::size_t count() const noexcept { return sample_.size(); }
   [[nodiscard]] bool empty() const noexcept { return sample_.empty(); }
 
-  /// Arithmetic mean; requires a non-empty sample.
+  /// Arithmetic mean; 0 for an empty sample.
   [[nodiscard]] double mean() const;
   /// Sample standard deviation (n-1 denominator); 0 for n < 2.
   [[nodiscard]] double stddev() const;
+  /// Smallest sample value; 0 for an empty sample.
   [[nodiscard]] double min() const;
+  /// Largest sample value; 0 for an empty sample.
   [[nodiscard]] double max() const;
-  /// Median (average of middle pair for even n); requires non-empty.
+  /// Median (interpolated middle); 0 for an empty sample.
   [[nodiscard]] double median() const;
-  /// Linear-interpolated quantile, q in [0, 1]; requires non-empty.
+  /// Linear-interpolated quantile. Total: q is clamped into [0, 1] and
+  /// an empty sample yields 0 — never an out-of-range index.
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double sum() const;
 

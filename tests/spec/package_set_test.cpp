@@ -145,15 +145,20 @@ TEST_P(PackageSetFuzzTest, CachedCountAlwaysMatchesBits) {
   PackageSet s(257);
   PackageSet other(257);
   for (int step = 0; step < 500; ++step) {
-    const auto op = rng.uniform(4);
+    const auto op = rng.uniform(6);
     const auto id = package_id(static_cast<std::uint32_t>(rng.uniform(257)));
     switch (op) {
       case 0: s.insert(id); break;
       case 1: s.erase(id); break;
       case 2: other.insert(id); break;
-      case 3: s.merge(other); break;
+      case 3: other.erase(id); break;
+      case 4: s.merge(other); break;
+      case 5: s.subtract(other); break;
     }
+    // The fused kernels maintain the cached cardinality in the same
+    // pass as the word op — it must always equal a fresh popcount.
     ASSERT_EQ(s.size(), s.bits().count());
+    ASSERT_EQ(other.size(), other.bits().count());
   }
 }
 

@@ -144,6 +144,52 @@ TEST(DynamicBitset, NonMultipleOf64Sizes) {
   EXPECT_EQ(b.word_count(), 2u);
 }
 
+TEST(DynamicBitset, FusedOpsReturnResultingCardinality) {
+  DynamicBitset a(200);
+  DynamicBitset b(200);
+  for (std::size_t i = 0; i < 200; i += 3) a.set(i);
+  for (std::size_t i = 0; i < 200; i += 5) b.set(i);
+
+  DynamicBitset u = a;
+  const std::size_t u_count = u.or_assign_count(b);
+  EXPECT_EQ(u_count, u.count());
+  DynamicBitset expect_u = a;
+  expect_u |= b;
+  EXPECT_EQ(u, expect_u);
+
+  DynamicBitset n = a;
+  const std::size_t n_count = n.and_assign_count(b);
+  EXPECT_EQ(n_count, n.count());
+  EXPECT_EQ(n.count(), a.intersection_count(b));
+
+  DynamicBitset d = a;
+  const std::size_t d_count = d.and_not_assign_count(b);
+  EXPECT_EQ(d_count, d.count());
+  EXPECT_EQ(d.count(), a.count() - a.intersection_count(b));
+}
+
+// Regression for the release-mode hardening: a cross-universe binary
+// operation used to be guarded only by assert (compiled out of release
+// builds → silent out-of-bounds read, widened to 32 bytes by the SIMD
+// kernels). It must now abort in every build mode.
+using DynamicBitsetDeathTest = ::testing::Test;
+
+TEST(DynamicBitsetDeathTest, MismatchedUniverseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DynamicBitset small(64);
+  DynamicBitset large(9660);
+  EXPECT_DEATH((void)small.is_subset_of(large), "mismatched universes");
+  EXPECT_DEATH((void)small.intersects(large), "mismatched universes");
+  EXPECT_DEATH((void)small.intersection_count(large), "mismatched universes");
+  EXPECT_DEATH((void)small.union_count(large), "mismatched universes");
+  EXPECT_DEATH(small |= large, "mismatched universes");
+  EXPECT_DEATH(small &= large, "mismatched universes");
+  EXPECT_DEATH(small -= large, "mismatched universes");
+  EXPECT_DEATH((void)small.or_assign_count(large), "mismatched universes");
+  EXPECT_DEATH((void)small.and_assign_count(large), "mismatched universes");
+  EXPECT_DEATH((void)small.and_not_assign_count(large), "mismatched universes");
+}
+
 // Property sweep: random sets obey set algebra identities.
 class BitsetPropertyTest : public testing::TestWithParam<std::tuple<int, int>> {};
 

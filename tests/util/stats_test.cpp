@@ -65,6 +65,55 @@ TEST(Summary, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
 }
 
+// quantile() is a total function: every (sample, q) pair in this table
+// must produce exactly the listed value — the release builds that
+// drive every bench report and the serve RTT p999 used to hit an OOB
+// index on the empty and out-of-range rows once asserts compiled out.
+TEST(Summary, QuantileEdgeTable) {
+  struct Case {
+    std::vector<double> sample;
+    double q;
+    double want;
+  };
+  const Case cases[] = {
+      // Empty summary: defined as 0 for every q.
+      {{}, 0.0, 0.0},
+      {{}, 0.5, 0.0},
+      {{}, 1.0, 0.0},
+      {{}, -1.0, 0.0},
+      {{}, 2.0, 0.0},
+      // Single sample: every q returns it, including out-of-range q.
+      {{7.5}, 0.0, 7.5},
+      {{7.5}, 0.5, 7.5},
+      {{7.5}, 1.0, 7.5},
+      {{7.5}, -0.25, 7.5},
+      {{7.5}, 1.75, 7.5},
+      // q clamped into [0, 1]: q<0 acts as 0, q>1 acts as 1.
+      {{10.0, 20.0, 30.0}, -0.5, 10.0},
+      {{10.0, 20.0, 30.0}, 1.5, 30.0},
+      // Exact endpoints and interior interpolation for reference.
+      {{10.0, 20.0, 30.0}, 0.0, 10.0},
+      {{10.0, 20.0, 30.0}, 1.0, 30.0},
+      {{10.0, 20.0, 30.0}, 0.5, 20.0},
+      {{0.0, 10.0}, 0.999, 9.99},
+  };
+  for (const Case& c : cases) {
+    Summary s;
+    for (double v : c.sample) s.add(v);
+    EXPECT_DOUBLE_EQ(s.quantile(c.q), c.want)
+        << "n=" << c.sample.size() << " q=" << c.q;
+  }
+}
+
+TEST(Summary, EmptySummaryMomentsAreZero) {
+  const Summary s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
 TEST(Summary, AddAfterQuantileInvalidatesSortCache) {
   Summary s;
   s.add(5.0);
