@@ -3,11 +3,11 @@
 // drives it with the built-in load generator.
 //
 //   serve_head_node [--port P] [--workers N] [--shards N] [--max-queue N]
-//                   [--packages N] [--seed S] [--alpha A]
-//                   [--capacity-fraction F] [--duration SECONDS]
-//                   [--metrics-out FILE]
+//                   [--heads N] [--pipeline-depth N] [--packages N]
+//                   [--seed S] [--alpha A] [--capacity-fraction F]
+//                   [--duration SECONDS] [--metrics-out FILE]
 //   serve_head_node --bench [--mode closed|open] [--connections N]
-//                   [--batch N] [--requests N] [--rate R]
+//                   [--batch N] [--requests N] [--rate R] [--warmup]
 //                   [--bench-duration SECONDS] [--clients N] [--zipf S]
 //
 // Server mode binds 127.0.0.1 (port 0 picks an ephemeral one, printed as
@@ -15,17 +15,29 @@
 // then drains gracefully and prints the service-plane counters. Talk to
 // it with serve_client.
 //
-// --bench starts the same server in-process, runs the load generator
-// against it over loopback, and prints one JSON report to stdout —
+// --heads N stands up N servers over ONE shared Landlord (and one obs
+// registry): the multi-head topology from the XCache-style deployments —
+// several socket front ends, one repository of record. Requires a
+// sharded decision layer (--shards >= 2); the load generator spreads its
+// connections across the heads round-robin.
+//
+// --bench starts the same server(s) in-process, runs the load generator
+// against them over loopback, and prints one JSON report to stdout —
 // scripts/bench_serve.sh parses this and gates on QPS (BENCH_serve.json).
+// --warmup submits the whole catalog once per head before the timed
+// window, so open-loop quantiles measure steady-state serving rather
+// than the cold-cache insert/merge transient.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "landlord/landlord.hpp"
 #include "obs/obs.hpp"
@@ -47,6 +59,8 @@ struct Options {
   std::uint32_t workers = 8;
   std::uint32_t shards = 8;
   std::size_t max_queue = 1024;
+  std::uint32_t heads = 1;
+  std::optional<std::size_t> pipeline_depth;
   std::uint32_t packages = 1500;
   std::uint64_t seed = 42;
   double alpha = 0.8;
@@ -63,6 +77,7 @@ struct Options {
   double bench_duration = 0.0;
   std::uint64_t clients = 2'000'000;
   double zipf = 1.1;
+  bool warmup = false;
 };
 
 std::optional<Options> parse_args(int argc, char** argv) {
@@ -87,6 +102,12 @@ std::optional<Options> parse_args(int argc, char** argv) {
       if (!number(options.shards)) return std::nullopt;
     } else if (arg == "--max-queue") {
       if (!number(options.max_queue)) return std::nullopt;
+    } else if (arg == "--heads") {
+      if (!number(options.heads)) return std::nullopt;
+    } else if (arg == "--pipeline-depth") {
+      std::size_t depth = 0;
+      if (!number(depth)) return std::nullopt;
+      options.pipeline_depth = depth;
     } else if (arg == "--packages") {
       if (!number(options.packages)) return std::nullopt;
     } else if (arg == "--seed") {
@@ -128,11 +149,50 @@ std::optional<Options> parse_args(int argc, char** argv) {
       if (!number(options.clients)) return std::nullopt;
     } else if (arg == "--zipf") {
       if (!number(options.zipf)) return std::nullopt;
+    } else if (arg == "--warmup") {
+      options.warmup = true;
     } else {
       return std::nullopt;
     }
   }
   return options;
+}
+
+/// Sums the per-head counter snapshots into one repository-wide view;
+/// the queue peak is the worst single head (the queues are per head, so
+/// adding them would invent a depth no server ever saw).
+ServeCounters aggregate_counters(
+    const std::vector<std::unique_ptr<landlord::serve::Server>>& servers) {
+  ServeCounters total;
+  for (const auto& server : servers) {
+    const ServeCounters counters = server->counters();
+    total.connections_accepted += counters.connections_accepted;
+    total.connections_closed += counters.connections_closed;
+    total.frames_in += counters.frames_in;
+    total.frames_out += counters.frames_out;
+    total.frames_admitted += counters.frames_admitted;
+    total.specs_admitted += counters.specs_admitted;
+    total.frames_processed += counters.frames_processed;
+    total.requests_served += counters.requests_served;
+    total.placements_hit += counters.placements_hit;
+    total.placements_merge += counters.placements_merge;
+    total.placements_insert += counters.placements_insert;
+    total.placements_degraded += counters.placements_degraded;
+    total.placements_failed += counters.placements_failed;
+    total.rejected_queue_full += counters.rejected_queue_full;
+    total.rejected_draining += counters.rejected_draining;
+    total.rejected_requests += counters.rejected_requests;
+    total.decode_errors += counters.decode_errors;
+    total.pings += counters.pings;
+    total.stats_requests += counters.stats_requests;
+    total.bytes_in += counters.bytes_in;
+    total.bytes_out += counters.bytes_out;
+    total.batches += counters.batches;
+    total.gathered_writes += counters.gathered_writes;
+    total.queue_depth_peak =
+        std::max(total.queue_depth_peak, counters.queue_depth_peak);
+  }
+  return total;
 }
 
 void print_counters(const ServeCounters& counters) {
@@ -153,13 +213,17 @@ void print_counters(const ServeCounters& counters) {
 }
 
 void print_json_report(const Options& options, const LoadGenReport& report,
-                       const ServeCounters& counters) {
+                       const ServeCounters& counters,
+                       std::size_t pipeline_depth) {
   std::cout << "{\n"
             << "  \"mode\": \""
             << (options.mode == LoadMode::kClosed ? "closed" : "open")
             << "\",\n"
+            << "  \"heads\": " << options.heads << ",\n"
             << "  \"workers\": " << options.workers << ",\n"
             << "  \"shards\": " << options.shards << ",\n"
+            << "  \"pipeline_depth\": " << pipeline_depth << ",\n"
+            << "  \"warmup\": " << (options.warmup ? "true" : "false") << ",\n"
             << "  \"connections\": " << options.connections << ",\n"
             << "  \"batch\": " << options.batch << ",\n"
             << "  \"client_universe\": " << options.clients << ",\n"
@@ -192,13 +256,31 @@ int main(int argc, char** argv) {
   if (!options) {
     std::cerr << "usage: serve_head_node [--port P] [--workers N] [--shards N]"
                  " [--max-queue N]\n"
-                 "                       [--packages N] [--seed S] [--alpha A]"
-                 " [--capacity-fraction F]\n"
-                 "                       [--duration S] [--metrics-out FILE]\n"
+                 "                       [--heads N] [--pipeline-depth N]"
+                 " [--packages N] [--seed S]\n"
+                 "                       [--alpha A] [--capacity-fraction F]"
+                 " [--duration S]\n"
+                 "                       [--metrics-out FILE]\n"
                  "                       [--bench [--mode closed|open]"
                  " [--connections N] [--batch N]\n"
-                 "                        [--requests N] [--rate R]"
-                 " [--bench-duration S] [--clients N] [--zipf S]]\n";
+                 "                        [--requests N] [--rate R] [--warmup]"
+                 " [--bench-duration S]\n"
+                 "                        [--clients N] [--zipf S]]\n";
+    return 2;
+  }
+  if (options->heads == 0) {
+    std::cerr << "--heads must be >= 1\n";
+    return 2;
+  }
+  if (options->heads > 1 && options->shards <= 1) {
+    std::cerr << "--heads > 1 needs --shards >= 2: each head serializes its "
+                 "own submissions, so only a sharded decision layer is safe "
+                 "to share across heads\n";
+    return 2;
+  }
+  if (options->heads > 1 && options->port != 0) {
+    std::cerr << "--heads > 1 requires --port 0 (each head picks its own "
+                 "ephemeral port)\n";
     return 2;
   }
 
@@ -226,18 +308,31 @@ int main(int argc, char** argv) {
   server_config.port = options->port;
   server_config.workers = options->workers;
   server_config.max_queue = options->max_queue;
-  landlord::serve::Server server(landlord, server_config);
-  server.set_observability(&obs);
-  const auto started = server.start();
-  if (!started.ok()) {
-    std::cerr << "server start failed: " << started.error().message << '\n';
-    return 1;
+  if (options->pipeline_depth) {
+    server_config.pipeline_depth = *options->pipeline_depth;
+  }
+  std::vector<std::unique_ptr<landlord::serve::Server>> servers;
+  std::vector<std::uint16_t> ports;
+  servers.reserve(options->heads);
+  for (std::uint32_t h = 0; h < options->heads; ++h) {
+    auto server =
+        std::make_unique<landlord::serve::Server>(landlord, server_config);
+    server->set_observability(&obs);
+    const auto started = server->start();
+    if (!started.ok()) {
+      std::cerr << "server start failed: " << started.error().message << '\n';
+      return 1;
+    }
+    ports.push_back(server->port());
+    servers.push_back(std::move(server));
   }
 
   int exit_code = 0;
   if (options->bench) {
     LoadGenConfig load;
-    load.port = server.port();
+    load.port = ports.front();
+    load.ports = ports;
+    load.warmup = options->warmup;
     load.seed = options->seed;
     load.mode = options->mode;
     load.connections = options->connections;
@@ -252,12 +347,16 @@ int main(int argc, char** argv) {
       std::cerr << "load generator failed: " << report.error().message << '\n';
       exit_code = 1;
     } else {
-      print_json_report(*options, report.value(), server.counters());
+      print_json_report(*options, report.value(), aggregate_counters(servers),
+                        servers.front()->pipeline_depth());
     }
   } else {
-    std::cout << "listening on " << server.port() << " (workers="
+    std::cout << "listening on";
+    for (const std::uint16_t port : ports) std::cout << ' ' << port;
+    std::cout << " (heads=" << options->heads << " workers="
               << options->workers << " shards=" << options->shards
-              << " max-queue=" << options->max_queue << ")" << std::endl;
+              << " max-queue=" << options->max_queue << " pipeline="
+              << servers.front()->pipeline_depth() << ")" << std::endl;
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::duration_cast<
                               std::chrono::steady_clock::duration>(
@@ -268,9 +367,9 @@ int main(int argc, char** argv) {
     std::cout << "draining...\n";
   }
 
-  server.drain();
-  server.stop();
-  if (!options->bench) print_counters(server.counters());
+  for (auto& server : servers) server->drain();
+  for (auto& server : servers) server->stop();
+  if (!options->bench) print_counters(aggregate_counters(servers));
 
   if (options->metrics_out) {
     std::ofstream out(*options->metrics_out);

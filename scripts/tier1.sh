@@ -48,6 +48,11 @@ echo "== stage 2b: TSan build + fault/dispatch/serve/cas chaos suites =="
 cmake --build build-tsan --target fault_tests dispatch_tests serve_tests \
   cas_tests -j "$JOBS"
 ctest --test-dir build-tsan -L 'fault|dispatch|serve|cas' --output-on-failure -j "$JOBS"
+# Re-run the serve suite with a tiny non-default pipeline depth so the
+# read-side backpressure path (reader parked in acquire_pipeline while
+# workers drain) is exercised under TSan, not just the wide-open default.
+LANDLORD_SERVE_PIPELINE_DEPTH=3 \
+  ctest --test-dir build-tsan -L serve --output-on-failure -j "$JOBS"
 
 echo "== stage 3: ASan+UBSan build + fault/dispatch/serve/cas-labelled tests =="
 # Under ASan+UBSan the serve suite doubles as the codec fuzz gate: the

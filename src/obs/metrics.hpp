@@ -55,6 +55,16 @@ class Gauge {
                                          std::memory_order_relaxed)) {
     }
   }
+  /// Raises the gauge to `v` if it is currently below it. Monotone under
+  /// any interleaving — a stale publisher can never regress a peak the
+  /// way racing set() calls can.
+  void max_to(double v) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (current < v &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   [[nodiscard]] double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }

@@ -12,20 +12,6 @@ namespace landlord::serve {
 
 namespace {
 
-bool read_exact(int fd, char* out, std::size_t n) {
-  std::size_t got = 0;
-  while (got < n) {
-    ssize_t r = ::recv(fd, out + got, n - got, 0);
-    if (r > 0) {
-      got += static_cast<std::size_t>(r);
-      continue;
-    }
-    if (r < 0 && errno == EINTR) continue;
-    return false;
-  }
-  return true;
-}
-
 bool write_all(int fd, const char* data, std::size_t n) {
   std::size_t sent = 0;
   while (sent < n) {
@@ -81,26 +67,41 @@ bool Client::send_frame(std::string_view bytes) {
 
 Decoded<Frame> Client::recv_frame() {
   Decoded<Frame> out;
-  char header_bytes[kHeaderSize];
-  if (fd_ < 0 || !read_exact(fd_, header_bytes, kHeaderSize)) {
+  if (fd_ < 0) {
     out.status = DecodeStatus::kShortHeader;
     return out;
   }
-  Decoded<FrameHeader> header =
-      decode_header(std::string_view(header_bytes, kHeaderSize));
-  if (!header.ok()) {
-    out.status = header.status;
+  while (true) {
+    const std::string_view buffered = recv_buffer_.view();
+    std::size_t want = 4096;
+    if (buffered.size() >= kHeaderSize) {
+      const Decoded<FrameHeader> header =
+          decode_header(buffered.substr(0, kHeaderSize));
+      if (!header.ok()) {
+        out.status = header.status;
+        return out;
+      }
+      const std::size_t total = kHeaderSize + header.value.payload_size;
+      if (buffered.size() >= total) {
+        out = decode_frame(buffered.substr(0, total), 0);
+        recv_buffer_.consume(total);
+        return out;
+      }
+      want = total - buffered.size();
+    }
+    recv_buffer_.ensure_writable(want);
+    const ssize_t r =
+        ::recv(fd_, recv_buffer_.write_ptr(), recv_buffer_.writable(), 0);
+    if (r > 0) {
+      recv_buffer_.commit(static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    out.status = recv_buffer_.readable() < kHeaderSize
+                     ? DecodeStatus::kShortHeader
+                     : DecodeStatus::kTruncated;
     return out;
   }
-  payload_buffer_.assign(header_bytes, kHeaderSize);
-  payload_buffer_.resize(kHeaderSize + header.value.payload_size);
-  if (header.value.payload_size > 0 &&
-      !read_exact(fd_, payload_buffer_.data() + kHeaderSize,
-                  header.value.payload_size)) {
-    out.status = DecodeStatus::kTruncated;
-    return out;
-  }
-  return decode_frame(payload_buffer_, 0);
 }
 
 namespace {

@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "serve/buffer.hpp"
 #include "serve/protocol.hpp"
 #include "util/result.hpp"
 
@@ -65,9 +66,11 @@ class Client {
   /// Writes one pre-encoded frame; does not wait for a reply.
   [[nodiscard]] bool send_frame(std::string_view bytes);
 
-  /// Reads exactly one frame (header + payload) and decodes it. The
-  /// client skips the package range check (universe 0) — the server
-  /// already validated ids on the way in.
+  /// Reads one frame (header + payload) and decodes it; frames beyond
+  /// the first that arrived in the same recv are served out of the
+  /// rolling buffer without another syscall. The client skips the
+  /// package range check (universe 0) — the server already validated
+  /// ids on the way in.
   [[nodiscard]] Decoded<Frame> recv_frame();
 
   /// Fresh correlation id for send_frame users.
@@ -78,7 +81,7 @@ class Client {
  private:
   int fd_ = -1;
   std::uint64_t next_request_id_ = 1;
-  std::string payload_buffer_;
+  RollingBuffer recv_buffer_;
 };
 
 }  // namespace landlord::serve

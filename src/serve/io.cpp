@@ -1,0 +1,98 @@
+#include "serve/io.hpp"
+
+#include <limits.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <cerrno>
+
+namespace landlord::serve::net {
+
+namespace {
+
+/// Blocks until `fd` can take more bytes; false on poll error or a
+/// socket-level error/hangup (POLLERR without POLLOUT).
+bool wait_writable(int fd) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  while (true) {
+    const int r = ::poll(&pfd, 1, -1);
+    if (r > 0) return (pfd.revents & POLLOUT) != 0;
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
+}  // namespace
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_writable(fd)) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool writev_all(int fd, std::span<const ConstBuffer> buffers) {
+  // iovec window into `buffers`, rebuilt as whole buffers retire. `skip`
+  // is the partial-write offset into the first live buffer.
+  std::size_t next = 0;   ///< first buffer not yet fully written
+  std::size_t skip = 0;   ///< bytes of buffers[next] already written
+  iovec iov[64];
+  constexpr std::size_t kMaxIov = sizeof(iov) / sizeof(iov[0]);
+  static_assert(kMaxIov <= IOV_MAX);
+
+  while (next < buffers.size()) {
+    std::size_t count = 0;
+    for (std::size_t i = next; i < buffers.size() && count < kMaxIov; ++i) {
+      const ConstBuffer& b = buffers[i];
+      const std::size_t offset = (i == next) ? skip : 0;
+      if (b.size == offset) continue;  // empty (or fully-written) segment
+      iov[count].iov_base = const_cast<char*>(b.data + offset);
+      iov[count].iov_len = b.size - offset;
+      ++count;
+    }
+    if (count == 0) break;  // only empty buffers remained
+
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = count;
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!wait_writable(fd)) return false;
+        continue;
+      }
+      return false;
+    }
+    // Retire whole buffers the kernel consumed; remember the offset into
+    // the first one it only partially took.
+    std::size_t taken = static_cast<std::size_t>(w);
+    while (next < buffers.size()) {
+      const std::size_t live = buffers[next].size - skip;
+      if (taken < live) {
+        skip += taken;
+        break;
+      }
+      taken -= live;
+      skip = 0;
+      ++next;
+    }
+  }
+  return true;
+}
+
+}  // namespace landlord::serve::net

@@ -1,0 +1,37 @@
+// Socket write helpers for the serve plane.
+//
+// Both helpers write *everything or report failure*: partial progress is
+// resumed, EINTR is retried, and EAGAIN/EWOULDBLOCK (a socket whose send
+// buffer is full, or one a test has switched to non-blocking) parks in
+// poll(POLLOUT) until the kernel can take more — the callers' framing
+// invariants do not survive a half-written frame. Hard errors (peer gone,
+// shutdown(2), EPIPE) return false with the stream position unspecified;
+// the connection is abandoned at that point.
+//
+// writev_all is the gathered-write path: each ConstBuffer is one encoded
+// frame, and the whole span goes to the kernel in as few sendmsg(2) calls
+// as IOV_MAX and the socket buffer allow. Exposed as a tiny seam (rather
+// than folded into server.cpp) so the short-write/EINTR unit tests can
+// drive it over a socketpair without standing up a server.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace landlord::serve::net {
+
+/// One gather segment; points at caller-owned bytes that must stay alive
+/// for the duration of the call.
+struct ConstBuffer {
+  const char* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Writes all `n` bytes of `data` to `fd`. False on hard error.
+[[nodiscard]] bool write_all(int fd, const char* data, std::size_t n);
+
+/// Writes every buffer in `buffers`, in order, coalescing them into
+/// gathered sendmsg(2) calls. False on hard error.
+[[nodiscard]] bool writev_all(int fd, std::span<const ConstBuffer> buffers);
+
+}  // namespace landlord::serve::net

@@ -36,6 +36,14 @@ enum class LoadMode : std::uint8_t { kClosed, kOpen };
 struct LoadGenConfig {
   /// Server port on 127.0.0.1.
   std::uint16_t port = 0;
+  /// Multi-head runs: when non-empty, connection t targets
+  /// ports[t % ports.size()] instead of `port` — several servers over
+  /// one shared repository split the socket load round-robin.
+  std::vector<std::uint16_t> ports;
+  /// Submit the whole catalog once per head before the timed window
+  /// (uncounted), so the measurement sees steady-state serving instead
+  /// of the cold-cache insert/merge transient.
+  bool warmup = false;
   std::uint64_t seed = 1;
   LoadMode mode = LoadMode::kClosed;
   /// Concurrent connections (one driving thread each).

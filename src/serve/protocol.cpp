@@ -28,13 +28,6 @@ void put_u64(std::string& out, std::uint64_t v) {
   }
 }
 
-void put_f64(std::string& out, double v) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  put_u64(out, bits);
-}
-
 void put_string(std::string& out, std::string_view s) {
   put_u16(out, static_cast<std::uint16_t>(s.size()));
   out.append(s);
@@ -118,6 +111,76 @@ void put_header(std::string& out, FrameType type, std::uint64_t request_id,
   put_u64(out, request_id);
 }
 
+// ---- Raw single-pass writers (the sized-encoding path) ----
+//
+// Same little-endian layout as the string writers above; these bump a raw
+// pointer through a buffer the caller has already sized exactly.
+
+char* w_u8(char* p, std::uint8_t v) {
+  *p++ = static_cast<char>(v);
+  return p;
+}
+
+char* w_u16(char* p, std::uint16_t v) {
+  *p++ = static_cast<char>(v & 0xff);
+  *p++ = static_cast<char>((v >> 8) & 0xff);
+  return p;
+}
+
+char* w_u32(char* p, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    *p++ = static_cast<char>((v >> shift) & 0xff);
+  }
+  return p;
+}
+
+char* w_u64(char* p, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    *p++ = static_cast<char>((v >> shift) & 0xff);
+  }
+  return p;
+}
+
+char* w_f64(char* p, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return w_u64(p, bits);
+}
+
+char* w_string(char* p, std::string_view s) {
+  p = w_u16(p, static_cast<std::uint16_t>(s.size()));
+  std::memcpy(p, s.data(), s.size());
+  return p + s.size();
+}
+
+char* w_header(char* p, FrameType type, std::uint64_t request_id,
+               std::size_t payload_size) {
+  p = w_u16(p, kMagic);
+  p = w_u8(p, kProtocolVersion);
+  p = w_u8(p, static_cast<std::uint8_t>(type));
+  p = w_u32(p, static_cast<std::uint32_t>(payload_size));
+  return w_u64(p, request_id);
+}
+
+char* w_placement(char* p, const PlacementReply& reply) {
+  p = w_u64(p, reply.client_id);
+  p = w_u8(p, static_cast<std::uint8_t>(reply.kind));
+  p = w_u8(p, static_cast<std::uint8_t>((reply.degraded ? 1u : 0u) |
+                                        (reply.failed ? 2u : 0u)));
+  p = w_u32(p, reply.build_retries);
+  p = w_u64(p, reply.image);
+  p = w_u64(p, reply.image_bytes);
+  p = w_u64(p, reply.requested_bytes);
+  p = w_f64(p, reply.prep_seconds);
+  return w_string(p, reply.error);
+}
+
+/// Payload bytes of one flattened placement.
+std::size_t placement_payload_size(const PlacementReply& reply) {
+  return 8 + 1 + 1 + 4 + 8 + 8 + 8 + 8 + 2 + reply.error.size();
+}
+
 std::string frame_of(FrameType type, std::uint64_t request_id,
                      std::string_view payload) {
   std::string out;
@@ -137,19 +200,6 @@ void put_submit(std::string& out, const SubmitRequest& request) {
     put_string(out, constraint.package);
     put_string(out, constraint.version);
   }
-}
-
-void put_placement(std::string& out, const PlacementReply& reply) {
-  put_u64(out, reply.client_id);
-  put_u8(out, static_cast<std::uint8_t>(reply.kind));
-  put_u8(out, static_cast<std::uint8_t>((reply.degraded ? 1u : 0u) |
-                                        (reply.failed ? 2u : 0u)));
-  put_u32(out, reply.build_retries);
-  put_u64(out, reply.image);
-  put_u64(out, reply.image_bytes);
-  put_u64(out, reply.requested_bytes);
-  put_f64(out, reply.prep_seconds);
-  put_string(out, reply.error);
 }
 
 DecodeStatus read_submit(Cursor& cursor, std::size_t universe,
@@ -237,17 +287,16 @@ std::string encode_batch_submit(std::uint64_t request_id,
 }
 
 std::string encode_placement(std::uint64_t request_id, const PlacementReply& reply) {
-  std::string payload;
-  put_placement(payload, reply);
-  return frame_of(FrameType::kPlacement, request_id, payload);
+  std::string out(placement_wire_size(reply), '\0');
+  encode_placement_at(out.data(), request_id, reply);
+  return out;
 }
 
 std::string encode_batch_placement(std::uint64_t request_id,
                                    std::span<const PlacementReply> replies) {
-  std::string payload;
-  put_u32(payload, static_cast<std::uint32_t>(replies.size()));
-  for (const auto& reply : replies) put_placement(payload, reply);
-  return frame_of(FrameType::kBatchPlacement, request_id, payload);
+  std::string out(batch_placement_wire_size(replies), '\0');
+  encode_batch_placement_at(out.data(), request_id, replies);
+  return out;
 }
 
 std::string encode_ping(std::uint64_t request_id) {
@@ -255,7 +304,9 @@ std::string encode_ping(std::uint64_t request_id) {
 }
 
 std::string encode_pong(std::uint64_t request_id) {
-  return frame_of(FrameType::kPong, request_id, {});
+  std::string out(kEmptyFrameWireSize, '\0');
+  encode_pong_at(out.data(), request_id);
+  return out;
 }
 
 std::string encode_stats_request(std::uint64_t request_id) {
@@ -263,38 +314,94 @@ std::string encode_stats_request(std::uint64_t request_id) {
 }
 
 std::string encode_stats_reply(std::uint64_t request_id, const StatsReply& stats) {
-  std::string payload;
-  put_u64(payload, stats.requests);
-  put_u64(payload, stats.hits);
-  put_u64(payload, stats.merges);
-  put_u64(payload, stats.inserts);
-  put_u64(payload, stats.deletes);
-  put_u64(payload, stats.splits);
-  put_u64(payload, stats.conflict_rejections);
-  put_u64(payload, stats.requested_bytes);
-  put_u64(payload, stats.written_bytes);
-  put_u64(payload, stats.image_count);
-  put_u64(payload, stats.total_bytes);
-  put_u64(payload, stats.unique_bytes);
-  put_f64(payload, stats.container_efficiency_sum);
-  put_f64(payload, stats.prep_seconds);
-  return frame_of(FrameType::kStatsReply, request_id, payload);
+  std::string out(kStatsReplyWireSize, '\0');
+  encode_stats_reply_at(out.data(), request_id, stats);
+  return out;
 }
 
 std::string encode_rejected(std::uint64_t request_id, RejectReason reason) {
-  std::string payload;
-  put_u8(payload, static_cast<std::uint8_t>(reason));
-  return frame_of(FrameType::kRejected, request_id, payload);
+  std::string out(kStatusFrameWireSize, '\0');
+  encode_rejected_at(out.data(), request_id, reason);
+  return out;
 }
 
 std::string encode_drained(std::uint64_t request_id) {
-  return frame_of(FrameType::kDrained, request_id, {});
+  std::string out(kEmptyFrameWireSize, '\0');
+  encode_drained_at(out.data(), request_id);
+  return out;
 }
 
 std::string encode_error(std::uint64_t request_id, DecodeStatus status) {
-  std::string payload;
-  put_u8(payload, static_cast<std::uint8_t>(status));
-  return frame_of(FrameType::kError, request_id, payload);
+  std::string out(kStatusFrameWireSize, '\0');
+  encode_error_at(out.data(), request_id, status);
+  return out;
+}
+
+std::size_t placement_wire_size(const PlacementReply& reply) {
+  return kHeaderSize + placement_payload_size(reply);
+}
+
+std::size_t batch_placement_wire_size(std::span<const PlacementReply> replies) {
+  std::size_t payload = 4;  // u32 count
+  for (const auto& reply : replies) payload += placement_payload_size(reply);
+  return kHeaderSize + payload;
+}
+
+char* encode_placement_at(char* out, std::uint64_t request_id,
+                          const PlacementReply& reply) {
+  out = w_header(out, FrameType::kPlacement, request_id,
+                 placement_payload_size(reply));
+  return w_placement(out, reply);
+}
+
+char* encode_batch_placement_at(char* out, std::uint64_t request_id,
+                                std::span<const PlacementReply> replies) {
+  std::size_t payload = 4;
+  for (const auto& reply : replies) payload += placement_payload_size(reply);
+  out = w_header(out, FrameType::kBatchPlacement, request_id, payload);
+  out = w_u32(out, static_cast<std::uint32_t>(replies.size()));
+  for (const auto& reply : replies) out = w_placement(out, reply);
+  return out;
+}
+
+char* encode_pong_at(char* out, std::uint64_t request_id) {
+  return w_header(out, FrameType::kPong, request_id, 0);
+}
+
+char* encode_stats_reply_at(char* out, std::uint64_t request_id,
+                            const StatsReply& stats) {
+  out = w_header(out, FrameType::kStatsReply, request_id,
+                 kStatsReplyWireSize - kHeaderSize);
+  out = w_u64(out, stats.requests);
+  out = w_u64(out, stats.hits);
+  out = w_u64(out, stats.merges);
+  out = w_u64(out, stats.inserts);
+  out = w_u64(out, stats.deletes);
+  out = w_u64(out, stats.splits);
+  out = w_u64(out, stats.conflict_rejections);
+  out = w_u64(out, stats.requested_bytes);
+  out = w_u64(out, stats.written_bytes);
+  out = w_u64(out, stats.image_count);
+  out = w_u64(out, stats.total_bytes);
+  out = w_u64(out, stats.unique_bytes);
+  out = w_f64(out, stats.container_efficiency_sum);
+  return w_f64(out, stats.prep_seconds);
+}
+
+char* encode_rejected_at(char* out, std::uint64_t request_id,
+                         RejectReason reason) {
+  out = w_header(out, FrameType::kRejected, request_id, 1);
+  return w_u8(out, static_cast<std::uint8_t>(reason));
+}
+
+char* encode_drained_at(char* out, std::uint64_t request_id) {
+  return w_header(out, FrameType::kDrained, request_id, 0);
+}
+
+char* encode_error_at(char* out, std::uint64_t request_id,
+                      DecodeStatus status) {
+  out = w_header(out, FrameType::kError, request_id, 1);
+  return w_u8(out, static_cast<std::uint8_t>(status));
 }
 
 Decoded<FrameHeader> decode_header(std::string_view bytes) {

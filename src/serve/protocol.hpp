@@ -230,6 +230,41 @@ struct Frame {
 [[nodiscard]] std::string encode_error(std::uint64_t request_id,
                                        DecodeStatus status);
 
+// ---- Sized encoding (single-pass, for the zero-copy reply path) ----
+//
+// Every server-emitted reply type has an exact wire-size function and an
+// in-place writer that emits the complete frame (header + payload) into
+// a caller-provided buffer of exactly that many bytes, returning one past
+// the last byte written. The payload length is known before the first
+// byte is laid down, so the header is written once — no intermediate
+// payload string, no length patching. The string encoders above are thin
+// wrappers over these writers, so both paths emit byte-identical frames;
+// the protocol suite pins that equivalence.
+
+/// kPing / kPong / kStats / kDrained: header only.
+inline constexpr std::size_t kEmptyFrameWireSize = kHeaderSize;
+/// kRejected / kError: header plus one status byte.
+inline constexpr std::size_t kStatusFrameWireSize = kHeaderSize + 1;
+/// kStatsReply: header plus twelve u64 and two f64 fields.
+inline constexpr std::size_t kStatsReplyWireSize = kHeaderSize + 112;
+
+[[nodiscard]] std::size_t placement_wire_size(const PlacementReply& reply);
+[[nodiscard]] std::size_t batch_placement_wire_size(
+    std::span<const PlacementReply> replies);
+
+char* encode_placement_at(char* out, std::uint64_t request_id,
+                          const PlacementReply& reply);
+char* encode_batch_placement_at(char* out, std::uint64_t request_id,
+                                std::span<const PlacementReply> replies);
+char* encode_pong_at(char* out, std::uint64_t request_id);
+char* encode_stats_reply_at(char* out, std::uint64_t request_id,
+                            const StatsReply& stats);
+char* encode_rejected_at(char* out, std::uint64_t request_id,
+                         RejectReason reason);
+char* encode_drained_at(char* out, std::uint64_t request_id);
+char* encode_error_at(char* out, std::uint64_t request_id,
+                      DecodeStatus status);
+
 // ---- Decoding (pure; never throws, never over-reads) ----
 
 /// Decodes just the 16-byte prelude: magic, version, type and payload

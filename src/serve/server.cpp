@@ -5,44 +5,22 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cassert>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
+
+#include "serve/buffer.hpp"
 
 namespace landlord::serve {
 
 namespace {
 
-/// Reads exactly `n` bytes; false on EOF/error/shutdown.
-bool read_exact(int fd, char* out, std::size_t n) {
-  std::size_t got = 0;
-  while (got < n) {
-    ssize_t r = ::recv(fd, out + got, n - got, 0);
-    if (r > 0) {
-      got += static_cast<std::size_t>(r);
-      continue;
-    }
-    if (r < 0 && errno == EINTR) continue;
-    return false;  // peer closed, shutdown(), or hard error
-  }
-  return true;
-}
-
-/// Writes the whole buffer; false on error (peer gone, shutdown()).
-bool write_all(int fd, const char* data, std::size_t n) {
-  std::size_t sent = 0;
-  while (sent < n) {
-    ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
-    if (w > 0) {
-      sent += static_cast<std::size_t>(w);
-      continue;
-    }
-    if (w < 0 && errno == EINTR) continue;
-    return false;
-  }
-  return true;
-}
+/// One recv(2)'s worth of pipelined traffic; bigger frames widen the
+/// read to land in one call.
+constexpr std::size_t kReadChunkBytes = 64 * 1024;
 
 }  // namespace
 
@@ -50,6 +28,13 @@ Server::Server(core::Landlord& landlord, ServerConfig config)
     : landlord_(&landlord), config_(std::move(config)) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_queue == 0) config_.max_queue = 1;
+  if (const char* env = std::getenv("LANDLORD_SERVE_PIPELINE_DEPTH")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      config_.pipeline_depth = static_cast<std::size_t>(v);
+    }
+  }
   // A sequential decision layer (shards <= 1) is not safe under
   // concurrent submit(); serialise it so any worker count is correct.
   serialize_submits_ = landlord_->sharded() == nullptr;
@@ -146,40 +131,65 @@ void Server::reap_closed_connections() {
 
 void Server::reader_loop(Connection* connection) {
   const std::size_t universe = landlord_->repository().size();
-  std::string buffer;
-  char header_bytes[kHeaderSize];
+  RollingBuffer rx;
   bool alive = true;
-  while (alive && read_exact(connection->fd, header_bytes, kHeaderSize)) {
-    bump(tallies_.bytes_in, hooks_.bytes_in, kHeaderSize);
-    Decoded<FrameHeader> header =
-        decode_header(std::string_view(header_bytes, kHeaderSize));
-    if (!header.ok()) {
-      // Framing is unrecoverable (bad magic/version/length): report the
-      // typed error and hang up rather than resynchronise on garbage.
-      bump(tallies_.decode_errors, hooks_.decode_errors);
-      write_frame(connection, encode_error(0, header.status));
-      break;
+  while (alive) {
+    // Drain every complete frame already buffered before reading again —
+    // a pipelined burst that arrived in one recv is parsed in one pass,
+    // and consume() never moves bytes.
+    while (alive) {
+      const std::string_view buffered = rx.view();
+      if (buffered.size() < kHeaderSize) break;
+      const Decoded<FrameHeader> header =
+          decode_header(buffered.substr(0, kHeaderSize));
+      if (!header.ok()) {
+        // Framing is unrecoverable (bad magic/version/length): report the
+        // typed error and hang up rather than resynchronise on garbage.
+        bump(tallies_.decode_errors, hooks_.decode_errors);
+        send_reply(connection, kStatusFrameWireSize, [&](char* out) {
+          return encode_error_at(out, 0, header.status);
+        });
+        alive = false;
+        break;
+      }
+      const std::size_t total = kHeaderSize + header.value.payload_size;
+      if (buffered.size() < total) break;  // frame still arriving
+      Decoded<Frame> frame = decode_frame(buffered.substr(0, total), universe);
+      rx.consume(total);
+      bump(tallies_.frames_in, hooks_.frames_in);
+      if (!frame.ok()) {
+        // Frame boundaries are intact (the header told us the length), so
+        // a malformed payload only poisons this frame, not the stream.
+        bump(tallies_.decode_errors, hooks_.decode_errors);
+        send_reply(connection, kStatusFrameWireSize, [&](char* out) {
+          return encode_error_at(out, header.value.request_id, frame.status);
+        });
+        continue;
+      }
+      alive = handle_frame(connection, std::move(frame.value));
     }
-    buffer.resize(header.value.payload_size);
-    if (header.value.payload_size > 0 &&
-        !read_exact(connection->fd, buffer.data(), buffer.size())) {
-      break;
+    if (!alive) break;
+    // Bulk receive: enough for the rest of a known pending frame, and
+    // never less than one chunk so back-to-back small frames coalesce.
+    std::size_t want = kReadChunkBytes;
+    const std::string_view buffered = rx.view();
+    if (buffered.size() >= kHeaderSize) {
+      // The header decoded cleanly above (a bad one closed the loop), so
+      // this re-decode is just reading the length back out.
+      const Decoded<FrameHeader> header =
+          decode_header(buffered.substr(0, kHeaderSize));
+      const std::size_t total = kHeaderSize + header.value.payload_size;
+      want = std::max(want, total - buffered.size());
     }
-    bump(tallies_.bytes_in, hooks_.bytes_in, buffer.size());
-    bump(tallies_.frames_in, hooks_.frames_in);
-
-    std::string frame_bytes(header_bytes, kHeaderSize);
-    frame_bytes.append(buffer);
-    Decoded<Frame> frame = decode_frame(frame_bytes, universe);
-    if (!frame.ok()) {
-      // Frame boundaries are intact (the header told us the length), so
-      // a malformed payload only poisons this frame, not the stream.
-      bump(tallies_.decode_errors, hooks_.decode_errors);
-      write_frame(connection,
-                  encode_error(header.value.request_id, frame.status));
+    rx.ensure_writable(want);
+    const ssize_t r = ::recv(connection->fd, rx.write_ptr(), rx.writable(), 0);
+    if (r > 0) {
+      rx.commit(static_cast<std::size_t>(r));
+      bump(tallies_.bytes_in, hooks_.bytes_in, static_cast<std::uint64_t>(r));
       continue;
     }
-    alive = handle_frame(connection, std::move(frame.value));
+    if (r < 0 && errno == EINTR) continue;
+    break;  // peer closed, shutdown(), or hard error
   }
   ::shutdown(connection->fd, SHUT_RDWR);
   bump(tallies_.connections_closed, hooks_.connections_closed);
@@ -195,21 +205,34 @@ bool Server::handle_frame(Connection* connection, Frame frame) {
   switch (frame.header.type) {
     case FrameType::kPing:
       bump(tallies_.pings, hooks_.pings);
-      write_frame(connection, encode_pong(request_id));
+      send_reply(connection, kEmptyFrameWireSize, [&](char* out) {
+        return encode_pong_at(out, request_id);
+      });
       return true;
-    case FrameType::kStats:
+    case FrameType::kStats: {
       bump(tallies_.stats_requests, hooks_.stats_requests);
-      write_frame(connection, encode_stats_reply(request_id, stats_snapshot()));
+      const StatsReply stats = stats_snapshot();
+      send_reply(connection, kStatsReplyWireSize, [&](char* out) {
+        return encode_stats_reply_at(out, request_id, stats);
+      });
       return true;
+    }
     case FrameType::kSubmit:
     case FrameType::kBatchSubmit: {
-      // Admission control: reserve a queue slot first, then check the
-      // drain flag, so drain() can never observe outstanding_ == 0 while
-      // a reader is between "admitted" and "handed to the pool".
-      std::size_t depth = outstanding_.fetch_add(1) + 1;
       const std::size_t specs = frame.submits.size();
+      // Per-connection pipelining: park this reader (read-side
+      // backpressure via TCP flow control) until the connection has room
+      // for `specs` more in-flight specs. Never rejects.
+      acquire_pipeline(connection, specs);
+      // Admission control: reserve the slots first, then check the drain
+      // flag, so drain() can never observe an empty queue while a reader
+      // is between "admitted" and "handed to the pool".
+      outstanding_frames_.fetch_add(1);
+      const std::size_t prev = outstanding_specs_.fetch_add(specs);
+      const std::size_t depth = prev + specs;
       if (draining_.load(std::memory_order_acquire)) {
-        release_slot();
+        release_slots(specs);
+        release_pipeline(connection, specs);
         bump(tallies_.rejected_draining, hooks_.rejected_draining);
         bump(tallies_.rejected_requests, hooks_.rejected_requests, specs);
         if (hooks_.trace != nullptr) {
@@ -217,12 +240,17 @@ bool Server::handle_frame(Connection* connection, Frame frame) {
                                 .aux = specs,
                                 .detail = "draining"});
         }
-        write_frame(connection,
-                    encode_rejected(request_id, RejectReason::kDraining));
+        send_reply(connection, kStatusFrameWireSize, [&](char* out) {
+          return encode_rejected_at(out, request_id, RejectReason::kDraining);
+        });
         return true;
       }
-      if (depth > config_.max_queue) {
-        release_slot();
+      // Spec-granular shed: a batch frame costs its spec count, so batch
+      // and single-spec clients hit the same ceiling. `prev == 0` admits
+      // an oversize batch alone instead of starving it forever.
+      if (specs > 0 && depth > config_.max_queue && prev != 0) {
+        release_slots(specs);
+        release_pipeline(connection, specs);
         bump(tallies_.rejected_queue_full, hooks_.rejected_queue_full);
         bump(tallies_.rejected_requests, hooks_.rejected_requests, specs);
         if (hooks_.trace != nullptr) {
@@ -230,24 +258,29 @@ bool Server::handle_frame(Connection* connection, Frame frame) {
                                 .aux = specs,
                                 .detail = "queue-full"});
         }
-        write_frame(connection,
-                    encode_rejected(request_id, RejectReason::kQueueFull));
+        send_reply(connection, kStatusFrameWireSize, [&](char* out) {
+          return encode_rejected_at(out, request_id, RejectReason::kQueueFull);
+        });
         return true;
       }
-      // Admitted. Track the high-water mark, then hand off.
-      std::uint64_t peak = tallies_.queue_depth_peak.load(std::memory_order_relaxed);
+      // Admitted. The peak tally and both gauges are published from the
+      // same accounting: the peak only ever rises (max_to), and the depth
+      // gauge moves by the exact deltas the atomics move by, so a stale
+      // snapshot can never overwrite a newer value.
+      std::uint64_t peak =
+          tallies_.queue_depth_peak.load(std::memory_order_relaxed);
       while (depth > peak &&
              !tallies_.queue_depth_peak.compare_exchange_weak(
                  peak, depth, std::memory_order_relaxed)) {
       }
-      if (hooks_.queue_depth != nullptr) {
-        hooks_.queue_depth->set(static_cast<double>(depth));
-      }
       if (hooks_.queue_depth_peak != nullptr) {
-        hooks_.queue_depth_peak->set(static_cast<double>(
-            tallies_.queue_depth_peak.load(std::memory_order_relaxed)));
+        hooks_.queue_depth_peak->max_to(static_cast<double>(depth));
+      }
+      if (hooks_.queue_depth != nullptr) {
+        hooks_.queue_depth->add(static_cast<double>(specs));
       }
       bump(tallies_.frames_admitted, hooks_.frames_admitted);
+      bump(tallies_.specs_admitted, hooks_.specs_admitted, specs);
       if (frame.header.type == FrameType::kBatchSubmit) {
         bump(tallies_.batches, hooks_.batches);
       }
@@ -257,19 +290,22 @@ bool Server::handle_frame(Connection* connection, Frame frame) {
       connection->inflight.fetch_add(1, std::memory_order_acq_rel);
       auto task = [this, connection, moved = std::move(frame)]() mutable {
         process_submit(connection, moved);
-        // The slot is released only after the reply hit the socket, so
-        // drain() returning means every admitted frame was answered.
-        release_slot();
+        const std::size_t n = moved.submits.size();
+        // The slots are released only after the reply is on the
+        // connection's write queue, so drain() returning means every
+        // admitted frame was answered (the queue's writer flushes it
+        // before going idle).
+        release_slots(n);
         if (hooks_.queue_depth != nullptr) {
-          hooks_.queue_depth->set(
-              static_cast<double>(outstanding_.load(std::memory_order_acquire)));
+          hooks_.queue_depth->add(-static_cast<double>(n));
         }
+        release_pipeline(connection, n);
         // Last touch of `connection` in this task: after this, a reaped
         // reader's connection may be freed.
         connection->inflight.fetch_sub(1, std::memory_order_acq_rel);
       };
       // The future is intentionally dropped: completion is tracked by
-      // outstanding_, and the task cannot throw.
+      // outstanding_frames_, and the task cannot throw.
       (void)pool_->submit(std::move(task));
       return true;
     }
@@ -277,8 +313,9 @@ bool Server::handle_frame(Connection* connection, Frame frame) {
       // Well-formed frame of a type only servers send (placement, pong,
       // stats-reply, ...): a confused peer. Tell it and hang up.
       bump(tallies_.decode_errors, hooks_.decode_errors);
-      write_frame(connection,
-                  encode_error(request_id, DecodeStatus::kUnexpectedType));
+      send_reply(connection, kStatusFrameWireSize, [&](char* out) {
+        return encode_error_at(out, request_id, DecodeStatus::kUnexpectedType);
+      });
       return false;
   }
 }
@@ -322,9 +359,14 @@ void Server::process_submit(Connection* connection, const Frame& frame) {
 
   const std::uint64_t request_id = frame.header.request_id;
   if (frame.header.type == FrameType::kSubmit) {
-    write_frame(connection, encode_placement(request_id, replies.front()));
+    const PlacementReply& reply = replies.front();
+    send_reply(connection, placement_wire_size(reply), [&](char* out) {
+      return encode_placement_at(out, request_id, reply);
+    });
   } else {
-    write_frame(connection, encode_batch_placement(request_id, replies));
+    send_reply(connection, batch_placement_wire_size(replies), [&](char* out) {
+      return encode_batch_placement_at(out, request_id, replies);
+    });
   }
   bump(tallies_.frames_processed, hooks_.frames_processed);
   if (hooks_.process_seconds != nullptr) {
@@ -335,12 +377,78 @@ void Server::process_submit(Connection* connection, const Frame& frame) {
   }
 }
 
-void Server::write_frame(Connection* connection, const std::string& bytes) {
-  std::scoped_lock lock(connection->write_mutex);
-  if (write_all(connection->fd, bytes.data(), bytes.size())) {
-    bump(tallies_.frames_out, hooks_.frames_out);
-    bump(tallies_.bytes_out, hooks_.bytes_out, bytes.size());
+template <typename Encode>
+void Server::send_reply(Connection* connection, std::size_t size,
+                        Encode&& encode) {
+  std::unique_lock<std::mutex> lock(connection->write_mutex);
+  if (connection->write_failed) return;
+  char* out = static_cast<char*>(
+      connection->reply_arena.allocate(size, alignof(std::max_align_t)));
+  [[maybe_unused]] char* end = encode(out);
+  assert(end == out + size);
+  connection->reply_pending.push_back({out, size});
+  if (connection->writer_active) return;  // the active writer takes it
+  connection->writer_active = true;
+  flush_replies(connection, lock);
+}
+
+void Server::flush_replies(Connection* connection,
+                           std::unique_lock<std::mutex>& lock) {
+  // Caller holds `lock` and claimed writer_active. Replies queued while
+  // the socket write is in flight are picked up by the next iteration —
+  // all of them in one gathered write — so a burst of worker completions
+  // on one connection costs one syscall, not one per frame, and workers
+  // never block on the socket behind this writer.
+  while (!connection->reply_pending.empty() && !connection->write_failed) {
+    connection->reply_writing.clear();
+    std::swap(connection->reply_writing, connection->reply_pending);
+    std::size_t bytes = 0;
+    for (const net::ConstBuffer& b : connection->reply_writing) {
+      bytes += b.size;
+    }
+    const std::size_t frames = connection->reply_writing.size();
+    lock.unlock();
+    const bool ok = net::writev_all(connection->fd, connection->reply_writing);
+    lock.lock();
+    if (ok) {
+      bump(tallies_.frames_out, hooks_.frames_out, frames);
+      bump(tallies_.bytes_out, hooks_.bytes_out, bytes);
+      bump(tallies_.gathered_writes, hooks_.gathered_writes);
+      if (hooks_.gather_frames != nullptr) {
+        hooks_.gather_frames->observe(static_cast<double>(frames));
+      }
+    } else {
+      connection->write_failed = true;
+    }
   }
+  connection->reply_writing.clear();
+  if (connection->write_failed) connection->reply_pending.clear();
+  // Every queued frame was flushed (or abandoned): no arena pointer is
+  // live, so the writer can hand the arena back for reuse.
+  connection->reply_arena.reset();
+  connection->writer_active = false;
+}
+
+void Server::acquire_pipeline(Connection* connection, std::size_t specs) {
+  if (config_.pipeline_depth == 0 || specs == 0) return;
+  std::unique_lock<std::mutex> lock(connection->pipeline_mutex);
+  // An idle connection always proceeds, so one frame larger than the
+  // whole depth cannot deadlock its own connection.
+  connection->pipeline_cv.wait(lock, [&] {
+    return connection->inflight_specs == 0 ||
+           connection->inflight_specs + specs <= config_.pipeline_depth;
+  });
+  connection->inflight_specs += specs;
+}
+
+void Server::release_pipeline(Connection* connection, std::size_t specs) {
+  if (config_.pipeline_depth == 0 || specs == 0) return;
+  {
+    std::scoped_lock lock(connection->pipeline_mutex);
+    connection->inflight_specs -= specs;
+  }
+  // Only the connection's own reader ever waits.
+  connection->pipeline_cv.notify_one();
 }
 
 StatsReply Server::stats_snapshot() const {
@@ -383,7 +491,7 @@ void Server::drain() {
   if (draining_.exchange(true)) {
     // A second drainer still waits for quiescence before returning.
     std::unique_lock<std::mutex> lock(drain_mutex_);
-    drain_cv_.wait(lock, [this] { return outstanding_.load() == 0; });
+    drain_cv_.wait(lock, [this] { return outstanding_frames_.load() == 0; });
     return;
   }
   if (hooks_.trace != nullptr) {
@@ -398,7 +506,7 @@ void Server::drain() {
   }
   {
     std::unique_lock<std::mutex> lock(drain_mutex_);
-    drain_cv_.wait(lock, [this] { return outstanding_.load() == 0; });
+    drain_cv_.wait(lock, [this] { return outstanding_frames_.load() == 0; });
   }
   // Every admitted frame has been answered; say goodbye on each open
   // connection (readers that already exited fail the write harmlessly).
@@ -406,7 +514,9 @@ void Server::drain() {
     std::scoped_lock lock(connections_mutex_);
     for (const auto& connection : connections_) {
       if (!connection->done.load(std::memory_order_acquire)) {
-        write_frame(connection.get(), encode_drained(0));
+        send_reply(connection.get(), kEmptyFrameWireSize, [&](char* out) {
+          return encode_drained_at(out, 0);
+        });
       }
     }
   }
@@ -453,9 +563,11 @@ ServeCounters Server::counters() const {
   out.bytes_in = tallies_.bytes_in.load();
   out.bytes_out = tallies_.bytes_out.load();
   out.frames_admitted = tallies_.frames_admitted.load();
+  out.specs_admitted = tallies_.specs_admitted.load();
   out.frames_processed = tallies_.frames_processed.load();
   out.requests_served = tallies_.requests_served.load();
   out.batches = tallies_.batches.load();
+  out.gathered_writes = tallies_.gathered_writes.load();
   out.rejected_queue_full = tallies_.rejected_queue_full.load();
   out.rejected_draining = tallies_.rejected_draining.load();
   out.rejected_requests = tallies_.rejected_requests.load();
@@ -494,6 +606,9 @@ void Server::set_observability(obs::Observability* observability) {
   hooks_.frames_admitted =
       &r.counter("serve_frames_admitted_total", {},
                  "Submit frames past admission control");
+  hooks_.specs_admitted =
+      &r.counter("serve_specs_admitted_total", {},
+                 "Specifications inside admitted submit frames");
   hooks_.frames_processed =
       &r.counter("serve_frames_processed_total", {},
                  "Admitted submit frames fully answered");
@@ -501,6 +616,9 @@ void Server::set_observability(obs::Observability* observability) {
                                       "Individual specifications placed");
   hooks_.batches =
       &r.counter("serve_batches_total", {}, "Batch submit frames admitted");
+  hooks_.gathered_writes =
+      &r.counter("serve_gathered_writes_total", {},
+                 "Reply-queue flushes (each one gathered write)");
   hooks_.rejected_queue_full =
       &r.counter("serve_rejected_total", {{"reason", "queue-full"}},
                  "Submit frames rejected by admission control");
@@ -532,13 +650,16 @@ void Server::set_observability(obs::Observability* observability) {
       &r.counter("serve_placements_failed_total", {},
                  "Placements whose degradation ladder was exhausted");
   hooks_.queue_depth = &r.gauge("serve_queue_depth", {},
-                                "Admitted submit frames awaiting workers");
+                                "Admitted specifications awaiting workers");
   hooks_.queue_depth_peak =
       &r.gauge("serve_queue_depth_peak", {},
-               "High-water mark of the bounded admission queue");
+               "High-water mark of admitted specifications");
   hooks_.batch_size = &r.histogram(
       "serve_batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, {},
       "Specifications per admitted submit frame");
+  hooks_.gather_frames = &r.histogram(
+      "serve_gather_frames", {1, 2, 4, 8, 16, 32, 64, 128}, {},
+      "Reply frames coalesced per gathered write");
   hooks_.process_seconds =
       &r.histogram("serve_process_seconds", obs::default_seconds_buckets(), {},
                    "Wall seconds from worker pickup to reply written");

@@ -3,20 +3,33 @@
 //
 // Threading model:
 //   * one acceptor thread blocks in accept() and registers connections;
-//   * one reader thread per connection parses length-prefixed frames
-//     (serve/protocol.hpp) and answers pings/stats inline;
-//   * submit frames pass bounded-queue admission control and are handed
+//   * one reader thread per connection reassembles length-prefixed frames
+//     (serve/protocol.hpp) out of a rolling receive buffer and answers
+//     pings/stats inline;
+//   * submit frames pass spec-granular admission control and are handed
 //     to a util::ThreadPool of decision workers, which call
-//     core::Landlord::submit per spec and write the placement back
-//     (writes to one connection serialise on its write mutex).
+//     core::Landlord::submit per spec and enqueue the placement reply.
 //
-// Admission control: at most ServerConfig::max_queue submit frames may
-// be outstanding (admitted, not yet answered). Frame max_queue+1 gets an
-// immediate kRejected{queue-full} response from the reader thread — the
-// server sheds load explicitly instead of letting the queue grow without
-// bound. A batch frame occupies one slot however many specs it carries,
-// so the slot count bounds queued *frames*; kMaxBatch bounds the specs
-// per frame.
+// Reply path: replies are encoded once, straight into a per-connection
+// ScratchArena, and queued; whichever thread finds the connection's
+// writer idle claims it and flushes every queued frame with one gathered
+// sendmsg(2) (serve/io.hpp). Replies to one connection go out in enqueue
+// order; threads never block on another connection's socket.
+//
+// Admission control (spec-granular): at most ServerConfig::max_queue
+// *specifications* may be outstanding (admitted, not yet answered) across
+// all connections — a 64-spec batch frame costs 64 slots, not one, so
+// batch and single-spec clients see the same shed point. A frame that
+// would overflow the limit gets an immediate kRejected{queue-full}
+// response from the reader thread, except when the queue is empty: an
+// oversize batch is then admitted alone rather than starved forever.
+//
+// Per-connection pipelining: a client may pipeline at most
+// ServerConfig::pipeline_depth specs on one connection. The limit is
+// enforced with read-side backpressure — the reader simply stops parsing
+// (and, via TCP flow control, the client stops sending) until in-flight
+// specs complete — never with rejection, so a compliant pipelined client
+// cannot be shed by its own burst.
 //
 // Graceful drain: drain() stops accepting connections, turns subsequent
 // submits into kRejected{draining}, waits for every admitted frame to be
@@ -42,7 +55,9 @@
 
 #include "landlord/landlord.hpp"
 #include "obs/obs.hpp"
+#include "serve/io.hpp"
 #include "serve/protocol.hpp"
+#include "util/arena.hpp"
 #include "util/result.hpp"
 #include "util/thread_pool.hpp"
 
@@ -55,9 +70,15 @@ struct ServerConfig {
   /// Decision worker threads (util::ThreadPool size). With 1 worker and
   /// one connection, processing order equals arrival order.
   std::uint32_t workers = 4;
-  /// Bounded admission queue: maximum submit frames outstanding before
-  /// the server answers kRejected{queue-full}.
+  /// Bounded admission queue: maximum outstanding *specifications*
+  /// before the server answers kRejected{queue-full}. An oversize batch
+  /// is admitted alone when the queue is empty.
   std::size_t max_queue = 1024;
+  /// Per-connection pipelining limit, in specs: a reader pauses (read-
+  /// side backpressure, not rejection) while its connection has this
+  /// many specs in flight. 0 = unlimited. The environment variable
+  /// LANDLORD_SERVE_PIPELINE_DEPTH overrides it at construction.
+  std::size_t pipeline_depth = 1024;
   /// listen(2) backlog.
   int backlog = 128;
 };
@@ -74,9 +95,11 @@ struct ServeCounters {
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t frames_admitted = 0;   ///< submit frames past admission
+  std::uint64_t specs_admitted = 0;    ///< specs inside admitted frames
   std::uint64_t frames_processed = 0;  ///< admitted frames fully answered
   std::uint64_t requests_served = 0;   ///< individual specs placed
   std::uint64_t batches = 0;           ///< kBatchSubmit frames admitted
+  std::uint64_t gathered_writes = 0;   ///< reply flushes (>= 1 frame each)
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_draining = 0;
   std::uint64_t rejected_requests = 0;  ///< specs inside rejected frames
@@ -88,7 +111,7 @@ struct ServeCounters {
   std::uint64_t placements_insert = 0;
   std::uint64_t placements_degraded = 0;
   std::uint64_t placements_failed = 0;
-  std::uint64_t queue_depth_peak = 0;  ///< high-water admitted-frame depth
+  std::uint64_t queue_depth_peak = 0;  ///< high-water admitted-spec depth
 };
 
 class Server {
@@ -126,9 +149,15 @@ class Server {
   /// Snapshot of the service-plane counters.
   [[nodiscard]] ServeCounters counters() const;
 
-  /// Current admitted-but-unanswered submit frames.
+  /// Current admitted-but-unanswered specifications.
   [[nodiscard]] std::size_t queue_depth() const noexcept {
-    return outstanding_.load(std::memory_order_acquire);
+    return outstanding_specs_.load(std::memory_order_acquire);
+  }
+
+  /// The effective per-connection pipelining limit (after the
+  /// LANDLORD_SERVE_PIPELINE_DEPTH override); 0 = unlimited.
+  [[nodiscard]] std::size_t pipeline_depth() const noexcept {
+    return config_.pipeline_depth;
   }
 
   [[nodiscard]] const core::Landlord& landlord() const noexcept {
@@ -149,13 +178,30 @@ class Server {
  private:
   struct Connection {
     int fd = -1;
-    std::mutex write_mutex;
     std::atomic<bool> done{false};  ///< reader exited
     /// Admitted frames not yet answered. Workers hold a raw Connection*
     /// while processing, so a connection whose client hung up mid-flight
     /// must not be reaped until this drops to zero.
     std::atomic<std::size_t> inflight{0};
     std::thread reader;
+
+    // -- Reply path (all guarded by write_mutex unless noted) --
+    std::mutex write_mutex;
+    /// Backs every queued reply frame; reset when the queue empties.
+    /// Growth chains new blocks without moving old ones, so queued
+    /// ConstBuffers stay valid across concurrent encodes.
+    util::ScratchArena reply_arena{0};
+    /// Encoded frames awaiting the writer, one buffer per frame.
+    std::vector<net::ConstBuffer> reply_pending;
+    /// The active writer's claimed batch (owned by it while unlocked).
+    std::vector<net::ConstBuffer> reply_writing;
+    bool writer_active = false;
+    bool write_failed = false;  ///< peer gone; drop further replies
+
+    // -- Per-connection pipelining (guarded by pipeline_mutex) --
+    std::mutex pipeline_mutex;
+    std::condition_variable pipeline_cv;
+    std::size_t inflight_specs = 0;
   };
 
   void accept_loop();
@@ -164,7 +210,22 @@ class Server {
   /// the connection should close (protocol violation).
   bool handle_frame(Connection* connection, Frame frame);
   void process_submit(Connection* connection, const Frame& frame);
-  void write_frame(Connection* connection, const std::string& bytes);
+
+  /// Encodes one reply of exactly `size` wire bytes into the
+  /// connection's arena via `encode(char*) -> char*` and queues it; if no
+  /// writer is active, becomes the writer and flushes the queue with
+  /// gathered writes until it is empty.
+  template <typename Encode>
+  void send_reply(Connection* connection, std::size_t size, Encode&& encode);
+  /// Writer body: caller holds `lock` and has claimed writer_active.
+  void flush_replies(Connection* connection,
+                     std::unique_lock<std::mutex>& lock);
+
+  /// Blocks until `connection` may put `specs` more specs in flight
+  /// (pipeline_depth; an idle connection always may), then reserves them.
+  void acquire_pipeline(Connection* connection, std::size_t specs);
+  void release_pipeline(Connection* connection, std::size_t specs);
+
   [[nodiscard]] StatsReply stats_snapshot() const;
   void reap_closed_connections();
   void close_listener();
@@ -189,7 +250,12 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};
-  std::atomic<std::size_t> outstanding_{0};  ///< admitted, not yet answered
+  /// Admitted specs not yet answered — the admission threshold and the
+  /// value queue_depth() reports.
+  std::atomic<std::size_t> outstanding_specs_{0};
+  /// Admitted frames not yet answered — the drain predicate (a zero-spec
+  /// batch frame still occupies the pipeline until it is answered).
+  std::atomic<std::size_t> outstanding_frames_{0};
   std::mutex drain_mutex_;
   std::condition_variable drain_cv_;
 
@@ -205,9 +271,11 @@ class Server {
     std::atomic<std::uint64_t> bytes_in{0};
     std::atomic<std::uint64_t> bytes_out{0};
     std::atomic<std::uint64_t> frames_admitted{0};
+    std::atomic<std::uint64_t> specs_admitted{0};
     std::atomic<std::uint64_t> frames_processed{0};
     std::atomic<std::uint64_t> requests_served{0};
     std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> gathered_writes{0};
     std::atomic<std::uint64_t> rejected_queue_full{0};
     std::atomic<std::uint64_t> rejected_draining{0};
     std::atomic<std::uint64_t> rejected_requests{0};
@@ -232,9 +300,11 @@ class Server {
     obs::Counter* bytes_in = nullptr;
     obs::Counter* bytes_out = nullptr;
     obs::Counter* frames_admitted = nullptr;
+    obs::Counter* specs_admitted = nullptr;
     obs::Counter* frames_processed = nullptr;
     obs::Counter* requests_served = nullptr;
     obs::Counter* batches = nullptr;
+    obs::Counter* gathered_writes = nullptr;
     obs::Counter* rejected_queue_full = nullptr;
     obs::Counter* rejected_draining = nullptr;
     obs::Counter* rejected_requests = nullptr;
@@ -249,6 +319,7 @@ class Server {
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* queue_depth_peak = nullptr;
     obs::Histogram* batch_size = nullptr;
+    obs::Histogram* gather_frames = nullptr;
     obs::Histogram* process_seconds = nullptr;
     obs::EventTrace* trace = nullptr;
   };
@@ -260,11 +331,13 @@ class Server {
     if (metric != nullptr) metric->inc(n);
   }
 
-  /// Releases an admission slot and wakes drain(). The empty critical
-  /// section pairs with the drainer's predicate check so the notify can
-  /// never be lost between check and wait.
-  void release_slot() {
-    outstanding_.fetch_sub(1);
+  /// Releases an admitted frame's `specs` admission slots and wakes
+  /// drain(). The empty critical section pairs with the drainer's
+  /// predicate check so the notify can never be lost between check and
+  /// wait.
+  void release_slots(std::size_t specs) {
+    outstanding_specs_.fetch_sub(specs);
+    outstanding_frames_.fetch_sub(1);
     { std::scoped_lock lock(drain_mutex_); }
     drain_cv_.notify_all();
   }

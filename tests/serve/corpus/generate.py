@@ -134,6 +134,12 @@ FILES["trailing-bytes__submit_extra.bin"] = frame(
 # Rejected payload longer than its single reason byte.
 FILES["trailing-bytes__rejected_extra.bin"] = frame(
     REJECTED, struct.pack("<B", 1) + b"\x00")
+# Two complete frames in one buffer: decode_frame takes exactly one
+# frame, so a caller that fails to slice at header-declared length (the
+# pipelined reassembly loop's job) sees the second frame as trailing
+# garbage rather than silently losing it.
+FILES["trailing-bytes__two_frames.bin"] = (
+    frame(PING) + frame(PING, request_id=8))
 
 # ---- Semantic violations ----
 FILES["batch-too-large__5000.bin"] = frame(

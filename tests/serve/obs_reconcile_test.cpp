@@ -97,9 +97,11 @@ TEST(ServeObsReconcile, RegistryMatchesServerCountersAfterLoadgenRun) {
   expect_series(snap, "serve_bytes_total{direction=\"in\"}", c.bytes_in);
   expect_series(snap, "serve_bytes_total{direction=\"out\"}", c.bytes_out);
   expect_series(snap, "serve_frames_admitted_total", c.frames_admitted);
+  expect_series(snap, "serve_specs_admitted_total", c.specs_admitted);
   expect_series(snap, "serve_frames_processed_total", c.frames_processed);
   expect_series(snap, "serve_requests_served_total", c.requests_served);
   expect_series(snap, "serve_batches_total", c.batches);
+  expect_series(snap, "serve_gathered_writes_total", c.gathered_writes);
   expect_series(snap, "serve_rejected_total{reason=\"queue-full\"}",
                 c.rejected_queue_full);
   expect_series(snap, "serve_rejected_total{reason=\"draining\"}",
@@ -117,11 +119,19 @@ TEST(ServeObsReconcile, RegistryMatchesServerCountersAfterLoadgenRun) {
   expect_series(snap, "serve_placements_degraded_total",
                 c.placements_degraded);
   expect_series(snap, "serve_placements_failed_total", c.placements_failed);
+  // The peak gauge is published only through monotone raises (tally CAS
+  // + Gauge::max_to of the same values), so at quiescence the two sides
+  // agree exactly — a stale set() after the CAS loop used to break this.
   expect_series(snap, "serve_queue_depth_peak", c.queue_depth_peak);
+  // The live depth gauge moves by exact +/-spec deltas at the same
+  // accounting sites as the atomics, so a quiesced server reads zero.
+  expect_series(snap, "serve_queue_depth", 0);
+  EXPECT_EQ(server.queue_depth(), 0u);
   // Histograms: one batch-size sample per admitted frame, one duration
-  // sample per processed frame.
+  // sample per processed frame, one gather-size sample per reply flush.
   expect_series(snap, "serve_batch_size_count", c.frames_admitted);
   expect_series(snap, "serve_process_seconds_count", c.frames_processed);
+  expect_series(snap, "serve_gather_frames_count", c.gathered_writes);
 
   // Cross-checks against the run itself: the counters are not just
   // self-consistent but reflect the load that was actually offered.
@@ -132,6 +142,9 @@ TEST(ServeObsReconcile, RegistryMatchesServerCountersAfterLoadgenRun) {
   EXPECT_EQ(c.pings, 1u);
   EXPECT_EQ(c.stats_requests, 1u);
   EXPECT_EQ(c.frames_admitted, c.frames_processed);
+  // Spec-granular admission: every admitted spec was answered (no
+  // rejects in this run), so the spec tally matches requests served.
+  EXPECT_EQ(c.specs_admitted, c.requests_served);
   EXPECT_EQ(c.placements_hit + c.placements_merge + c.placements_insert,
             c.requests_served);
 
