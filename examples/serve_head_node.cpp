@@ -9,6 +9,10 @@
 //   serve_head_node --bench [--mode closed|open] [--connections N]
 //                   [--batch N] [--requests N] [--rate R] [--warmup]
 //                   [--bench-duration SECONDS] [--clients N] [--zipf S]
+//                   [--drain-timeout SECONDS]
+//                   [--chaos [--chaos-seed S] [--chaos-reset P]
+//                    [--chaos-stall P] [--chaos-partial P]
+//                    [--chaos-accept P]]
 //
 // Server mode binds 127.0.0.1 (port 0 picks an ephemeral one, printed as
 // "listening on PORT"), serves until --duration elapses (default 30s),
@@ -27,6 +31,13 @@
 // --warmup submits the whole catalog once per head before the timed
 // window, so open-loop quantiles measure steady-state serving rather
 // than the cold-cache insert/merge transient.
+//
+// --chaos routes the load generator through the in-process seeded fault
+// shim (serve::ChaosProxy): connections are reset, stalled, fragmented
+// and refused on a replayable schedule while reconnecting v2 retry
+// clients (idempotent via the server's dedup window) must still land
+// every request exactly once — bench_serve.sh gates the chaos run on
+// zero lost requests with a nonzero injected-fault count.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -39,10 +50,13 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "landlord/landlord.hpp"
 #include "obs/obs.hpp"
 #include "pkg/synthetic.hpp"
+#include "serve/chaos.hpp"
 #include "serve/loadgen.hpp"
+#include "serve/retry.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -78,6 +92,14 @@ struct Options {
   std::uint64_t clients = 2'000'000;
   double zipf = 1.1;
   bool warmup = false;
+  double drain_timeout = 10.0;
+  // Chaos mode: loadgen traffic through the seeded fault shim.
+  bool chaos = false;
+  std::uint64_t chaos_seed = 1337;
+  double chaos_reset = 0.002;
+  double chaos_stall = 0.002;
+  double chaos_partial = 0.002;
+  double chaos_accept = 0.01;
 };
 
 std::optional<Options> parse_args(int argc, char** argv) {
@@ -151,6 +173,20 @@ std::optional<Options> parse_args(int argc, char** argv) {
       if (!number(options.zipf)) return std::nullopt;
     } else if (arg == "--warmup") {
       options.warmup = true;
+    } else if (arg == "--drain-timeout") {
+      if (!number(options.drain_timeout)) return std::nullopt;
+    } else if (arg == "--chaos") {
+      options.chaos = true;
+    } else if (arg == "--chaos-seed") {
+      if (!number(options.chaos_seed)) return std::nullopt;
+    } else if (arg == "--chaos-reset") {
+      if (!number(options.chaos_reset)) return std::nullopt;
+    } else if (arg == "--chaos-stall") {
+      if (!number(options.chaos_stall)) return std::nullopt;
+    } else if (arg == "--chaos-partial") {
+      if (!number(options.chaos_partial)) return std::nullopt;
+    } else if (arg == "--chaos-accept") {
+      if (!number(options.chaos_accept)) return std::nullopt;
     } else {
       return std::nullopt;
     }
@@ -189,6 +225,12 @@ ServeCounters aggregate_counters(
     total.bytes_out += counters.bytes_out;
     total.batches += counters.batches;
     total.gathered_writes += counters.gathered_writes;
+    total.net_read_timeouts += counters.net_read_timeouts;
+    total.net_write_timeouts += counters.net_write_timeouts;
+    total.net_write_errors += counters.net_write_errors;
+    total.dedup_hits += counters.dedup_hits;
+    total.dedup_evictions += counters.dedup_evictions;
+    total.specs_shed_expired += counters.specs_shed_expired;
     total.queue_depth_peak =
         std::max(total.queue_depth_peak, counters.queue_depth_peak);
   }
@@ -214,7 +256,8 @@ void print_counters(const ServeCounters& counters) {
 
 void print_json_report(const Options& options, const LoadGenReport& report,
                        const ServeCounters& counters,
-                       std::size_t pipeline_depth) {
+                       std::size_t pipeline_depth,
+                       const landlord::serve::ChaosProxy* proxy) {
   std::cout << "{\n"
             << "  \"mode\": \""
             << (options.mode == LoadMode::kClosed ? "closed" : "open")
@@ -242,11 +285,35 @@ void print_json_report(const Options& options, const LoadGenReport& report,
             << "  \"latency_p99_seconds\": " << report.latency_p99 << ",\n"
             << "  \"latency_p999_seconds\": " << report.latency_p999 << ",\n"
             << "  \"latency_mean_seconds\": " << report.latency_mean << ",\n"
+            << "  \"retransmits\": " << report.retransmits << ",\n"
+            << "  \"reconnects\": " << report.reconnects << ",\n"
+            << "  \"drain_timeouts\": " << report.drain_timeouts << ",\n"
+            << "  \"server_dedup_hits\": " << counters.dedup_hits << ",\n"
+            << "  \"server_dedup_evictions\": " << counters.dedup_evictions
+            << ",\n"
+            << "  \"server_deadline_shed\": " << counters.specs_shed_expired
+            << ",\n"
+            << "  \"server_net_read_timeouts\": " << counters.net_read_timeouts
+            << ",\n"
+            << "  \"server_net_write_timeouts\": "
+            << counters.net_write_timeouts << ",\n"
             << "  \"server_queue_depth_peak\": " << counters.queue_depth_peak
             << ",\n"
             << "  \"server_rejected_queue_full\": "
-            << counters.rejected_queue_full << "\n"
-            << "}\n";
+            << counters.rejected_queue_full;
+  if (proxy != nullptr) {
+    const landlord::serve::ChaosTally chaos = proxy->tally();
+    std::cout << ",\n"
+              << "  \"chaos_seed\": " << options.chaos_seed << ",\n"
+              << "  \"chaos_connections\": " << chaos.connections << ",\n"
+              << "  \"chaos_resets\": " << chaos.resets << ",\n"
+              << "  \"chaos_stalls\": " << chaos.stalls << ",\n"
+              << "  \"chaos_partials\": " << chaos.partials << ",\n"
+              << "  \"chaos_accept_failures\": " << chaos.accept_failures
+              << ",\n"
+              << "  \"chaos_injected\": " << chaos.injected();
+  }
+  std::cout << "\n}\n";
 }
 
 }  // namespace
@@ -265,7 +332,12 @@ int main(int argc, char** argv) {
                  " [--connections N] [--batch N]\n"
                  "                        [--requests N] [--rate R] [--warmup]"
                  " [--bench-duration S]\n"
-                 "                        [--clients N] [--zipf S]]\n";
+                 "                        [--clients N] [--zipf S]"
+                 " [--drain-timeout S]\n"
+                 "                        [--chaos [--chaos-seed S]"
+                 " [--chaos-reset P] [--chaos-stall P]\n"
+                 "                         [--chaos-partial P]"
+                 " [--chaos-accept P]]]\n";
     return 2;
   }
   if (options->heads == 0) {
@@ -329,10 +401,44 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   if (options->bench) {
+    // Chaos mode: interpose the seeded fault shim between the loadgen
+    // and each head, and arm the reconnect/retry layer so the run must
+    // recover from every injected fault (warmup stays direct: it
+    // pre-populates the cache, it is not part of the fault experiment).
+    std::vector<std::unique_ptr<landlord::serve::ChaosProxy>> proxies;
+    std::vector<std::uint16_t> load_ports = ports;
+    if (options->chaos) {
+      landlord::fault::FaultPlan plan;
+      plan.seed = options->chaos_seed;
+      plan.fail(landlord::fault::FaultOp::kConnReset, options->chaos_reset);
+      plan.fail(landlord::fault::FaultOp::kConnStall, options->chaos_stall);
+      plan.fail(landlord::fault::FaultOp::kPartialDelivery,
+                options->chaos_partial);
+      plan.fail(landlord::fault::FaultOp::kAcceptFail, options->chaos_accept);
+      load_ports.clear();
+      for (std::size_t h = 0; h < ports.size(); ++h) {
+        landlord::serve::ChaosProxyConfig proxy_config;
+        proxy_config.target_port = ports[h];
+        proxy_config.stall_ms = 5;
+        proxy_config.plan = plan;
+        proxy_config.plan.seed = options->chaos_seed + h;  // per-head tape
+        auto proxy =
+            std::make_unique<landlord::serve::ChaosProxy>(proxy_config);
+        const auto started = proxy->start();
+        if (!started.ok()) {
+          std::cerr << "chaos proxy start failed: " << started.error().message
+                    << '\n';
+          return 1;
+        }
+        load_ports.push_back(proxy->port());
+        proxies.push_back(std::move(proxy));
+      }
+    }
     LoadGenConfig load;
-    load.port = ports.front();
-    load.ports = ports;
+    load.port = load_ports.front();
+    load.ports = load_ports;
     load.warmup = options->warmup;
+    load.warmup_ports = ports;  // warmup bypasses the shim
     load.seed = options->seed;
     load.mode = options->mode;
     load.connections = options->connections;
@@ -342,13 +448,24 @@ int main(int argc, char** argv) {
     load.duration_seconds = options->bench_duration;
     load.clients = options->clients;
     load.zipf_s = options->zipf;
+    load.drain_timeout_s = options->drain_timeout;
+    if (options->chaos) {
+      landlord::serve::RetryPolicy retry;
+      retry.backoff.max_retries = 10;
+      retry.backoff.base_delay_s = 0.02;
+      retry.backoff.max_delay_s = 0.5;
+      retry.reply_timeout_ms = 2000;
+      load.retry = retry;
+    }
     const auto report = landlord::serve::run_load(repo, load);
+    for (auto& proxy : proxies) proxy->stop();
     if (!report.ok()) {
       std::cerr << "load generator failed: " << report.error().message << '\n';
       exit_code = 1;
     } else {
       print_json_report(*options, report.value(), aggregate_counters(servers),
-                        servers.front()->pipeline_depth());
+                        servers.front()->pipeline_depth(),
+                        proxies.empty() ? nullptr : proxies.front().get());
     }
   } else {
     std::cout << "listening on";

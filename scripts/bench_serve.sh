@@ -6,12 +6,12 @@
 #
 #   $ scripts/bench_serve.sh [build-dir]
 #
-# Four runs:
+# Five runs:
 #   1. closed     — 8 closed-loop connections, batch 64, warm cache with
 #      capacity headroom so traffic is hit-dominated: this measures the
 #      service plane itself (framing, admission, threading, decision
 #      lookups), not the image builder. THE GATE: sustained QPS here must
-#      be >= LANDLORD_SERVE_MIN_QPS (default 50000).
+#      be >= LANDLORD_SERVE_MIN_QPS (default 160000).
 #   2. open       — the same shape driven open-loop at a fixed offered
 #      rate with a warmup pass (steady-state quantiles, not the
 #      cold-cache insert transient). GATED: p99 must be
@@ -23,10 +23,17 @@
 #   4. multi_head — two serve::Server heads over ONE shared repository
 #      (the multi-frontend topology); recorded for context, gated only
 #      on answering everything.
+#   5. chaos      — the closed-loop shape driven through the seeded
+#      socket fault shim (resets, stalls, fragmented deliveries, refused
+#      accepts) with the reconnect/idempotent-retry client layer armed.
+#      GATED on robustness, not speed: every request must be answered ok
+#      (the dedup window absorbs retransmits, nothing is double-placed
+#      or lost) while the shim injected a nonzero number of faults.
 #
 # Exit status is non-zero if the closed-loop run misses the QPS floor,
-# the open-loop run misses the p99 ceiling, or any run loses/rejects
-# requests unexpectedly.
+# the open-loop run misses the p99 ceiling, any run loses/rejects
+# requests unexpectedly, or the chaos run drops a request (or injects
+# nothing, which would make its pass vacuous).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
@@ -37,12 +44,13 @@ if [[ ! -x "$HEAD_NODE" ]]; then
   exit 1
 fi
 
-MIN_QPS="${LANDLORD_SERVE_MIN_QPS:-50000}"
+MIN_QPS="${LANDLORD_SERVE_MIN_QPS:-160000}"
 OPEN_P99_MAX="${LANDLORD_SERVE_OPEN_P99_MAX_S:-0.1}"
 CLOSED_JSON="$BUILD/bench_serve_closed.json"
 OPEN_JSON="$BUILD/bench_serve_open.json"
 CHURN_JSON="$BUILD/bench_serve_churn.json"
 MULTI_JSON="$BUILD/bench_serve_multi_head.json"
+CHAOS_JSON="$BUILD/bench_serve_chaos.json"
 
 # Hit-dominated service-plane run (the gated one).
 "$HEAD_NODE" --bench --mode closed \
@@ -67,8 +75,16 @@ MULTI_JSON="$BUILD/bench_serve_multi_head.json"
   --workers 4 --shards 8 --connections 8 --batch 64 \
   --requests 400000 --capacity-fraction 100 >"$MULTI_JSON"
 
+# Closed-loop traffic through the seeded socket fault shim with the
+# reconnect/idempotent-retry layer armed: robustness gate, not a speed
+# gate (the shim's stalls and backoff sleeps dominate wall-clock).
+"$HEAD_NODE" --bench --mode closed --chaos --chaos-seed 7 \
+  --workers 8 --shards 8 --connections 4 --batch 16 \
+  --requests 20000 --capacity-fraction 100 >"$CHAOS_JSON"
+
 CLOSED_JSON="$CLOSED_JSON" OPEN_JSON="$OPEN_JSON" CHURN_JSON="$CHURN_JSON" \
-MULTI_JSON="$MULTI_JSON" MIN_QPS="$MIN_QPS" OPEN_P99_MAX="$OPEN_P99_MAX" \
+MULTI_JSON="$MULTI_JSON" CHAOS_JSON="$CHAOS_JSON" \
+MIN_QPS="$MIN_QPS" OPEN_P99_MAX="$OPEN_P99_MAX" \
 python3 - <<'EOF'
 import json, os, sys
 
@@ -80,6 +96,7 @@ closed = load(os.environ["CLOSED_JSON"])
 open_loop = load(os.environ["OPEN_JSON"])
 churn = load(os.environ["CHURN_JSON"])
 multi = load(os.environ["MULTI_JSON"])
+chaos = load(os.environ["CHAOS_JSON"])
 min_qps = float(os.environ["MIN_QPS"])
 open_p99_max = float(os.environ["OPEN_P99_MAX"])
 
@@ -87,11 +104,14 @@ out = {
     "bench": "serve",
     "gate": (f"closed-loop hit-dominated QPS >= {min_qps:.0f}; "
              f"open-loop warmed p99 <= {open_p99_max:g} s; "
-             "no lost or unexpectedly rejected requests"),
+             "no lost or unexpectedly rejected requests; "
+             "chaos run answers everything exactly once under nonzero "
+             "injected socket faults"),
     "closed": closed,
     "open": open_loop,
     "churn": churn,
     "multi_head": multi,
+    "chaos": chaos,
 }
 with open("BENCH_serve.json", "w") as f:
     json.dump(out, f, indent=2)
@@ -105,11 +125,14 @@ if open_loop["latency_p99_seconds"] > open_p99_max:
     failures.append(
         f"open-loop p99 {open_loop['latency_p99_seconds']:.3f} s > "
         f"ceiling {open_p99_max:g} s")
-for name, run in [("closed", closed), ("churn", churn), ("multi", multi)]:
+for name, run in [("closed", closed), ("churn", churn), ("multi", multi),
+                  ("chaos", chaos)]:
     if run["requests_ok"] != run["requests_sent"]:
         failures.append(
             f"{name}: {run['requests_sent'] - run['requests_ok']} of "
             f"{run['requests_sent']} requests not answered ok")
+if chaos["chaos_injected"] == 0:
+    failures.append("chaos: shim injected zero faults (vacuous pass)")
 answered = open_loop["requests_ok"] + open_loop["requests_rejected"]
 if answered != open_loop["requests_sent"]:
     failures.append(
@@ -117,13 +140,19 @@ if answered != open_loop["requests_sent"]:
         "placed nor explicitly rejected")
 
 for name, run in [("closed", closed), ("open", open_loop), ("churn", churn),
-                  ("multi", multi)]:
+                  ("multi", multi), ("chaos", chaos)]:
     print(f"{name:>7}: qps {run['qps']:>10.0f}  ok {run['requests_ok']:>7}  "
           f"rejected {run['requests_rejected']:>5}  "
           f"p50 {run['latency_p50_seconds']*1e3:8.2f} ms  "
           f"p99 {run['latency_p99_seconds']*1e3:8.2f} ms  "
           f"p999 {run['latency_p999_seconds']*1e3:8.2f} ms  "
           f"clients {run['distinct_clients']}")
+print(f"  chaos: injected {chaos['chaos_injected']} faults "
+      f"(resets {chaos['chaos_resets']}, stalls {chaos['chaos_stalls']}, "
+      f"partials {chaos['chaos_partials']}, "
+      f"accept-failures {chaos['chaos_accept_failures']}); "
+      f"retransmits {chaos['retransmits']}, reconnects {chaos['reconnects']}, "
+      f"dedup hits {chaos['server_dedup_hits']}")
 
 if failures:
     print("bench_serve: PERF REGRESSION", file=sys.stderr)

@@ -36,34 +36,41 @@ cmake -B build-tsan -S . -DLANDLORD_SANITIZE=thread \
 cmake --build build-tsan --target concurrency_tests -j "$JOBS"
 ctest --test-dir build-tsan -L concurrency --output-on-failure -j "$JOBS"
 
-echo "== stage 2b: TSan build + fault/dispatch/serve/cas chaos suites =="
+echo "== stage 2b: TSan build + fault/dispatch/serve/servefault/cas chaos suites =="
 # The dispatch plane locks WorkerPool::dispatch and the parallel driver
 # hammers it from several threads; replaying the chaos suites under
 # ThreadSanitizer catches races between churn, transfer retries, and
 # the head-node decision layer that the plain run cannot. The serve
 # suite adds the TCP service plane: concurrent clients, mid-storm
-# graceful drain, and bounded-queue admission under saturation. The cas
-# suite adds the delta image store, whose eviction listener fires from
-# the sharded cache's locked regions.
+# graceful drain, and bounded-queue admission under saturation. The
+# servefault suite adds the network-fault battery: the seeded socket
+# chaos proxy, reconnecting retry clients racing the dedup window, and
+# the slow-client timeout paths — all heavy cross-thread teardown. The
+# cas suite adds the delta image store, whose eviction listener fires
+# from the sharded cache's locked regions.
 cmake --build build-tsan --target fault_tests dispatch_tests serve_tests \
-  cas_tests -j "$JOBS"
-ctest --test-dir build-tsan -L 'fault|dispatch|serve|cas' --output-on-failure -j "$JOBS"
+  servefault_tests cas_tests -j "$JOBS"
+ctest --test-dir build-tsan -L 'fault|dispatch|serve|servefault|cas' --output-on-failure -j "$JOBS"
 # Re-run the serve suite with a tiny non-default pipeline depth so the
 # read-side backpressure path (reader parked in acquire_pipeline while
 # workers drain) is exercised under TSan, not just the wide-open default.
 LANDLORD_SERVE_PIPELINE_DEPTH=3 \
   ctest --test-dir build-tsan -L serve --output-on-failure -j "$JOBS"
 
-echo "== stage 3: ASan+UBSan build + fault/dispatch/serve/cas-labelled tests =="
+echo "== stage 3: ASan+UBSan build + fault/dispatch/serve/servefault/cas tests =="
 # Under ASan+UBSan the serve suite doubles as the codec fuzz gate: the
 # malformed-frame corpus and byte-mutation tests must draw typed decode
-# errors with no over-read. The cas suite does the same for the chunk
-# manifest codec (truncation/mutation sweeps, random garbage).
+# errors with no over-read (including the hostile-allocation shapes: a
+# huge count or payload_size must be refused before any reserve). The
+# servefault suite replays the socket-chaos battery so fragmented frames
+# and mid-teardown buffers cannot hide over-reads. The cas suite does
+# the same for the chunk manifest codec (truncation/mutation sweeps,
+# random garbage).
 cmake -B build-asan -S . -DLANDLORD_SANITIZE=address,undefined \
   -DLANDLORD_BUILD_BENCH=OFF -DLANDLORD_BUILD_EXAMPLES=OFF
 cmake --build build-asan --target fault_tests dispatch_tests serve_tests \
-  cas_tests -j "$JOBS"
-ctest --test-dir build-asan -L 'fault|dispatch|serve|cas' --output-on-failure -j "$JOBS"
+  servefault_tests cas_tests -j "$JOBS"
+ctest --test-dir build-asan -L 'fault|dispatch|serve|servefault|cas' --output-on-failure -j "$JOBS"
 
 echo "== stage 4: metrics snapshot parse + counter/ladder reconciliation =="
 # Runs an instrumented sim + crash replay, writes the exposition, then

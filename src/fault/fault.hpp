@@ -40,8 +40,14 @@ enum class FaultOp : std::uint8_t {
   kWorkerCrash,     ///< the scheduled worker dies under this dispatch
   kWorkerTransfer,  ///< head-node -> worker-scratch transfer interrupted
   kSiteOutage,      ///< a site rejects this placement attempt
+  // Serve-plane network classes (the socket chaos shim, serve/chaos.hpp).
+  // Appended, same reason as above.
+  kConnReset,        ///< connection torn down with an RST (SO_LINGER 0)
+  kConnStall,        ///< delivery pauses long enough to trip timeouts
+  kPartialDelivery,  ///< a fragment is delivered, then an abrupt FIN
+  kAcceptFail,       ///< the connection is closed at accept time
 };
-inline constexpr std::size_t kFaultOpCount = 7;
+inline constexpr std::size_t kFaultOpCount = 11;
 
 [[nodiscard]] constexpr const char* to_string(FaultOp op) noexcept {
   switch (op) {
@@ -52,6 +58,10 @@ inline constexpr std::size_t kFaultOpCount = 7;
     case FaultOp::kWorkerCrash: return "worker-crash";
     case FaultOp::kWorkerTransfer: return "worker-transfer";
     case FaultOp::kSiteOutage: return "site-outage";
+    case FaultOp::kConnReset: return "conn-reset";
+    case FaultOp::kConnStall: return "conn-stall";
+    case FaultOp::kPartialDelivery: return "partial-delivery";
+    case FaultOp::kAcceptFail: return "accept-fail";
   }
   return "?";
 }

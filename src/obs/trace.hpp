@@ -40,6 +40,9 @@ enum class EventKind : std::uint8_t {
   kServeOverload,       ///< admission control rejected a submit frame
   kServeDrain,          ///< service plane began or completed graceful drain
   kRepack,              ///< a merge hit the delta-chain cap and rewrote in full
+  kServeNetTimeout,     ///< a read idle / write stall timeout closed a socket
+  kServeDedup,          ///< a retried submit was answered from the dedup window
+  kServeDeadlineShed,   ///< expired specs were shed before execution
 };
 
 [[nodiscard]] constexpr const char* to_string(EventKind kind) noexcept {
@@ -65,6 +68,9 @@ enum class EventKind : std::uint8_t {
     case EventKind::kServeOverload: return "serve-overload";
     case EventKind::kServeDrain: return "serve-drain";
     case EventKind::kRepack: return "repack";
+    case EventKind::kServeNetTimeout: return "serve-net-timeout";
+    case EventKind::kServeDedup: return "serve-dedup";
+    case EventKind::kServeDeadlineShed: return "serve-deadline-shed";
   }
   return "?";
 }

@@ -72,6 +72,11 @@ class RollingBuffer {
   /// Publishes `n` bytes written at write_ptr() (n <= writable()).
   void commit(std::size_t n) noexcept { tail_ += n; }
 
+  /// Drops everything, consumed and pending. A reconnecting client must
+  /// call this: a half-received frame from the old connection would
+  /// misalign every frame the new connection delivers.
+  void clear() noexcept { head_ = tail_ = 0; }
+
   /// Backing capacity (diagnostics/tests).
   [[nodiscard]] std::size_t capacity() const noexcept {
     return storage_.size();

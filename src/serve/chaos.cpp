@@ -1,0 +1,278 @@
+#include "serve/chaos.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "serve/io.hpp"
+
+namespace landlord::serve {
+
+namespace {
+
+/// Arms an abortive close: close(2) after this sends an RST-style abort
+/// instead of an orderly FIN drain.
+void arm_linger_zero(int fd) {
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+}
+
+/// Direction-salting constant for the outbound injector seed, so the two
+/// pump directions consume independent (but individually replayable)
+/// verdict streams from one plan.
+constexpr std::uint64_t kOutboundSeedSalt = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(ChaosProxyConfig config) : config_(std::move(config)) {
+  if (config_.chunk_bytes == 0) config_.chunk_bytes = 16 * 1024;
+  fault::FaultPlan inbound_plan = config_.plan;
+  fault::FaultPlan outbound_plan = config_.plan;
+  outbound_plan.seed = config_.plan.seed ^ kOutboundSeedSalt;
+  inbound_.injector = std::make_unique<fault::FaultInjector>(inbound_plan);
+  outbound_.injector = std::make_unique<fault::FaultInjector>(outbound_plan);
+  inbound_.frag_rng = util::Rng(config_.plan.seed).split(11);
+  outbound_.frag_rng = util::Rng(config_.plan.seed).split(12);
+}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+util::Result<bool> ChaosProxy::start() {
+  if (started_.exchange(true)) return util::Error{"proxy already started"};
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Error{std::string{"socket: "} + std::strerror(errno)};
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.listen_port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::string why = std::string{"bind: "} + std::strerror(errno);
+    ::close(fd);
+    return util::Error{why};
+  }
+  if (::listen(fd, config_.backlog) < 0) {
+    std::string why = std::string{"listen: "} + std::strerror(errno);
+    ::close(fd);
+    return util::Error{why};
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    std::string why = std::string{"getsockname: "} + std::strerror(errno);
+    ::close(fd);
+    return util::Error{why};
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void ChaosProxy::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int client_fd =
+        ::accept(listen_fd_.load(std::memory_order_acquire), nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down by stop()
+    }
+    bool accept_fail = false;
+    {
+      std::scoped_lock lock(inbound_.mutex);
+      accept_fail = inbound_.injector->should_fail(fault::FaultOp::kAcceptFail);
+    }
+    if (accept_fail) {
+      tally_.accept_failures.fetch_add(1, std::memory_order_relaxed);
+      arm_linger_zero(client_fd);
+      ::close(client_fd);
+      continue;
+    }
+
+    const int upstream_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (upstream_fd < 0) {
+      ::close(client_fd);
+      continue;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.target_port);
+    if (::connect(upstream_fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      ::close(upstream_fd);
+      ::close(client_fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(upstream_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto relay = std::make_unique<Relay>();
+    relay->client_fd = client_fd;
+    relay->upstream_fd = upstream_fd;
+    Relay* raw = relay.get();
+    tally_.connections.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::scoped_lock lock(relays_mutex_);
+      reap_relays(/*all=*/false);
+      relays_.push_back(std::move(relay));
+    }
+    raw->up = std::thread(
+        [this, raw] { pump(raw, raw->client_fd, raw->upstream_fd, inbound_); });
+    raw->down = std::thread([this, raw] {
+      pump(raw, raw->upstream_fd, raw->client_fd, outbound_);
+    });
+  }
+}
+
+void ChaosProxy::pump(Relay* relay, int src, int dst, Direction& direction) {
+  std::vector<char> chunk(config_.chunk_bytes);
+  bool killed = false;
+  while (!relay->dead.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(src, chunk.data(), chunk.size(), 0);
+    if (n == 0) break;  // orderly EOF: propagate the half-close below
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // src shut down (kill_relay/stop) or hard error
+    }
+    // A kill may land while we were blocked in recv; anything read after
+    // it must not advance this direction's occurrence stream, or the
+    // tape would depend on teardown scheduling.
+    if (relay->dead.load(std::memory_order_acquire)) break;
+    // One verdict set per chunk, drawn under the direction lock so the
+    // occurrence index k == this direction's k-th delivered chunk.
+    bool reset = false;
+    bool stall = false;
+    bool partial = false;
+    std::size_t deliver = static_cast<std::size_t>(n);
+    {
+      std::scoped_lock lock(direction.mutex);
+      reset = direction.injector->should_fail(fault::FaultOp::kConnReset);
+      stall = direction.injector->should_fail(fault::FaultOp::kConnStall);
+      partial =
+          direction.injector->should_fail(fault::FaultOp::kPartialDelivery);
+      if (!reset && partial && deliver > 1) {
+        deliver = 1 + static_cast<std::size_t>(
+                          direction.frag_rng.uniform(deliver - 1));
+      }
+    }
+    if (reset) {
+      tally_.resets.fetch_add(1, std::memory_order_relaxed);
+      kill_relay(relay, /*abortive=*/true);
+      killed = true;
+      break;
+    }
+    if (stall) {
+      tally_.stalls.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(config_.stall_ms));
+    }
+    if (partial) {
+      // Dead BEFORE the fragment leaves: whatever the fragment provokes
+      // from the peer (an echo, an error reply) must never be consumed
+      // by the opposite pump, or its occurrence stream would depend on
+      // scheduling instead of the plan.
+      relay->dead.store(true, std::memory_order_release);
+    }
+    const bool delivered =
+        net::write_all(dst, chunk.data(), deliver) == net::IoStatus::kOk;
+    if (!delivered && !partial) {
+      kill_relay(relay, /*abortive=*/false);
+      killed = true;
+      break;
+    }
+    if (delivered) {
+      tally_.chunks.fetch_add(1, std::memory_order_relaxed);
+      tally_.forwarded_bytes.fetch_add(deliver, std::memory_order_relaxed);
+    }
+    if (partial) {
+      // The fragment made it out; now both sides get an abrupt FIN
+      // mid-frame — the classic lost-reply shape the retry layer must
+      // survive. Shutdowns are explicit here (not kill_relay) because
+      // the dead flag is already ours.
+      tally_.partials.fetch_add(1, std::memory_order_relaxed);
+      ::shutdown(relay->client_fd, SHUT_RDWR);
+      ::shutdown(relay->upstream_fd, SHUT_RDWR);
+      killed = true;
+      break;
+    }
+  }
+  if (!killed) {
+    // Orderly EOF (or a peer-side shutdown): propagate the half-close so
+    // in-flight replies in the other direction still drain.
+    ::shutdown(dst, SHUT_WR);
+    ::shutdown(src, SHUT_RD);
+  }
+  relay->pumps_done.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void ChaosProxy::kill_relay(Relay* relay, bool abortive) {
+  if (abortive) relay->abortive.store(true, std::memory_order_release);
+  if (relay->dead.exchange(true, std::memory_order_acq_rel)) return;
+  // Both pumps unblock on the shutdowns; close() waits for the reaper so
+  // a racing recv can never touch a recycled descriptor.
+  ::shutdown(relay->client_fd, SHUT_RDWR);
+  ::shutdown(relay->upstream_fd, SHUT_RDWR);
+}
+
+void ChaosProxy::reap_relays(bool all) {
+  // Caller holds relays_mutex_.
+  std::erase_if(relays_, [all](const std::unique_ptr<Relay>& r) {
+    if (!all && r->pumps_done.load(std::memory_order_acquire) < 2) {
+      return false;
+    }
+    if (r->up.joinable()) r->up.join();
+    if (r->down.joinable()) r->down.join();
+    if (r->abortive.load(std::memory_order_acquire)) {
+      arm_linger_zero(r->client_fd);
+      arm_linger_zero(r->upstream_fd);
+    }
+    ::close(r->client_fd);
+    ::close(r->upstream_fd);
+    return true;
+  });
+}
+
+void ChaosProxy::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stopping_.exchange(true)) return;
+  if (const int fd = listen_fd_.load(std::memory_order_acquire); fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+      fd >= 0) {
+    ::close(fd);
+  }
+  {
+    std::scoped_lock lock(relays_mutex_);
+    for (const auto& relay : relays_) kill_relay(relay.get(), false);
+    reap_relays(/*all=*/true);
+  }
+}
+
+ChaosTally ChaosProxy::tally() const {
+  ChaosTally out;
+  out.connections = tally_.connections.load(std::memory_order_relaxed);
+  out.accept_failures = tally_.accept_failures.load(std::memory_order_relaxed);
+  out.resets = tally_.resets.load(std::memory_order_relaxed);
+  out.stalls = tally_.stalls.load(std::memory_order_relaxed);
+  out.partials = tally_.partials.load(std::memory_order_relaxed);
+  out.chunks = tally_.chunks.load(std::memory_order_relaxed);
+  out.forwarded_bytes = tally_.forwarded_bytes.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace landlord::serve

@@ -1,0 +1,147 @@
+// Seeded socket fault shim for the serve plane.
+//
+// ChaosProxy is an in-process TCP relay: it listens on 127.0.0.1, and
+// every accepted connection is forwarded to the real server on
+// `target_port` through two pump threads (one per direction). The server
+// and the load generator are simply pointed at the proxy's port — no
+// code under test knows it is there — and the proxy injects the four
+// network fault classes of fault::FaultOp on a seeded schedule:
+//
+//   kAcceptFail       the connection is closed immediately at accept;
+//   kConnReset        the relay is torn down abortively mid-stream
+//                     (SO_LINGER 0, so the peers see an RST-style abort);
+//   kConnStall        delivery of one chunk pauses for `stall_ms` —
+//                     long enough to trip read-idle / write-stall
+//                     timeouts when they are configured tighter;
+//   kPartialDelivery  a seeded fragment of one chunk is delivered, then
+//                     both sides get an abrupt FIN mid-frame.
+//
+// Determinism: each direction owns its own fault::FaultInjector (same
+// plan, direction-salted seed) and fragment Rng, consulted once per
+// forwarded chunk under a per-direction mutex. The verdict for the k-th
+// chunk of a direction is therefore a pure function of (plan, direction,
+// k) — replayable bit-for-bit like the rest of the fault plane. With a
+// strict request/response client the chunk sequence itself is
+// deterministic, so the whole fault tape is.
+//
+// The chaos suite (tests/serve/net_fault_test.cpp) drives the loadgen
+// and the resilient client through this shim and asserts end-state
+// equivalence against a fault-free oracle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace landlord::serve {
+
+struct ChaosProxyConfig {
+  /// The real server's port on 127.0.0.1.
+  std::uint16_t target_port = 0;
+  /// Proxy listen port; 0 picks an ephemeral one (read back via port()).
+  std::uint16_t listen_port = 0;
+  /// How long a kConnStall verdict pauses one chunk's delivery.
+  std::uint32_t stall_ms = 40;
+  /// Relay read size; one verdict is drawn per chunk actually received.
+  std::size_t chunk_bytes = 16 * 1024;
+  int backlog = 64;
+  /// Fault plan; only the network classes (kConnReset, kConnStall,
+  /// kPartialDelivery, kAcceptFail) are consulted. An empty plan makes
+  /// the proxy a transparent relay.
+  fault::FaultPlan plan;
+};
+
+/// Monotone shim-side tallies (what the proxy actually did).
+struct ChaosTally {
+  std::uint64_t connections = 0;      ///< relays established
+  std::uint64_t accept_failures = 0;  ///< connections killed at accept
+  std::uint64_t resets = 0;           ///< abortive mid-stream teardowns
+  std::uint64_t stalls = 0;           ///< chunks delayed by stall_ms
+  std::uint64_t partials = 0;         ///< chunks cut short + FIN
+  std::uint64_t chunks = 0;           ///< chunks forwarded (both directions)
+  std::uint64_t forwarded_bytes = 0;  ///< bytes actually delivered
+
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return accept_failures + resets + stalls + partials;
+  }
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosProxyConfig config);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds the listen socket and spawns the acceptor.
+  [[nodiscard]] util::Result<bool> start();
+
+  /// The bound proxy port (meaningful after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Tears down the listener and every live relay; joins all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] ChaosTally tally() const;
+
+ private:
+  /// One proxied connection: two fds, two pump threads.
+  struct Relay {
+    int client_fd = -1;
+    int upstream_fd = -1;
+    std::atomic<bool> dead{false};
+    std::atomic<bool> abortive{false};  ///< close with SO_LINGER 0 (reset)
+    std::atomic<int> pumps_done{0};
+    std::thread up;    ///< client -> server
+    std::thread down;  ///< server -> client
+  };
+
+  /// Per-direction deterministic fault state.
+  struct Direction {
+    std::mutex mutex;
+    std::unique_ptr<fault::FaultInjector> injector;
+    util::Rng frag_rng{1};
+  };
+
+  void accept_loop();
+  void pump(Relay* relay, int src, int dst, Direction& direction);
+  /// Shuts both relay sockets down (both pumps unblock); fds are closed
+  /// only at reap/stop, after the pump threads are joined.
+  void kill_relay(Relay* relay, bool abortive);
+  void reap_relays(bool all);
+
+  ChaosProxyConfig config_;
+  std::uint16_t port_ = 0;
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+
+  Direction inbound_;   ///< client -> server (also owns accept verdicts)
+  Direction outbound_;  ///< server -> client
+
+  std::mutex relays_mutex_;
+  std::vector<std::unique_ptr<Relay>> relays_;
+
+  struct AtomicTally {
+    std::atomic<std::uint64_t> connections{0};
+    std::atomic<std::uint64_t> accept_failures{0};
+    std::atomic<std::uint64_t> resets{0};
+    std::atomic<std::uint64_t> stalls{0};
+    std::atomic<std::uint64_t> partials{0};
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> forwarded_bytes{0};
+  };
+  AtomicTally tally_;
+};
+
+}  // namespace landlord::serve

@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "serve/io.hpp"
+
 namespace landlord::serve {
 
 namespace {
@@ -54,6 +56,9 @@ void Client::close() {
     ::close(fd_);
     fd_ = -1;
   }
+  // A later connect() starts a fresh byte stream; a half-received frame
+  // from this connection must never prefix it.
+  recv_buffer_.clear();
 }
 
 void Client::shutdown() noexcept {
@@ -65,7 +70,9 @@ bool Client::send_frame(std::string_view bytes) {
   return write_all(fd_, bytes.data(), bytes.size());
 }
 
-Decoded<Frame> Client::recv_frame() {
+Decoded<Frame> Client::recv_frame() { return recv_frame_within(-1); }
+
+Decoded<Frame> Client::recv_frame_within(int timeout_ms) {
   Decoded<Frame> out;
   if (fd_ < 0) {
     out.status = DecodeStatus::kShortHeader;
@@ -90,6 +97,13 @@ Decoded<Frame> Client::recv_frame() {
       want = total - buffered.size();
     }
     recv_buffer_.ensure_writable(want);
+    if (timeout_ms >= 0 &&
+        net::wait_readable(fd_, timeout_ms) != net::IoStatus::kOk) {
+      out.status = recv_buffer_.readable() < kHeaderSize
+                       ? DecodeStatus::kShortHeader
+                       : DecodeStatus::kTruncated;
+      return out;
+    }
     const ssize_t r =
         ::recv(fd_, recv_buffer_.write_ptr(), recv_buffer_.writable(), 0);
     if (r > 0) {

@@ -25,11 +25,18 @@ class Client {
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
-  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client(Client&& other) noexcept
+      : fd_(other.fd_),
+        next_request_id_(other.next_request_id_),
+        recv_buffer_(std::move(other.recv_buffer_)) {
+    other.fd_ = -1;
+  }
   Client& operator=(Client&& other) noexcept {
     if (this != &other) {
       close();
       fd_ = other.fd_;
+      next_request_id_ = other.next_request_id_;
+      recv_buffer_ = std::move(other.recv_buffer_);
       other.fd_ = -1;
     }
     return *this;
@@ -72,6 +79,13 @@ class Client {
   /// package range check (universe 0) — the server already validated
   /// ids on the way in.
   [[nodiscard]] Decoded<Frame> recv_frame();
+
+  /// recv_frame with a bound: if no bytes become readable for
+  /// `timeout_ms` the call gives up (kShortHeader / kTruncated depending
+  /// on how much of the frame had arrived). The retry layer treats that
+  /// like a dead connection: reconnect and retransmit under the same
+  /// request_id. Pass -1 to block forever (== recv_frame()).
+  [[nodiscard]] Decoded<Frame> recv_frame_within(int timeout_ms);
 
   /// Fresh correlation id for send_frame users.
   [[nodiscard]] std::uint64_t next_request_id() noexcept {

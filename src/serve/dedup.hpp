@@ -1,0 +1,160 @@
+// Idempotent-retry dedup window for the serve plane.
+//
+// A v2 client stamps every submit with a (session_id, request_id)
+// identity and *reuses it verbatim on retry*. The server records each
+// identity before executing the frame and the finished replies after, so
+// a retransmit whose original reply was lost on the wire is answered
+// from the window — the specs are never placed twice. Three outcomes per
+// claim:
+//
+//   kNew        first sighting; the caller owns execution and must end
+//               with complete() (replies stored) or abort() (the frame
+//               was rejected by admission — rejection is not a placement
+//               and a retry should re-attempt it);
+//   kDone       the original finished; the stored replies come back;
+//   kInFlight   the original is still executing (the retry raced it) —
+//               wait() parks until complete()/abort() resolves it.
+//
+// Eviction is FIFO over *completed* entries beyond `capacity` (in-flight
+// entries are never evicted: their owner is about to complete them). A
+// retry arriving after its entry was evicted is simply re-executed —
+// the window bounds memory, not correctness, and the eviction test pins
+// that re-execution explicitly.
+//
+// Thread-safe; one mutex. Entries store reply *copies*, so the arena
+// lifetime of the original encode never leaks in here.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace landlord::serve {
+
+class DedupWindow {
+ public:
+  struct Key {
+    std::uint64_t session_id = 0;
+    std::uint64_t request_id = 0;
+
+    [[nodiscard]] bool operator==(const Key&) const = default;
+  };
+
+  enum class Claim : std::uint8_t { kNew, kInFlight, kDone };
+
+  /// `capacity` bounds completed entries; 0 disables the window (every
+  /// claim is kNew and nothing is recorded).
+  explicit DedupWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Atomically looks the identity up, registering it in-flight when
+  /// absent. On kDone, `*reply_type` / `*replies` receive the stored
+  /// reply.
+  [[nodiscard]] Claim claim(const Key& key, FrameType* reply_type,
+                            std::vector<PlacementReply>* replies) {
+    if (capacity_ == 0) return Claim::kNew;
+    std::scoped_lock lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      entries_.emplace(key, Entry{});
+      return Claim::kNew;
+    }
+    if (!it->second.done) return Claim::kInFlight;
+    *reply_type = it->second.reply_type;
+    *replies = it->second.replies;
+    return Claim::kDone;
+  }
+
+  /// Parks until the in-flight entry for `key` resolves. True with the
+  /// stored reply when it completed; false when it was aborted (or
+  /// evicted) — the caller should re-claim and re-execute.
+  [[nodiscard]] bool wait(const Key& key, FrameType* reply_type,
+                          std::vector<PlacementReply>* replies) {
+    std::unique_lock lock(mutex_);
+    while (true) {
+      auto it = entries_.find(key);
+      if (it == entries_.end()) return false;
+      if (it->second.done) {
+        *reply_type = it->second.reply_type;
+        *replies = it->second.replies;
+        return true;
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  /// Publishes the finished replies for a kNew claim and wakes waiting
+  /// retries. Returns how many completed entries were evicted to stay
+  /// within capacity.
+  std::size_t complete(const Key& key, FrameType reply_type,
+                       std::vector<PlacementReply> replies) {
+    if (capacity_ == 0) return 0;
+    std::size_t evicted = 0;
+    {
+      std::scoped_lock lock(mutex_);
+      auto it = entries_.find(key);
+      if (it == entries_.end()) return 0;  // aborted concurrently
+      it->second.done = true;
+      it->second.reply_type = reply_type;
+      it->second.replies = std::move(replies);
+      fifo_.push_back(key);
+      while (fifo_.size() > capacity_) {
+        entries_.erase(fifo_.front());
+        fifo_.pop_front();
+        ++evicted;
+      }
+    }
+    cv_.notify_all();
+    return evicted;
+  }
+
+  /// Withdraws a kNew claim whose frame was rejected before execution;
+  /// waiting retries re-claim and re-attempt.
+  void abort(const Key& key) {
+    if (capacity_ == 0) return;
+    {
+      std::scoped_lock lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end() && !it->second.done) entries_.erase(it);
+    }
+    cv_.notify_all();
+  }
+
+  /// Entries currently held (in-flight + completed).
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    bool done = false;
+    FrameType reply_type = FrameType::kPlacement;
+    std::vector<PlacementReply> replies;
+  };
+
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& key) const noexcept {
+      // splitmix-style mix; the two ids are client-chosen so mix both.
+      std::uint64_t x = key.session_id * 0x9e3779b97f4a7c15ULL;
+      x ^= key.request_id + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  /// Completion order; completed entries beyond capacity_ evict FIFO.
+  std::deque<Key> fifo_;
+};
+
+}  // namespace landlord::serve

@@ -6,46 +6,75 @@
 #include <sys/uio.h>
 
 #include <cerrno>
+#include <chrono>
 
 namespace landlord::serve::net {
 
 namespace {
 
-/// Blocks until `fd` can take more bytes; false on poll error or a
-/// socket-level error/hangup (POLLERR without POLLOUT).
-bool wait_writable(int fd) {
+using Clock = std::chrono::steady_clock;
+
+/// Bounded poll for one event set. `timeout_ms < 0` waits forever; the
+/// deadline is re-derived across EINTR so interrupts cannot extend it.
+IoStatus wait_for(int fd, short events, int timeout_ms) {
   pollfd pfd{};
   pfd.fd = fd;
-  pfd.events = POLLOUT;
+  pfd.events = events;
+  const bool bounded = timeout_ms >= 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(bounded ? timeout_ms : 0);
   while (true) {
-    const int r = ::poll(&pfd, 1, -1);
-    if (r > 0) return (pfd.revents & POLLOUT) != 0;
-    if (r < 0 && errno == EINTR) continue;
-    return false;
+    int wait_ms = -1;
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      wait_ms = static_cast<int>(std::max<std::int64_t>(left.count(), 0));
+    }
+    const int r = ::poll(&pfd, 1, wait_ms);
+    if (r > 0) {
+      // POLLERR/POLLHUP without the requested event: for reads the next
+      // recv() reports the condition; for writes there is nothing left
+      // to wait for — surface the error here.
+      if ((pfd.revents & events) != 0) return IoStatus::kOk;
+      return (events & POLLIN) != 0 ? IoStatus::kOk : IoStatus::kError;
+    }
+    if (r == 0) return IoStatus::kTimeout;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
   }
 }
 
 }  // namespace
 
-bool write_all(int fd, const char* data, std::size_t n) {
+IoStatus wait_readable(int fd, int timeout_ms) {
+  return wait_for(fd, POLLIN, timeout_ms);
+}
+
+IoStatus write_all(int fd, const char* data, std::size_t n,
+                   int stall_timeout_ms) {
   std::size_t sent = 0;
   while (sent < n) {
-    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    // MSG_DONTWAIT even on blocking sockets: all waiting happens in the
+    // bounded poll below, so the stall timeout governs either way.
+    const ssize_t w =
+        ::send(fd, data + sent, n - sent, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (w > 0) {
       sent += static_cast<std::size_t>(w);
       continue;
     }
     if (w < 0 && errno == EINTR) continue;
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!wait_writable(fd)) return false;
+      const IoStatus st = wait_for(fd, POLLOUT, stall_timeout_ms);
+      if (st != IoStatus::kOk) return st;
       continue;
     }
-    return false;
+    return IoStatus::kError;
   }
-  return true;
+  return IoStatus::kOk;
 }
 
-bool writev_all(int fd, std::span<const ConstBuffer> buffers) {
+IoStatus writev_all(int fd, std::span<const ConstBuffer> buffers,
+                    int stall_timeout_ms) {
   // iovec window into `buffers`, rebuilt as whole buffers retire. `skip`
   // is the partial-write offset into the first live buffer.
   std::size_t next = 0;   ///< first buffer not yet fully written
@@ -69,14 +98,15 @@ bool writev_all(int fd, std::span<const ConstBuffer> buffers) {
     msghdr msg{};
     msg.msg_iov = iov;
     msg.msg_iovlen = count;
-    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (w < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        if (!wait_writable(fd)) return false;
+        const IoStatus st = wait_for(fd, POLLOUT, stall_timeout_ms);
+        if (st != IoStatus::kOk) return st;
         continue;
       }
-      return false;
+      return IoStatus::kError;
     }
     // Retire whole buffers the kernel consumed; remember the offset into
     // the first one it only partially took.
@@ -92,7 +122,7 @@ bool writev_all(int fd, std::span<const ConstBuffer> buffers) {
       ++next;
     }
   }
-  return true;
+  return IoStatus::kOk;
 }
 
 }  // namespace landlord::serve::net

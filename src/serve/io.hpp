@@ -1,21 +1,29 @@
 // Socket write helpers for the serve plane.
 //
-// Both helpers write *everything or report failure*: partial progress is
-// resumed, EINTR is retried, and EAGAIN/EWOULDBLOCK (a socket whose send
-// buffer is full, or one a test has switched to non-blocking) parks in
-// poll(POLLOUT) until the kernel can take more — the callers' framing
-// invariants do not survive a half-written frame. Hard errors (peer gone,
-// shutdown(2), EPIPE) return false with the stream position unspecified;
-// the connection is abandoned at that point.
+// Both helpers write *everything or report a typed failure*: partial
+// progress is resumed, EINTR is retried, and EAGAIN/EWOULDBLOCK (a
+// socket whose send buffer is full, or one a test has switched to
+// non-blocking) parks in poll(POLLOUT) until the kernel can take more —
+// the callers' framing invariants do not survive a half-written frame.
+//
+// The poll is *bounded*: `stall_timeout_ms` caps how long a write may
+// make no progress before the helper gives up with IoStatus::kTimeout
+// (the slow-client defense — a peer that stops reading can no longer
+// wedge a flusher thread forever). Progress resets the clock: only a
+// contiguous stall of the full budget times out. Pass -1 to wait
+// forever (the pre-timeout behavior). Hard errors (peer gone,
+// shutdown(2), EPIPE) return kError with the stream position
+// unspecified; the connection is abandoned at that point.
 //
 // writev_all is the gathered-write path: each ConstBuffer is one encoded
 // frame, and the whole span goes to the kernel in as few sendmsg(2) calls
 // as IOV_MAX and the socket buffer allow. Exposed as a tiny seam (rather
-// than folded into server.cpp) so the short-write/EINTR unit tests can
-// drive it over a socketpair without standing up a server.
+// than folded into server.cpp) so the short-write/EINTR/stall unit tests
+// can drive it over a socketpair without standing up a server.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace landlord::serve::net {
@@ -27,11 +35,37 @@ struct ConstBuffer {
   std::size_t size = 0;
 };
 
-/// Writes all `n` bytes of `data` to `fd`. False on hard error.
-[[nodiscard]] bool write_all(int fd, const char* data, std::size_t n);
+/// How a bounded write (or wait) ended.
+enum class IoStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout,  ///< no progress for the whole stall budget; bytes may be lost
+  kError,    ///< hard socket error (peer gone, shutdown, EPIPE, ...)
+};
+
+[[nodiscard]] constexpr const char* to_string(IoStatus status) noexcept {
+  switch (status) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kError: return "error";
+  }
+  return "?";
+}
+
+/// Writes all `n` bytes of `data` to `fd`. kTimeout after
+/// `stall_timeout_ms` ms without progress (-1 = wait forever).
+[[nodiscard]] IoStatus write_all(int fd, const char* data, std::size_t n,
+                                 int stall_timeout_ms = -1);
 
 /// Writes every buffer in `buffers`, in order, coalescing them into
-/// gathered sendmsg(2) calls. False on hard error.
-[[nodiscard]] bool writev_all(int fd, std::span<const ConstBuffer> buffers);
+/// gathered sendmsg(2) calls. Same stall semantics as write_all.
+[[nodiscard]] IoStatus writev_all(int fd, std::span<const ConstBuffer> buffers,
+                                  int stall_timeout_ms = -1);
+
+/// Blocks until `fd` is readable, with the same bounded-poll semantics:
+/// kOk when readable (or the peer hung up — the next recv reports it),
+/// kTimeout after `timeout_ms` idle ms, kError on poll failure. -1 waits
+/// forever. The server's per-connection read idle timeout and the
+/// client's reply deadline both sit on this.
+[[nodiscard]] IoStatus wait_readable(int fd, int timeout_ms);
 
 }  // namespace landlord::serve::net

@@ -63,8 +63,11 @@ struct ThreadTally {
   std::uint64_t inserts = 0;
   std::uint64_t degraded = 0;
   std::uint64_t failed = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t reconnects = 0;
   std::vector<double> latencies;  ///< per-frame RTT seconds
   bool error = false;
+  bool drain_timed_out = false;
 };
 
 void tally_placements(ThreadTally& tally,
@@ -147,8 +150,9 @@ util::Result<LoadGenReport> run_load(const pkg::Repository& repo,
     // timed window: the open loop's tail was dominated by every unique
     // spec's first-touch insert/merge, not by serving.
     std::vector<std::uint16_t> heads =
-        config.ports.empty() ? std::vector<std::uint16_t>{config.port}
-                             : config.ports;
+        !config.warmup_ports.empty() ? config.warmup_ports
+        : config.ports.empty()       ? std::vector<std::uint16_t>{config.port}
+                                     : config.ports;
     for (const std::uint16_t head_port : heads) {
       Client warmer;
       if (!warmer.connect(head_port).ok()) continue;
@@ -197,15 +201,53 @@ util::Result<LoadGenReport> run_load(const pkg::Repository& repo,
   for (std::uint32_t t = 0; t < threads; ++t) {
     drivers.emplace_back([&, t] {
       ThreadTally& tally = tallies[t];
+      std::vector<TraceEntry> trace =
+          make_trace(config, catalog.size(), t, quotas[t]);
+      std::vector<SubmitRequest> batch;
+      batch.reserve(config.batch);
+
+      if (config.mode == LoadMode::kClosed && config.retry.has_value()) {
+        // Fault-tolerant closed loop: each driver owns a ResilientClient
+        // whose (seeded) session identity makes retransmits idempotent.
+        ResilientClient resilient(port_for(t), *config.retry,
+                                  util::Rng(config.seed).split(200 + t)());
+        std::size_t cursor = 0;
+        while (cursor < trace.size()) {
+          if (deadline > 0 && seconds_since(run_start) >= deadline) break;
+          batch.clear();
+          const std::size_t end =
+              std::min(trace.size(), cursor + config.batch);
+          for (; cursor < end; ++cursor) {
+            const TraceEntry& entry = trace[cursor];
+            SubmitRequest request = catalog[entry.spec];
+            request.client_id = entry.client_id;
+            clients_seen.set(entry.client_id);
+            batch.push_back(std::move(request));
+          }
+          const auto sent_at = Clock::now();
+          util::Result<std::vector<PlacementReply>> placed =
+              resilient.submit_batch(batch);
+          tally.frames += 1;
+          tally.sent += batch.size();
+          if (placed.ok()) {
+            tally.latencies.push_back(seconds_since(sent_at));
+            tally_placements(tally, placed.value());
+          } else {
+            // Retries exhausted (persistent rejection or dead server):
+            // these specs were offered but never placed.
+            tally.rejected += batch.size();
+          }
+        }
+        tally.retransmits = resilient.tally().retransmits;
+        tally.reconnects = resilient.tally().reconnects;
+        return;
+      }
+
       Client client;
       if (!client.connect(port_for(t)).ok()) {
         tally.error = true;
         return;
       }
-      std::vector<TraceEntry> trace =
-          make_trace(config, catalog.size(), t, quotas[t]);
-      std::vector<SubmitRequest> batch;
-      batch.reserve(config.batch);
 
       if (config.mode == LoadMode::kClosed) {
         std::size_t cursor = 0;
@@ -317,10 +359,16 @@ util::Result<LoadGenReport> run_load(const pkg::Repository& repo,
         // The server answers every in-flight frame (placed or rejected);
         // wait briefly for the receiver to drain, then cut the socket so
         // it can never block forever on a reply that will not come.
-        const auto drain_deadline = Clock::now() + std::chrono::seconds(10);
+        const auto drain_deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   config.drain_timeout_s));
         while (outstanding.load(std::memory_order_acquire) > 0 &&
                Clock::now() < drain_deadline) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (outstanding.load(std::memory_order_acquire) > 0) {
+          tally.drain_timed_out = true;
         }
         client.shutdown();
         receiver.join();
@@ -345,6 +393,9 @@ util::Result<LoadGenReport> run_load(const pkg::Repository& repo,
     report.placements_insert += tally.inserts;
     report.placements_degraded += tally.degraded;
     report.placements_failed += tally.failed;
+    report.drain_timeouts += tally.drain_timed_out ? 1 : 0;
+    report.retransmits += tally.retransmits;
+    report.reconnects += tally.reconnects;
     for (double l : tally.latencies) latency.add(l);
   }
   if (!connected) return util::Error{"no connection could be established"};

@@ -23,10 +23,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "pkg/repository.hpp"
 #include "serve/protocol.hpp"
+#include "serve/retry.hpp"
 #include "util/result.hpp"
 
 namespace landlord::serve {
@@ -44,6 +46,11 @@ struct LoadGenConfig {
   /// (uncounted), so the measurement sees steady-state serving instead
   /// of the cold-cache insert/merge transient.
   bool warmup = false;
+  /// Warmup destinations, when they must differ from `ports` — the
+  /// chaos bench points `ports` at the fault shim but warms the cache
+  /// directly against the heads (warmup is not part of the experiment).
+  /// Empty = warm through `ports`/`port`.
+  std::vector<std::uint16_t> warmup_ports;
   std::uint64_t seed = 1;
   LoadMode mode = LoadMode::kClosed;
   /// Concurrent connections (one driving thread each).
@@ -67,6 +74,16 @@ struct LoadGenConfig {
   std::uint32_t catalog_specs = 500;
   std::uint32_t max_initial_selection = 100;
   bool include_hep_apps = true;
+  /// Open loop: how long to wait for in-flight replies after the send
+  /// window closes before cutting the socket. A drain that hits this
+  /// bound is reported in LoadGenReport::drain_timeouts instead of
+  /// silently abandoning the tail.
+  double drain_timeout_s = 10.0;
+  /// When set, closed-loop drivers submit through a ResilientClient
+  /// (protocol v2, reconnect-with-backoff, idempotent retry) instead of
+  /// a raw Client — the chaos bench and the fault suite drive the
+  /// generator through the fault shim this way.
+  std::optional<RetryPolicy> retry;
 };
 
 struct LoadGenReport {
@@ -80,6 +97,13 @@ struct LoadGenReport {
   std::uint64_t placements_insert = 0;
   std::uint64_t placements_degraded = 0;
   std::uint64_t placements_failed = 0;
+  /// Open loop: connections whose post-run drain hit drain_timeout_s
+  /// with replies still outstanding.
+  std::uint64_t drain_timeouts = 0;
+  /// Retry mode only: frames retransmitted / sockets re-dialled across
+  /// all connections.
+  std::uint64_t retransmits = 0;
+  std::uint64_t reconnects = 0;
   double duration_seconds = 0.0;
   double qps = 0.0;  ///< requests_ok / duration
   /// Per-frame round-trip latency quantiles, seconds.

@@ -103,9 +103,10 @@ class Cursor {
 };
 
 void put_header(std::string& out, FrameType type, std::uint64_t request_id,
-                std::uint32_t payload_size) {
+                std::uint32_t payload_size,
+                std::uint8_t version = kProtocolVersion) {
   put_u16(out, kMagic);
-  put_u8(out, kProtocolVersion);
+  put_u8(out, version);
   put_u8(out, static_cast<std::uint8_t>(type));
   put_u32(out, payload_size);
   put_u64(out, request_id);
@@ -182,10 +183,12 @@ std::size_t placement_payload_size(const PlacementReply& reply) {
 }
 
 std::string frame_of(FrameType type, std::uint64_t request_id,
-                     std::string_view payload) {
+                     std::string_view payload,
+                     std::uint8_t version = kProtocolVersion) {
   std::string out;
   out.reserve(kHeaderSize + payload.size());
-  put_header(out, type, request_id, static_cast<std::uint32_t>(payload.size()));
+  put_header(out, type, request_id, static_cast<std::uint32_t>(payload.size()),
+             version);
   out.append(payload);
   return out;
 }
@@ -210,6 +213,13 @@ DecodeStatus read_submit(Cursor& cursor, std::size_t universe,
   if (universe != 0 && package_count > universe) {
     return DecodeStatus::kPackageOutOfRange;
   }
+  // Allocation cap: each package id takes 4 payload bytes, so a count
+  // the remaining payload cannot hold is hostile (or truncated) and must
+  // be refused *before* reserve() — with universe == 0 (client side,
+  // corpus tooling) the range check above does not bound it, and a
+  // 16-byte header + u32 count could otherwise demand a multi-GB
+  // allocation.
+  if (package_count > cursor.remaining() / 4) return DecodeStatus::kTruncated;
   out.packages.clear();
   out.packages.reserve(package_count);
   std::uint32_t previous = 0;
@@ -284,6 +294,30 @@ std::string encode_batch_submit(std::uint64_t request_id,
   put_u32(payload, static_cast<std::uint32_t>(requests.size()));
   for (const auto& request : requests) put_submit(payload, request);
   return frame_of(FrameType::kBatchSubmit, request_id, payload);
+}
+
+std::string encode_submit_v2(std::uint64_t request_id,
+                             const SubmitRequest& request,
+                             std::uint64_t session_id,
+                             std::uint32_t deadline_ms) {
+  std::string payload;
+  put_u64(payload, session_id);
+  put_u32(payload, deadline_ms);
+  put_submit(payload, request);
+  return frame_of(FrameType::kSubmit, request_id, payload, kProtocolVersion2);
+}
+
+std::string encode_batch_submit_v2(std::uint64_t request_id,
+                                   std::span<const SubmitRequest> requests,
+                                   std::uint64_t session_id,
+                                   std::uint32_t deadline_ms) {
+  std::string payload;
+  put_u64(payload, session_id);
+  put_u32(payload, deadline_ms);
+  put_u32(payload, static_cast<std::uint32_t>(requests.size()));
+  for (const auto& request : requests) put_submit(payload, request);
+  return frame_of(FrameType::kBatchSubmit, request_id, payload,
+                  kProtocolVersion2);
 }
 
 std::string encode_placement(std::uint64_t request_id, const PlacementReply& reply) {
@@ -418,7 +452,8 @@ Decoded<FrameHeader> decode_header(std::string_view bytes) {
   out.value.request_id = cursor.u64();
   if (out.value.magic != kMagic) {
     out.status = DecodeStatus::kBadMagic;
-  } else if (out.value.version != kProtocolVersion) {
+  } else if (out.value.version != kProtocolVersion &&
+             out.value.version != kProtocolVersion2) {
     out.status = DecodeStatus::kBadVersion;
   } else if (type < static_cast<std::uint8_t>(FrameType::kSubmit) ||
              type > static_cast<std::uint8_t>(FrameType::kError)) {
@@ -453,6 +488,15 @@ Decoded<Frame> decode_frame(std::string_view bytes, std::size_t universe) {
     out.status = status;
     return out;
   };
+  // v2 extends the two submit payloads with a fixed prefix; every other
+  // frame type is version-invariant.
+  if (header.value.version == kProtocolVersion2 &&
+      (header.value.type == FrameType::kSubmit ||
+       header.value.type == FrameType::kBatchSubmit)) {
+    out.value.session_id = cursor.u64();
+    out.value.deadline_ms = cursor.u32();
+    if (cursor.failed()) return fail(DecodeStatus::kTruncated);
+  }
   switch (header.value.type) {
     case FrameType::kSubmit: {
       SubmitRequest request;

@@ -30,7 +30,17 @@ namespace landlord::serve {
 /// "PL" on the wire (little-endian u16 0x4C50).
 inline constexpr std::uint16_t kMagic = 0x4C50;
 inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Version 2 keeps every v1 frame byte-identical and adds one thing: a
+/// 12-byte `[u64 session_id][u32 deadline_ms]` prefix on kSubmit /
+/// kBatchSubmit payloads. session_id keys the server's idempotent-retry
+/// dedup window (0 = no retry identity); deadline_ms is a relative time
+/// budget — workers shed specs whose budget expired before execution
+/// (0 = no deadline). Both decoders accept both versions; v1 frames
+/// decode with session_id = deadline_ms = 0.
+inline constexpr std::uint8_t kProtocolVersion2 = 2;
 inline constexpr std::size_t kHeaderSize = 16;
+/// Bytes of the v2 submit payload prefix.
+inline constexpr std::size_t kSubmitPrefixV2Bytes = 12;
 /// Hard cap on a frame payload; anything larger is rejected unread so a
 /// hostile length field cannot make the server allocate.
 inline constexpr std::uint32_t kMaxPayloadBytes = 8u << 20;
@@ -207,6 +217,10 @@ struct Frame {
   StatsReply stats;
   RejectReason reject_reason = RejectReason::kQueueFull;
   DecodeStatus error_status = DecodeStatus::kOk;
+  /// v2 submit prefix (zero on v1 frames): retry-identity session and
+  /// relative deadline budget in milliseconds.
+  std::uint64_t session_id = 0;
+  std::uint32_t deadline_ms = 0;
 };
 
 // ---- Encoding (pure; each returns one complete frame) ----
@@ -215,6 +229,15 @@ struct Frame {
                                         const SubmitRequest& request);
 [[nodiscard]] std::string encode_batch_submit(
     std::uint64_t request_id, std::span<const SubmitRequest> requests);
+/// v2 submits: same payload as v1 preceded by the
+/// [session_id][deadline_ms] prefix, header version byte = 2.
+[[nodiscard]] std::string encode_submit_v2(std::uint64_t request_id,
+                                           const SubmitRequest& request,
+                                           std::uint64_t session_id,
+                                           std::uint32_t deadline_ms);
+[[nodiscard]] std::string encode_batch_submit_v2(
+    std::uint64_t request_id, std::span<const SubmitRequest> requests,
+    std::uint64_t session_id, std::uint32_t deadline_ms);
 [[nodiscard]] std::string encode_placement(std::uint64_t request_id,
                                            const PlacementReply& reply);
 [[nodiscard]] std::string encode_batch_placement(

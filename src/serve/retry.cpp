@@ -1,0 +1,111 @@
+#include "serve/retry.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace landlord::serve {
+
+ResilientClient::ResilientClient(std::uint16_t port, RetryPolicy policy,
+                                 std::uint64_t seed)
+    : port_(port), policy_(std::move(policy)), rng_(seed) {
+  // 0 is the "no dedup identity" sentinel on the wire; never draw it.
+  do {
+    session_id_ = rng_();
+  } while (session_id_ == 0);
+}
+
+bool ResilientClient::ensure_connected() {
+  if (client_.connected()) return true;
+  client_ = Client{};
+  if (!client_.connect(port_).ok()) return false;
+  ++tally_.connects;
+  return true;
+}
+
+void ResilientClient::back_off(std::uint32_t attempt) {
+  const double modelled = policy_.backoff.delay_for(attempt, rng_);
+  ++tally_.backoffs;
+  tally_.backoff_seconds += modelled;
+  const double real = modelled * policy_.backoff_scale;
+  if (real > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(real));
+  }
+}
+
+util::Result<Frame> ResilientClient::round_trip(std::string_view wire,
+                                                std::uint64_t request_id,
+                                                FrameType expected) {
+  std::string last_error = "no attempt made";
+  for (std::uint32_t attempt = 0;
+       attempt <= policy_.backoff.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++tally_.reconnects;
+      ++tally_.retransmits;
+      back_off(attempt - 1);
+    }
+    if (!ensure_connected()) {
+      last_error = "connect failed";
+      continue;
+    }
+    if (!client_.send_frame(wire)) {
+      last_error = "send failed";
+      client_.close();
+      continue;
+    }
+    // Drain frames until the one matching our id: a reply to an earlier
+    // attempt of this same identity is also acceptable (the dedup window
+    // makes them interchangeable), and anything undecodable or stale
+    // means the connection is suspect — drop it and retransmit.
+    for (;;) {
+      Decoded<Frame> frame = client_.recv_frame_within(policy_.reply_timeout_ms);
+      if (!frame.ok()) {
+        last_error = std::string{"recv failed: "} + to_string(frame.status);
+        client_.close();
+        break;
+      }
+      if (frame.value.header.request_id != request_id) continue;
+      const FrameType type = frame.value.header.type;
+      if (type == FrameType::kRejected) {
+        // Admission rejection is not a placement; the server aborted the
+        // dedup claim, so a retransmit genuinely re-attempts.
+        last_error = std::string{"rejected: "} +
+                     to_string(frame.value.reject_reason);
+        break;
+      }
+      if (type != expected) {
+        last_error = std::string{"unexpected reply type: "} + to_string(type);
+        client_.close();
+        break;
+      }
+      return std::move(frame.value);
+    }
+  }
+  ++tally_.exhausted;
+  return util::Error{std::string{"retries exhausted: "} + last_error};
+}
+
+util::Result<PlacementReply> ResilientClient::submit(
+    const SubmitRequest& request) {
+  const std::uint64_t id = next_request_id();
+  const std::string wire =
+      encode_submit_v2(id, request, session_id_, policy_.deadline_ms);
+  util::Result<Frame> reply = round_trip(wire, id, FrameType::kPlacement);
+  if (!reply.ok()) return reply.error();
+  return std::move(reply.value().placements.front());
+}
+
+util::Result<std::vector<PlacementReply>> ResilientClient::submit_batch(
+    std::span<const SubmitRequest> requests) {
+  const std::uint64_t id = next_request_id();
+  const std::string wire =
+      encode_batch_submit_v2(id, requests, session_id_, policy_.deadline_ms);
+  util::Result<Frame> reply = round_trip(wire, id, FrameType::kBatchPlacement);
+  if (!reply.ok()) return reply.error();
+  return std::move(reply.value().placements);
+}
+
+void ResilientClient::disconnect() { client_.close(); }
+
+}  // namespace landlord::serve

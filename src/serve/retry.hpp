@@ -1,0 +1,114 @@
+// Reconnecting, idempotently-retrying client for the serve plane.
+//
+// ResilientClient wraps a serve::Client with the two halves of
+// client-side network fault tolerance:
+//
+//   reconnect-with-backoff   any send/recv failure tears the socket down
+//                            and re-dials, sleeping per
+//                            fault::BackoffPolicy (scaled by
+//                            `backoff_scale` so tests run in
+//                            milliseconds while the modelled schedule
+//                            stays the policy's);
+//   idempotent retry         every submit carries a protocol-v2
+//                            (session_id, request_id) identity that is
+//                            REUSED verbatim across retransmits. If the
+//                            original executed but its reply was lost on
+//                            the wire, the server's dedup window answers
+//                            the retransmit from the stored reply — the
+//                            specs are never placed twice.
+//
+// The session_id is drawn once per ResilientClient from its seed, so a
+// chaos run is replayable: same seed, same identities, same backoff
+// jitter. Not thread-safe (same contract as Client).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace landlord::serve {
+
+struct RetryPolicy {
+  /// Backoff schedule between reconnect attempts. max_retries bounds the
+  /// extra attempts per operation (first try + max_retries retransmits).
+  fault::BackoffPolicy backoff;
+  /// Real-sleep multiplier applied to the modelled delay (tests use
+  /// ~1e-3 so a chaos suite does not actually wait seconds). 0 disables
+  /// sleeping entirely while still recording the modelled schedule.
+  double backoff_scale = 1.0;
+  /// Per-attempt reply wait; -1 blocks forever (only the connection
+  /// dying can then trigger a retransmit).
+  int reply_timeout_ms = 2000;
+  /// Deadline stamped into every v2 submit (0 = none). Relative budget,
+  /// restarted on each retransmit.
+  std::uint32_t deadline_ms = 0;
+};
+
+/// What the client actually did, for chaos-suite assertions.
+struct RetryTally {
+  std::uint64_t connects = 0;     ///< successful dials (incl. the first)
+  std::uint64_t reconnects = 0;   ///< re-dials after a failure
+  std::uint64_t retransmits = 0;  ///< submit frames sent beyond the first
+  std::uint64_t backoffs = 0;     ///< waits taken between attempts
+  double backoff_seconds = 0.0;   ///< modelled (unscaled) waiting
+  std::uint64_t exhausted = 0;    ///< operations that ran out of attempts
+};
+
+class ResilientClient {
+ public:
+  /// `seed` fixes the session identity and all backoff jitter.
+  ResilientClient(std::uint16_t port, RetryPolicy policy, std::uint64_t seed);
+
+  ResilientClient(const ResilientClient&) = delete;
+  ResilientClient& operator=(const ResilientClient&) = delete;
+
+  /// One spec, placed exactly once. Retries transparently across resets,
+  /// stalls and lost replies; an Error means every attempt failed.
+  [[nodiscard]] util::Result<PlacementReply> submit(
+      const SubmitRequest& request);
+
+  /// N specs in one frame, all-or-nothing under the same identity.
+  [[nodiscard]] util::Result<std::vector<PlacementReply>> submit_batch(
+      std::span<const SubmitRequest> requests);
+
+  /// Drops the connection (the next submit re-dials). For tests that
+  /// force a mid-pipeline reconnect.
+  void disconnect();
+
+  [[nodiscard]] const RetryTally& tally() const noexcept { return tally_; }
+  [[nodiscard]] std::uint64_t session_id() const noexcept {
+    return session_id_;
+  }
+  /// Exposed so tests can pre-wind or pin identities.
+  [[nodiscard]] std::uint64_t next_request_id() noexcept {
+    return next_request_id_++;
+  }
+
+ private:
+  /// Ensures a live connection, dialling if needed. False when the dial
+  /// itself fails (caller backs off and retries).
+  [[nodiscard]] bool ensure_connected();
+  /// Sleeps the scaled backoff for `attempt` and records the modelled
+  /// wait.
+  void back_off(std::uint32_t attempt);
+  /// Sends `wire` and waits for the matching reply, under one identity.
+  [[nodiscard]] util::Result<Frame> round_trip(std::string_view wire,
+                                               std::uint64_t request_id,
+                                               FrameType expected);
+
+  std::uint16_t port_;
+  RetryPolicy policy_;
+  util::Rng rng_;
+  std::uint64_t session_id_;
+  std::uint64_t next_request_id_ = 1;
+  Client client_;
+  RetryTally tally_;
+};
+
+}  // namespace landlord::serve

@@ -25,7 +25,9 @@ constexpr std::size_t kReadChunkBytes = 64 * 1024;
 }  // namespace
 
 Server::Server(core::Landlord& landlord, ServerConfig config)
-    : landlord_(&landlord), config_(std::move(config)) {
+    : landlord_(&landlord),
+      config_(std::move(config)),
+      dedup_(config_.dedup_window) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_queue == 0) config_.max_queue = 1;
   if (const char* env = std::getenv("LANDLORD_SERVE_PIPELINE_DEPTH")) {
@@ -97,6 +99,10 @@ void Server::accept_loop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (config_.so_sndbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.so_sndbuf,
+                   sizeof(config_.so_sndbuf));
+    }
 
     auto connection = std::make_unique<Connection>();
     connection->fd = fd;
@@ -182,6 +188,23 @@ void Server::reader_loop(Connection* connection) {
       want = std::max(want, total - buffered.size());
     }
     rx.ensure_writable(want);
+    // Read idle timeout: a peer that goes silent (including a slow-loris
+    // holding a half-sent frame open) is disconnected after the budget
+    // instead of pinning this reader forever. The pipeline wait above is
+    // exempt — a backpressured client is making progress, not idling.
+    if (config_.read_idle_timeout_ms > 0) {
+      const net::IoStatus readable = net::wait_readable(
+          connection->fd, static_cast<int>(config_.read_idle_timeout_ms));
+      if (readable == net::IoStatus::kTimeout) {
+        bump(tallies_.net_read_timeouts, hooks_.net_read_timeouts);
+        if (hooks_.trace != nullptr) {
+          hooks_.trace->record({.kind = obs::EventKind::kServeNetTimeout,
+                                .detail = "read-idle"});
+        }
+        break;
+      }
+      if (readable != net::IoStatus::kOk) break;
+    }
     const ssize_t r = ::recv(connection->fd, rx.write_ptr(), rx.writable(), 0);
     if (r > 0) {
       rx.commit(static_cast<std::size_t>(r));
@@ -220,6 +243,45 @@ bool Server::handle_frame(Connection* connection, Frame frame) {
     case FrameType::kSubmit:
     case FrameType::kBatchSubmit: {
       const std::size_t specs = frame.submits.size();
+      // Idempotent retry (v2): claim the (session_id, request_id)
+      // identity before admission. A duplicate of a finished original is
+      // answered from the window — the specs are never placed twice; a
+      // duplicate racing an in-flight original parks until it resolves
+      // (bounded: the owner always completes or aborts).
+      const DedupWindow::Key dedup_key{frame.session_id, request_id};
+      bool dedup_claimed = false;
+      if (config_.dedup_window > 0 && frame.session_id != 0) {
+        FrameType reply_type = FrameType::kPlacement;
+        std::vector<PlacementReply> window_replies;
+        for (;;) {
+          const DedupWindow::Claim claim =
+              dedup_.claim(dedup_key, &reply_type, &window_replies);
+          if (claim == DedupWindow::Claim::kNew) {
+            dedup_claimed = true;
+            break;
+          }
+          if (claim == DedupWindow::Claim::kInFlight &&
+              !dedup_.wait(dedup_key, &reply_type, &window_replies)) {
+            continue;  // the original was rejected; this retry re-attempts
+          }
+          bump(tallies_.dedup_hits, hooks_.dedup_hits);
+          if (hooks_.trace != nullptr) {
+            hooks_.trace->record({.kind = obs::EventKind::kServeDedup,
+                                  .aux = window_replies.size(),
+                                  .detail = "hit"});
+          }
+          reply_from_window(connection, request_id, reply_type,
+                            window_replies);
+          return true;
+        }
+      }
+      // Deadline budget (v2): stamped against the server clock at
+      // arrival, so queueing time counts against it.
+      std::optional<std::chrono::steady_clock::time_point> expiry;
+      if (frame.deadline_ms > 0) {
+        expiry = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(frame.deadline_ms);
+      }
       // Per-connection pipelining: park this reader (read-side
       // backpressure via TCP flow control) until the connection has room
       // for `specs` more in-flight specs. Never rejects.
@@ -233,6 +295,7 @@ bool Server::handle_frame(Connection* connection, Frame frame) {
       if (draining_.load(std::memory_order_acquire)) {
         release_slots(specs);
         release_pipeline(connection, specs);
+        if (dedup_claimed) dedup_.abort(dedup_key);
         bump(tallies_.rejected_draining, hooks_.rejected_draining);
         bump(tallies_.rejected_requests, hooks_.rejected_requests, specs);
         if (hooks_.trace != nullptr) {
@@ -251,6 +314,7 @@ bool Server::handle_frame(Connection* connection, Frame frame) {
       if (specs > 0 && depth > config_.max_queue && prev != 0) {
         release_slots(specs);
         release_pipeline(connection, specs);
+        if (dedup_claimed) dedup_.abort(dedup_key);
         bump(tallies_.rejected_queue_full, hooks_.rejected_queue_full);
         bump(tallies_.rejected_requests, hooks_.rejected_requests, specs);
         if (hooks_.trace != nullptr) {
@@ -288,8 +352,9 @@ bool Server::handle_frame(Connection* connection, Frame frame) {
         hooks_.batch_size->observe(static_cast<double>(specs));
       }
       connection->inflight.fetch_add(1, std::memory_order_acq_rel);
-      auto task = [this, connection, moved = std::move(frame)]() mutable {
-        process_submit(connection, moved);
+      auto task = [this, connection, expiry, dedup_claimed,
+                   moved = std::move(frame)]() mutable {
+        process_submit(connection, moved, expiry, dedup_claimed);
         const std::size_t n = moved.submits.size();
         // The slots are released only after the reply is on the
         // connection's write queue, so drain() returning means every
@@ -320,14 +385,30 @@ bool Server::handle_frame(Connection* connection, Frame frame) {
   }
 }
 
-void Server::process_submit(Connection* connection, const Frame& frame) {
+void Server::process_submit(
+    Connection* connection, const Frame& frame,
+    std::optional<std::chrono::steady_clock::time_point> expiry,
+    bool dedup_claimed) {
   if (process_hook_) process_hook_();
   const std::size_t universe = landlord_->repository().size();
   const auto started = std::chrono::steady_clock::now();
 
   std::vector<PlacementReply> replies;
   replies.reserve(frame.submits.size());
+  std::size_t shed = 0;
   for (const SubmitRequest& request : frame.submits) {
+    // Deadline-aware execution: a spec whose budget ran out while it
+    // queued gets a failed reply instead of a placement the client has
+    // already given up on — the decision layer never sees it.
+    if (expiry && std::chrono::steady_clock::now() > *expiry) {
+      PlacementReply expired;
+      expired.client_id = request.client_id;
+      expired.failed = true;
+      expired.error = "deadline-expired";
+      replies.push_back(std::move(expired));
+      ++shed;
+      continue;
+    }
     spec::Specification spec = to_specification(request, universe);
     core::JobPlacement placement;
     if (serialize_submits_) {
@@ -355,10 +436,22 @@ void Server::process_submit(Connection* connection, const Frame& frame) {
     }
     replies.push_back(to_reply(placement, request.client_id));
   }
-  bump(tallies_.requests_served, hooks_.requests_served, replies.size());
+  bump(tallies_.requests_served, hooks_.requests_served,
+       replies.size() - shed);
+  if (shed > 0) {
+    bump(tallies_.specs_shed_expired, hooks_.specs_shed_expired, shed);
+    if (hooks_.trace != nullptr) {
+      hooks_.trace->record({.kind = obs::EventKind::kServeDeadlineShed,
+                            .aux = shed,
+                            .detail = "deadline-expired"});
+    }
+  }
 
   const std::uint64_t request_id = frame.header.request_id;
-  if (frame.header.type == FrameType::kSubmit) {
+  const FrameType reply_type = frame.header.type == FrameType::kSubmit
+                                   ? FrameType::kPlacement
+                                   : FrameType::kBatchPlacement;
+  if (reply_type == FrameType::kPlacement) {
     const PlacementReply& reply = replies.front();
     send_reply(connection, placement_wire_size(reply), [&](char* out) {
       return encode_placement_at(out, request_id, reply);
@@ -368,12 +461,36 @@ void Server::process_submit(Connection* connection, const Frame& frame) {
       return encode_batch_placement_at(out, request_id, replies);
     });
   }
+  if (dedup_claimed) {
+    // Publish after the reply hits the write path: a retry claiming now
+    // sees kDone and is answered from the window instead of re-placing.
+    const std::size_t evicted = dedup_.complete(
+        {frame.session_id, request_id}, reply_type, std::move(replies));
+    if (evicted > 0) {
+      bump(tallies_.dedup_evictions, hooks_.dedup_evictions, evicted);
+    }
+  }
   bump(tallies_.frames_processed, hooks_.frames_processed);
   if (hooks_.process_seconds != nullptr) {
     hooks_.process_seconds->observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       started)
             .count());
+  }
+}
+
+void Server::reply_from_window(Connection* connection,
+                               std::uint64_t request_id, FrameType reply_type,
+                               const std::vector<PlacementReply>& replies) {
+  if (reply_type == FrameType::kPlacement) {
+    const PlacementReply& reply = replies.front();
+    send_reply(connection, placement_wire_size(reply), [&](char* out) {
+      return encode_placement_at(out, request_id, reply);
+    });
+  } else {
+    send_reply(connection, batch_placement_wire_size(replies), [&](char* out) {
+      return encode_batch_placement_at(out, request_id, replies);
+    });
   }
 }
 
@@ -408,9 +525,13 @@ void Server::flush_replies(Connection* connection,
     }
     const std::size_t frames = connection->reply_writing.size();
     lock.unlock();
-    const bool ok = net::writev_all(connection->fd, connection->reply_writing);
+    const int stall_ms = config_.write_stall_timeout_ms == 0
+                             ? -1
+                             : static_cast<int>(config_.write_stall_timeout_ms);
+    const net::IoStatus status =
+        net::writev_all(connection->fd, connection->reply_writing, stall_ms);
     lock.lock();
-    if (ok) {
+    if (status == net::IoStatus::kOk) {
       bump(tallies_.frames_out, hooks_.frames_out, frames);
       bump(tallies_.bytes_out, hooks_.bytes_out, bytes);
       bump(tallies_.gathered_writes, hooks_.gathered_writes);
@@ -418,7 +539,22 @@ void Server::flush_replies(Connection* connection,
         hooks_.gather_frames->observe(static_cast<double>(frames));
       }
     } else {
+      // Slow-client defense: a stalled (or dead) peer may not drain the
+      // socket for minutes. Fail the connection and shut the fd down so
+      // the reader unblocks too — the worker pool never wedges behind
+      // one receive window.
+      if (status == net::IoStatus::kTimeout) {
+        bump(tallies_.net_write_timeouts, hooks_.net_write_timeouts);
+        if (hooks_.trace != nullptr) {
+          hooks_.trace->record({.kind = obs::EventKind::kServeNetTimeout,
+                                .aux = bytes,
+                                .detail = "write-stall"});
+        }
+      } else {
+        bump(tallies_.net_write_errors, hooks_.net_write_errors);
+      }
       connection->write_failed = true;
+      ::shutdown(connection->fd, SHUT_RDWR);
     }
   }
   connection->reply_writing.clear();
@@ -580,6 +716,12 @@ ServeCounters Server::counters() const {
   out.placements_degraded = tallies_.placements_degraded.load();
   out.placements_failed = tallies_.placements_failed.load();
   out.queue_depth_peak = tallies_.queue_depth_peak.load();
+  out.net_read_timeouts = tallies_.net_read_timeouts.load();
+  out.net_write_timeouts = tallies_.net_write_timeouts.load();
+  out.net_write_errors = tallies_.net_write_errors.load();
+  out.dedup_hits = tallies_.dedup_hits.load();
+  out.dedup_evictions = tallies_.dedup_evictions.load();
+  out.specs_shed_expired = tallies_.specs_shed_expired.load();
   return out;
 }
 
@@ -649,6 +791,24 @@ void Server::set_observability(obs::Observability* observability) {
   hooks_.placements_failed =
       &r.counter("serve_placements_failed_total", {},
                  "Placements whose degradation ladder was exhausted");
+  hooks_.net_read_timeouts =
+      &r.counter("serve_net_read_idle_timeouts_total", {},
+                 "Connections closed for exceeding the read idle timeout");
+  hooks_.net_write_timeouts =
+      &r.counter("serve_net_write_stall_timeouts_total", {},
+                 "Connections closed for stalling the reply writer");
+  hooks_.net_write_errors =
+      &r.counter("serve_net_write_errors_total", {},
+                 "Reply writes failed by a hard socket error");
+  hooks_.dedup_hits =
+      &r.counter("serve_dedup_hits_total", {},
+                 "Retried submits answered from the dedup window");
+  hooks_.dedup_evictions =
+      &r.counter("serve_dedup_evictions_total", {},
+                 "Completed dedup entries evicted to bound the window");
+  hooks_.specs_shed_expired =
+      &r.counter("serve_deadline_shed_total", {},
+                 "Specifications shed because their deadline expired");
   hooks_.queue_depth = &r.gauge("serve_queue_depth", {},
                                 "Admitted specifications awaiting workers");
   hooks_.queue_depth_peak =

@@ -44,17 +44,20 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "landlord/landlord.hpp"
 #include "obs/obs.hpp"
+#include "serve/dedup.hpp"
 #include "serve/io.hpp"
 #include "serve/protocol.hpp"
 #include "util/arena.hpp"
@@ -81,6 +84,23 @@ struct ServerConfig {
   std::size_t pipeline_depth = 1024;
   /// listen(2) backlog.
   int backlog = 128;
+  /// Per-connection read idle timeout, milliseconds: a connection that
+  /// sends nothing for this long is closed (slow-loris defense). 0 =
+  /// never time out (the default — idle keep-alive clients are fine).
+  std::uint32_t read_idle_timeout_ms = 0;
+  /// Per-flush write stall timeout, milliseconds: a reply write that
+  /// makes no progress for this long (client stopped reading) abandons
+  /// the connection instead of wedging the flusher forever. 0 = wait
+  /// forever.
+  std::uint32_t write_stall_timeout_ms = 5000;
+  /// Idempotent-retry dedup window capacity, in completed (session_id,
+  /// request_id) entries; a retried v2 submit whose identity is still in
+  /// the window is answered from it, never re-placed. 0 disables dedup.
+  std::size_t dedup_window = 4096;
+  /// When > 0, SO_SNDBUF for accepted connections (bytes). The write-
+  /// stall tests shrink it so a non-reading client trips the stall
+  /// timeout with little traffic; 0 keeps the kernel default.
+  int so_sndbuf = 0;
 };
 
 /// Monotone service-plane counters. Every field has a serve_* metric
@@ -112,6 +132,13 @@ struct ServeCounters {
   std::uint64_t placements_degraded = 0;
   std::uint64_t placements_failed = 0;
   std::uint64_t queue_depth_peak = 0;  ///< high-water admitted-spec depth
+  // -- Network-robustness counters (PR 10) --
+  std::uint64_t net_read_timeouts = 0;   ///< connections closed as idle
+  std::uint64_t net_write_timeouts = 0;  ///< flushes abandoned mid-stall
+  std::uint64_t net_write_errors = 0;    ///< flushes failed hard (peer gone)
+  std::uint64_t dedup_hits = 0;          ///< submits answered from the window
+  std::uint64_t dedup_evictions = 0;     ///< completed entries aged out
+  std::uint64_t specs_shed_expired = 0;  ///< specs shed past their deadline
 };
 
 class Server {
@@ -209,7 +236,19 @@ class Server {
   /// Handles one well-formed frame from `connection`; returns false when
   /// the connection should close (protocol violation).
   bool handle_frame(Connection* connection, Frame frame);
-  void process_submit(Connection* connection, const Frame& frame);
+  /// Executes an admitted submit frame. `expiry` is the v2 deadline as a
+  /// server-clock instant (nullopt = none): specs past it are shed with
+  /// a failed "deadline-expired" reply instead of executed.
+  /// `dedup_claimed` marks a frame whose identity this worker registered
+  /// in the dedup window and must complete.
+  void process_submit(
+      Connection* connection, const Frame& frame,
+      std::optional<std::chrono::steady_clock::time_point> expiry,
+      bool dedup_claimed);
+  /// Replies to a retried submit from the dedup window's stored replies.
+  void reply_from_window(Connection* connection, std::uint64_t request_id,
+                         FrameType reply_type,
+                         const std::vector<PlacementReply>& replies);
 
   /// Encodes one reply of exactly `size` wire bytes into the
   /// connection's arena via `encode(char*) -> char*` and queues it; if no
@@ -246,6 +285,10 @@ class Server {
 
   std::mutex connections_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;
+
+  /// Idempotent-retry window keyed by (session_id, request_id); sized by
+  /// ServerConfig::dedup_window.
+  DedupWindow dedup_;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
@@ -288,6 +331,12 @@ class Server {
     std::atomic<std::uint64_t> placements_degraded{0};
     std::atomic<std::uint64_t> placements_failed{0};
     std::atomic<std::uint64_t> queue_depth_peak{0};
+    std::atomic<std::uint64_t> net_read_timeouts{0};
+    std::atomic<std::uint64_t> net_write_timeouts{0};
+    std::atomic<std::uint64_t> net_write_errors{0};
+    std::atomic<std::uint64_t> dedup_hits{0};
+    std::atomic<std::uint64_t> dedup_evictions{0};
+    std::atomic<std::uint64_t> specs_shed_expired{0};
   };
   AtomicCounters tallies_;
 
@@ -316,6 +365,12 @@ class Server {
     obs::Counter* placements_insert = nullptr;
     obs::Counter* placements_degraded = nullptr;
     obs::Counter* placements_failed = nullptr;
+    obs::Counter* net_read_timeouts = nullptr;
+    obs::Counter* net_write_timeouts = nullptr;
+    obs::Counter* net_write_errors = nullptr;
+    obs::Counter* dedup_hits = nullptr;
+    obs::Counter* dedup_evictions = nullptr;
+    obs::Counter* specs_shed_expired = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* queue_depth_peak = nullptr;
     obs::Histogram* batch_size = nullptr;

@@ -99,12 +99,16 @@ FILES["short-header__15bytes.bin"] = header(PING, 0)[:15]
 FILES["bad-magic__zeros.bin"] = frame(PING, magic=0)
 FILES["bad-magic__swapped.bin"] = frame(PING, magic=0x504C)
 FILES["bad-version__v0.bin"] = frame(PING, version=0)
-FILES["bad-version__v2.bin"] = frame(PING, version=2)
+# Version 2 is live (deadline/dedup submit prefix); 3 is the first
+# unknown version again.
+FILES["bad-version__v3.bin"] = frame(PING, version=3)
 FILES["bad-type__0.bin"] = frame(0)
 FILES["bad-type__99.bin"] = frame(99)
 # Payload length beyond kMaxPayloadBytes (8 MiB): the header alone must
 # be refused before any allocation. No payload bytes follow.
 FILES["oversized__9mib.bin"] = header(PING, 9 << 20)
+# Hostile maximum: a u32-max payload claim must die at the header too.
+FILES["oversized__u32max.bin"] = header(SUBMIT, (1 << 32) - 1)
 
 # ---- Payload-length violations ----
 # Header says 64 payload bytes; only 10 arrive.
@@ -140,6 +144,25 @@ FILES["trailing-bytes__rejected_extra.bin"] = frame(
 # garbage rather than silently losing it.
 FILES["trailing-bytes__two_frames.bin"] = (
     frame(PING) + frame(PING, request_id=8))
+
+# ---- Protocol v2 (dedup/deadline submit prefix) ----
+def v2_prefix(session_id, deadline_ms):
+    return struct.pack("<QI", session_id, deadline_ms)
+
+# v2 submit: [session_id][deadline_ms] then the v1 submit payload.
+FILES["ok__submit_v2.bin"] = frame(
+    SUBMIT, v2_prefix(0xABCD, 250) + submit_payload(11, [1, 5, 9]),
+    version=2)
+FILES["ok__batch_submit_v2.bin"] = frame(
+    BATCH_SUBMIT,
+    v2_prefix(7, 0) + struct.pack("<I", 1) + submit_payload(1, [2, 3]),
+    version=2)
+# v2 replies carry no prefix: a version-2 placement is plain v1 payload.
+FILES["ok__placement_v2.bin"] = frame(
+    PLACEMENT, placement_payload(), version=2)
+# The 12-byte prefix itself cut short.
+FILES["truncated__submit_v2_prefix_cut.bin"] = frame(
+    SUBMIT, v2_prefix(1, 1)[:6], version=2)
 
 # ---- Semantic violations ----
 FILES["batch-too-large__5000.bin"] = frame(

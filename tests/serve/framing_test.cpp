@@ -147,7 +147,7 @@ TEST(ServeIo, WriteAllSurvivesShortWritesAndSignals) {
   }
 
   std::atomic<bool> writing{true};
-  bool wrote = false;
+  net::IoStatus wrote = net::IoStatus::kError;
   std::thread writer([&] {
     wrote = net::write_all(pair.fds[0], payload.data(), payload.size());
     writing.store(false);
@@ -164,7 +164,7 @@ TEST(ServeIo, WriteAllSurvivesShortWritesAndSignals) {
   const std::string got = drain_exactly(pair.fds[1], payload.size());
   writer.join();
   interrupter.join();
-  EXPECT_TRUE(wrote);
+  EXPECT_EQ(wrote, net::IoStatus::kOk);
   EXPECT_EQ(got, payload);
 }
 
@@ -189,13 +189,13 @@ TEST(ServeIo, WritevAllGathersMoreBuffersThanOneSendmsg) {
     buffers.push_back({segment.data(), segment.size()});
   }
 
-  bool wrote = false;
+  net::IoStatus wrote = net::IoStatus::kError;
   std::thread writer([&] {
     wrote = net::writev_all(pair.fds[0], buffers);
   });
   const std::string got = drain_exactly(pair.fds[1], expected.size());
   writer.join();
-  EXPECT_TRUE(wrote);
+  EXPECT_EQ(wrote, net::IoStatus::kOk);
   EXPECT_EQ(got, expected);
 }
 
@@ -204,9 +204,32 @@ TEST(ServeIo, WriteFailsCleanlyOnClosedPeer) {
   ::close(pair.fds[1]);
   pair.fds[1] = -1;
   std::string payload(64 * 1024, 'x');
-  EXPECT_FALSE(net::write_all(pair.fds[0], payload.data(), payload.size()));
+  EXPECT_EQ(net::write_all(pair.fds[0], payload.data(), payload.size()),
+            net::IoStatus::kError);
   const net::ConstBuffer buffer{payload.data(), payload.size()};
-  EXPECT_FALSE(net::writev_all(pair.fds[0], {&buffer, 1}));
+  EXPECT_EQ(net::writev_all(pair.fds[0], {&buffer, 1}), net::IoStatus::kError);
+}
+
+TEST(ServeIo, WriteStallTimeoutFiresWhenPeerStopsReading) {
+  SocketPair pair;
+  pair.tiny_send_buffer();
+  // Nobody reads fds[1]: the send buffer fills and the bounded write
+  // must give up with kTimeout instead of blocking forever.
+  std::string payload(512 * 1024, 'y');
+  EXPECT_EQ(net::write_all(pair.fds[0], payload.data(), payload.size(),
+                           /*stall_timeout_ms=*/50),
+            net::IoStatus::kTimeout);
+  const net::ConstBuffer buffer{payload.data(), payload.size()};
+  EXPECT_EQ(net::writev_all(pair.fds[0], {&buffer, 1},
+                            /*stall_timeout_ms=*/50),
+            net::IoStatus::kTimeout);
+}
+
+TEST(ServeIo, WaitReadableReportsDataAndTimeout) {
+  SocketPair pair;
+  EXPECT_EQ(net::wait_readable(pair.fds[1], 10), net::IoStatus::kTimeout);
+  ASSERT_EQ(::send(pair.fds[0], "x", 1, 0), 1);
+  EXPECT_EQ(net::wait_readable(pair.fds[1], 1000), net::IoStatus::kOk);
 }
 
 // ---- loopback framing edges ----

@@ -119,6 +119,14 @@ TEST(ServeObsReconcile, RegistryMatchesServerCountersAfterLoadgenRun) {
   expect_series(snap, "serve_placements_degraded_total",
                 c.placements_degraded);
   expect_series(snap, "serve_placements_failed_total", c.placements_failed);
+  expect_series(snap, "serve_net_read_idle_timeouts_total",
+                c.net_read_timeouts);
+  expect_series(snap, "serve_net_write_stall_timeouts_total",
+                c.net_write_timeouts);
+  expect_series(snap, "serve_net_write_errors_total", c.net_write_errors);
+  expect_series(snap, "serve_dedup_hits_total", c.dedup_hits);
+  expect_series(snap, "serve_dedup_evictions_total", c.dedup_evictions);
+  expect_series(snap, "serve_deadline_shed_total", c.specs_shed_expired);
   // The peak gauge is published only through monotone raises (tally CAS
   // + Gauge::max_to of the same values), so at quiescence the two sides
   // agree exactly — a stale set() after the CAS loop used to break this.

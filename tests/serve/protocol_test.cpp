@@ -191,6 +191,95 @@ TEST(ServeProtocol, UniverseZeroSkipsRangeCheckOnly) {
             DecodeStatus::kUnsortedPackages);
 }
 
+// ---- Protocol v2: retry identity + deadline prefix ----
+
+TEST(ServeProtocolV2, SubmitCarriesSessionAndDeadline) {
+  const SubmitRequest request = sample_submit(77);
+  const std::string bytes =
+      encode_submit_v2(21, request, /*session_id=*/0xFEEDu,
+                       /*deadline_ms=*/2500);
+  const auto header = decode_header(bytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value.version, kProtocolVersion2);
+
+  const auto decoded = decode_frame(bytes, kUniverse);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value.session_id, 0xFEEDu);
+  EXPECT_EQ(decoded.value.deadline_ms, 2500u);
+  ASSERT_EQ(decoded.value.submits.size(), 1u);
+  EXPECT_EQ(decoded.value.submits[0].client_id, request.client_id);
+  EXPECT_EQ(decoded.value.submits[0].packages, request.packages);
+  EXPECT_EQ(decoded.value.submits[0].constraints, request.constraints);
+}
+
+TEST(ServeProtocolV2, BatchSubmitCarriesSessionAndDeadline) {
+  std::vector<SubmitRequest> requests;
+  for (std::uint64_t i = 0; i < 3; ++i) requests.push_back(sample_submit(i));
+  const auto decoded = decode_frame(
+      encode_batch_submit_v2(5, requests, /*session_id=*/9,
+                             /*deadline_ms=*/0),
+      kUniverse);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value.session_id, 9u);
+  EXPECT_EQ(decoded.value.deadline_ms, 0u);
+  ASSERT_EQ(decoded.value.submits.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(decoded.value.submits[i].client_id, requests[i].client_id);
+  }
+}
+
+// v1 frames keep decoding unchanged: old clients see no difference, and
+// the defaulted identity (0, 0) means "no dedup identity, no deadline".
+TEST(ServeProtocolV2, V1SubmitDecodesWithDefaultedIdentity) {
+  const auto decoded =
+      decode_frame(encode_submit(3, sample_submit(1)), kUniverse);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value.header.version, kProtocolVersion);
+  EXPECT_EQ(decoded.value.session_id, 0u);
+  EXPECT_EQ(decoded.value.deadline_ms, 0u);
+}
+
+// The v2 prefix is a *submit* affordance: replies stay v1-encoded and
+// byte-identical whichever protocol version the submit used.
+TEST(ServeProtocolV2, RepliesStayVersionOneEncoded) {
+  const PlacementReply reply = sample_placement(12);
+  const std::string bytes = encode_placement(6, reply);
+  const auto header = decode_header(bytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value.version, kProtocolVersion);
+  const auto decoded = decode_frame(bytes, kUniverse);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value.placements[0], reply);
+}
+
+TEST(ServeProtocolV2, TruncatedPrefixIsTyped) {
+  std::string bytes =
+      encode_submit_v2(1, sample_submit(1), /*session_id=*/4,
+                       /*deadline_ms=*/10);
+  // Cut inside the 12-byte prefix (header + 6 bytes) and re-stamp the
+  // header's payload_size so only the prefix is short, not the frame.
+  bytes.resize(kHeaderSize + 6);
+  const std::uint32_t payload = 6;
+  std::memcpy(bytes.data() + 4, &payload, sizeof(payload));
+  EXPECT_EQ(decode_frame(bytes, kUniverse).status, DecodeStatus::kTruncated);
+}
+
+// ---- Hostile allocation shapes ----
+
+// A count field the remaining payload cannot possibly hold must be
+// refused BEFORE reserve(): with universe 0 the range check does not
+// bound it, and a 16-byte header + u32 count could otherwise demand a
+// multi-GB allocation from a 20-byte frame.
+TEST(ServeProtocol, HugePackageCountIsRefusedBeforeAllocation) {
+  std::string bytes = encode_submit(1, sample_submit(1));
+  const std::uint32_t hostile = 1u << 24;  // 16M ids = 64 MiB reserve
+  // Overwrite the package count (payload: u64 client_id, then u32 count).
+  std::memcpy(bytes.data() + kHeaderSize + 8, &hostile, sizeof(hostile));
+  EXPECT_EQ(decode_frame(bytes, 0).status, DecodeStatus::kTruncated);
+  EXPECT_EQ(decode_frame(bytes, kUniverse).status,
+            DecodeStatus::kPackageOutOfRange);
+}
+
 // to_request → encode → decode → to_specification is the full client →
 // server path; the reconstructed specification must carry the same
 // package set and constraints.

@@ -1,0 +1,338 @@
+// Idempotent-retry suite (label: servefault): the dedup window's
+// claim/complete/abort/evict semantics, the ResilientClient's backoff
+// schedule and reconnect behavior, and the wire-level reply-lost /
+// eviction / mid-pipeline-reconnect scenarios from docs/serve.md.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "landlord/landlord.hpp"
+#include "pkg/synthetic.hpp"
+#include "serve/chaos.hpp"
+#include "serve/client.hpp"
+#include "serve/dedup.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/retry.hpp"
+#include "serve/server.hpp"
+
+namespace landlord::serve {
+namespace {
+
+const pkg::Repository& repo() {
+  static const pkg::Repository r = [] {
+    pkg::SyntheticRepoParams params;
+    params.total_packages = 400;
+    auto result = pkg::generate_repository(params, 97);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }();
+  return r;
+}
+
+core::CacheConfig cache_config() {
+  core::CacheConfig config;
+  config.alpha = 0.8;
+  config.capacity = repo().total_bytes() / 2;
+  return config;
+}
+
+std::vector<SubmitRequest> catalog() {
+  LoadGenConfig load;
+  load.seed = 11;
+  load.catalog_specs = 20;
+  load.max_initial_selection = 20;
+  return make_catalog(repo(), load);
+}
+
+// ---- DedupWindow unit semantics ----
+
+TEST(DedupWindow, ClaimCompleteThenDuplicateIsAnsweredFromWindow) {
+  DedupWindow window(8);
+  const DedupWindow::Key key{.session_id = 5, .request_id = 1};
+  FrameType type = FrameType::kPlacement;
+  std::vector<PlacementReply> replies;
+
+  ASSERT_EQ(window.claim(key, &type, &replies), DedupWindow::Claim::kNew);
+  PlacementReply reply;
+  reply.client_id = 42;
+  reply.image = 7;
+  EXPECT_EQ(window.complete(key, FrameType::kBatchPlacement, {reply}), 0u);
+
+  ASSERT_EQ(window.claim(key, &type, &replies), DedupWindow::Claim::kDone);
+  EXPECT_EQ(type, FrameType::kBatchPlacement);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0], reply);
+}
+
+TEST(DedupWindow, AbortReleasesTheIdentityForReExecution) {
+  DedupWindow window(8);
+  const DedupWindow::Key key{.session_id = 5, .request_id = 2};
+  FrameType type = FrameType::kPlacement;
+  std::vector<PlacementReply> replies;
+
+  ASSERT_EQ(window.claim(key, &type, &replies), DedupWindow::Claim::kNew);
+  window.abort(key);
+  // The rejection was not a placement: the retry gets to execute.
+  EXPECT_EQ(window.claim(key, &type, &replies), DedupWindow::Claim::kNew);
+}
+
+TEST(DedupWindow, InFlightDuplicateParksUntilResolution) {
+  DedupWindow window(8);
+  const DedupWindow::Key key{.session_id = 1, .request_id = 3};
+  FrameType type = FrameType::kPlacement;
+  std::vector<PlacementReply> replies;
+  ASSERT_EQ(window.claim(key, &type, &replies), DedupWindow::Claim::kNew);
+
+  std::thread waiter([&] {
+    FrameType got_type = FrameType::kPlacement;
+    std::vector<PlacementReply> got;
+    ASSERT_EQ(window.claim(key, &got_type, &got),
+              DedupWindow::Claim::kInFlight);
+    ASSERT_TRUE(window.wait(key, &got_type, &got));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].client_id, 9u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  PlacementReply reply;
+  reply.client_id = 9;
+  window.complete(key, FrameType::kPlacement, {reply});
+  waiter.join();
+}
+
+TEST(DedupWindow, FifoEvictionOverCompletedEntriesOnly) {
+  DedupWindow window(2);
+  FrameType type = FrameType::kPlacement;
+  std::vector<PlacementReply> replies;
+  const auto key = [](std::uint64_t rid) {
+    return DedupWindow::Key{.session_id = 1, .request_id = rid};
+  };
+
+  // An in-flight entry never evicts: its owner is about to complete it.
+  ASSERT_EQ(window.claim(key(1), &type, &replies), DedupWindow::Claim::kNew);
+  ASSERT_EQ(window.claim(key(2), &type, &replies), DedupWindow::Claim::kNew);
+  ASSERT_EQ(window.claim(key(3), &type, &replies), DedupWindow::Claim::kNew);
+  EXPECT_EQ(window.complete(key(1), FrameType::kPlacement, {}), 0u);
+  EXPECT_EQ(window.complete(key(2), FrameType::kPlacement, {}), 0u);
+  // Completing 3 overflows capacity 2: the oldest completed (1) goes.
+  EXPECT_EQ(window.complete(key(3), FrameType::kPlacement, {}), 1u);
+  EXPECT_EQ(window.claim(key(1), &type, &replies), DedupWindow::Claim::kNew);
+  window.abort(key(1));
+  EXPECT_EQ(window.claim(key(2), &type, &replies), DedupWindow::Claim::kDone);
+  EXPECT_EQ(window.claim(key(3), &type, &replies), DedupWindow::Claim::kDone);
+}
+
+TEST(DedupWindow, CapacityZeroDisablesDedup) {
+  DedupWindow window(0);
+  const DedupWindow::Key key{.session_id = 1, .request_id = 1};
+  FrameType type = FrameType::kPlacement;
+  std::vector<PlacementReply> replies;
+  EXPECT_EQ(window.claim(key, &type, &replies), DedupWindow::Claim::kNew);
+  window.complete(key, FrameType::kPlacement, {});
+  EXPECT_EQ(window.claim(key, &type, &replies), DedupWindow::Claim::kNew);
+  EXPECT_EQ(window.size(), 0u);
+}
+
+// ---- Backoff scheduling ----
+
+TEST(ResilientClientRetry, BackoffScheduleIsSeededAndExhausts) {
+  RetryPolicy policy;
+  policy.backoff.max_retries = 3;
+  policy.backoff.base_delay_s = 0.5;
+  policy.backoff.multiplier = 2.0;
+  policy.backoff.jitter = 0.1;
+  policy.backoff_scale = 0.0;  // modelled only: the test must be instant
+  policy.reply_timeout_ms = 10;
+
+  // Port 1 on loopback: nothing listens, every dial fails.
+  ResilientClient client(1, policy, /*seed=*/99);
+  const auto result = client.submit(catalog()[0]);
+  EXPECT_FALSE(result.ok());
+
+  const RetryTally& tally = client.tally();
+  EXPECT_EQ(tally.connects, 0u);
+  EXPECT_EQ(tally.backoffs, 3u);  // one wait before each retry
+  EXPECT_EQ(tally.exhausted, 1u);
+  EXPECT_GT(tally.backoff_seconds, 0.0);
+
+  // The modelled schedule is a pure function of (policy, seed): the
+  // expected waits replay from the same rng evolution the client uses
+  // (one session-id draw, then one jitter draw per backoff).
+  util::Rng replay(99);
+  std::uint64_t session = 0;
+  do {
+    session = replay();
+  } while (session == 0);
+  EXPECT_EQ(client.session_id(), session);
+  double expected = 0.0;
+  for (std::uint32_t attempt = 0; attempt < 3; ++attempt) {
+    expected += policy.backoff.delay_for(attempt, replay);
+  }
+  EXPECT_DOUBLE_EQ(tally.backoff_seconds, expected);
+
+  // Same seed, same dead port: the whole tally replays.
+  ResilientClient again(1, policy, /*seed=*/99);
+  EXPECT_FALSE(again.submit(catalog()[0]).ok());
+  EXPECT_DOUBLE_EQ(again.tally().backoff_seconds, tally.backoff_seconds);
+}
+
+// ---- Wire-level retry scenarios ----
+
+/// Server + optional proxy fixture with a single worker (deterministic
+/// ordering) and a configurable dedup window.
+struct Rig {
+  explicit Rig(std::size_t dedup_window,
+               const fault::FaultPlan* plan = nullptr)
+      : landlord(repo(), cache_config()) {
+    ServerConfig config;
+    config.workers = 1;
+    config.dedup_window = dedup_window;
+    server = std::make_unique<Server>(landlord, config);
+    EXPECT_TRUE(server->start().ok());
+    if (plan != nullptr) {
+      ChaosProxyConfig proxy_config;
+      proxy_config.target_port = server->port();
+      proxy_config.plan = *plan;
+      proxy_config.stall_ms = 5;
+      proxy = std::make_unique<ChaosProxy>(proxy_config);
+      EXPECT_TRUE(proxy->start().ok());
+    }
+  }
+
+  ~Rig() {
+    if (proxy) proxy->stop();
+    server->stop();
+  }
+
+  [[nodiscard]] std::uint16_t port() const {
+    return proxy ? proxy->port() : server->port();
+  }
+
+  core::Landlord landlord;
+  std::unique_ptr<Server> server;
+  std::unique_ptr<ChaosProxy> proxy;
+};
+
+TEST(ResilientClientRetry, LostReplyIsAnsweredFromWindowNotReplaced) {
+  // The schedule cuts the FIRST chunk of each direction: the first
+  // submit is fragmented (server never sees a full frame), and — one
+  // relay later — the first reply is fragmented (client never sees it,
+  // but the server HAS placed the specs). Both lost-at-different-points
+  // shapes land on one identity.
+  fault::FaultPlan plan;
+  plan.seed = 31;
+  plan.at(fault::FaultOp::kPartialDelivery, 0);
+
+  Rig rig(/*dedup_window=*/64, &plan);
+  RetryPolicy policy;
+  policy.backoff.max_retries = 6;
+  policy.backoff_scale = 0.0;
+  policy.reply_timeout_ms = 500;
+  ResilientClient client(rig.port(), policy, /*seed=*/7);
+
+  const auto requests = catalog();
+  const auto first = client.submit(requests[0]);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  EXPECT_FALSE(first.value().failed);
+
+  // Both directions spent their scheduled fragment.
+  EXPECT_EQ(rig.proxy->tally().partials, 2u);
+  EXPECT_GE(client.tally().retransmits, 2u);
+
+  // A later, unfaulted submit flows normally.
+  const auto second = client.submit(requests[1]);
+  ASSERT_TRUE(second.ok());
+
+  const ServeCounters counters = rig.server->counters();
+  // The retransmit whose original executed was answered from the
+  // window; nothing was ever double-placed.
+  EXPECT_EQ(counters.dedup_hits, 1u);
+  EXPECT_EQ(counters.requests_served, 2u);
+  EXPECT_EQ(rig.landlord.counters().requests, 2u);
+}
+
+TEST(ResilientClientRetry, EvictedIdentityIsReExecutedNotWedged) {
+  // Window of ONE completed entry: finishing rid 2 evicts rid 1, so a
+  // late duplicate of rid 1 re-executes (the window bounds memory, not
+  // correctness).
+  Rig rig(/*dedup_window=*/1);
+  const auto requests = catalog();
+
+  Client raw;
+  ASSERT_TRUE(raw.connect(rig.server->port()).ok());
+  const std::string submit1 =
+      encode_submit_v2(1, requests[0], /*session_id=*/4, /*deadline_ms=*/0);
+
+  ASSERT_TRUE(raw.send_frame(submit1));
+  const Decoded<Frame> reply1 = raw.recv_frame();
+  ASSERT_TRUE(reply1.ok());
+
+  ASSERT_TRUE(raw.send_frame(
+      encode_submit_v2(2, requests[1], /*session_id=*/4, /*deadline_ms=*/0)));
+  const Decoded<Frame> reply2 = raw.recv_frame();
+  ASSERT_TRUE(reply2.ok());
+
+  // The window publishes AFTER the reply hits the write path, so the
+  // reply can beat the eviction here — wait for it to land before the
+  // duplicate, or the resend races a still-resident rid 1.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (rig.server->counters().dedup_evictions == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Duplicate of rid 1 after its eviction: re-executed, same placement
+  // (the image exists now, so the decision layer answers it as a hit —
+  // and the reply still names the same image).
+  ASSERT_TRUE(raw.send_frame(submit1));
+  const Decoded<Frame> reply3 = raw.recv_frame();
+  ASSERT_TRUE(reply3.ok());
+  EXPECT_EQ(reply3.value.placements[0].image, reply1.value.placements[0].image);
+  raw.close();
+
+  const ServeCounters counters = rig.server->counters();
+  EXPECT_EQ(counters.dedup_hits, 0u);
+  EXPECT_GE(counters.dedup_evictions, 1u);
+  EXPECT_EQ(counters.requests_served, 3u);  // rid 1 executed twice
+}
+
+TEST(ResilientClientRetry, MidStreamReconnectKeepsIdentityStream) {
+  Rig rig(/*dedup_window=*/64);
+  RetryPolicy policy;
+  policy.backoff_scale = 0.0;
+  policy.reply_timeout_ms = 500;
+  ResilientClient client(rig.server->port(), policy, /*seed=*/13);
+
+  const auto requests = catalog();
+  for (int i = 0; i < 3; ++i) {
+    const auto reply = client.submit(requests[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().client_id,
+              requests[static_cast<std::size_t>(i)].client_id);
+  }
+  // Forced mid-stream reconnect: the correlation/identity stream must
+  // continue, not restart (a restarted stream would collide with the
+  // window entries of the first connection's requests).
+  client.disconnect();
+  for (int i = 3; i < 6; ++i) {
+    const auto reply = client.submit(requests[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().client_id,
+              requests[static_cast<std::size_t>(i)].client_id);
+  }
+  EXPECT_EQ(client.tally().connects, 2u);
+  EXPECT_EQ(client.next_request_id(), 7u);
+
+  const ServeCounters counters = rig.server->counters();
+  EXPECT_EQ(counters.requests_served, 6u);
+  EXPECT_EQ(counters.dedup_hits, 0u);  // nothing was lost, nothing replayed
+}
+
+}  // namespace
+}  // namespace landlord::serve
